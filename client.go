@@ -1,0 +1,282 @@
+package wedgechain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wedgechain/internal/client"
+	"wedgechain/internal/wire"
+)
+
+// Errors surfaced by the synchronous client. ErrEdgeLied means the
+// operation's evidence convicted the edge — the lazy-trust guarantee in
+// action.
+var (
+	ErrTimeout     = errors.New("wedgechain: operation timed out")
+	ErrEdgeLied    = client.ErrEdgeLied
+	ErrStale       = client.ErrStale
+	ErrUnavailable = client.ErrUnavailable
+)
+
+// Receipt tracks a write through its two commitments. It is returned once
+// the operation is Phase I committed (the paper's client-perceived commit);
+// WaitPhaseII blocks until the cloud's certification lands.
+//
+// Receipts are safe for concurrent use: accessors read a snapshot the
+// protocol goroutine publishes at each state change.
+type Receipt struct {
+	mu      sync.Mutex
+	bid     uint64
+	phase   Phase
+	err     error
+	verdict *Verdict
+	block   *wire.Block
+	found   bool
+	value   []byte
+	ver     uint64
+
+	phase1  chan struct{}
+	phase2  chan struct{}
+	settled chan struct{}
+}
+
+func newReceipt() *Receipt {
+	return &Receipt{
+		phase1:  make(chan struct{}),
+		phase2:  make(chan struct{}),
+		settled: make(chan struct{}),
+	}
+}
+
+// snapshot publishes the op's current state. Runs on the protocol
+// goroutine, before the corresponding channel close.
+func (r *Receipt) snapshot(op *client.Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bid = op.BID
+	r.phase = op.Phase
+	r.err = op.Err
+	r.verdict = op.Verdict
+	r.block = op.Block
+	r.found = op.Found
+	r.value = op.GotValue
+	r.ver = op.GotVer
+}
+
+// BID returns the block id the entry committed into.
+func (r *Receipt) BID() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bid
+}
+
+// Phase returns the last published commit phase.
+func (r *Receipt) Phase() Phase {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phase
+}
+
+// Err returns the terminal error, if the operation settled with one.
+func (r *Receipt) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Verdict returns the cloud's ruling when the operation was disputed.
+func (r *Receipt) Verdict() *Verdict {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.verdict
+}
+
+// WaitPhaseII blocks until the cloud certifies the block (Phase II), the
+// operation fails terminally, or the timeout expires.
+func (r *Receipt) WaitPhaseII(timeout time.Duration) error {
+	select {
+	case <-r.phase2:
+		return nil
+	case <-r.settled:
+		return r.Err()
+	case <-time.After(timeout):
+		return ErrTimeout
+	}
+}
+
+// Client is the synchronous application-facing client. All verification
+// (signatures, digests, Merkle proofs, freshness) happens internally; a
+// returned value is a verified value.
+type Client struct {
+	id      NodeID
+	cluster *Cluster
+	core    *client.Core
+
+	// waiters is touched only on the client's transport goroutine.
+	waiters map[*client.Op]*Receipt
+}
+
+func newClient(cluster *Cluster, id NodeID, core *client.Core) *Client {
+	return &Client{
+		id:      id,
+		cluster: cluster,
+		core:    core,
+		waiters: make(map[*client.Op]*Receipt),
+	}
+}
+
+// ID returns the client identity.
+func (c *Client) ID() NodeID { return c.id }
+
+// do runs fn on the client's transport goroutine.
+func (c *Client) do(fn func(now int64) []wire.Envelope) error {
+	if !c.cluster.net.Do(c.id, fn) {
+		return fmt.Errorf("wedgechain: cluster closed")
+	}
+	return nil
+}
+
+func (c *Client) register(op *client.Op) *Receipt {
+	r := newReceipt()
+	c.waiters[op] = r
+	return r
+}
+
+// Callbacks run on the client's transport goroutine; each publishes a
+// snapshot before signalling.
+func (c *Client) onPhaseI(op *client.Op) {
+	if r, ok := c.waiters[op]; ok {
+		r.snapshot(op)
+		close(r.phase1)
+	}
+}
+
+func (c *Client) onPhaseII(op *client.Op) {
+	if r, ok := c.waiters[op]; ok {
+		r.snapshot(op)
+		close(r.phase2)
+	}
+}
+
+func (c *Client) onDone(op *client.Op) {
+	if r, ok := c.waiters[op]; ok {
+		r.snapshot(op)
+		close(r.settled)
+		delete(c.waiters, op)
+	}
+}
+
+// startWrite launches a write and blocks until Phase I commit (or
+// terminal failure / timeout).
+func (c *Client) startWrite(launch func(now int64) (*client.Op, []wire.Envelope), timeout time.Duration) (*Receipt, error) {
+	ch := make(chan *Receipt, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		op, envs := launch(now)
+		ch <- c.register(op)
+		return envs
+	}); err != nil {
+		return nil, err
+	}
+	r := <-ch
+	select {
+	case <-r.phase1:
+		return r, nil
+	case <-r.settled:
+		return r, r.Err()
+	case <-time.After(timeout):
+		return r, ErrTimeout
+	}
+}
+
+// Add appends a payload to the edge log, returning after Phase I commit.
+func (c *Client) Add(payload []byte) (*Receipt, error) {
+	return c.startWrite(func(now int64) (*client.Op, []wire.Envelope) {
+		return c.core.Add(now, payload)
+	}, 30*time.Second)
+}
+
+// Put writes a key-value pair through the LSMerkle index, returning after
+// Phase I commit.
+func (c *Client) Put(key, value []byte) (*Receipt, error) {
+	return c.startWrite(func(now int64) (*client.Op, []wire.Envelope) {
+		return c.core.Put(now, key, value)
+	}, 30*time.Second)
+}
+
+// AddAt appends a payload signed for a previously reserved position.
+func (c *Client) AddAt(payload []byte, pos uint64) (*Receipt, error) {
+	return c.startWrite(func(now int64) (*client.Op, []wire.Envelope) {
+		return c.core.AddAt(now, payload, pos)
+	}, 30*time.Second)
+}
+
+// Reserve grants count consecutive log positions for idempotent adds
+// (Section IV-E).
+func (c *Client) Reserve(count uint32, timeout time.Duration) (uint64, error) {
+	ch := make(chan uint64, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		c.core.SetReserveHandler(func(start uint64, n uint32) {
+			select {
+			case ch <- start:
+			default:
+			}
+		})
+		return c.core.Reserve(now, count)
+	}); err != nil {
+		return 0, err
+	}
+	select {
+	case start := <-ch:
+		return start, nil
+	case <-time.After(timeout):
+		return 0, ErrTimeout
+	}
+}
+
+// Read fetches block bid with its proof, blocking until the read settles
+// (Phase II, a verified denial, or a terminal error).
+func (c *Client) Read(bid uint64, timeout time.Duration) (*Block, Phase, error) {
+	ch := make(chan *Receipt, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		op, envs := c.core.Read(now, bid)
+		ch <- c.register(op)
+		return envs
+	}); err != nil {
+		return nil, PhaseNone, err
+	}
+	r := <-ch
+	select {
+	case <-r.settled:
+	case <-time.After(timeout):
+		return nil, PhaseNone, ErrTimeout
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.block, r.phase, r.err
+}
+
+// Get looks a key up with full proof verification. found=false with a nil
+// error is a *verified* absence. The returned phase distinguishes gets
+// that relied on not-yet-certified blocks (Phase I) from fully certified
+// ones (Phase II).
+func (c *Client) Get(key []byte) (value []byte, found bool, phase Phase, err error) {
+	ch := make(chan *Receipt, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		op, envs := c.core.Get(now, key)
+		ch <- c.register(op)
+		return envs
+	}); err != nil {
+		return nil, false, PhaseNone, err
+	}
+	r := <-ch
+	select {
+	case <-r.settled:
+	case <-time.After(30 * time.Second):
+		return nil, false, PhaseNone, ErrTimeout
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.value, r.found, r.phase, r.err
+}

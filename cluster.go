@@ -1,0 +1,193 @@
+package wedgechain
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wedgechain/internal/client"
+	"wedgechain/internal/cloud"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/transport"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// CloudID is the trusted cloud node's identity in façade clusters.
+const CloudID = NodeID("cloud")
+
+// EdgeID returns the identity of the i-th edge node (1-based).
+func EdgeID(i int) NodeID { return NodeID(fmt.Sprintf("edge-%d", i)) }
+
+// Cluster is an in-process WedgeChain deployment: one trusted cloud node,
+// one or more untrusted edge nodes, and any number of clients, connected
+// by the channel transport (optionally with injected WAN latency).
+type Cluster struct {
+	cfg Config
+	reg *wcrypto.Registry
+	net *transport.Local
+
+	mu      sync.Mutex
+	keys    map[NodeID]wcrypto.KeyPair
+	cloud   *cloud.Node
+	edges   map[NodeID]*edge.Node
+	clients map[NodeID]*Client
+	closed  bool
+}
+
+// NewCluster assembles and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{
+		cfg:     cfg,
+		reg:     wcrypto.NewRegistry(),
+		keys:    make(map[NodeID]wcrypto.KeyPair),
+		edges:   make(map[NodeID]*edge.Node),
+		clients: make(map[NodeID]*Client),
+	}
+	c.net = transport.NewLocal(transport.LocalConfig{
+		TickEvery: 5 * time.Millisecond,
+		Latency:   cfg.Latency,
+	})
+
+	ck, err := wcrypto.GenerateKey(CloudID)
+	if err != nil {
+		return nil, err
+	}
+	c.keys[CloudID] = ck
+	c.reg.Register(CloudID, ck.Pub)
+
+	edgeIDs := make([]NodeID, 0, cfg.Edges)
+	for i := 1; i <= cfg.Edges; i++ {
+		id := EdgeID(i)
+		k, err := wcrypto.GenerateKey(id)
+		if err != nil {
+			return nil, err
+		}
+		c.keys[id] = k
+		c.reg.Register(id, k.Pub)
+		edgeIDs = append(edgeIDs, id)
+	}
+
+	c.cloud = cloud.New(cloud.Config{
+		ID:          CloudID,
+		Levels:      len(cfg.LevelThresholds),
+		PageCap:     cfg.PageCap,
+		GossipEvery: cfg.GossipEvery.Nanoseconds(),
+		// Gossip recipients are added as clients join; the cloud config
+		// is static, so gossip goes to edges and clients pull via their
+		// edge. For direct gossip, clients are registered below.
+	}, ck, c.reg)
+	c.net.Add(c.cloud)
+
+	for _, id := range edgeIDs {
+		en := edge.New(edge.Config{
+			ID:              id,
+			Cloud:           CloudID,
+			BatchSize:       cfg.BatchSize,
+			FlushEvery:      cfg.FlushEvery.Nanoseconds(),
+			L0Threshold:     cfg.L0Threshold,
+			LevelThresholds: cfg.LevelThresholds,
+			PageCap:         cfg.PageCap,
+			Fault:           cfg.EdgeFaults[id],
+		}, c.keys[id], c.reg)
+		c.edges[id] = en
+		c.net.Add(en)
+	}
+	return c, nil
+}
+
+// Close stops the cluster's goroutines.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.net.Close()
+}
+
+// Punished reports whether the cloud has convicted and banned edgeID,
+// with the conviction reason.
+func (c *Cluster) Punished(edgeID NodeID) (string, bool) {
+	type result struct {
+		reason string
+		ok     bool
+	}
+	ch := make(chan result, 1)
+	ok := c.net.Do(CloudID, func(now int64) []wire.Envelope {
+		r, banned := c.cloud.Flagged(edgeID)
+		ch <- result{r, banned}
+		return nil
+	})
+	if !ok {
+		return "", false
+	}
+	r := <-ch
+	return r.reason, r.ok
+}
+
+// Verdicts returns all guilty verdicts the cloud has issued.
+func (c *Cluster) Verdicts() []Verdict {
+	ch := make(chan []Verdict, 1)
+	if !c.net.Do(CloudID, func(now int64) []wire.Envelope {
+		ch <- append([]Verdict(nil), c.cloud.Punishments().Verdicts()...)
+		return nil
+	}) {
+		return nil
+	}
+	return <-ch
+}
+
+// NewClient creates an authenticated client bound to edgeID's partition.
+func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("wedgechain: cluster closed")
+	}
+	if _, ok := c.edges[edgeID]; !ok {
+		return nil, fmt.Errorf("wedgechain: unknown edge %q", edgeID)
+	}
+	id := NodeID(name)
+	if _, dup := c.clients[id]; dup {
+		return nil, fmt.Errorf("wedgechain: duplicate client %q", name)
+	}
+	k, err := wcrypto.GenerateKey(id)
+	if err != nil {
+		return nil, err
+	}
+	c.keys[id] = k
+	c.reg.Register(id, k.Pub)
+
+	core := client.New(client.Config{
+		ID:              id,
+		Edge:            edgeID,
+		Cloud:           CloudID,
+		ProofTimeout:    c.cfg.ProofTimeout.Nanoseconds(),
+		FreshnessWindow: c.cfg.FreshnessWindow.Nanoseconds(),
+		Session:         c.cfg.SessionConsistency,
+	}, k, c.reg)
+	cl := newClient(c, id, core)
+	core.OnPhaseI = cl.onPhaseI
+	core.OnPhaseII = cl.onPhaseII
+	core.OnDone = cl.onDone
+	c.clients[id] = cl
+	c.net.Add(&clientHandler{cl})
+	c.net.Do(CloudID, func(now int64) []wire.Envelope {
+		c.cloud.AddGossipTarget(id)
+		return nil
+	})
+	return cl, nil
+}
+
+// clientHandler adapts the façade client for transport registration,
+// keeping the sync API off the Handler surface.
+type clientHandler struct{ c *Client }
+
+func (h *clientHandler) ID() wire.NodeID { return h.c.id }
+func (h *clientHandler) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	return h.c.core.Receive(now, env)
+}
+func (h *clientHandler) Tick(now int64) []wire.Envelope { return h.c.core.Tick(now) }

@@ -1,0 +1,62 @@
+// Package cli holds shared helpers for the wedge-* binaries: peer-map
+// parsing and the demo key scheme.
+//
+// Keying: the binaries derive each node's Ed25519 key deterministically
+// from its identity so that a multi-process demo cluster needs no key
+// exchange. A production deployment would generate keys with
+// wcrypto.GenerateKey and distribute the registry out of band; everything
+// else is unchanged.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// ParsePeers parses "id=host:port,id2=host:port" into a peer map.
+func ParsePeers(s string) (map[wire.NodeID]string, error) {
+	peers := make(map[wire.NodeID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		peers[wire.NodeID(kv[0])] = kv[1]
+	}
+	return peers, nil
+}
+
+// Registry builds a key registry covering self plus all peers using the
+// demo key scheme, returning self's key pair.
+func Registry(self wire.NodeID, peers map[wire.NodeID]string) (wcrypto.KeyPair, *wcrypto.Registry) {
+	reg := wcrypto.NewRegistry()
+	selfKey := wcrypto.DeterministicKey(self)
+	reg.Register(self, selfKey.Pub)
+	for id := range peers {
+		k := wcrypto.DeterministicKey(id)
+		reg.Register(id, k.Pub)
+	}
+	return selfKey, reg
+}
+
+// ParseInts parses "10,100,1000" into level thresholds.
+func ParseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad threshold %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+// Command wedge-bench regenerates the paper's evaluation: every table and
+// figure of Section VI plus the ablations in DESIGN.md.
+//
+// Usage:
+//
+//	wedge-bench -list
+//	wedge-bench -run F4a            # one experiment, full scale
+//	wedge-bench -run all -quick     # everything, reduced rounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wedgechain/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "reduced rounds for a fast pass")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Doc)
+		}
+		return
+	}
+	scale := bench.Full
+	if *quick {
+		scale = bench.Quick
+	}
+
+	runOne := func(id string, fn func(bench.Scale) *bench.Table) {
+		start := time.Now()
+		t := fn(scale)
+		t.Print(os.Stdout)
+		fmt.Printf("  [%s completed in %.1fs wall time]\n", id, time.Since(start).Seconds())
+	}
+
+	if *run == "all" {
+		for _, e := range bench.Experiments {
+			runOne(e.ID, e.Fn)
+		}
+		return
+	}
+	fn, ok := bench.Lookup(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+		os.Exit(1)
+	}
+	runOne(*run, fn)
+}

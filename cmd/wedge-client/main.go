@@ -1,0 +1,162 @@
+// Command wedge-client performs WedgeChain operations against a TCP
+// cluster: add, read, put, get. It runs a full verifying protocol client —
+// a returned value is a verified value; a detected lie is reported with
+// the cloud's verdict.
+//
+// Usage:
+//
+//	wedge-client -id c1 -listen :9003 \
+//	  -peers cloud=localhost:9001,edge-1=localhost:9002 \
+//	  -edge edge-1 [-wait2] <op> [args]
+//
+// Operations: add <payload> | read <bid> | put <key> <value> | get <key>
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"wedgechain/cmd/internal/cli"
+	"wedgechain/internal/client"
+	"wedgechain/internal/core"
+	"wedgechain/internal/transport"
+	"wedgechain/internal/wire"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "c1", "client identity")
+		listen  = flag.String("listen", ":9003", "listen address for responses")
+		peers   = flag.String("peers", "", "peer map: id=host:port,...")
+		edgeID  = flag.String("edge", "edge-1", "edge node owning this client's partition")
+		cloudID = flag.String("cloud", "cloud", "cloud node identity")
+		wait2   = flag.Bool("wait2", false, "also wait for Phase II certification")
+		timeout = flag.Duration("timeout", 30*time.Second, "operation timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("missing operation: add|read|put|get")
+	}
+
+	peerMap, err := cli.ParsePeers(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, reg := cli.Registry(wire.NodeID(*id), peerMap)
+	cc := client.New(client.Config{
+		ID:    wire.NodeID(*id),
+		Edge:  wire.NodeID(*edgeID),
+		Cloud: wire.NodeID(*cloudID),
+	}, key, reg)
+
+	t := transport.NewTCP(cc, transport.TCPConfig{Listen: *listen, Peers: peerMap})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := t.Serve(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the listener come up
+
+	var op *client.Op
+	launch := func(fn func(now int64) (*client.Op, []wire.Envelope)) {
+		t.Do(func(now int64) []wire.Envelope {
+			var envs []wire.Envelope
+			op, envs = fn(now)
+			return envs
+		})
+	}
+
+	switch args[0] {
+	case "add":
+		if len(args) != 2 {
+			log.Fatal("usage: add <payload>")
+		}
+		launch(func(now int64) (*client.Op, []wire.Envelope) { return cc.Add(now, []byte(args[1])) })
+	case "put":
+		if len(args) != 3 {
+			log.Fatal("usage: put <key> <value>")
+		}
+		launch(func(now int64) (*client.Op, []wire.Envelope) {
+			return cc.Put(now, []byte(args[1]), []byte(args[2]))
+		})
+	case "read":
+		if len(args) != 2 {
+			log.Fatal("usage: read <bid>")
+		}
+		bid, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		launch(func(now int64) (*client.Op, []wire.Envelope) { return cc.Read(now, bid) })
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: get <key>")
+		}
+		launch(func(now int64) (*client.Op, []wire.Envelope) { return cc.Get(now, []byte(args[1])) })
+	default:
+		log.Fatalf("unknown operation %q", args[0])
+	}
+
+	// Poll the op under the transport mutex until it reaches the desired
+	// state.
+	deadline := time.Now().Add(*timeout)
+	for {
+		var phase core.Phase
+		var done bool
+		var errOp error
+		t.Do(func(now int64) []wire.Envelope {
+			phase, done, errOp = op.Phase, op.Done, op.Err
+			return nil
+		})
+		if errOp != nil {
+			if op.Verdict != nil {
+				fmt.Printf("EDGE CONVICTED: %s\n", op.Verdict.Reason)
+			}
+			log.Fatalf("operation failed: %v", errOp)
+		}
+		target := core.PhaseI
+		if *wait2 {
+			target = core.PhaseII
+		}
+		if phase >= target || done {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("operation timed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	t.Do(func(now int64) []wire.Envelope {
+		switch args[0] {
+		case "add", "put":
+			fmt.Printf("%s committed: block=%d phase=%s\n", args[0], op.BID, op.Phase)
+		case "read":
+			if op.Block != nil {
+				fmt.Printf("block %d: %d entries, phase=%s\n", op.BID, len(op.Block.Entries), op.Phase)
+				for i := range op.Block.Entries {
+					e := &op.Block.Entries[i]
+					fmt.Printf("  [%d] client=%s key=%q value=%q\n", i, e.Client, e.Key, e.Value)
+				}
+			} else {
+				fmt.Println("block not available")
+			}
+		case "get":
+			if op.Found {
+				fmt.Printf("%q = %q (ver %d, phase=%s, proof verified)\n", args[1], op.GotValue, op.GotVer, op.Phase)
+			} else {
+				fmt.Printf("%q not found (verified absence)\n", args[1])
+			}
+		}
+		return nil
+	})
+	_ = os.Stdout.Sync()
+}

@@ -1,0 +1,65 @@
+// Command wedge-cloud runs the trusted WedgeChain cloud node over TCP:
+// digest certification, LSMerkle merge service, gossip, and dispute
+// adjudication.
+//
+// Example (three terminals):
+//
+//	wedge-cloud  -listen :9001 -peers edge-1=localhost:9002,c1=localhost:9003
+//	wedge-edge   -id edge-1 -listen :9002 -peers cloud=localhost:9001,c1=localhost:9003
+//	wedge-client -id c1 -listen :9003 -peers cloud=localhost:9001,edge-1=localhost:9002 \
+//	             -edge edge-1 put mykey myvalue
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"time"
+
+	"wedgechain/cmd/internal/cli"
+	"wedgechain/internal/cloud"
+	"wedgechain/internal/transport"
+	"wedgechain/internal/wire"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "cloud", "node identity")
+		listen  = flag.String("listen", ":9001", "listen address")
+		peers   = flag.String("peers", "", "peer map: id=host:port,...")
+		levels  = flag.Int("levels", 3, "LSMerkle levels (excluding L0)")
+		pageCap = flag.Int("pagecap", 100, "records per merged page")
+		gossip  = flag.Duration("gossip", time.Second, "gossip period (0 disables)")
+	)
+	flag.Parse()
+
+	peerMap, err := cli.ParsePeers(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, reg := cli.Registry(wire.NodeID(*id), peerMap)
+
+	var gossipTo []wire.NodeID
+	for p := range peerMap {
+		gossipTo = append(gossipTo, p)
+	}
+	node := cloud.New(cloud.Config{
+		ID:          wire.NodeID(*id),
+		Levels:      *levels,
+		PageCap:     *pageCap,
+		GossipEvery: gossip.Nanoseconds(),
+		GossipTo:    gossipTo,
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}, key, reg)
+
+	t := transport.NewTCP(node, transport.TCPConfig{Listen: *listen, Peers: peerMap})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	log.Printf("wedge-cloud %s listening on %s", *id, *listen)
+	if err := t.Serve(ctx); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command wedge-edge runs an (untrusted) WedgeChain edge node over TCP:
+// block ingestion, lazy certification against the cloud, LSMerkle serving,
+// and — for demonstrations — optional byzantine behaviour.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"wedgechain/cmd/internal/cli"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/transport"
+	"wedgechain/internal/wire"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "edge-1", "node identity")
+		listen  = flag.String("listen", ":9002", "listen address")
+		peers   = flag.String("peers", "", "peer map: id=host:port,...")
+		cloudID = flag.String("cloud", "cloud", "cloud node identity")
+		batch   = flag.Int("batch", 100, "entries per block")
+		flush   = flag.Duration("flush", 100*time.Millisecond, "partial block flush interval")
+		l0      = flag.Int("l0", 10, "L0 blocks before compaction")
+		levels  = flag.String("levels", "10,100,1000", "level page thresholds")
+		evil    = flag.String("evil", "", "byzantine mode: tamper-add=<victim>|omit=<bid>|double-certify|drop-certify")
+		dataDir = flag.String("data", "", "directory for the durable log segment (empty = in-memory)")
+	)
+	flag.Parse()
+
+	peerMap, err := cli.ParsePeers(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, reg := cli.Registry(wire.NodeID(*id), peerMap)
+	thresholds, err := cli.ParseInts(*levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fault, err := parseFault(*evil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := edge.Config{
+		ID:              wire.NodeID(*id),
+		Cloud:           wire.NodeID(*cloudID),
+		BatchSize:       *batch,
+		FlushEvery:      flush.Nanoseconds(),
+		L0Threshold:     *l0,
+		LevelThresholds: thresholds,
+		Fault:           fault,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	var node *edge.Node
+	if *dataDir != "" {
+		var recovered int
+		node, recovered, err = edge.NewPersistent(cfg, key, reg, *dataDir, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.CloseStore()
+		log.Printf("recovered %d blocks from %s", recovered, *dataDir)
+	} else {
+		node = edge.New(cfg, key, reg)
+	}
+
+	t := transport.NewTCP(node, transport.TCPConfig{Listen: *listen, Peers: peerMap})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	mode := "honest"
+	if fault != nil {
+		mode = "BYZANTINE(" + *evil + ")"
+	}
+	log.Printf("wedge-edge %s listening on %s (%s)", *id, *listen, mode)
+	if err := t.Serve(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseFault(s string) (*edge.Fault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	f := &edge.Fault{}
+	switch {
+	case strings.HasPrefix(s, "tamper-add="):
+		f.TamperAddVictim = wire.NodeID(strings.TrimPrefix(s, "tamper-add="))
+	case strings.HasPrefix(s, "omit="):
+		bid, err := strconv.ParseUint(strings.TrimPrefix(s, "omit="), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -evil value %q: %v", s, err)
+		}
+		f.OmitBlocks = map[uint64]bool{bid: true}
+	case s == "double-certify":
+		f.DoubleCertify = true
+	case s == "drop-certify":
+		f.DropCertify = true
+	default:
+		return nil, fmt.Errorf("bad -evil value %q", s)
+	}
+	return f, nil
+}

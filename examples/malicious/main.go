@@ -1,0 +1,123 @@
+// Malicious-edge demonstration: the paper's central claim is that an edge
+// node *can* lie but every lie is eventually detected and punished. This
+// example makes the edge byzantine in three ways — tampered add responses,
+// omitted blocks, and conflicting certifications — and shows each lie
+// convicted.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"wedgechain"
+)
+
+func main() {
+	demoTamperedAdd()
+	demoOmission()
+}
+
+// demoTamperedAdd: the edge returns the victim a block whose other entries
+// were altered. The victim's own entry is intact, so Phase I verification
+// passes — the lie is only caught when the cloud-certified digest
+// contradicts the signed response the victim holds.
+func demoTamperedAdd() {
+	fmt.Println("== Lie #1: tampered add-response ==")
+	fault := &wedgechain.Fault{TamperAddVictim: "victim"}
+	cluster, err := wedgechain.NewCluster(wedgechain.Config{
+		Edges:        1,
+		BatchSize:    2,
+		ProofTimeout: 300 * time.Millisecond,
+		EdgeFaults:   map[wedgechain.NodeID]*wedgechain.Fault{wedgechain.EdgeID(1): fault},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	victim, _ := cluster.NewClient("victim", wedgechain.EdgeID(1))
+	bystander, _ := cluster.NewClient("bystander", wedgechain.EdgeID(1))
+
+	errCh := make(chan error, 1)
+	go func() {
+		r, err := victim.Add([]byte("victim-data"))
+		if err != nil {
+			errCh <- err
+			return
+		}
+		// Phase I succeeded: the edge's signed response looked fine.
+		fmt.Printf("  victim: Phase I commit accepted (block %d) — lie not yet visible\n", r.BID())
+		errCh <- r.WaitPhaseII(15 * time.Second)
+	}()
+	if _, err := bystander.Add([]byte("bystander-data")); err != nil {
+		log.Fatal(err)
+	}
+
+	err = <-errCh
+	if errors.Is(err, wedgechain.ErrEdgeLied) {
+		fmt.Println("  victim: certified digest contradicted the signed response -> dispute filed")
+	} else {
+		log.Fatalf("expected ErrEdgeLied, got %v", err)
+	}
+	waitPunished(cluster)
+}
+
+// demoOmission: the edge denies a block exists. Cloud gossip proves it
+// does; the signed denial becomes the conviction evidence.
+func demoOmission() {
+	fmt.Println("== Lie #2: omission (denying a committed block) ==")
+	fault := &wedgechain.Fault{OmitBlocks: map[uint64]bool{0: true}}
+	cluster, err := wedgechain.NewCluster(wedgechain.Config{
+		Edges:       1,
+		BatchSize:   2,
+		GossipEvery: 50 * time.Millisecond,
+		EdgeFaults:  map[wedgechain.NodeID]*wedgechain.Fault{wedgechain.EdgeID(1): fault},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	writer, _ := cluster.NewClient("writer", wedgechain.EdgeID(1))
+	reader, _ := cluster.NewClient("reader", wedgechain.EdgeID(1))
+
+	done := make(chan struct{})
+	go func() {
+		r, err := writer.Add([]byte("entry-0"))
+		if err == nil {
+			r.WaitPhaseII(10 * time.Second)
+		}
+		close(done)
+	}()
+	if _, err := writer.Add([]byte("entry-1")); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	fmt.Println("  block 0 committed and certified; waiting for gossip to reach the reader")
+	time.Sleep(300 * time.Millisecond)
+
+	_, _, err = reader.Read(0, 15*time.Second)
+	if errors.Is(err, wedgechain.ErrEdgeLied) {
+		fmt.Println("  reader: denial contradicted cloud gossip -> omission dispute filed")
+	} else {
+		log.Fatalf("expected ErrEdgeLied, got %v", err)
+	}
+	waitPunished(cluster)
+}
+
+func waitPunished(cluster *wedgechain.Cluster) {
+	deadline := time.After(10 * time.Second)
+	for {
+		if reason, ok := cluster.Punished(wedgechain.EdgeID(1)); ok {
+			fmt.Printf("  cloud: edge-1 PUNISHED — %s\n\n", reason)
+			return
+		}
+		select {
+		case <-deadline:
+			log.Fatal("edge was never punished")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package edgebase
+
+import (
+	"bytes"
+	"testing"
+
+	"wedgechain/internal/sim"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+type world struct {
+	sim    *sim.Sim
+	cloud  *Cloud
+	edge   *Edge
+	client *Client
+}
+
+func newWorld(t *testing.T, batch int) *world {
+	t.Helper()
+	reg := wcrypto.NewRegistry()
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	for _, id := range []wire.NodeID{"cloud", "edge-1", "c1"} {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		reg.Register(id, k.Pub)
+	}
+	w := &world{}
+	w.cloud = NewCloud(CloudConfig{
+		ID: "cloud", Edge: "edge-1",
+		BatchSize: batch, L0Threshold: 2,
+		LevelThresholds: []int{2, 4, 8}, PageCap: 4,
+	}, keys["cloud"], reg)
+	w.edge = NewEdge(EdgeConfig{ID: "edge-1", Cloud: "cloud", LevelThresholds: []int{2, 4, 8}}, keys["edge-1"], reg)
+	w.client = NewClient("c1", "edge-1", "cloud", keys["c1"], reg, 0)
+	w.sim = sim.New(sim.Config{TickEvery: 1e6, DefaultLink: sim.Link{Latency: 1e6}})
+	w.sim.Add(w.cloud)
+	w.sim.Add(w.edge)
+	w.sim.Add(w.client)
+	return w
+}
+
+func (w *world) put(t *testing.T, key, value string) *Op {
+	t.Helper()
+	op, envs := w.client.Put(w.sim.Now(), []byte(key), []byte(value))
+	w.sim.Inject(envs)
+	return op
+}
+
+func (w *world) settle(t *testing.T) {
+	t.Helper()
+	w.sim.Drain(w.sim.Now() + int64(60e9))
+}
+
+func TestWriteWaitsForEdgeAck(t *testing.T) {
+	w := newWorld(t, 2)
+	op1 := w.put(t, "a", "1")
+	op2 := w.put(t, "b", "2")
+	w.settle(t)
+	if !op1.Done || !op2.Done {
+		t.Fatalf("puts not acknowledged: %v %v", op1.Done, op2.Done)
+	}
+	if w.edge.Blocks() != 1 {
+		t.Fatalf("edge blocks = %d — ack must follow the state push", w.edge.Blocks())
+	}
+}
+
+func TestVerifiedGetsFromEdge(t *testing.T) {
+	w := newWorld(t, 2)
+	// Enough writes to force cloud-side compaction (L0Threshold 2).
+	kvs := map[string]string{}
+	for i, k := range []string{"a", "b", "c", "d", "e", "f", "a", "b"} {
+		v := string(rune('0' + i))
+		kvs[k] = v
+		w.put(t, k, v)
+	}
+	w.settle(t)
+	if w.cloud.Stats().Compactions == 0 {
+		_ = kvs // compaction counter optional; assert via lookups below
+	}
+	for k, v := range kvs {
+		op, envs := w.client.Get(w.sim.Now(), []byte(k))
+		w.sim.Inject(envs)
+		w.settle(t)
+		if op.Err != nil {
+			t.Fatalf("get %s: %v", k, op.Err)
+		}
+		if !op.Found || !bytes.Equal(op.GotValue, []byte(v)) {
+			t.Fatalf("get %s = %q (found=%v), want %q", k, op.GotValue, op.Found, v)
+		}
+	}
+	// Verified absence.
+	op, envs := w.client.Get(w.sim.Now(), []byte("zz"))
+	w.sim.Inject(envs)
+	w.settle(t)
+	if op.Err != nil || op.Found {
+		t.Fatalf("get zz: found=%v err=%v", op.Found, op.Err)
+	}
+}
+
+func TestPushBytesCounted(t *testing.T) {
+	w := newWorld(t, 2)
+	w.put(t, "a", "1")
+	w.put(t, "b", "2")
+	w.settle(t)
+	if w.cloud.Stats().PushBytes == 0 {
+		t.Fatal("push bytes not accounted")
+	}
+	if w.cloud.Stats().Blocks != 1 {
+		t.Fatalf("blocks = %d", w.cloud.Stats().Blocks)
+	}
+}
+
+func TestBatchMessagePath(t *testing.T) {
+	w := newWorld(t, 3)
+	ops, envs := w.client.PutBatch(w.sim.Now(),
+		[][]byte{[]byte("x"), []byte("y"), []byte("z")},
+		[][]byte{[]byte("1"), []byte("2"), []byte("3")})
+	w.sim.Inject(envs)
+	w.settle(t)
+	for i, op := range ops {
+		if !op.Done {
+			t.Fatalf("batch op %d not done", i)
+		}
+	}
+}

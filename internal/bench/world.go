@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+
+	"wedgechain/internal/baseline/cloudonly"
+	"wedgechain/internal/baseline/edgebase"
+	"wedgechain/internal/client"
+	"wedgechain/internal/cloud"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/sim"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+	"wedgechain/internal/workload"
+)
+
+// System selects which of the three evaluated systems to build.
+type System int
+
+// The three systems of the evaluation.
+const (
+	Wedge System = iota
+	CloudOnly
+	EdgeBase
+)
+
+var systemNames = [...]string{"WedgeChain", "Cloud-only", "Edge-baseline"}
+
+// String returns the paper's system name.
+func (s System) String() string { return systemNames[s] }
+
+// AllSystems lists the systems in the paper's plotting order.
+var AllSystems = []System{Wedge, CloudOnly, EdgeBase}
+
+// WorldCfg describes one experimental setup.
+type WorldCfg struct {
+	System    System
+	Clients   int
+	Batch     int
+	ValueSize int
+	// KeySpace is the partition's key range; Preload keys are written
+	// before measurement (reads address the preloaded range).
+	KeySpace int
+	Preload  int
+	Place    Placement
+	// Workload shape per client (see workload.Config).
+	WritesPerRound int
+	ReadsPerRound  int
+	Rounds         int
+	WarmupRounds   int
+	// L0Threshold and LevelThresholds configure LSMerkle; zero values
+	// use the paper's configuration (10, 10, 100, 1000).
+	L0Threshold     int
+	LevelThresholds []int
+	// Gossip and Freshness configure the cloud gossip period and the
+	// client freshness window (0 = off).
+	Gossip    int64
+	Freshness int64
+	// DataFreeCert disables full-block certification; default (false
+	// meaning "unset") maps to data-free on. Set FullDataCert for the
+	// A1 ablation.
+	FullDataCert bool
+	Seed         int64
+}
+
+func (c *WorldCfg) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 100
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 100_000
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.L0Threshold <= 0 {
+		c.L0Threshold = 10
+	}
+	if len(c.LevelThresholds) == 0 {
+		c.LevelThresholds = []int{10, 100, 1000}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// World is a built, ready-to-run experiment.
+type World struct {
+	Cfg     WorldCfg
+	Sim     *sim.Sim
+	Drivers []*workload.Driver
+	// WedgeClients exposes the protocol client cores (WedgeChain only)
+	// for Phase I/II instrumentation.
+	WedgeClients []*client.Core
+	// EdgeNode / CloudNode are set for the WedgeChain system.
+	EdgeNode  *edge.Node
+	CloudNode *cloud.Node
+
+	roles       map[wire.NodeID]Role
+	preloadConn workload.Conn
+}
+
+const (
+	cloudID = wire.NodeID("cloud")
+	edgeID  = wire.NodeID("edge-1")
+)
+
+func clientID(i int) wire.NodeID { return wire.NodeID(fmt.Sprintf("c%d", i+1)) }
+
+// BuildWorld constructs the system, topology and drivers for cfg.
+func BuildWorld(cfg WorldCfg) *World {
+	cfg.fill()
+	w := &World{Cfg: cfg, roles: map[wire.NodeID]Role{cloudID: RCloud, edgeID: REdge}}
+
+	reg := wcrypto.NewRegistry()
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	ids := []wire.NodeID{cloudID, edgeID}
+	for i := 0; i < cfg.Clients; i++ {
+		ids = append(ids, clientID(i))
+	}
+	for _, id := range ids {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		reg.Register(id, k.Pub)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		w.roles[clientID(i)] = RClient
+	}
+
+	// Topology: directional links per role pair.
+	links := map[[2]wire.NodeID]sim.Link{}
+	addPair := func(a, b wire.NodeID, da, db DC, bw float64) {
+		links[[2]wire.NodeID{a, b}] = linkFor(da, db, bw)
+		links[[2]wire.NodeID{b, a}] = linkFor(db, da, bw)
+	}
+	addPair(edgeID, cloudID, cfg.Place.Edge, cfg.Place.Cloud, coordBW)
+	for i := 0; i < cfg.Clients; i++ {
+		cid := clientID(i)
+		addPair(cid, edgeID, cfg.Place.Client, cfg.Place.Edge, wanBW)
+		addPair(cid, cloudID, cfg.Place.Client, cfg.Place.Cloud, wanBW)
+	}
+
+	costs := DefaultCosts(cfg.Batch)
+	w.Sim = sim.New(sim.Config{
+		TickEvery:   int64(1e6),
+		DefaultLink: sim.Link{Latency: int64(5e5), Bandwidth: lanBW},
+		Links:       links,
+		Cost:        costs.Fn(w.roles),
+	})
+
+	var gossipTo []wire.NodeID
+	for i := 0; i < cfg.Clients; i++ {
+		gossipTo = append(gossipTo, clientID(i))
+	}
+
+	mkConn := func(i int) workload.Conn {
+		cid := clientID(i)
+		switch cfg.System {
+		case Wedge:
+			cc := client.New(client.Config{
+				ID: cid, Edge: edgeID, Cloud: cloudID,
+				FreshnessWindow: cfg.Freshness,
+			}, keys[cid], reg)
+			w.WedgeClients = append(w.WedgeClients, cc)
+			return workload.WedgeConn{Core: cc}
+		case CloudOnly:
+			return workload.CloudOnlyConn{Client: cloudonly.NewClient(cid, cloudID, keys[cid])}
+		default:
+			return workload.EBConn{Client: edgebase.NewClient(cid, edgeID, cloudID, keys[cid], reg, cfg.Freshness)}
+		}
+	}
+
+	switch cfg.System {
+	case Wedge:
+		w.CloudNode = cloud.New(cloud.Config{
+			ID:          cloudID,
+			Levels:      len(cfg.LevelThresholds),
+			PageCap:     cfg.Batch,
+			GossipEvery: cfg.Gossip,
+			GossipTo:    gossipTo,
+		}, keys[cloudID], reg)
+		w.EdgeNode = edge.New(edge.Config{
+			ID:              edgeID,
+			Cloud:           cloudID,
+			BatchSize:       cfg.Batch,
+			L0Threshold:     cfg.L0Threshold,
+			LevelThresholds: cfg.LevelThresholds,
+			PageCap:         cfg.Batch,
+			FullDataCert:    cfg.FullDataCert,
+		}, keys[edgeID], reg)
+		w.Sim.Add(w.CloudNode)
+		w.Sim.Add(w.EdgeNode)
+	case CloudOnly:
+		w.Sim.Add(cloudonly.NewServer(cloudonly.ServerConfig{ID: cloudID, BatchSize: cfg.Batch}, reg))
+	case EdgeBase:
+		w.Sim.Add(edgebase.NewCloud(edgebase.CloudConfig{
+			ID: cloudID, Edge: edgeID,
+			BatchSize:       cfg.Batch,
+			L0Threshold:     cfg.L0Threshold,
+			LevelThresholds: cfg.LevelThresholds,
+			PageCap:         cfg.Batch,
+		}, keys[cloudID], reg))
+		w.Sim.Add(edgebase.NewEdge(edgebase.EdgeConfig{
+			ID: edgeID, Cloud: cloudID,
+			LevelThresholds: cfg.LevelThresholds,
+		}, keys[edgeID], reg))
+	}
+
+	readSpace := cfg.KeySpace
+	if cfg.Preload > 0 && cfg.Preload < readSpace {
+		readSpace = cfg.Preload
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		conn := mkConn(i)
+		if i == 0 {
+			w.preloadConn = conn
+		}
+		d := workload.NewDriver(workload.Config{
+			WritesPerRound: cfg.WritesPerRound,
+			ReadsPerRound:  cfg.ReadsPerRound,
+			Rounds:         cfg.Rounds,
+			WarmupRounds:   cfg.WarmupRounds,
+			Keys:           workload.NewUniformKeys(readSpace, cfg.Seed+int64(i)*7919),
+			ValueSize:      cfg.ValueSize,
+			Seed:           cfg.Seed + int64(i),
+		}, conn)
+		w.Drivers = append(w.Drivers, d)
+		w.Sim.Add(d)
+	}
+	return w
+}
+
+// Preload writes cfg.Preload sequential keys through the protocol before
+// the measured workload starts, so read experiments address real data.
+func (w *World) Preload() {
+	if w.Cfg.Preload == 0 {
+		return
+	}
+	gen := &workload.SeqKeys{}
+	val := make([]byte, w.Cfg.ValueSize)
+	written := 0
+	for written < w.Cfg.Preload {
+		n := w.Cfg.Batch
+		if written+n > w.Cfg.Preload {
+			n = w.Cfg.Preload - written
+		}
+		keys := make([][]byte, n)
+		values := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			keys[i] = gen.Next()
+			values[i] = val
+		}
+		stats, envs := w.preloadConn.PutBurst(w.Sim.Now(), keys, values)
+		w.Sim.Inject(envs)
+		ok := w.Sim.RunWhile(func() bool {
+			for _, st := range stats {
+				if !st.Settled() {
+					return true
+				}
+			}
+			return false
+		}, w.Sim.Now()+int64(600e9))
+		if !ok {
+			panic("bench: preload stalled")
+		}
+		written += n
+	}
+	// Let background certification and compaction settle.
+	w.Sim.Drain(w.Sim.Now() + int64(60e9))
+}
+
+// Run starts every driver and runs the workload to completion (bounded by
+// limit nanoseconds of additional virtual time).
+func (w *World) Run(limit int64) {
+	for _, d := range w.Drivers {
+		d.Start()
+	}
+	deadline := w.Sim.Now() + limit
+	done := func() bool {
+		for _, d := range w.Drivers {
+			if !d.Done() {
+				return true
+			}
+		}
+		return false
+	}
+	if !w.Sim.RunWhile(done, deadline) {
+		panic(fmt.Sprintf("bench: workload did not finish within limit (%s, %d clients, B=%d)",
+			w.Cfg.System, w.Cfg.Clients, w.Cfg.Batch))
+	}
+}
+
+// AggMetrics merges all drivers' metrics.
+func (w *World) AggMetrics() *workload.Metrics {
+	agg := &workload.Metrics{}
+	for i, d := range w.Drivers {
+		m := d.Metrics()
+		agg.BurstLat = append(agg.BurstLat, m.BurstLat...)
+		agg.ReadLat = append(agg.ReadLat, m.ReadLat...)
+		agg.Writes += m.Writes
+		agg.Reads += m.Reads
+		agg.Failed += m.Failed
+		if i == 0 || m.StartAt < agg.StartAt {
+			agg.StartAt = m.StartAt
+		}
+		if m.EndAt > agg.EndAt {
+			agg.EndAt = m.EndAt
+		}
+	}
+	return agg
+}
+
+// Throughput sums per-driver throughput, each computed over that driver's
+// own measurement window — unbiased under staggered starts, unlike a
+// global min-start/max-end window.
+func (w *World) Throughput() float64 {
+	var total float64
+	for _, d := range w.Drivers {
+		total += d.Metrics().Throughput()
+	}
+	return total
+}
+
+// EdgeCloudBytes reports bytes moved on the edge-cloud coordination
+// channel in both directions (the data-free certification savings metric).
+func (w *World) EdgeCloudBytes() uint64 {
+	lb := w.Sim.Stats().LinkBytes
+	return lb[[2]wire.NodeID{edgeID, cloudID}] + lb[[2]wire.NodeID{cloudID, edgeID}]
+}

@@ -1,0 +1,583 @@
+// Package client implements the WedgeChain client: the authenticated node
+// that produces signed entries, tracks every operation through Phase I and
+// Phase II commitment, verifies all evidence and proofs, and files
+// disputes when the edge lies (Section IV-D Algorithm 1 and Section V-B).
+//
+// Core is a message-driven state machine with no I/O of its own: every API
+// returns the envelopes to send, and Receive/Tick consume deliveries. The
+// simulator drives it for experiments; the synchronous wrapper in the
+// public façade drives it for applications.
+package client
+
+import (
+	"bytes"
+	"errors"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Core implements core.Handler so all transports can drive it.
+var _ core.Handler = (*Core)(nil)
+
+// Operation outcomes beyond success.
+var (
+	// ErrStale reports a get whose global root timestamp fell outside
+	// the freshness window.
+	ErrStale = errors.New("client: response outside freshness window")
+	// ErrUnavailable reports a read denied by the edge with no gossip
+	// contradicting the denial.
+	ErrUnavailable = errors.New("client: block not available")
+	// ErrEdgeLied reports an operation whose evidence contradicts the
+	// certified state; a dispute was filed.
+	ErrEdgeLied = errors.New("client: edge served content contradicting certification")
+	// ErrBadResponse reports a response that failed local verification.
+	ErrBadResponse = errors.New("client: response failed verification")
+	// ErrRegression reports a get served from a snapshot older than one
+	// this session has already observed (session consistency violation).
+	ErrRegression = errors.New("client: response regressed behind session state")
+)
+
+// Kind identifies an operation type.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindAdd Kind = iota + 1
+	KindPut
+	KindRead
+	KindGet
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindAdd:
+		return "add"
+	case KindPut:
+		return "put"
+	case KindRead:
+		return "read"
+	case KindGet:
+		return "get"
+	default:
+		return "unknown"
+	}
+}
+
+// Op tracks one operation through its lifecycle. PhaseIAt and PhaseIIAt
+// are virtual-time stamps used by the benchmarks to reproduce the paper's
+// Figure 6 commit-rate curves.
+type Op struct {
+	Kind  Kind
+	Seq   uint64 // entry seq for writes
+	ReqID uint64 // correlation id for reads/gets
+	Key   []byte
+	Value []byte
+
+	BID       uint64
+	Phase     core.Phase
+	StartedAt int64
+	PhaseIAt  int64
+	PhaseIIAt int64
+	Done      bool
+	Err       error
+
+	// Read/get results.
+	Block    *wire.Block
+	Found    bool
+	GotValue []byte
+	GotVer   uint64
+
+	// Evidence held for dispute filing.
+	digest      []byte // digest of the block accepted at Phase I
+	addEvidence *wire.AddResponse
+	putEvidence *wire.PutResponse
+	readEv      *wire.ReadResponse
+	getEv       *wire.GetResponse
+	pendingBIDs map[uint64][]byte // get: uncertified bid -> expected digest
+	disputed    bool
+	retries     int
+	Verdict     *wire.Verdict
+}
+
+// Config parameterizes a client.
+type Config struct {
+	ID    wire.NodeID
+	Edge  wire.NodeID
+	Cloud wire.NodeID
+	// ProofTimeout is how long a Phase I operation waits for its block
+	// proof before filing a dispute with the cloud (ns).
+	ProofTimeout int64
+	// FreshnessWindow bounds get staleness (Section V-D); 0 disables.
+	FreshnessWindow int64
+	// Session enables client-side session consistency — the paper's
+	// Section V-D alternative to clock-based freshness: the client
+	// remembers the newest (epoch, L0 frontier) it has observed and
+	// rejects any get served from an older snapshot, giving monotonic
+	// reads without synchronized clocks.
+	Session bool
+	// MaxRetries bounds automatic retries of stale gets and
+	// gossip-contradicted read denials.
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.ProofTimeout <= 0 {
+		c.ProofTimeout = int64(10e9)
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 2
+	}
+}
+
+// Core is the client state machine. Not safe for concurrent use.
+type Core struct {
+	cfg Config
+	key wcrypto.KeyPair
+	reg *wcrypto.Registry
+
+	seq     uint64
+	reqID   uint64
+	bySeq   map[uint64]*Op
+	byReq   map[uint64]*Op
+	byBID   map[uint64][]*Op
+	accused []*Op        // ops with a filed dispute awaiting a verdict
+	gossip  *wire.Gossip // latest gossip for my edge
+
+	// Session-consistency watermarks: newest index epoch and L0
+	// frontier (one past the highest block id) observed in verified
+	// responses.
+	sessEpoch uint64
+	sessL0End uint64
+
+	// OnDone, when set, fires once per op as it fully settles.
+	OnDone func(*Op)
+	// OnPhaseI fires when an op reaches Phase I.
+	OnPhaseI func(*Op)
+	// OnPhaseII fires when an op reaches Phase II.
+	OnPhaseII func(*Op)
+
+	onReserve Reservations
+
+	stats Stats
+}
+
+// Stats are client counters.
+type Stats struct {
+	Disputes       uint64
+	LiesDetected   uint64
+	StaleRejected  uint64
+	Retries        uint64
+	VerifyFailures uint64
+}
+
+// New constructs a client core.
+func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Core {
+	cfg.fill()
+	return &Core{
+		cfg:   cfg,
+		key:   key,
+		reg:   reg,
+		bySeq: make(map[uint64]*Op),
+		byReq: make(map[uint64]*Op),
+		byBID: make(map[uint64][]*Op),
+	}
+}
+
+// ID returns the client identity.
+func (c *Core) ID() wire.NodeID { return c.cfg.ID }
+
+// Stats returns a copy of the client's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Gossip returns the latest cloud gossip seen for this client's edge.
+func (c *Core) Gossip() *wire.Gossip { return c.gossip }
+
+// makeEntry builds and signs an entry.
+func (c *Core) makeEntry(now int64, key, value []byte, pos uint64) wire.Entry {
+	c.seq++
+	e := wire.Entry{
+		Client: c.cfg.ID,
+		Seq:    c.seq,
+		Key:    key,
+		Value:  value,
+		Ts:     now,
+		Pos:    pos,
+	}
+	e.Sig = wcrypto.SignMsg(c.key, &e)
+	return e
+}
+
+// Add starts a log append. The returned op reaches Phase I when the edge's
+// signed block arrives and Phase II when the cloud's proof does.
+func (c *Core) Add(now int64, payload []byte) (*Op, []wire.Envelope) {
+	return c.addAt(now, payload, 0)
+}
+
+// AddAt starts a log append signed for a reserved absolute position
+// (pos is the value returned by Reserve).
+func (c *Core) AddAt(now int64, payload []byte, pos uint64) (*Op, []wire.Envelope) {
+	return c.addAt(now, payload, pos+1)
+}
+
+func (c *Core) addAt(now int64, payload []byte, pos uint64) (*Op, []wire.Envelope) {
+	e := c.makeEntry(now, nil, payload, pos)
+	op := &Op{Kind: KindAdd, Seq: e.Seq, Value: payload, StartedAt: now}
+	c.bySeq[e.Seq] = op
+	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.AddRequest{Entry: e, WantBlock: true}}}
+}
+
+// Put starts a key-value write through the LSMerkle index.
+func (c *Core) Put(now int64, key, value []byte) (*Op, []wire.Envelope) {
+	e := c.makeEntry(now, key, value, 0)
+	op := &Op{Kind: KindPut, Seq: e.Seq, Key: key, Value: value, StartedAt: now}
+	c.bySeq[e.Seq] = op
+	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.PutRequest{Entry: e}}}
+}
+
+// PutBatch starts a batch of key-value writes carried in one request —
+// the paper's batched submission mode. One Op is returned per pair.
+func (c *Core) PutBatch(now int64, keys, values [][]byte) ([]*Op, []wire.Envelope) {
+	batch := &wire.PutBatch{Entries: make([]wire.Entry, 0, len(keys))}
+	ops := make([]*Op, 0, len(keys))
+	for i := range keys {
+		e := c.makeEntry(now, keys[i], values[i], 0)
+		op := &Op{Kind: KindPut, Seq: e.Seq, Key: keys[i], Value: values[i], StartedAt: now}
+		c.bySeq[e.Seq] = op
+		ops = append(ops, op)
+		batch.Entries = append(batch.Entries, e)
+	}
+	return ops, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: batch}}
+}
+
+// Read starts a block read.
+func (c *Core) Read(now int64, bid uint64) (*Op, []wire.Envelope) {
+	c.reqID++
+	op := &Op{Kind: KindRead, ReqID: c.reqID, BID: bid, StartedAt: now}
+	c.byReq[c.reqID] = op
+	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.ReadRequest{BID: bid, ReqID: c.reqID}}}
+}
+
+// Get starts a key-value lookup.
+func (c *Core) Get(now int64, key []byte) (*Op, []wire.Envelope) {
+	c.reqID++
+	op := &Op{Kind: KindGet, ReqID: c.reqID, Key: key, StartedAt: now}
+	c.byReq[c.reqID] = op
+	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.GetRequest{Key: key, ReqID: c.reqID}}}
+}
+
+// Reserve asks the edge for count reserved log positions. The response is
+// surfaced through OnReserve.
+func (c *Core) Reserve(now int64, count uint32) []wire.Envelope {
+	c.reqID++
+	m := &wire.ReserveRequest{Client: c.cfg.ID, Count: count, ReqID: c.reqID}
+	m.ClientSig = wcrypto.SignMsg(c.key, m)
+	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: m}}
+}
+
+// Reservations delivers granted reservations to the application.
+type Reservations func(start uint64, count uint32)
+
+// SetReserveHandler registers the callback invoked for each reservation
+// grant.
+func (c *Core) SetReserveHandler(f Reservations) { c.onReserve = f }
+
+// Receive implements the message-driven half of the state machine.
+func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	switch m := env.Msg.(type) {
+	case *wire.AddResponse:
+		return c.handleAddResponse(now, env.From, m)
+	case *wire.PutResponse:
+		return c.handlePutResponse(now, env.From, m)
+	case *wire.BlockProof:
+		return c.handleProof(now, m)
+	case *wire.ReadResponse:
+		return c.handleReadResponse(now, env.From, m)
+	case *wire.GetResponse:
+		return c.handleGetResponse(now, env.From, m)
+	case *wire.Gossip:
+		return c.handleGossip(now, m)
+	case *wire.Verdict:
+		return c.handleVerdict(now, m)
+	case *wire.ReserveResponse:
+		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err == nil && c.onReserve != nil {
+			c.onReserve(m.Start, m.Count)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Tick files disputes for Phase I operations whose proof timed out.
+func (c *Core) Tick(now int64) []wire.Envelope {
+	var out []wire.Envelope
+	for _, ops := range c.byBID {
+		for _, op := range ops {
+			if op.Done || op.disputed || op.Phase != core.PhaseI {
+				continue
+			}
+			if now-op.PhaseIAt < c.cfg.ProofTimeout {
+				continue
+			}
+			out = append(out, c.fileDispute(op)...)
+		}
+	}
+	return out
+}
+
+func (c *Core) settle(op *Op, err error) {
+	if op.Done {
+		return
+	}
+	op.Done = true
+	op.Err = err
+	if c.OnDone != nil {
+		c.OnDone(op)
+	}
+}
+
+func (c *Core) phaseI(now int64, op *Op, bid uint64, digest []byte) {
+	if op.Phase >= core.PhaseI {
+		return
+	}
+	op.Phase = core.PhaseI
+	op.PhaseIAt = now
+	if digest != nil {
+		op.BID = bid
+		op.digest = digest
+		c.byBID[bid] = append(c.byBID[bid], op)
+	}
+	if c.OnPhaseI != nil {
+		c.OnPhaseI(op)
+	}
+}
+
+func (c *Core) phaseII(now int64, op *Op) {
+	if op.Phase >= core.PhaseII {
+		return
+	}
+	op.Phase = core.PhaseII
+	op.PhaseIIAt = now
+	if c.OnPhaseII != nil {
+		c.OnPhaseII(op)
+	}
+	c.settle(op, nil)
+}
+
+// handleAddResponse implements Algorithm 1 lines 3-5: verify the edge's
+// signature, verify my entry is in the block, mark Phase I.
+func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddResponse) []wire.Envelope {
+	if from != c.cfg.Edge {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	digest := wcrypto.BlockDigest(&m.Block)
+	for i := range m.Block.Entries {
+		e := &m.Block.Entries[i]
+		if e.Client != c.cfg.ID {
+			continue
+		}
+		op, ok := c.bySeq[e.Seq]
+		if !ok || op.Kind != KindAdd || op.Phase >= core.PhaseI {
+			continue
+		}
+		if !bytes.Equal(e.Value, op.Value) {
+			// The block misrepresents my entry: reject outright.
+			c.stats.VerifyFailures++
+			c.settle(op, ErrBadResponse)
+			continue
+		}
+		op.addEvidence = m
+		c.phaseI(now, op, m.BID, digest)
+	}
+	return nil
+}
+
+func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutResponse) []wire.Envelope {
+	if from != c.cfg.Edge {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	digest := wcrypto.BlockDigest(&m.Block)
+	for i := range m.Block.Entries {
+		e := &m.Block.Entries[i]
+		if e.Client != c.cfg.ID {
+			continue
+		}
+		op, ok := c.bySeq[e.Seq]
+		if !ok || op.Kind != KindPut || op.Phase >= core.PhaseI {
+			continue
+		}
+		if !bytes.Equal(e.Value, op.Value) || !bytes.Equal(e.Key, op.Key) {
+			c.stats.VerifyFailures++
+			c.settle(op, ErrBadResponse)
+			continue
+		}
+		op.putEvidence = m
+		c.phaseI(now, op, m.BID, digest)
+	}
+	return nil
+}
+
+// handleProof upgrades every Phase I operation on the block to Phase II —
+// or detects the lie when the certified digest contradicts the evidence.
+func (c *Core) handleProof(now int64, p *wire.BlockProof) []wire.Envelope {
+	if p.Edge != c.cfg.Edge {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, p, p.CloudSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	var out []wire.Envelope
+	ops := c.byBID[p.BID]
+	remaining := ops[:0]
+	for _, op := range ops {
+		if op.Done {
+			continue
+		}
+		if op.Kind == KindGet {
+			if more := c.resolveGetBID(now, op, p); more != nil {
+				out = append(out, more...)
+			}
+			if !op.Done && op.Phase != core.PhaseII {
+				remaining = append(remaining, op)
+			}
+			continue
+		}
+		if bytes.Equal(op.digest, p.Digest) {
+			c.phaseII(now, op)
+			continue
+		}
+		// The certified block differs from what I was promised/served.
+		c.stats.LiesDetected++
+		out = append(out, c.fileDispute(op)...)
+		remaining = append(remaining, op)
+	}
+	c.byBID[p.BID] = remaining
+	if len(remaining) == 0 {
+		delete(c.byBID, p.BID)
+	}
+	return out
+}
+
+// resolveGetBID settles one uncertified L0 dependency of a Phase I get.
+func (c *Core) resolveGetBID(now int64, op *Op, p *wire.BlockProof) []wire.Envelope {
+	want, ok := op.pendingBIDs[p.BID]
+	if !ok {
+		return nil
+	}
+	if !bytes.Equal(want, p.Digest) {
+		c.stats.LiesDetected++
+		return c.fileGetDispute(op, p.BID)
+	}
+	delete(op.pendingBIDs, p.BID)
+	if len(op.pendingBIDs) == 0 {
+		c.phaseII(now, op)
+	}
+	return nil
+}
+
+// fileDispute packages the op's evidence and accuses the edge.
+func (c *Core) fileDispute(op *Op) []wire.Envelope {
+	if op.disputed {
+		return nil
+	}
+	op.disputed = true
+	c.accused = append(c.accused, op)
+	c.stats.Disputes++
+	var d *wire.Dispute
+	switch {
+	case op.addEvidence != nil:
+		d = core.BuildAddLieDispute(c.key, c.cfg.Edge, op.addEvidence)
+	case op.putEvidence != nil:
+		// Put evidence shares the add-lie shape: promised block content.
+		ar := &wire.AddResponse{BID: op.putEvidence.BID, Block: op.putEvidence.Block, EdgeSig: op.putEvidence.EdgeSig}
+		// A PutResponse signature covers the same body encoding as an
+		// AddResponse (BID + Block), so the evidence transfers.
+		d = core.BuildAddLieDispute(c.key, c.cfg.Edge, ar)
+	case op.readEv != nil && op.readEv.OK:
+		d = core.BuildReadLieDispute(c.key, c.cfg.Edge, op.readEv)
+	case op.readEv != nil && !op.readEv.OK && c.gossip != nil:
+		d = core.BuildOmissionDispute(c.key, c.cfg.Edge, op.readEv, c.gossip)
+	case op.getEv != nil:
+		return c.fileGetDispute(op, op.BID)
+	default:
+		return nil
+	}
+	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
+}
+
+func (c *Core) fileGetDispute(op *Op, bid uint64) []wire.Envelope {
+	if op.disputed {
+		return nil
+	}
+	op.disputed = true
+	op.BID = bid
+	c.accused = append(c.accused, op)
+	c.stats.Disputes++
+	d := core.BuildGetLieDispute(c.key, c.cfg.Edge, bid, op.getEv)
+	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
+}
+
+// handleVerdict settles disputed operations.
+func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, v, v.CloudSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	if v.Edge != c.cfg.Edge {
+		return nil
+	}
+	remaining := c.accused[:0]
+	for _, op := range c.accused {
+		if op.Done {
+			continue
+		}
+		if op.BID != v.BID {
+			remaining = append(remaining, op)
+			continue
+		}
+		op.Verdict = v
+		if v.Guilty {
+			c.settle(op, ErrEdgeLied)
+			continue
+		}
+		// Not-guilty verdicts are followed by the attached block proof
+		// when one exists; handleProof completes Phase II.
+		remaining = append(remaining, op)
+	}
+	c.accused = remaining
+	return nil
+}
+
+func (c *Core) handleGossip(now int64, g *wire.Gossip) []wire.Envelope {
+	if g.Edge != c.cfg.Edge {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, g, g.CloudSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	if c.gossip == nil || g.Ts > c.gossip.Ts {
+		c.gossip = g
+	}
+	return nil
+}

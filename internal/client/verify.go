@@ -1,0 +1,354 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/merkle"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// handleReadResponse processes the three read cases of Section IV-D:
+// denial, Phase II read, Phase I read.
+func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadResponse) []wire.Envelope {
+	if from != c.cfg.Edge {
+		return nil
+	}
+	op, ok := c.byReq[m.ReqID]
+	if !ok || op.Done || op.Kind != KindRead {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	op.readEv = m
+	if !m.OK {
+		return c.handleDenial(now, op, m)
+	}
+	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
+		c.stats.VerifyFailures++
+		c.settle(op, ErrBadResponse)
+		return nil
+	}
+	op.Block = &m.Block
+	digest := wcrypto.BlockDigest(&m.Block)
+	if m.HasProof {
+		// Phase II read: proof must be cloud-signed and match.
+		p := m.Proof
+		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, &p, p.CloudSig); err != nil ||
+			p.Edge != c.cfg.Edge || p.BID != m.BID || !bytes.Equal(p.Digest, digest) {
+			c.stats.VerifyFailures++
+			c.settle(op, ErrBadResponse)
+			return nil
+		}
+		c.phaseI(now, op, m.BID, digest)
+		c.phaseII(now, op)
+		return nil
+	}
+	// Phase I read: hold evidence, await the forwarded proof.
+	c.phaseI(now, op, m.BID, digest)
+	return nil
+}
+
+// handleDenial evaluates a signed not-available response against cloud
+// gossip: a denial of a gossip-covered block filed at or after the gossip
+// timestamp is a provable omission; a denial predating the gossip triggers
+// a retry (the edge may honestly not have had the block yet).
+func (c *Core) handleDenial(now int64, op *Op, m *wire.ReadResponse) []wire.Envelope {
+	g := c.gossip
+	if g == nil || m.BID >= g.Blocks {
+		// No evidence the block exists; accept unavailability.
+		c.settle(op, ErrUnavailable)
+		return nil
+	}
+	if m.Ts >= g.Ts {
+		// Provable omission.
+		c.stats.LiesDetected++
+		if op.disputed {
+			return nil
+		}
+		op.disputed = true
+		c.accused = append(c.accused, op)
+		c.stats.Disputes++
+		d := core.BuildOmissionDispute(c.key, c.cfg.Edge, m, g)
+		return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
+	}
+	// Denial predates the gossip: retry the read.
+	if op.retries >= c.cfg.MaxRetries {
+		c.settle(op, ErrUnavailable)
+		return nil
+	}
+	op.retries++
+	c.stats.Retries++
+	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.ReadRequest{BID: op.BID, ReqID: op.ReqID}}}
+}
+
+// handleGetResponse performs the full LSMerkle proof verification of
+// Section V-B and the freshness check of Section V-D.
+func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetResponse) []wire.Envelope {
+	if from != c.cfg.Edge {
+		return nil
+	}
+	op, ok := c.byReq[m.ReqID]
+	if !ok || op.Done || op.Kind != KindGet {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+		c.stats.VerifyFailures++
+		return nil
+	}
+	op.getEv = m
+	res, err := c.verifyGet(now, op.Key, m)
+	if err == ErrStale || err == ErrRegression {
+		staleErr := err
+		c.stats.StaleRejected++
+		if op.retries >= c.cfg.MaxRetries {
+			c.settle(op, staleErr)
+			return nil
+		}
+		op.retries++
+		c.stats.Retries++
+		return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.GetRequest{Key: op.Key, ReqID: op.ReqID}}}
+	}
+	if err != nil {
+		c.stats.VerifyFailures++
+		c.settle(op, fmt.Errorf("%w: %v", ErrBadResponse, err))
+		return nil
+	}
+	op.Found = m.Found
+	op.GotValue = m.Value
+	op.GotVer = m.Ver
+	op.pendingBIDs = res.uncertified
+	if len(res.uncertified) == 0 {
+		c.phaseI(now, op, 0, nil)
+		c.phaseII(now, op)
+		return nil
+	}
+	// Phase I get: register for every uncertified block's proof.
+	op.Phase = core.PhaseI
+	op.PhaseIAt = now
+	if c.OnPhaseI != nil {
+		c.OnPhaseI(op)
+	}
+	for bid := range res.uncertified {
+		c.byBID[bid] = append(c.byBID[bid], op)
+	}
+	return nil
+}
+
+// VerifyGetResponse runs the full client-side verification of a get
+// response (signature + proofs) without mutating operation state — the
+// client half of the best-case read path that Figure 5(d) measures with
+// real crypto.
+func (c *Core) VerifyGetResponse(now int64, key []byte, m *wire.GetResponse) error {
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+		return err
+	}
+	_, err := c.verifyGet(now, key, m)
+	return err
+}
+
+// getCheck is the result of structural get verification.
+type getCheck struct {
+	uncertified map[uint64][]byte // bid -> locally computed digest
+}
+
+// verifyGet re-derives every claim in a get response:
+//
+//  1. L0 blocks belong to this edge, have consecutive ids, and each
+//     certificate (when present) is cloud-signed over the block's digest.
+//  2. The freshest L0 version of the key, if any, must be the returned
+//     value (deeper levels are older by construction).
+//  3. Otherwise the level roots must fold to the signed global root, the
+//     global root must be inside the freshness window, every non-empty
+//     level up to the winning level must present its intersecting page
+//     with a valid Merkle path, pages must contain the key's range, and
+//     levels above the winner must not contain the key.
+func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, error) {
+	res := getCheck{uncertified: make(map[uint64][]byte)}
+	p := &m.Proof
+	if len(p.L0Certs) != len(p.L0Blocks) {
+		return res, fmt.Errorf("cert/block count mismatch")
+	}
+
+	var bestVer uint64
+	var bestVal []byte
+	var l0End uint64
+	for i := range p.L0Blocks {
+		blk := &p.L0Blocks[i]
+		if blk.Edge != c.cfg.Edge {
+			return res, fmt.Errorf("L0 block %d from wrong edge", blk.ID)
+		}
+		if blk.ID+1 > l0End {
+			l0End = blk.ID + 1
+		}
+		if i > 0 && blk.ID != p.L0Blocks[i-1].ID+1 {
+			return res, fmt.Errorf("L0 block ids not consecutive")
+		}
+		digest := wcrypto.BlockDigest(blk)
+		cert := &p.L0Certs[i]
+		if len(cert.CloudSig) > 0 {
+			if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, cert, cert.CloudSig); err != nil {
+				return res, fmt.Errorf("L0 cert %d: %v", blk.ID, err)
+			}
+			if cert.Edge != c.cfg.Edge || cert.BID != blk.ID || !bytes.Equal(cert.Digest, digest) {
+				return res, fmt.Errorf("L0 cert %d does not match block", blk.ID)
+			}
+		} else {
+			res.uncertified[blk.ID] = digest
+		}
+		for j := range blk.Entries {
+			e := &blk.Entries[j]
+			if len(e.Key) == 0 || !bytes.Equal(e.Key, key) {
+				continue
+			}
+			ver := blk.StartPos + uint64(j) + 1
+			if ver > bestVer {
+				bestVer, bestVal = ver, e.Value
+			}
+		}
+	}
+
+	// Session consistency (Section V-D alternative): the snapshot must
+	// not regress behind what this session has already observed, ordered
+	// lexicographically by (index epoch, L0 frontier).
+	if c.cfg.Session {
+		epoch := p.Global.Epoch
+		if epoch < c.sessEpoch || (epoch == c.sessEpoch && l0End < c.sessL0End) {
+			return res, ErrRegression
+		}
+	}
+	advance := func() {
+		if !c.cfg.Session {
+			return
+		}
+		if p.Global.Epoch > c.sessEpoch {
+			c.sessEpoch = p.Global.Epoch
+			c.sessL0End = l0End
+		} else if l0End > c.sessL0End {
+			c.sessL0End = l0End
+		}
+	}
+
+	if bestVer > 0 {
+		// Winner must come from L0.
+		if !m.Found || m.Ver != bestVer || !bytes.Equal(m.Value, bestVal) {
+			return res, fmt.Errorf("returned value contradicts L0 contents")
+		}
+		advance()
+		return res, nil
+	}
+
+	// No L0 hit: level evidence decides.
+	if len(p.Roots) == 0 && len(p.Levels) == 0 && len(p.Global.CloudSig) == 0 {
+		// No merged state exists yet; absence is the only valid answer.
+		if m.Found {
+			return res, fmt.Errorf("found claimed without any level evidence")
+		}
+		advance()
+		return res, nil
+	}
+	if len(p.Global.CloudSig) == 0 {
+		return res, fmt.Errorf("level evidence without signed global root")
+	}
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, &p.Global, p.Global.CloudSig); err != nil {
+		return res, fmt.Errorf("global root: %v", err)
+	}
+	if p.Global.Edge != c.cfg.Edge {
+		return res, fmt.Errorf("global root for wrong edge")
+	}
+	if !bytes.Equal(mlsm.GlobalRoot(p.Roots), p.Global.Root) {
+		return res, fmt.Errorf("level roots do not fold to global root")
+	}
+	if c.cfg.FreshnessWindow > 0 && now-p.Global.Ts > c.cfg.FreshnessWindow {
+		return res, ErrStale
+	}
+
+	proofs := make(map[int]*wire.LevelProof)
+	for i := range p.Levels {
+		lp := &p.Levels[i]
+		proofs[int(lp.Level)] = lp
+	}
+	empty := merkle.EmptyRoot()
+
+	checkLevel := func(lvl int) (*wire.LevelProof, error) {
+		root := p.Roots[lvl-1]
+		if bytes.Equal(root, empty) {
+			if proofs[lvl] != nil {
+				return nil, fmt.Errorf("level %d: proof against empty level", lvl)
+			}
+			return nil, nil
+		}
+		lp := proofs[lvl]
+		if lp == nil {
+			return nil, fmt.Errorf("level %d: missing proof", lvl)
+		}
+		if int(lp.Page.Level) != lvl {
+			return nil, fmt.Errorf("level %d: page from level %d", lvl, lp.Page.Level)
+		}
+		leaf := mlsm.PageLeaf(&lp.Page)
+		if err := merkle.Verify(root, leaf, int(lp.Index), int(lp.Width), lp.Path); err != nil {
+			return nil, fmt.Errorf("level %d: %v", lvl, err)
+		}
+		if !lp.Page.Contains(key) {
+			return nil, fmt.Errorf("level %d: page does not cover key", lvl)
+		}
+		return lp, nil
+	}
+
+	findInPage := func(lp *wire.LevelProof) (wire.KV, bool) {
+		for i := range lp.Page.KVs {
+			if bytes.Equal(lp.Page.KVs[i].Key, key) {
+				return lp.Page.KVs[i], true
+			}
+		}
+		return wire.KV{}, false
+	}
+
+	if m.Found {
+		// Locate the winning level: the shallowest level whose verified
+		// page holds the key; all shallower levels must lack it.
+		winner := 0
+		for lvl := 1; lvl <= len(p.Roots); lvl++ {
+			lp, err := checkLevel(lvl)
+			if err != nil {
+				return res, err
+			}
+			if lp == nil {
+				continue
+			}
+			if kv, ok := findInPage(lp); ok {
+				if !bytes.Equal(kv.Value, m.Value) || kv.Ver != m.Ver {
+					return res, fmt.Errorf("level %d value contradicts response", lvl)
+				}
+				winner = lvl
+				break
+			}
+		}
+		if winner == 0 {
+			return res, fmt.Errorf("found claimed but no level contains the key")
+		}
+		advance()
+		return res, nil
+	}
+
+	// Not found: every level must prove absence.
+	for lvl := 1; lvl <= len(p.Roots); lvl++ {
+		lp, err := checkLevel(lvl)
+		if err != nil {
+			return res, err
+		}
+		if lp == nil {
+			continue
+		}
+		if _, ok := findInPage(lp); ok {
+			return res, fmt.Errorf("level %d contains key claimed absent", lvl)
+		}
+	}
+	advance()
+	return res, nil
+}

@@ -1,0 +1,412 @@
+// Package cloud implements WedgeChain's trusted cloud node: the
+// certification authority of lazy certification (Section IV), the merge
+// service of LSMerkle (Section V), the gossip source for omission
+// detection, and the adjudicator of disputes.
+//
+// The cloud never holds block payloads for certification — only digests
+// (data-free coordination). For merges it receives page data transiently,
+// verifies it against its own leaf tables, merges, signs the new roots and
+// discards the data, retaining hashes only.
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/merkle"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Config parameterizes the cloud node.
+type Config struct {
+	ID wire.NodeID
+	// Levels is the number of LSMerkle levels (excluding L0) per edge.
+	Levels int
+	// PageCap is the records-per-page target for merged pages.
+	PageCap int
+	// GossipEvery emits signed log-size gossip at this period (ns);
+	// 0 disables gossip.
+	GossipEvery int64
+	// GossipTo lists gossip recipients (clients, typically).
+	GossipTo []wire.NodeID
+	// Logger receives operational events; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (c *Config) fill() {
+	if c.Levels <= 0 {
+		c.Levels = 3
+	}
+	if c.PageCap <= 0 {
+		c.PageCap = 100
+	}
+}
+
+// edgeState is the cloud's bookkeeping for one edge node: certified
+// digests (held in the shared CertTable), block proofs for re-delivery,
+// and per-level Merkle leaf tables mirroring the edge's index structure
+// without its data.
+type edgeState struct {
+	proofs     map[uint64]wire.BlockProof
+	l0Consumed uint64     // next uncompacted block id
+	leaves     [][][]byte // per level (0-based = level 1): ordered page leaf hashes
+	trees      []*merkle.Tree
+	epoch      uint64
+	pageSeq    uint64
+}
+
+// Node is the cloud node state machine. Not safe for concurrent use.
+type Node struct {
+	cfg    Config
+	key    wcrypto.KeyPair
+	reg    *wcrypto.Registry
+	certs  *core.CertTable
+	punish *core.Punishments
+	edges  map[wire.NodeID]*edgeState
+
+	lastGossip int64
+	stats      Stats
+}
+
+// Stats are operational counters.
+type Stats struct {
+	Certifies     uint64
+	Conflicts     uint64
+	Merges        uint64
+	MergeRejects  uint64
+	Disputes      uint64
+	GuiltyEdges   uint64
+	GossipsSent   uint64
+	BytesFromEdge uint64
+}
+
+// New constructs a cloud node.
+func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
+	cfg.fill()
+	return &Node{
+		cfg:    cfg,
+		key:    key,
+		reg:    reg,
+		certs:  core.NewCertTable(),
+		punish: core.NewPunishments(),
+		edges:  make(map[wire.NodeID]*edgeState),
+	}
+}
+
+// ID implements core.Handler.
+func (n *Node) ID() wire.NodeID { return n.cfg.ID }
+
+// Certs exposes the certification table (tests, baselines).
+func (n *Node) Certs() *core.CertTable { return n.certs }
+
+// Punishments exposes the punishment registry.
+func (n *Node) Punishments() *core.Punishments { return n.punish }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Flagged reports whether edge has been convicted, with the first reason.
+func (n *Node) Flagged(edge wire.NodeID) (string, bool) {
+	return n.punish.Banned(edge)
+}
+
+// AddGossipTarget subscribes id to gossip. Must be called on the node's
+// transport goroutine (e.g. via the transport's Do hook).
+func (n *Node) AddGossipTarget(id wire.NodeID) {
+	for _, t := range n.cfg.GossipTo {
+		if t == id {
+			return
+		}
+	}
+	n.cfg.GossipTo = append(n.cfg.GossipTo, id)
+}
+
+func (n *Node) logf(msg string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (n *Node) edge(id wire.NodeID) *edgeState {
+	s := n.edges[id]
+	if s == nil {
+		s = &edgeState{
+			proofs: make(map[uint64]wire.BlockProof),
+			leaves: make([][][]byte, n.cfg.Levels),
+			trees:  make([]*merkle.Tree, n.cfg.Levels),
+		}
+		for i := range s.trees {
+			s.trees[i] = merkle.New(nil)
+		}
+		n.edges[id] = s
+	}
+	return s
+}
+
+// Receive implements core.Handler.
+func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	switch m := env.Msg.(type) {
+	case *wire.BlockCertify:
+		return n.handleCertify(now, env.From, m)
+	case *wire.MergeRequest:
+		n.stats.BytesFromEdge += uint64(wire.Size(env))
+		return n.handleMerge(now, env.From, m)
+	case *wire.Dispute:
+		return n.handleDispute(now, env.From, m)
+	case *wire.Ping:
+		return []wire.Envelope{{From: n.cfg.ID, To: env.From, Msg: &wire.Pong{Seq: m.Seq, Ts: m.Ts}}}
+	default:
+		return nil
+	}
+}
+
+// Tick implements core.Handler: periodic gossip emission.
+func (n *Node) Tick(now int64) []wire.Envelope {
+	if n.cfg.GossipEvery <= 0 || now-n.lastGossip < n.cfg.GossipEvery {
+		return nil
+	}
+	n.lastGossip = now
+	var out []wire.Envelope
+	for edgeID := range n.edges {
+		g := &wire.Gossip{
+			Edge:    edgeID,
+			Ts:      now,
+			LogSize: n.certs.Entries(edgeID),
+			Blocks:  n.certs.Blocks(edgeID),
+		}
+		g.CloudSig = wcrypto.SignMsg(n.key, g)
+		for _, to := range n.cfg.GossipTo {
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: to, Msg: g})
+			n.stats.GossipsSent++
+		}
+	}
+	return out
+}
+
+// handleCertify implements the cloud algorithm of Section IV-D: sign the
+// first digest reported for (edge, bid); flag the edge on any conflicting
+// report. Certification is data-free — this handler never sees the block.
+func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify) []wire.Envelope {
+	if from != m.Edge {
+		return nil
+	}
+	if _, banned := n.punish.Banned(m.Edge); banned {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(n.reg, m.Edge, m, m.EdgeSig); err != nil {
+		n.logf("dropping certify with bad signature", "edge", from, "err", err)
+		return nil
+	}
+	if len(m.Body) > 0 && !bytes.Equal(wcrypto.Digest(m.Body), m.Digest) {
+		// Full-data mode: the shipped body must hash to the claimed
+		// digest; a mismatch is an immediately provable lie.
+		v := wire.Verdict{
+			Edge: m.Edge, BID: m.BID, Kind: wire.DisputeAddLie, Guilty: true,
+			Reason: "certify body does not hash to claimed digest",
+		}
+		v.CloudSig = wcrypto.SignMsg(n.key, &v)
+		n.convict(v)
+		return nil
+	}
+	st := n.edge(m.Edge)
+	// Data-free certification cannot know the entry count; edges report
+	// batch-sized blocks, so gossip uses block counts plus the certify
+	// message's implicit batch. We conservatively count entries at merge
+	// time; gossip LogSize uses certified entries recorded there. For
+	// block-level omission detection the Blocks counter suffices.
+	switch n.certs.Certify(m.Edge, m.BID, m.Digest, 0) {
+	case core.CertAccepted:
+		n.stats.Certifies++
+		proof := wire.BlockProof{Edge: m.Edge, BID: m.BID, Digest: m.Digest}
+		proof.CloudSig = wcrypto.SignMsg(n.key, &proof)
+		st.proofs[m.BID] = proof
+		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: &proof}}
+	case core.CertDuplicate:
+		proof := st.proofs[m.BID]
+		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: &proof}}
+	default: // CertConflict: equivocation caught red-handed.
+		n.stats.Conflicts++
+		v := wire.Verdict{
+			Edge:   m.Edge,
+			BID:    m.BID,
+			Kind:   wire.DisputeAddLie,
+			Guilty: true,
+			Reason: fmt.Sprintf("conflicting digest certify for block %d", m.BID),
+		}
+		v.CloudSig = wcrypto.SignMsg(n.key, &v)
+		n.convict(v)
+		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: &v}}
+	}
+}
+
+func (n *Node) convict(v wire.Verdict) {
+	if _, already := n.punish.Banned(v.Edge); !already {
+		n.stats.GuiltyEdges++
+	}
+	n.punish.Punish(v)
+	n.logf("edge punished", "edge", v.Edge, "reason", v.Reason)
+}
+
+// handleDispute adjudicates client evidence (Section IV-E "Disputes").
+// The verdict is returned to the client; when a certificate exists for the
+// disputed block it is attached, so an honest edge's slow certification
+// still lets the client finish Phase II.
+func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wire.Envelope {
+	n.stats.Disputes++
+	v := core.Judge(n.reg, n.certs, from, d)
+	v.CloudSig = wcrypto.SignMsg(n.key, &v)
+	if v.Guilty {
+		n.convict(v)
+	}
+	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
+	if st, ok := n.edges[d.Edge]; ok {
+		if proof, ok := st.proofs[d.BID]; ok {
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: &proof})
+		}
+	}
+	return out
+}
+
+// handleMerge implements the merge protocol of Section V-B: verify the
+// shipped pages against certified digests and leaf tables, perform the LSM
+// merge, rebuild the level Merkle tree, and sign the new roots and global
+// root with a freshness timestamp.
+func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest) []wire.Envelope {
+	reject := func(reason string) []wire.Envelope {
+		n.stats.MergeRejects++
+		resp := &wire.MergeResponse{Edge: m.Edge, ReqID: m.ReqID, OK: false, Reason: reason, FromLevel: m.FromLevel}
+		resp.CloudSig = wcrypto.SignMsg(n.key, resp)
+		n.logf("merge rejected", "edge", from, "reason", reason)
+		return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
+	}
+	if from != m.Edge {
+		return nil
+	}
+	if _, banned := n.punish.Banned(m.Edge); banned {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(n.reg, m.Edge, m, m.EdgeSig); err != nil {
+		return reject("bad edge signature")
+	}
+	st := n.edge(m.Edge)
+	lvl := int(m.FromLevel)
+	if lvl < 0 || lvl >= n.cfg.Levels {
+		return reject("source level out of range")
+	}
+
+	var srcKVs []wire.KV
+	var consumedTo uint64
+	if lvl == 0 {
+		if len(m.L0Blocks) == 0 {
+			return reject("empty L0 merge")
+		}
+		// Blocks must be the contiguous certified prefix starting at the
+		// cloud's consumption cursor, each matching its certified digest.
+		want := st.l0Consumed
+		var entries uint64
+		for i := range m.L0Blocks {
+			blk := &m.L0Blocks[i]
+			if blk.Edge != m.Edge || blk.ID != want {
+				return reject(fmt.Sprintf("L0 block %d out of order (want %d)", blk.ID, want))
+			}
+			certified, ok := n.certs.Lookup(m.Edge, blk.ID)
+			if !ok {
+				return reject(fmt.Sprintf("L0 block %d not certified", blk.ID))
+			}
+			if !bytes.Equal(wcrypto.BlockDigest(blk), certified) {
+				// The edge shipped content contradicting its own
+				// certified digest: caught lying.
+				v := wire.Verdict{
+					Edge: m.Edge, BID: blk.ID, Kind: wire.DisputeAddLie, Guilty: true,
+					Reason: fmt.Sprintf("merge shipped block %d contradicting certified digest", blk.ID),
+				}
+				v.CloudSig = wcrypto.SignMsg(n.key, &v)
+				n.convict(v)
+				return reject("block contradicts certified digest")
+			}
+			entries += uint64(len(blk.Entries))
+			srcKVs = append(srcKVs, mlsm.BlockKVs(blk)...)
+			want++
+		}
+		consumedTo = want - 1
+		n.certs.AddEntries(m.Edge, entries)
+	} else {
+		if err := n.verifyLevel(st, lvl, m.SrcPages); err != nil {
+			return reject(err.Error())
+		}
+		srcKVs = mlsm.PagesKVs(m.SrcPages)
+	}
+	if err := n.verifyLevel(st, lvl+1, m.DstPages); err != nil {
+		return reject(err.Error())
+	}
+
+	newPages := mlsm.Merge(srcKVs, m.DstPages, uint32(lvl+1), n.cfg.PageCap, st.pageSeq, now)
+	st.pageSeq += uint64(len(newPages))
+
+	// Refresh leaf tables: target level gets the merged pages; a source
+	// level > 0 becomes empty.
+	target := lvl // 0-based slot for level lvl+1
+	leaves := make([][]byte, len(newPages))
+	for i := range newPages {
+		leaves[i] = mlsm.PageLeaf(&newPages[i])
+	}
+	st.leaves[target] = leaves
+	st.trees[target] = merkle.New(leaves)
+	if lvl > 0 {
+		st.leaves[lvl-1] = nil
+		st.trees[lvl-1] = merkle.New(nil)
+	}
+	if lvl == 0 {
+		st.l0Consumed = consumedTo + 1
+	}
+
+	roots := make([][]byte, n.cfg.Levels)
+	for i := range roots {
+		roots[i] = st.trees[i].Root()
+	}
+	st.epoch++
+	global := wire.SignedRoot{
+		Edge:  m.Edge,
+		Epoch: st.epoch,
+		Root:  mlsm.GlobalRoot(roots),
+		Ts:    now,
+	}
+	global.CloudSig = wcrypto.SignMsg(n.key, &global)
+
+	n.stats.Merges++
+	resp := &wire.MergeResponse{
+		Edge:       m.Edge,
+		ReqID:      m.ReqID,
+		OK:         true,
+		FromLevel:  m.FromLevel,
+		NewPages:   newPages,
+		Roots:      roots,
+		Global:     global,
+		ConsumedTo: consumedTo,
+	}
+	resp.CloudSig = wcrypto.SignMsg(n.key, resp)
+	return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
+}
+
+// verifyLevel checks that the pages the edge shipped for level lvl
+// (1-based) are exactly the pages the cloud's leaf table remembers: same
+// count, same hashes, same order. An empty table expects no pages.
+func (n *Node) verifyLevel(st *edgeState, lvl int, pages []wire.Page) error {
+	if lvl < 1 || lvl > n.cfg.Levels {
+		return fmt.Errorf("level %d out of range", lvl)
+	}
+	want := st.leaves[lvl-1]
+	if len(pages) != len(want) {
+		return fmt.Errorf("level %d: %d pages shipped, %d on record", lvl, len(pages), len(want))
+	}
+	for i := range pages {
+		if !bytes.Equal(mlsm.PageLeaf(&pages[i]), want[i]) {
+			return fmt.Errorf("level %d: page %d does not match recorded hash", lvl, i)
+		}
+	}
+	return nil
+}

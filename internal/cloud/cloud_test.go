@@ -1,0 +1,283 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+type fixture struct {
+	node *Node
+	keys map[wire.NodeID]wcrypto.KeyPair
+	reg  *wcrypto.Registry
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	reg := wcrypto.NewRegistry()
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	for _, id := range []wire.NodeID{"cloud", "edge-1", "c1"} {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		reg.Register(id, k.Pub)
+	}
+	cfg.ID = "cloud"
+	return &fixture{node: New(cfg, keys["cloud"], reg), keys: keys, reg: reg}
+}
+
+func (f *fixture) certify(t *testing.T, bid uint64, digest []byte) []wire.Envelope {
+	t.Helper()
+	m := &wire.BlockCertify{Edge: "edge-1", BID: bid, Digest: digest}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m)
+	return f.node.Receive(1, wire.Envelope{From: "edge-1", To: "cloud", Msg: m})
+}
+
+func TestCertifyIssuesSignedProof(t *testing.T) {
+	f := newFixture(t, Config{})
+	d := wcrypto.Digest([]byte("block-0"))
+	out := f.certify(t, 0, d)
+	if len(out) != 1 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	proof, ok := out[0].Msg.(*wire.BlockProof)
+	if !ok {
+		t.Fatalf("output = %T", out[0].Msg)
+	}
+	if proof.BID != 0 || !bytes.Equal(proof.Digest, d) {
+		t.Fatalf("proof = %+v", proof)
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "cloud", proof, proof.CloudSig); err != nil {
+		t.Fatalf("proof signature: %v", err)
+	}
+}
+
+func TestCertifyDuplicateResendsProof(t *testing.T) {
+	f := newFixture(t, Config{})
+	d := wcrypto.Digest([]byte("block-0"))
+	first := f.certify(t, 0, d)
+	second := f.certify(t, 0, d)
+	p1 := first[0].Msg.(*wire.BlockProof)
+	p2 := second[0].Msg.(*wire.BlockProof)
+	if !bytes.Equal(p1.CloudSig, p2.CloudSig) {
+		t.Fatal("duplicate certify produced a different proof")
+	}
+	if f.node.Stats().Certifies != 1 {
+		t.Fatalf("certify counted twice: %d", f.node.Stats().Certifies)
+	}
+}
+
+func TestCertifyConflictConvicts(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.certify(t, 0, wcrypto.Digest([]byte("honest")))
+	out := f.certify(t, 0, wcrypto.Digest([]byte("equivocated")))
+	v, ok := out[0].Msg.(*wire.Verdict)
+	if !ok || !v.Guilty {
+		t.Fatalf("conflict output = %+v", out[0].Msg)
+	}
+	if _, banned := f.node.Flagged("edge-1"); !banned {
+		t.Fatal("equivocating edge not banned")
+	}
+	// A banned edge gets no further service.
+	if out := f.certify(t, 1, wcrypto.Digest([]byte("later"))); out != nil {
+		t.Fatal("banned edge still served")
+	}
+}
+
+func TestCertifyRejectsBadSignature(t *testing.T) {
+	f := newFixture(t, Config{})
+	m := &wire.BlockCertify{Edge: "edge-1", BID: 0, Digest: wcrypto.Digest([]byte("x"))}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["c1"], m) // wrong signer
+	out := f.node.Receive(1, wire.Envelope{From: "edge-1", To: "cloud", Msg: m})
+	if out != nil {
+		t.Fatal("forged certify accepted")
+	}
+}
+
+func TestCertifySpoofedFromIgnored(t *testing.T) {
+	f := newFixture(t, Config{})
+	m := &wire.BlockCertify{Edge: "edge-1", BID: 0, Digest: wcrypto.Digest([]byte("x"))}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m)
+	if out := f.node.Receive(1, wire.Envelope{From: "c1", To: "cloud", Msg: m}); out != nil {
+		t.Fatal("certify with mismatched From accepted")
+	}
+}
+
+func TestFullDataCertifyBodyMismatchConvicts(t *testing.T) {
+	f := newFixture(t, Config{})
+	m := &wire.BlockCertify{
+		Edge: "edge-1", BID: 0,
+		Digest: wcrypto.Digest([]byte("claimed")),
+		Body:   []byte("actual-different-content"),
+	}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m)
+	f.node.Receive(1, wire.Envelope{From: "edge-1", To: "cloud", Msg: m})
+	if _, banned := f.node.Flagged("edge-1"); !banned {
+		t.Fatal("digest/body mismatch not convicted")
+	}
+}
+
+// buildBlock makes a signed-entry block and certifies it.
+func (f *fixture) buildCertifiedBlock(t *testing.T, bid uint64, keys ...string) wire.Block {
+	t.Helper()
+	blk := wire.Block{Edge: "edge-1", ID: bid, StartPos: bid * 2}
+	for i, k := range keys {
+		e := wire.Entry{Client: "c1", Seq: bid*100 + uint64(i), Key: []byte(k), Value: []byte("v-" + k)}
+		e.Sig = wcrypto.SignMsg(f.keys["c1"], &e)
+		blk.Entries = append(blk.Entries, e)
+	}
+	f.certify(t, bid, wcrypto.BlockDigest(&blk))
+	return blk
+}
+
+func (f *fixture) merge(t *testing.T, m *wire.MergeRequest) *wire.MergeResponse {
+	t.Helper()
+	m.Edge = "edge-1"
+	m.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m)
+	out := f.node.Receive(5, wire.Envelope{From: "edge-1", To: "cloud", Msg: m})
+	if len(out) != 1 {
+		t.Fatalf("merge outputs = %d", len(out))
+	}
+	resp, ok := out[0].Msg.(*wire.MergeResponse)
+	if !ok {
+		t.Fatalf("merge output = %T", out[0].Msg)
+	}
+	return resp
+}
+
+func TestMergeL0ProducesSignedRoots(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2})
+	b0 := f.buildCertifiedBlock(t, 0, "a", "b")
+	b1 := f.buildCertifiedBlock(t, 1, "c", "a")
+
+	resp := f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{b0, b1}})
+	if !resp.OK {
+		t.Fatalf("merge rejected: %s", resp.Reason)
+	}
+	if resp.ConsumedTo != 1 {
+		t.Fatalf("ConsumedTo = %d", resp.ConsumedTo)
+	}
+	if err := mlsm.CheckLevel(resp.NewPages); err != nil {
+		t.Fatalf("merged pages invalid: %v", err)
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "cloud", &resp.Global, resp.Global.CloudSig); err != nil {
+		t.Fatalf("global root signature: %v", err)
+	}
+	if !bytes.Equal(mlsm.GlobalRoot(resp.Roots), resp.Global.Root) {
+		t.Fatal("roots do not fold to global")
+	}
+	// Latest version of "a" must have won (position-based versions).
+	for _, kv := range mlsm.PagesKVs(resp.NewPages) {
+		if string(kv.Key) == "a" && !bytes.Equal(kv.Value, []byte("v-a")) {
+			t.Fatalf("unexpected value for a: %q", kv.Value)
+		}
+	}
+}
+
+func TestMergeRejectsUncertifiedBlock(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2})
+	blk := wire.Block{Edge: "edge-1", ID: 0}
+	resp := f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{blk}})
+	if resp.OK {
+		t.Fatal("uncertified block merged")
+	}
+}
+
+func TestMergeConvictsTamperedBlock(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2})
+	b0 := f.buildCertifiedBlock(t, 0, "a")
+	tampered := b0
+	tampered.Entries = append([]wire.Entry(nil), b0.Entries...)
+	tampered.Entries[0].Value = []byte("rewritten-history")
+	resp := f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{tampered}})
+	if resp.OK {
+		t.Fatal("tampered block merged")
+	}
+	if _, banned := f.node.Flagged("edge-1"); !banned {
+		t.Fatal("history rewrite not convicted")
+	}
+}
+
+func TestMergeRejectsOutOfOrderBlocks(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2})
+	f.buildCertifiedBlock(t, 0, "a")
+	b1 := f.buildCertifiedBlock(t, 1, "b")
+	resp := f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{b1}})
+	if resp.OK {
+		t.Fatal("merge skipped block 0")
+	}
+}
+
+func TestMergeRejectsForgedLevelPages(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2})
+	b0 := f.buildCertifiedBlock(t, 0, "a", "b")
+	resp := f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{b0}})
+	if !resp.OK {
+		t.Fatalf("setup merge rejected: %s", resp.Reason)
+	}
+	// Now forge level-1 pages for the next merge.
+	forged := append([]wire.Page(nil), resp.NewPages...)
+	forged[0].KVs = append([]wire.KV(nil), forged[0].KVs...)
+	forged[0].KVs[0].Value = []byte("forged")
+	b1 := f.buildCertifiedBlock(t, 1, "c")
+	resp2 := f.merge(t, &wire.MergeRequest{ReqID: 2, FromLevel: 0, L0Blocks: []wire.Block{b1}, DstPages: forged})
+	if resp2.OK {
+		t.Fatal("forged destination pages accepted")
+	}
+}
+
+func TestGossipTickCoversCertifiedBlocks(t *testing.T) {
+	f := newFixture(t, Config{GossipEvery: 100, GossipTo: []wire.NodeID{"c1"}})
+	f.certify(t, 0, wcrypto.Digest([]byte("b0")))
+	out := f.node.Tick(200)
+	if len(out) != 1 {
+		t.Fatalf("gossip outputs = %d", len(out))
+	}
+	g := out[0].Msg.(*wire.Gossip)
+	if g.Blocks != 1 || g.Edge != "edge-1" {
+		t.Fatalf("gossip = %+v", g)
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "cloud", g, g.CloudSig); err != nil {
+		t.Fatalf("gossip signature: %v", err)
+	}
+	// Not again before the period elapses.
+	if out := f.node.Tick(250); out != nil {
+		t.Fatal("gossip emitted early")
+	}
+}
+
+func TestDisputeVerdictAndProofAttachment(t *testing.T) {
+	f := newFixture(t, Config{})
+	blk := f.buildCertifiedBlock(t, 0, "a")
+
+	// Honest evidence: not guilty, proof attached so the client can
+	// finish Phase II.
+	ev := &wire.AddResponse{BID: 0, Block: blk}
+	ev.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], ev)
+	d := core.BuildAddLieDispute(f.keys["c1"], "edge-1", ev)
+	out := f.node.Receive(9, wire.Envelope{From: "c1", To: "cloud", Msg: d})
+	if len(out) != 2 {
+		t.Fatalf("dispute outputs = %d, want verdict+proof", len(out))
+	}
+	v := out[0].Msg.(*wire.Verdict)
+	if v.Guilty {
+		t.Fatalf("honest edge convicted: %+v", v)
+	}
+	if _, ok := out[1].Msg.(*wire.BlockProof); !ok {
+		t.Fatalf("second output = %T, want BlockProof", out[1].Msg)
+	}
+}
+
+func TestAddGossipTargetIdempotent(t *testing.T) {
+	f := newFixture(t, Config{GossipEvery: 100})
+	f.node.AddGossipTarget("c1")
+	f.node.AddGossipTarget("c1")
+	f.certify(t, 0, wcrypto.Digest([]byte("b")))
+	out := f.node.Tick(200)
+	if len(out) != 1 {
+		t.Fatalf("duplicate gossip target: %d messages", len(out))
+	}
+}

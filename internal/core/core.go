@@ -1,0 +1,377 @@
+// Package core implements WedgeChain's primary contribution: lazy
+// (asynchronous) certification with data-free coordination (Sections III
+// and IV of the paper).
+//
+// The protocol distinguishes two commitments. Phase I commit happens at the
+// untrusted edge alone: the edge's signed response is a promise the client
+// can later use as evidence. Phase II commit happens when the trusted cloud
+// certifies the block's digest. The cloud accepts exactly one digest per
+// (edge, block id) — first writer wins — so two Phase II committed views of
+// the same block can never disagree (agreement), and any Phase I promise
+// that contradicts the certified digest convicts the edge (detect and
+// punish, rather than prevent).
+//
+// This package holds the pieces shared by the edge, cloud and client state
+// machines: the commit-phase vocabulary, the cloud's certification table
+// with equivocation detection, dispute evidence construction and
+// adjudication, and the punishment registry.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Phase is the commitment status of an operation.
+type Phase uint8
+
+// Commitment phases.
+const (
+	PhaseNone Phase = iota
+	// PhaseI: committed at the untrusted edge; the client holds signed
+	// evidence that convicts the edge if it lied (Definition 1).
+	PhaseI
+	// PhaseII: certified by the trusted cloud; no two clients can
+	// disagree on the content (Definition 2).
+	PhaseII
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNone:
+		return "none"
+	case PhaseI:
+		return "phase-I"
+	case PhaseII:
+		return "phase-II"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Handler is a protocol node: a deterministic, single-threaded state
+// machine driven by message delivery and time ticks. The discrete-event
+// simulator, the in-process transport and the TCP transport all drive the
+// same Handler implementations, so measured behaviour and deployed
+// behaviour come from identical protocol code.
+type Handler interface {
+	// ID returns the node's identity.
+	ID() wire.NodeID
+	// Receive processes one message at virtual time now (nanoseconds)
+	// and returns the messages to send.
+	Receive(now int64, env wire.Envelope) []wire.Envelope
+	// Tick fires periodically, driving timeouts and background work.
+	Tick(now int64) []wire.Envelope
+}
+
+// CertTable is the cloud's record of certified digests: at most one digest
+// per (edge, block id). It detects certify-time equivocation — an edge
+// submitting a second, different digest for an already-certified block.
+type CertTable struct {
+	digests map[wire.NodeID]map[uint64][]byte
+	entries map[wire.NodeID]uint64 // certified entry count per edge
+	blocks  map[wire.NodeID]uint64 // certified block count per edge
+}
+
+// NewCertTable returns an empty certification table.
+func NewCertTable() *CertTable {
+	return &CertTable{
+		digests: make(map[wire.NodeID]map[uint64][]byte),
+		entries: make(map[wire.NodeID]uint64),
+		blocks:  make(map[wire.NodeID]uint64),
+	}
+}
+
+// CertResult is the outcome of a certification attempt.
+type CertResult uint8
+
+// Certification outcomes.
+const (
+	// CertAccepted: first digest for this block id; certified.
+	CertAccepted CertResult = iota
+	// CertDuplicate: identical digest already certified; idempotent.
+	CertDuplicate
+	// CertConflict: a different digest is already certified — the edge
+	// equivocated and must be punished.
+	CertConflict
+)
+
+// Certify records digest for (edge, bid), applying first-writer-wins.
+// entryCount is the number of entries in the block (for gossip log sizes).
+func (t *CertTable) Certify(edge wire.NodeID, bid uint64, digest []byte, entryCount uint64) CertResult {
+	m := t.digests[edge]
+	if m == nil {
+		m = make(map[uint64][]byte)
+		t.digests[edge] = m
+	}
+	if prev, ok := m[bid]; ok {
+		if bytes.Equal(prev, digest) {
+			return CertDuplicate
+		}
+		return CertConflict
+	}
+	m[bid] = append([]byte(nil), digest...)
+	t.entries[edge] += entryCount
+	t.blocks[edge]++
+	return CertAccepted
+}
+
+// Lookup returns the certified digest for (edge, bid).
+func (t *CertTable) Lookup(edge wire.NodeID, bid uint64) ([]byte, bool) {
+	d, ok := t.digests[edge][bid]
+	return d, ok
+}
+
+// Entries returns the certified entry count for edge (gossiped LogSize).
+func (t *CertTable) Entries(edge wire.NodeID) uint64 { return t.entries[edge] }
+
+// AddEntries credits entry counts learned after certification.
+// Certification is data-free — the cloud cannot see entry counts in a
+// digest — so it learns them when blocks later ship for compaction.
+func (t *CertTable) AddEntries(edge wire.NodeID, n uint64) { t.entries[edge] += n }
+
+// Blocks returns the certified block count for edge.
+func (t *CertTable) Blocks(edge wire.NodeID) uint64 { return t.blocks[edge] }
+
+// Punishments records guilty verdicts. Punished edges are banned: the
+// cloud stops serving them and clients stop trusting them. Per the paper's
+// security model (Section II-D), identities are real-world bound, so a
+// banned edge cannot re-enter under a new name.
+type Punishments struct {
+	banned map[wire.NodeID]string // edge -> reason
+	log    []wire.Verdict
+}
+
+// NewPunishments returns an empty punishment registry.
+func NewPunishments() *Punishments {
+	return &Punishments{banned: make(map[wire.NodeID]string)}
+}
+
+// Punish records a guilty verdict for edge.
+func (p *Punishments) Punish(v wire.Verdict) {
+	if !v.Guilty {
+		return
+	}
+	if _, ok := p.banned[v.Edge]; !ok {
+		p.banned[v.Edge] = v.Reason
+	}
+	p.log = append(p.log, v)
+}
+
+// Banned reports whether edge has been punished, with the first reason.
+func (p *Punishments) Banned(edge wire.NodeID) (string, bool) {
+	r, ok := p.banned[edge]
+	return r, ok
+}
+
+// Verdicts returns all recorded guilty verdicts in order.
+func (p *Punishments) Verdicts() []wire.Verdict { return p.log }
+
+// BuildAddLieDispute packages a signed AddResponse whose block never
+// matched the certified digest as dispute evidence.
+func BuildAddLieDispute(key wcrypto.KeyPair, edge wire.NodeID, resp *wire.AddResponse) *wire.Dispute {
+	d := &wire.Dispute{
+		Kind:     wire.DisputeAddLie,
+		Edge:     edge,
+		BID:      resp.BID,
+		Evidence: wire.EncodeMessage(resp),
+	}
+	d.ClientSig = wcrypto.SignMsg(key, d)
+	return d
+}
+
+// BuildReadLieDispute packages a signed ReadResponse whose block content
+// contradicts the certified digest.
+func BuildReadLieDispute(key wcrypto.KeyPair, edge wire.NodeID, resp *wire.ReadResponse) *wire.Dispute {
+	d := &wire.Dispute{
+		Kind:     wire.DisputeReadLie,
+		Edge:     edge,
+		BID:      resp.BID,
+		Evidence: wire.EncodeMessage(resp),
+	}
+	d.ClientSig = wcrypto.SignMsg(key, d)
+	return d
+}
+
+// BuildGetLieDispute packages a signed GetResponse whose L0 block bid
+// contradicts the certified digest.
+func BuildGetLieDispute(key wcrypto.KeyPair, edge wire.NodeID, bid uint64, resp *wire.GetResponse) *wire.Dispute {
+	d := &wire.Dispute{
+		Kind:     wire.DisputeGetLie,
+		Edge:     edge,
+		BID:      bid,
+		Evidence: wire.EncodeMessage(resp),
+	}
+	d.ClientSig = wcrypto.SignMsg(key, d)
+	return d
+}
+
+// BuildOmissionDispute packages a signed not-available denial together
+// with cloud gossip proving the denied block exists.
+func BuildOmissionDispute(key wcrypto.KeyPair, edge wire.NodeID, denial *wire.ReadResponse, gossip *wire.Gossip) *wire.Dispute {
+	d := &wire.Dispute{
+		Kind:      wire.DisputeOmission,
+		Edge:      edge,
+		BID:       denial.BID,
+		Evidence:  wire.EncodeMessage(denial),
+		Evidence2: wire.EncodeMessage(gossip),
+	}
+	d.ClientSig = wcrypto.SignMsg(key, d)
+	return d
+}
+
+// Judge adjudicates a dispute against the certification table. It verifies
+// the client's signature on the accusation and the edge's signature on the
+// evidence — the evidence is self-authenticating, so a client cannot frame
+// an edge, and an edge cannot repudiate its promises.
+//
+// Conviction rules:
+//   - add-lie / read-lie: guilty when the evidence block's digest differs
+//     from the certified digest, or when no digest was ever certified for
+//     that block id (the edge promised a block it never reported; disputes
+//     arrive only after the client's generous proof timeout).
+//   - omission: guilty when the edge's signed denial is timestamped at or
+//     after cloud gossip covering the denied block.
+func Judge(reg *wcrypto.Registry, certs *CertTable, from wire.NodeID, d *wire.Dispute) wire.Verdict {
+	verdict := wire.Verdict{Edge: d.Edge, BID: d.BID, Kind: d.Kind}
+	if err := wcrypto.VerifyMsg(reg, from, d, d.ClientSig); err != nil {
+		verdict.Reason = "dispute rejected: bad client signature"
+		return verdict
+	}
+	ev, err := wire.DecodeMessage(d.Evidence)
+	if err != nil {
+		verdict.Reason = "dispute rejected: undecodable evidence"
+		return verdict
+	}
+	switch d.Kind {
+	case wire.DisputeAddLie:
+		resp, ok := ev.(*wire.AddResponse)
+		if !ok {
+			verdict.Reason = "dispute rejected: evidence is not an add-response"
+			return verdict
+		}
+		if err := wcrypto.VerifyMsg(reg, d.Edge, resp, resp.EdgeSig); err != nil {
+			verdict.Reason = "dispute rejected: evidence not signed by edge"
+			return verdict
+		}
+		if resp.BID != d.BID {
+			verdict.Reason = "dispute rejected: evidence bid mismatch"
+			return verdict
+		}
+		return judgeDigest(certs, verdict, &resp.Block)
+	case wire.DisputeReadLie:
+		resp, ok := ev.(*wire.ReadResponse)
+		if !ok || !resp.OK {
+			verdict.Reason = "dispute rejected: evidence is not a served read"
+			return verdict
+		}
+		if err := wcrypto.VerifyMsg(reg, d.Edge, resp, resp.EdgeSig); err != nil {
+			verdict.Reason = "dispute rejected: evidence not signed by edge"
+			return verdict
+		}
+		if resp.BID != d.BID {
+			verdict.Reason = "dispute rejected: evidence bid mismatch"
+			return verdict
+		}
+		return judgeDigest(certs, verdict, &resp.Block)
+	case wire.DisputeGetLie:
+		resp, ok := ev.(*wire.GetResponse)
+		if !ok {
+			verdict.Reason = "dispute rejected: evidence is not a get-response"
+			return verdict
+		}
+		if err := wcrypto.VerifyMsg(reg, d.Edge, resp, resp.EdgeSig); err != nil {
+			verdict.Reason = "dispute rejected: evidence not signed by edge"
+			return verdict
+		}
+		for i := range resp.Proof.L0Blocks {
+			if resp.Proof.L0Blocks[i].ID == d.BID {
+				return judgeDigest(certs, verdict, &resp.Proof.L0Blocks[i])
+			}
+		}
+		verdict.Reason = "dispute rejected: disputed block not in evidence"
+		return verdict
+	case wire.DisputeOmission:
+		denial, ok := ev.(*wire.ReadResponse)
+		if !ok || denial.OK {
+			verdict.Reason = "dispute rejected: evidence is not a denial"
+			return verdict
+		}
+		if err := wcrypto.VerifyMsg(reg, d.Edge, denial, denial.EdgeSig); err != nil {
+			verdict.Reason = "dispute rejected: evidence not signed by edge"
+			return verdict
+		}
+		ev2, err := wire.DecodeMessage(d.Evidence2)
+		if err != nil {
+			verdict.Reason = "dispute rejected: undecodable gossip evidence"
+			return verdict
+		}
+		gossip, ok := ev2.(*wire.Gossip)
+		if !ok {
+			verdict.Reason = "dispute rejected: second evidence is not gossip"
+			return verdict
+		}
+		// Gossip must carry a valid cloud signature; the registry knows
+		// the cloud's identity from the gossip itself.
+		if err := wcrypto.VerifyMsg(reg, gossipSigner(reg, gossip), gossip, gossip.CloudSig); err != nil {
+			verdict.Reason = "dispute rejected: gossip not signed by cloud"
+			return verdict
+		}
+		if gossip.Edge != d.Edge {
+			verdict.Reason = "dispute rejected: gossip is for another edge"
+			return verdict
+		}
+		if denial.BID >= gossip.Blocks {
+			verdict.Reason = "not guilty: denied block not covered by gossip"
+			return verdict
+		}
+		if denial.Ts < gossip.Ts {
+			verdict.Reason = "not guilty: denial predates gossip"
+			return verdict
+		}
+		verdict.Guilty = true
+		verdict.Reason = fmt.Sprintf("omission: denied block %d after gossip certified %d blocks", denial.BID, gossip.Blocks)
+		return verdict
+	default:
+		verdict.Reason = "dispute rejected: unknown kind"
+		return verdict
+	}
+}
+
+// gossipSigner finds the identity whose key verifies the gossip. The cloud
+// is the only signer of gossip in a deployment; we locate it by trying the
+// registry's known cloud identity convention ("cloud"), falling back to a
+// scan. Kept simple: deployments name the cloud node "cloud".
+func gossipSigner(reg *wcrypto.Registry, g *wire.Gossip) wire.NodeID {
+	if reg.Known("cloud") {
+		return "cloud"
+	}
+	for _, id := range reg.IDs() {
+		if err := wcrypto.VerifyMsg(reg, id, g, g.CloudSig); err == nil {
+			return id
+		}
+	}
+	return "cloud"
+}
+
+// judgeDigest compares evidence block content against the certified digest.
+func judgeDigest(certs *CertTable, verdict wire.Verdict, blk *wire.Block) wire.Verdict {
+	got := wcrypto.BlockDigest(blk)
+	certified, ok := certs.Lookup(verdict.Edge, verdict.BID)
+	if !ok {
+		verdict.Guilty = true
+		verdict.Reason = fmt.Sprintf("block %d promised but never certified", verdict.BID)
+		return verdict
+	}
+	if !bytes.Equal(got, certified) {
+		verdict.Guilty = true
+		verdict.Reason = fmt.Sprintf("block %d content contradicts certified digest", verdict.BID)
+		return verdict
+	}
+	verdict.Reason = "not guilty: evidence matches certified digest"
+	return verdict
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+func testKeys(t *testing.T) (map[wire.NodeID]wcrypto.KeyPair, *wcrypto.Registry) {
+	t.Helper()
+	reg := wcrypto.NewRegistry()
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	for _, id := range []wire.NodeID{"cloud", "edge-1", "c1", "evil"} {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		reg.Register(id, k.Pub)
+	}
+	return keys, reg
+}
+
+func TestCertTableFirstWriterWins(t *testing.T) {
+	ct := NewCertTable()
+	d1 := wcrypto.Digest([]byte("block-0-honest"))
+	d2 := wcrypto.Digest([]byte("block-0-forged"))
+
+	if got := ct.Certify("edge-1", 0, d1, 10); got != CertAccepted {
+		t.Fatalf("first certify = %v", got)
+	}
+	if got := ct.Certify("edge-1", 0, d1, 10); got != CertDuplicate {
+		t.Fatalf("duplicate certify = %v", got)
+	}
+	if got := ct.Certify("edge-1", 0, d2, 10); got != CertConflict {
+		t.Fatalf("conflicting certify = %v", got)
+	}
+	// The original digest must survive the conflict attempt.
+	stored, ok := ct.Lookup("edge-1", 0)
+	if !ok || string(stored) != string(d1) {
+		t.Fatal("certified digest changed after conflict")
+	}
+	// Same bid on another edge is independent.
+	if got := ct.Certify("edge-2", 0, d2, 5); got != CertAccepted {
+		t.Fatalf("other edge certify = %v", got)
+	}
+}
+
+func TestCertTableCounters(t *testing.T) {
+	ct := NewCertTable()
+	ct.Certify("e", 0, wcrypto.Digest([]byte("a")), 0)
+	ct.Certify("e", 1, wcrypto.Digest([]byte("b")), 0)
+	if ct.Blocks("e") != 2 {
+		t.Fatalf("Blocks = %d", ct.Blocks("e"))
+	}
+	ct.AddEntries("e", 200)
+	if ct.Entries("e") != 200 {
+		t.Fatalf("Entries = %d", ct.Entries("e"))
+	}
+}
+
+func TestPunishmentsBanOnce(t *testing.T) {
+	p := NewPunishments()
+	p.Punish(wire.Verdict{Edge: "e", Guilty: false, Reason: "innocent"})
+	if _, banned := p.Banned("e"); banned {
+		t.Fatal("not-guilty verdict banned the edge")
+	}
+	p.Punish(wire.Verdict{Edge: "e", Guilty: true, Reason: "first"})
+	p.Punish(wire.Verdict{Edge: "e", Guilty: true, Reason: "second"})
+	reason, banned := p.Banned("e")
+	if !banned || reason != "first" {
+		t.Fatalf("Banned = %q,%v", reason, banned)
+	}
+	if len(p.Verdicts()) != 2 {
+		t.Fatalf("verdict log = %d", len(p.Verdicts()))
+	}
+}
+
+// buildEvidence creates a signed AddResponse for a block.
+func buildEvidence(keys map[wire.NodeID]wcrypto.KeyPair, blk wire.Block) *wire.AddResponse {
+	resp := &wire.AddResponse{BID: blk.ID, Block: blk}
+	resp.EdgeSig = wcrypto.SignMsg(keys["edge-1"], resp)
+	return resp
+}
+
+func testBlock() wire.Block {
+	return wire.Block{
+		Edge: "edge-1", ID: 0,
+		Entries: []wire.Entry{{Client: "c1", Seq: 1, Value: []byte("data")}},
+	}
+}
+
+func TestJudgeConvictsDigestMismatch(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	honest := testBlock()
+	ct.Certify("edge-1", 0, wcrypto.BlockDigest(&honest), 1)
+
+	// The edge promised the client a different block.
+	lied := honest
+	lied.Entries = append([]wire.Entry(nil), honest.Entries...)
+	lied.Entries[0].Value = []byte("tampered")
+	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, lied))
+	v := Judge(reg, ct, "c1", d)
+	if !v.Guilty {
+		t.Fatalf("verdict = %+v, want guilty", v)
+	}
+}
+
+func TestJudgeAcquitsMatchingDigest(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	honest := testBlock()
+	ct.Certify("edge-1", 0, wcrypto.BlockDigest(&honest), 1)
+
+	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, honest))
+	v := Judge(reg, ct, "c1", d)
+	if v.Guilty {
+		t.Fatalf("verdict = %+v, want not guilty", v)
+	}
+}
+
+func TestJudgeConvictsNeverCertified(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, testBlock()))
+	v := Judge(reg, ct, "c1", d)
+	if !v.Guilty {
+		t.Fatalf("verdict = %+v, want guilty (promised but never certified)", v)
+	}
+}
+
+func TestJudgeRejectsForgedEvidence(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	// A client cannot frame the edge: evidence signed by someone else.
+	resp := &wire.AddResponse{BID: 0, Block: testBlock()}
+	resp.EdgeSig = wcrypto.SignMsg(keys["evil"], resp)
+	d := BuildAddLieDispute(keys["c1"], "edge-1", resp)
+	v := Judge(reg, ct, "c1", d)
+	if v.Guilty {
+		t.Fatal("forged evidence convicted the edge")
+	}
+}
+
+func TestJudgeRejectsBadClientSignature(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, testBlock()))
+	d.ClientSig[0] ^= 1
+	v := Judge(reg, ct, "c1", d)
+	if v.Guilty {
+		t.Fatal("tampered dispute convicted the edge")
+	}
+}
+
+func TestJudgeReadLie(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	honest := testBlock()
+	ct.Certify("edge-1", 0, wcrypto.BlockDigest(&honest), 1)
+
+	lied := honest
+	lied.Entries = append([]wire.Entry(nil), honest.Entries...)
+	lied.Entries[0].Value = []byte("served-garbage")
+	resp := &wire.ReadResponse{ReqID: 1, BID: 0, OK: true, Block: lied}
+	resp.EdgeSig = wcrypto.SignMsg(keys["edge-1"], resp)
+
+	d := BuildReadLieDispute(keys["c1"], "edge-1", resp)
+	v := Judge(reg, ct, "c1", d)
+	if !v.Guilty || v.Kind != wire.DisputeReadLie {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestJudgeGetLie(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	honest := testBlock()
+	ct.Certify("edge-1", 0, wcrypto.BlockDigest(&honest), 1)
+
+	lied := honest
+	lied.Entries = append([]wire.Entry(nil), honest.Entries...)
+	lied.Entries[0].Value = []byte("stale")
+	resp := &wire.GetResponse{
+		ReqID: 1,
+		Proof: wire.GetProof{L0Blocks: []wire.Block{lied}, L0Certs: []wire.BlockProof{{}}},
+	}
+	resp.EdgeSig = wcrypto.SignMsg(keys["edge-1"], resp)
+
+	d := BuildGetLieDispute(keys["c1"], "edge-1", 0, resp)
+	v := Judge(reg, ct, "c1", d)
+	if !v.Guilty || v.Kind != wire.DisputeGetLie {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestJudgeOmission(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	honest := testBlock()
+	ct.Certify("edge-1", 0, wcrypto.BlockDigest(&honest), 1)
+
+	gossip := &wire.Gossip{Edge: "edge-1", Ts: 100, LogSize: 1, Blocks: 1}
+	gossip.CloudSig = wcrypto.SignMsg(keys["cloud"], gossip)
+
+	denial := &wire.ReadResponse{ReqID: 1, BID: 0, OK: false, Ts: 150}
+	denial.EdgeSig = wcrypto.SignMsg(keys["edge-1"], denial)
+
+	d := BuildOmissionDispute(keys["c1"], "edge-1", denial, gossip)
+	v := Judge(reg, ct, "c1", d)
+	if !v.Guilty || v.Kind != wire.DisputeOmission {
+		t.Fatalf("verdict = %+v", v)
+	}
+
+	// A denial that predates the gossip is not provable.
+	early := &wire.ReadResponse{ReqID: 2, BID: 0, OK: false, Ts: 50}
+	early.EdgeSig = wcrypto.SignMsg(keys["edge-1"], early)
+	d2 := BuildOmissionDispute(keys["c1"], "edge-1", early, gossip)
+	if v := Judge(reg, ct, "c1", d2); v.Guilty {
+		t.Fatal("pre-gossip denial convicted")
+	}
+
+	// A denial of a block gossip does not cover is not provable.
+	far := &wire.ReadResponse{ReqID: 3, BID: 9, OK: false, Ts: 150}
+	far.EdgeSig = wcrypto.SignMsg(keys["edge-1"], far)
+	d3 := BuildOmissionDispute(keys["c1"], "edge-1", far, gossip)
+	if v := Judge(reg, ct, "c1", d3); v.Guilty {
+		t.Fatal("uncovered denial convicted")
+	}
+}
+
+func TestJudgeRejectsUndecodableEvidence(t *testing.T) {
+	keys, reg := testKeys(t)
+	ct := NewCertTable()
+	d := &wire.Dispute{Kind: wire.DisputeAddLie, Edge: "edge-1", BID: 0, Evidence: []byte{1, 2, 3}}
+	d.ClientSig = wcrypto.SignMsg(keys["c1"], d)
+	if v := Judge(reg, ct, "c1", d); v.Guilty {
+		t.Fatal("garbage evidence convicted")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if PhaseNone.String() != "none" || PhaseI.String() != "phase-I" || PhaseII.String() != "phase-II" {
+		t.Fatal("phase names changed")
+	}
+}

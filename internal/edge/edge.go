@@ -1,0 +1,507 @@
+// Package edge implements the WedgeChain edge node: the untrusted,
+// potentially byzantine server that ingests client writes, cuts log blocks,
+// answers reads and key-value gets with proofs, and coordinates lazily with
+// the trusted cloud (Sections IV and V of the paper).
+//
+// The node is a deterministic state machine (core.Handler): all I/O happens
+// through Receive and Tick, so the same code runs under the discrete-event
+// simulator, the in-process transport and TCP.
+//
+// Byzantine behaviour is injected through the Fault hooks — the honest code
+// path never lies, but tests and examples use faults to demonstrate that
+// every lie the paper considers is eventually detected and punished.
+package edge
+
+import (
+	"fmt"
+	"log/slog"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+	"wedgechain/internal/wlog"
+)
+
+// Node implements core.Handler so all transports can drive it.
+var _ core.Handler = (*Node)(nil)
+
+// Config parameterizes an edge node.
+type Config struct {
+	// ID is the edge's identity; Cloud the trusted cloud's.
+	ID    wire.NodeID
+	Cloud wire.NodeID
+	// BatchSize is the entries per block (the paper's batch size B).
+	BatchSize int
+	// FlushEvery force-cuts a partial block after this many idle
+	// nanoseconds; 0 disables flushing.
+	FlushEvery int64
+	// L0Threshold is the number of certified, uncompacted blocks that
+	// triggers an L0 -> L1 merge (the paper's level-0 page threshold).
+	L0Threshold int
+	// LevelThresholds are the page budgets of levels 1..n.
+	LevelThresholds []int
+	// PageCap is the records-per-page target for merged pages.
+	PageCap int
+	// ReserveTTL bounds how long a reserved log position stays open.
+	ReserveTTL int64
+	// FullDataCert ships full block bodies with certification requests
+	// instead of digests only — the ablation disabling the paper's
+	// data-free coordination (used to quantify its savings).
+	FullDataCert bool
+	// Fault, when non-nil, makes the node byzantine. See Fault.
+	Fault *Fault
+	// Logger receives operational events; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (c *Config) fill() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.L0Threshold <= 0 {
+		c.L0Threshold = 10
+	}
+	if len(c.LevelThresholds) == 0 {
+		c.LevelThresholds = []int{10, 100, 1000}
+	}
+	if c.PageCap <= 0 {
+		c.PageCap = c.BatchSize
+	}
+	if c.ReserveTTL <= 0 {
+		c.ReserveTTL = int64(5e9)
+	}
+}
+
+// reqInfo remembers which client submitted the entry at a log position and
+// through which interface, so block cut can route the right response kind.
+type reqInfo struct {
+	client wire.NodeID
+	isPut  bool
+}
+
+// Node is an edge node state machine. Not safe for concurrent use; the
+// transport serializes calls.
+type Node struct {
+	cfg Config
+	key wcrypto.KeyPair
+	reg *wcrypto.Registry
+	log *wlog.Log
+	idx *mlsm.Index
+
+	reqs         map[uint64]reqInfo       // log position -> submitter
+	blockClients map[uint64][]reqInfo     // bid -> distinct (client, kind) to notify
+	readWaiters  map[uint64][]wire.NodeID // bid -> clients awaiting a forwarded proof
+	l0From       uint64                   // first uncompacted block id
+	mergeBusy    bool
+	nextReq      uint64
+	lastArrival  int64
+	store        *wlog.Store // nil = in-memory only
+
+	// Stats counters exposed for benchmarks and tests.
+	stats Stats
+}
+
+// Stats are operational counters.
+type Stats struct {
+	Writes       uint64
+	BlocksCut    uint64
+	Certified    uint64
+	Reads        uint64
+	Gets         uint64
+	Merges       uint64
+	BytesToCloud uint64
+}
+
+// New constructs an in-memory edge node with the given key and registry.
+func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
+	cfg.fill()
+	return &Node{
+		cfg:          cfg,
+		key:          key,
+		reg:          reg,
+		log:          wlog.New(cfg.ID, cfg.BatchSize),
+		idx:          mlsm.NewIndex(cfg.LevelThresholds),
+		reqs:         make(map[uint64]reqInfo),
+		blockClients: make(map[uint64][]reqInfo),
+		readWaiters:  make(map[uint64][]wire.NodeID),
+	}
+}
+
+// NewPersistent constructs an edge node whose log is durably stored under
+// dataDir, recovering any previously committed blocks and certificates.
+// Recovered state is verified (digests recomputed, certificate signatures
+// checked), so a tampered store fails loudly instead of serving divergent
+// history. The LSMerkle levels are not persisted: they are rederivable
+// from the log via the cloud's merge service, matching the paper's model
+// where the cloud is the index's authority.
+func NewPersistent(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry, dataDir string, durable bool) (*Node, int, error) {
+	n := New(cfg, key, reg)
+	log, store, blocks, _, err := wlog.Recover(dataDir, n.cfg.ID, n.cfg.BatchSize, reg, n.cfg.Cloud)
+	if err != nil {
+		return nil, 0, err
+	}
+	n.log = log
+	n.store = store
+	return n, blocks, nil
+}
+
+// CloseStore flushes and closes the persistent store, if any.
+func (n *Node) CloseStore() error {
+	if n.store == nil {
+		return nil
+	}
+	return n.store.Close()
+}
+
+// ID implements core.Handler.
+func (n *Node) ID() wire.NodeID { return n.cfg.ID }
+
+// Log exposes the underlying log for tests and local measurement.
+func (n *Node) Log() *wlog.Log { return n.log }
+
+// Index exposes the LSMerkle index for tests and local measurement.
+func (n *Node) Index() *mlsm.Index { return n.idx }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// L0From returns the first uncompacted block id.
+func (n *Node) L0From() uint64 { return n.l0From }
+
+func (n *Node) logf(msg string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Info(msg, args...)
+	}
+}
+
+// Receive implements core.Handler.
+func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	switch m := env.Msg.(type) {
+	case *wire.AddRequest:
+		return n.handleWrite(now, env.From, m.Entry, false)
+	case *wire.PutRequest:
+		return n.handleWrite(now, env.From, m.Entry, true)
+	case *wire.PutBatch:
+		var out []wire.Envelope
+		for i := range m.Entries {
+			isPut := len(m.Entries[i].Key) > 0
+			out = append(out, n.handleWrite(now, env.From, m.Entries[i], isPut)...)
+		}
+		return out
+	case *wire.ReadRequest:
+		return n.handleRead(now, env.From, m)
+	case *wire.GetRequest:
+		return n.handleGet(now, env.From, m)
+	case *wire.ReserveRequest:
+		return n.handleReserve(now, env.From, m)
+	case *wire.BlockProof:
+		return n.handleProof(now, env.From, m)
+	case *wire.MergeResponse:
+		return n.handleMergeResponse(now, env.From, m)
+	case *wire.Gossip:
+		// Gossip is client-facing; nothing for the edge to do.
+		return nil
+	case *wire.Ping:
+		return []wire.Envelope{{From: n.cfg.ID, To: env.From, Msg: &wire.Pong{Seq: m.Seq, Ts: m.Ts}}}
+	default:
+		return nil
+	}
+}
+
+// Tick implements core.Handler: flush partial blocks that have waited past
+// FlushEvery.
+func (n *Node) Tick(now int64) []wire.Envelope {
+	if n.cfg.FlushEvery <= 0 || n.log.BufferLen() == 0 {
+		return nil
+	}
+	if now-n.lastArrival < n.cfg.FlushEvery {
+		return nil
+	}
+	blk := n.log.TryCut(now, true)
+	if blk == nil {
+		return nil
+	}
+	return n.emitBlock(now, blk)
+}
+
+// handleWrite processes add() and put(). The entry must be signed by a
+// known client; invalid or replayed entries are dropped (the client's
+// timeout machinery owns retries, mirroring the paper's idempotence
+// discussion).
+func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut bool) []wire.Envelope {
+	if e.Client != from {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(n.reg, e.Client, &e, e.Sig); err != nil {
+		n.logf("rejecting write with bad signature", "client", from, "err", err)
+		return nil
+	}
+	pos, err := n.log.Append(e, now)
+	if err != nil {
+		n.logf("rejecting write", "client", from, "err", err)
+		return nil
+	}
+	n.stats.Writes++
+	n.lastArrival = now
+	n.reqs[pos] = reqInfo{client: e.Client, isPut: isPut}
+	blk := n.log.TryCut(now, false)
+	if blk == nil {
+		return nil
+	}
+	return n.emitBlock(now, blk)
+}
+
+// emitBlock sends the Phase I responses for a freshly cut block and starts
+// data-free certification with the cloud.
+func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
+	n.stats.BlocksCut++
+	if n.store != nil {
+		if err := n.store.AppendBlock(blk); err != nil {
+			// Durability failed: acknowledge nothing. Clients' timeout
+			// machinery owns retries; an unacknowledged block is safe.
+			n.logf("persist failed; withholding acknowledgements", "bid", blk.ID, "err", err)
+			return nil
+		}
+	}
+	// Group responders: one response per (client, kind) pair.
+	seen := make(map[reqInfo]bool)
+	var responders []reqInfo
+	for i := range blk.Entries {
+		pos := blk.StartPos + uint64(i)
+		info, ok := n.reqs[pos]
+		if !ok {
+			continue // reservation no-op
+		}
+		delete(n.reqs, pos)
+		if !seen[info] {
+			seen[info] = true
+			responders = append(responders, info)
+		}
+	}
+	n.blockClients[blk.ID] = responders
+
+	var out []wire.Envelope
+	for _, r := range responders {
+		sendBlk := *blk
+		if n.cfg.Fault != nil {
+			sendBlk = n.cfg.Fault.maybeTamperAdd(r.client, sendBlk)
+		}
+		if r.isPut {
+			resp := &wire.PutResponse{BID: blk.ID, Block: sendBlk}
+			resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: r.client, Msg: resp})
+		} else {
+			resp := &wire.AddResponse{BID: blk.ID, Block: sendBlk}
+			resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: r.client, Msg: resp})
+		}
+	}
+
+	// Data-free certification: only the digest travels to the cloud.
+	if n.cfg.Fault == nil || !n.cfg.Fault.DropCertify {
+		digest, err := n.log.Digest(blk.ID)
+		if err != nil {
+			panic(fmt.Sprintf("edge: freshly cut block has no digest: %v", err))
+		}
+		cert := &wire.BlockCertify{Edge: n.cfg.ID, BID: blk.ID, Digest: digest}
+		if n.cfg.FullDataCert {
+			cert.Body = blk.Canonical()
+		}
+		cert.EdgeSig = wcrypto.SignMsg(n.key, cert)
+		env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: cert}
+		n.stats.BytesToCloud += uint64(wire.Size(env))
+		out = append(out, env)
+		if n.cfg.Fault != nil && n.cfg.Fault.DoubleCertify {
+			// Equivocation at certify time: a second, conflicting digest.
+			forged := &wire.BlockCertify{Edge: n.cfg.ID, BID: blk.ID, Digest: wcrypto.Digest(digest)}
+			forged.EdgeSig = wcrypto.SignMsg(n.key, forged)
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: forged})
+		}
+	}
+	return out
+}
+
+// handleProof installs the cloud's block-proof (Phase II) and forwards it
+// to every client that contributed to or read the block.
+func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof) []wire.Envelope {
+	if from != n.cfg.Cloud {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, p, p.CloudSig); err != nil {
+		n.logf("dropping block-proof with bad cloud signature", "err", err)
+		return nil
+	}
+	if err := n.log.SetCert(*p); err != nil {
+		n.logf("block-proof does not match local block", "bid", p.BID, "err", err)
+		return nil
+	}
+	if n.store != nil {
+		if err := n.store.AppendCert(p); err != nil {
+			// Certificates are re-obtainable from the cloud; log and
+			// continue serving.
+			n.logf("persisting certificate failed", "bid", p.BID, "err", err)
+		}
+	}
+	n.stats.Certified++
+	var out []wire.Envelope
+	fwd := func(to wire.NodeID) {
+		out = append(out, wire.Envelope{From: n.cfg.ID, To: to, Msg: cloneProof(p)})
+	}
+	for _, r := range n.blockClients[p.BID] {
+		fwd(r.client)
+	}
+	delete(n.blockClients, p.BID)
+	for _, c := range n.readWaiters[p.BID] {
+		fwd(c)
+	}
+	delete(n.readWaiters, p.BID)
+	out = append(out, n.maybeStartMerge(now)...)
+	return out
+}
+
+// handleRead serves read(bid) with the paper's three cases: not available
+// (signed denial), Phase II read (block + proof), Phase I read (block, no
+// proof yet; the proof is forwarded when it arrives).
+func (n *Node) handleRead(now int64, from wire.NodeID, m *wire.ReadRequest) []wire.Envelope {
+	n.stats.Reads++
+	resp := &wire.ReadResponse{ReqID: m.ReqID, BID: m.BID, Ts: now}
+	blk, err := n.log.Block(m.BID)
+	omit := n.cfg.Fault != nil && n.cfg.Fault.OmitBlocks[m.BID]
+	if err != nil || omit {
+		resp.OK = false
+	} else {
+		resp.OK = true
+		resp.Block = *blk
+		if n.cfg.Fault != nil {
+			resp.Block = n.cfg.Fault.maybeTamperRead(from, resp.Block)
+		}
+		if cert, ok := n.log.Cert(m.BID); ok && !tampered(n.cfg.Fault, from) {
+			resp.HasProof = true
+			resp.Proof = cert
+		} else {
+			// Phase I read: remember the reader for proof forwarding.
+			n.readWaiters[m.BID] = append(n.readWaiters[m.BID], from)
+		}
+	}
+	resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+	return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
+}
+
+// handleReserve grants log positions for the idempotence extension.
+func (n *Node) handleReserve(now int64, from wire.NodeID, m *wire.ReserveRequest) []wire.Envelope {
+	if m.Client != from {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(n.reg, m.Client, m, m.ClientSig); err != nil {
+		return nil
+	}
+	start := n.log.Reserve(m.Client, int(m.Count), now+n.cfg.ReserveTTL)
+	resp := &wire.ReserveResponse{ReqID: m.ReqID, Start: start, Count: m.Count}
+	resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+	return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
+}
+
+// maybeStartMerge initiates at most one compaction: L0 into L1 when enough
+// certified blocks accumulated, else the shallowest over-threshold level
+// into its successor. The merge runs asynchronously at the cloud and does
+// not block reads or writes (Section V-B).
+func (n *Node) maybeStartMerge(now int64) []wire.Envelope {
+	if n.mergeBusy {
+		return nil
+	}
+	if n.cfg.Fault != nil && n.cfg.Fault.FreezeIndex {
+		return nil
+	}
+	// L0 -> L1.
+	certThrough, ok := n.log.CertifiedThrough()
+	if ok && certThrough+1 >= n.l0From+uint64(n.cfg.L0Threshold) {
+		req := &wire.MergeRequest{
+			Edge:      n.cfg.ID,
+			ReqID:     n.nextReqID(),
+			FromLevel: 0,
+			DstPages:  n.idx.Pages(1),
+		}
+		for bid := n.l0From; bid <= certThrough; bid++ {
+			blk, err := n.log.Block(bid)
+			if err != nil {
+				panic(fmt.Sprintf("edge: certified block missing: %v", err))
+			}
+			req.L0Blocks = append(req.L0Blocks, *blk)
+		}
+		return n.sendMerge(req)
+	}
+	// Level i -> i+1.
+	for lvl := 1; lvl < n.idx.Levels(); lvl++ {
+		if !n.idx.OverThreshold(lvl) {
+			continue
+		}
+		req := &wire.MergeRequest{
+			Edge:      n.cfg.ID,
+			ReqID:     n.nextReqID(),
+			FromLevel: uint32(lvl),
+			SrcPages:  n.idx.Pages(lvl),
+			DstPages:  n.idx.Pages(lvl + 1),
+		}
+		return n.sendMerge(req)
+	}
+	return nil
+}
+
+func (n *Node) sendMerge(req *wire.MergeRequest) []wire.Envelope {
+	req.EdgeSig = wcrypto.SignMsg(n.key, req)
+	n.mergeBusy = true
+	n.stats.Merges++
+	env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: req}
+	n.stats.BytesToCloud += uint64(wire.Size(env))
+	return []wire.Envelope{env}
+}
+
+func (n *Node) nextReqID() uint64 {
+	n.nextReq++
+	return n.nextReq
+}
+
+// handleMergeResponse installs the cloud's merged pages and roots, then
+// cascades to the next over-threshold level if any.
+func (n *Node) handleMergeResponse(now int64, from wire.NodeID, m *wire.MergeResponse) []wire.Envelope {
+	if from != n.cfg.Cloud {
+		return nil
+	}
+	if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, m, m.CloudSig); err != nil {
+		n.logf("dropping merge response with bad signature", "err", err)
+		return nil
+	}
+	n.mergeBusy = false
+	if !m.OK {
+		n.logf("cloud rejected merge", "reason", m.Reason)
+		return nil
+	}
+	if n.cfg.Fault != nil && n.cfg.Fault.FreezeIndex {
+		return nil // stale-snapshot attack: refuse to advance
+	}
+	target := int(m.FromLevel) + 1
+	if err := n.idx.InstallLevel(target, m.NewPages, m.Roots, m.Global); err != nil {
+		n.logf("merge install failed", "err", err)
+		return nil
+	}
+	if m.FromLevel == 0 {
+		n.l0From = m.ConsumedTo + 1
+	} else if err := n.idx.ClearLevel(int(m.FromLevel)); err != nil {
+		n.logf("clearing merged level failed", "err", err)
+		return nil
+	}
+	return n.maybeStartMerge(now)
+}
+
+// cloneProof copies a proof for independent delivery.
+func cloneProof(p *wire.BlockProof) *wire.BlockProof {
+	cp := *p
+	cp.Digest = append([]byte(nil), p.Digest...)
+	cp.CloudSig = append([]byte(nil), p.CloudSig...)
+	return &cp
+}
+
+func tampered(f *Fault, client wire.NodeID) bool {
+	return f != nil && f.TamperReadVictim == client
+}

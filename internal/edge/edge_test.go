@@ -1,0 +1,320 @@
+package edge
+
+import (
+	"bytes"
+	"testing"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+type fixture struct {
+	node *Node
+	keys map[wire.NodeID]wcrypto.KeyPair
+	reg  *wcrypto.Registry
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	reg := wcrypto.NewRegistry()
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	for _, id := range []wire.NodeID{"edge-1", "cloud", "c1", "c2"} {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		reg.Register(id, k.Pub)
+	}
+	cfg.ID = "edge-1"
+	cfg.Cloud = "cloud"
+	return &fixture{node: New(cfg, keys["edge-1"], reg), keys: keys, reg: reg}
+}
+
+func (f *fixture) entry(client wire.NodeID, seq uint64, key, value string) wire.Entry {
+	e := wire.Entry{Client: client, Seq: seq, Value: []byte(value)}
+	if key != "" {
+		e.Key = []byte(key)
+	}
+	e.Sig = wcrypto.SignMsg(f.keys[client], &e)
+	return e
+}
+
+func (f *fixture) add(t *testing.T, now int64, client wire.NodeID, seq uint64, value string) []wire.Envelope {
+	t.Helper()
+	return f.node.Receive(now, wire.Envelope{
+		From: client, To: "edge-1",
+		Msg: &wire.AddRequest{Entry: f.entry(client, seq, "", value)},
+	})
+}
+
+func kindsOf(envs []wire.Envelope) map[wire.Kind]int {
+	out := map[wire.Kind]int{}
+	for _, e := range envs {
+		out[e.Msg.MsgKind()]++
+	}
+	return out
+}
+
+func TestWriteBuffersUntilBatch(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 3})
+	if out := f.add(t, 1, "c1", 1, "a"); out != nil {
+		t.Fatalf("first write produced output: %v", kindsOf(out))
+	}
+	if out := f.add(t, 2, "c1", 2, "b"); out != nil {
+		t.Fatalf("second write produced output: %v", kindsOf(out))
+	}
+	out := f.add(t, 3, "c2", 1, "c")
+	k := kindsOf(out)
+	if k[wire.KindAddResponse] != 2 {
+		t.Fatalf("want 2 add responses (one per client), got %v", k)
+	}
+	if k[wire.KindBlockCertify] != 1 {
+		t.Fatalf("want 1 certify, got %v", k)
+	}
+}
+
+func TestWriteRejectsBadSignature(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1})
+	e := f.entry("c1", 1, "", "data")
+	e.Sig[0] ^= 1
+	out := f.node.Receive(1, wire.Envelope{From: "c1", To: "edge-1", Msg: &wire.AddRequest{Entry: e}})
+	if out != nil {
+		t.Fatal("forged entry accepted")
+	}
+	if f.node.Log().BufferLen() != 0 {
+		t.Fatal("forged entry buffered")
+	}
+}
+
+func TestWriteRejectsSpoofedSender(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1})
+	e := f.entry("c1", 1, "", "data")
+	out := f.node.Receive(1, wire.Envelope{From: "c2", To: "edge-1", Msg: &wire.AddRequest{Entry: e}})
+	if out != nil || f.node.Log().BufferLen() != 0 {
+		t.Fatal("spoofed sender accepted")
+	}
+}
+
+func TestCertifyIsDataFree(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1})
+	out := f.add(t, 1, "c1", 1, "payload-of-some-size-xxxxxxxxxxxxxxxxxxxxxx")
+	var certify *wire.BlockCertify
+	var resp *wire.AddResponse
+	for _, env := range out {
+		switch m := env.Msg.(type) {
+		case *wire.BlockCertify:
+			certify = m
+		case *wire.AddResponse:
+			resp = m
+		}
+	}
+	if certify == nil || resp == nil {
+		t.Fatalf("missing outputs: %v", kindsOf(out))
+	}
+	if len(certify.Body) != 0 {
+		t.Fatal("data-free certify carried a body")
+	}
+	if !bytes.Equal(certify.Digest, wcrypto.BlockDigest(&resp.Block)) {
+		t.Fatal("certify digest does not match the response block")
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "edge-1", certify, certify.EdgeSig); err != nil {
+		t.Fatalf("certify signature: %v", err)
+	}
+}
+
+func TestFullDataCertCarriesBody(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1, FullDataCert: true})
+	out := f.add(t, 1, "c1", 1, "data")
+	for _, env := range out {
+		if m, ok := env.Msg.(*wire.BlockCertify); ok {
+			if len(m.Body) == 0 {
+				t.Fatal("full-data certify has no body")
+			}
+			if !bytes.Equal(wcrypto.Digest(m.Body), m.Digest) {
+				t.Fatal("body does not hash to digest")
+			}
+			return
+		}
+	}
+	t.Fatal("no certify emitted")
+}
+
+func (f *fixture) certifyBlock(t *testing.T, bid uint64) *wire.BlockProof {
+	t.Helper()
+	digest, err := f.node.Log().Digest(bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &wire.BlockProof{Edge: "edge-1", BID: bid, Digest: digest}
+	p.CloudSig = wcrypto.SignMsg(f.keys["cloud"], p)
+	return p
+}
+
+func TestProofForwardedToBlockClients(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 2, L0Threshold: 100})
+	f.add(t, 1, "c1", 1, "a")
+	f.add(t, 2, "c2", 1, "b")
+	out := f.node.Receive(3, wire.Envelope{From: "cloud", To: "edge-1", Msg: f.certifyBlock(t, 0)})
+	k := kindsOf(out)
+	if k[wire.KindBlockProof] != 2 {
+		t.Fatalf("proof forwarded to %d clients, want 2 (%v)", k[wire.KindBlockProof], k)
+	}
+	if _, ok := f.node.Log().Cert(0); !ok {
+		t.Fatal("cert not installed")
+	}
+}
+
+func TestProofFromNonCloudIgnored(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1})
+	f.add(t, 1, "c1", 1, "a")
+	p := f.certifyBlock(t, 0)
+	out := f.node.Receive(2, wire.Envelope{From: "c2", To: "edge-1", Msg: p})
+	if out != nil {
+		t.Fatal("proof from non-cloud processed")
+	}
+}
+
+func TestReadThreeCases(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1})
+	f.add(t, 1, "c1", 1, "a")
+
+	// Case: Phase I read (no proof yet).
+	out := f.node.Receive(2, wire.Envelope{From: "c2", To: "edge-1", Msg: &wire.ReadRequest{BID: 0, ReqID: 1}})
+	resp := out[0].Msg.(*wire.ReadResponse)
+	if !resp.OK || resp.HasProof {
+		t.Fatalf("phase-I read = %+v", resp)
+	}
+
+	// Certify; the waiting reader receives the forwarded proof.
+	out = f.node.Receive(3, wire.Envelope{From: "cloud", To: "edge-1", Msg: f.certifyBlock(t, 0)})
+	forwarded := 0
+	for _, env := range out {
+		if env.Msg.MsgKind() == wire.KindBlockProof && env.To == "c2" {
+			forwarded++
+		}
+	}
+	if forwarded != 1 {
+		t.Fatalf("proof not forwarded to phase-I reader (outputs %v)", kindsOf(out))
+	}
+
+	// Case: Phase II read.
+	out = f.node.Receive(4, wire.Envelope{From: "c2", To: "edge-1", Msg: &wire.ReadRequest{BID: 0, ReqID: 2}})
+	resp = out[0].Msg.(*wire.ReadResponse)
+	if !resp.OK || !resp.HasProof {
+		t.Fatalf("phase-II read = %+v", resp)
+	}
+
+	// Case: not available (signed denial).
+	out = f.node.Receive(5, wire.Envelope{From: "c2", To: "edge-1", Msg: &wire.ReadRequest{BID: 99, ReqID: 3}})
+	resp = out[0].Msg.(*wire.ReadResponse)
+	if resp.OK {
+		t.Fatal("missing block served")
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "edge-1", resp, resp.EdgeSig); err != nil {
+		t.Fatalf("denial not signed: %v", err)
+	}
+}
+
+func TestL0MergeStartsAfterThreshold(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1, L0Threshold: 2, LevelThresholds: []int{2, 4}})
+	f.add(t, 1, "c1", 1, "a")
+	out := f.node.Receive(2, wire.Envelope{From: "cloud", To: "edge-1", Msg: f.certifyBlock(t, 0)})
+	if kindsOf(out)[wire.KindMergeRequest] != 0 {
+		t.Fatal("merge started below threshold")
+	}
+	f.add(t, 3, "c1", 2, "b")
+	out = f.node.Receive(4, wire.Envelope{From: "cloud", To: "edge-1", Msg: f.certifyBlock(t, 1)})
+	var merge *wire.MergeRequest
+	for _, env := range out {
+		if m, ok := env.Msg.(*wire.MergeRequest); ok {
+			merge = m
+		}
+	}
+	if merge == nil {
+		t.Fatalf("no merge at threshold: %v", kindsOf(out))
+	}
+	if merge.FromLevel != 0 || len(merge.L0Blocks) != 2 {
+		t.Fatalf("merge = from %d with %d blocks", merge.FromLevel, len(merge.L0Blocks))
+	}
+	// No second merge while one is in flight.
+	f.add(t, 5, "c1", 3, "c")
+	out = f.node.Receive(6, wire.Envelope{From: "cloud", To: "edge-1", Msg: f.certifyBlock(t, 2)})
+	if kindsOf(out)[wire.KindMergeRequest] != 0 {
+		t.Fatal("second merge while busy")
+	}
+}
+
+func TestTamperBlockKeepsVictimEntry(t *testing.T) {
+	blk := wire.Block{
+		Edge: "edge-1", ID: 0,
+		Entries: []wire.Entry{
+			{Client: "victim", Seq: 1, Value: []byte("mine")},
+			{Client: "other", Seq: 1, Value: []byte("theirs")},
+		},
+	}
+	out := tamperBlock(blk, "victim")
+	if !bytes.Equal(out.Entries[0].Value, []byte("mine")) {
+		t.Fatal("victim entry altered — the lie would be detected immediately")
+	}
+	if bytes.Equal(out.Entries[1].Value, []byte("theirs")) {
+		t.Fatal("nothing altered — not a lie")
+	}
+	if bytes.Equal(wcrypto.BlockDigest(&blk), wcrypto.BlockDigest(&out)) {
+		t.Fatal("digest unchanged")
+	}
+	// Original must be untouched.
+	if !bytes.Equal(blk.Entries[1].Value, []byte("theirs")) {
+		t.Fatal("tamperBlock mutated the input")
+	}
+}
+
+func TestTamperBlockAllVictimEntriesAppends(t *testing.T) {
+	blk := wire.Block{
+		Edge: "edge-1", ID: 0,
+		Entries: []wire.Entry{{Client: "victim", Seq: 1, Value: []byte("mine")}},
+	}
+	out := tamperBlock(blk, "victim")
+	if len(out.Entries) != 2 {
+		t.Fatalf("entries = %d, want forged appendix", len(out.Entries))
+	}
+}
+
+func TestReserveGrantsPositions(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 4})
+	req := &wire.ReserveRequest{Client: "c1", Count: 2, ReqID: 7}
+	req.ClientSig = wcrypto.SignMsg(f.keys["c1"], req)
+	out := f.node.Receive(1, wire.Envelope{From: "c1", To: "edge-1", Msg: req})
+	resp := out[0].Msg.(*wire.ReserveResponse)
+	if resp.Start != 0 || resp.Count != 2 || resp.ReqID != 7 {
+		t.Fatalf("grant = %+v", resp)
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "edge-1", resp, resp.EdgeSig); err != nil {
+		t.Fatalf("grant unsigned: %v", err)
+	}
+}
+
+func TestFlushTickCutsPartialBlock(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 10, FlushEvery: 100})
+	f.add(t, 1000, "c1", 1, "only")
+	if out := f.node.Tick(1050); out != nil {
+		t.Fatal("flushed before interval")
+	}
+	out := f.node.Tick(1200)
+	if kindsOf(out)[wire.KindAddResponse] != 1 {
+		t.Fatalf("flush outputs = %v", kindsOf(out))
+	}
+}
+
+func TestPutBatchCutsAlignedBlock(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 3})
+	batch := &wire.PutBatch{}
+	for i := uint64(1); i <= 3; i++ {
+		batch.Entries = append(batch.Entries, f.entry("c1", i, "k", "v"))
+	}
+	out := f.node.Receive(1, wire.Envelope{From: "c1", To: "edge-1", Msg: batch})
+	k := kindsOf(out)
+	if k[wire.KindPutResponse] != 1 || k[wire.KindBlockCertify] != 1 {
+		t.Fatalf("batch outputs = %v", k)
+	}
+	if f.node.Log().NumBlocks() != 1 {
+		t.Fatalf("blocks = %d", f.node.Log().NumBlocks())
+	}
+}

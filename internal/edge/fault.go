@@ -1,0 +1,80 @@
+package edge
+
+import "wedgechain/internal/wire"
+
+// Fault makes an edge node byzantine. Each hook models one of the
+// malicious behaviours the paper's threat analysis considers (Section
+// IV-E); the honest code path consults the hooks and lies accordingly.
+// Every lie is constructed so the victim's immediate verification passes —
+// the dishonesty is only detectable through lazy certification, which is
+// exactly the property the tests demonstrate.
+type Fault struct {
+	// TamperAddVictim: add/put responses to this client carry a block
+	// whose other entries were altered. The victim's own entry is kept
+	// intact so Phase I verification succeeds; the lie surfaces when the
+	// certified digest does not match (add-response dispute).
+	TamperAddVictim wire.NodeID
+	// TamperReadVictim: reads served to this client return altered block
+	// content with no proof (a Phase I read lie).
+	TamperReadVictim wire.NodeID
+	// OmitBlocks: read requests for these block ids are denied even
+	// though the blocks exist (omission attack).
+	OmitBlocks map[uint64]bool
+	// DoubleCertify: every block is certified twice with conflicting
+	// digests (certify-time equivocation, caught directly by the cloud).
+	DoubleCertify bool
+	// DropCertify: blocks are never certified, starving Phase II and
+	// triggering client dispute timeouts.
+	DropCertify bool
+	// HideL0 and HideL0From: gets are served from a stale snapshot that
+	// pretends blocks with id >= HideL0From do not exist (stale-read
+	// attack bounded by the freshness window).
+	HideL0     bool
+	HideL0From uint64
+	// FreezeIndex: the edge stops installing merge results and stops
+	// initiating merges, freezing its LSMerkle at an old (but validly
+	// signed) snapshot. Clients detect it through the freshness window
+	// on the global root's timestamp (Section V-D).
+	FreezeIndex bool
+}
+
+// maybeTamperAdd returns the block to embed in an add/put response for
+// client, altered when client is the tamper victim.
+func (f *Fault) maybeTamperAdd(client wire.NodeID, blk wire.Block) wire.Block {
+	if f == nil || f.TamperAddVictim != client {
+		return blk
+	}
+	return tamperBlock(blk, client)
+}
+
+// maybeTamperRead returns the block to serve for a read, altered when
+// client is the read-tamper victim.
+func (f *Fault) maybeTamperRead(client wire.NodeID, blk wire.Block) wire.Block {
+	if f == nil || f.TamperReadVictim != client {
+		return blk
+	}
+	return tamperBlock(blk, client)
+}
+
+// tamperBlock deep-copies blk and alters an entry that does not belong to
+// victim (so the victim's immediate checks pass). When every entry belongs
+// to the victim, a forged foreign entry is appended instead.
+func tamperBlock(blk wire.Block, victim wire.NodeID) wire.Block {
+	out := blk
+	out.Entries = make([]wire.Entry, len(blk.Entries))
+	copy(out.Entries, blk.Entries)
+	for i := range out.Entries {
+		if out.Entries[i].Client == victim {
+			continue
+		}
+		e := out.Entries[i]
+		e.Value = append(append([]byte(nil), e.Value...), 0xFF)
+		out.Entries[i] = e
+		return out
+	}
+	out.Entries = append(out.Entries, wire.Entry{
+		Client: "forged-client",
+		Value:  []byte("injected"),
+	})
+	return out
+}

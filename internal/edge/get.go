@@ -1,0 +1,66 @@
+package edge
+
+import (
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// handleGet serves the LSMerkle key-value read protocol (Section V-B,
+// "Reading"). The response always carries every uncompacted L0 page
+// (block) with available certificates, because any of them might hold a
+// newer version of the key. When the winning version lives in a deeper
+// level — or the key does not exist — the response additionally carries
+// the single intersecting page of each level with its Merkle audit path,
+// all level roots, and the signed global root, letting the client verify
+// both the value and its recency.
+func (n *Node) handleGet(now int64, from wire.NodeID, m *wire.GetRequest) []wire.Envelope {
+	n.stats.Gets++
+	resp := n.buildGet(m)
+	// Phase I gets: register the caller for proof forwarding on every
+	// uncertified block it relied on.
+	for i := range resp.Proof.L0Blocks {
+		if len(resp.Proof.L0Certs[i].CloudSig) == 0 {
+			bid := resp.Proof.L0Blocks[i].ID
+			n.readWaiters[bid] = append(n.readWaiters[bid], from)
+		}
+	}
+	resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+	return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
+}
+
+// AssembleGet builds and signs a get response locally, outside any
+// transport — the edge half of the best-case read path that Figure 5(d)
+// measures with real crypto.
+func (n *Node) AssembleGet(key []byte, reqID uint64) *wire.GetResponse {
+	resp := n.buildGet(&wire.GetRequest{Key: key, ReqID: reqID})
+	resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+	return resp
+}
+
+// buildGet assembles the unsigned get response. Split from handleGet so
+// the Figure 5(d) microbenchmark can measure pure assembly cost.
+func (n *Node) buildGet(m *wire.GetRequest) *wire.GetResponse {
+	lo, hi := n.l0From, n.log.NumBlocks()
+	if n.cfg.Fault != nil && n.cfg.Fault.HideL0 && n.cfg.Fault.HideL0From < hi {
+		// Stale-snapshot attack: pretend recent blocks do not exist.
+		hi = n.cfg.Fault.HideL0From
+		if hi < lo {
+			hi = lo
+		}
+	}
+	var src mlsm.L0Source
+	for bid := lo; bid < hi; bid++ {
+		blk, err := n.log.Block(bid)
+		if err != nil {
+			continue
+		}
+		src.Blocks = append(src.Blocks, *blk)
+		cert, ok := n.log.Cert(bid)
+		if !ok {
+			cert = wire.BlockProof{} // uncertified: Phase I evidence only
+		}
+		src.Certs = append(src.Certs, cert)
+	}
+	return mlsm.AssembleGet(m.Key, m.ReqID, src, n.idx)
+}

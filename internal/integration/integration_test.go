@@ -1,0 +1,498 @@
+// Package integration exercises the full WedgeChain protocol — client,
+// edge, cloud — over the discrete-event simulator, including every
+// byzantine behaviour the paper's threat model considers.
+package integration
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wedgechain/internal/client"
+	"wedgechain/internal/cloud"
+	"wedgechain/internal/core"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/sim"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+const (
+	ms = int64(1e6)
+	s  = int64(1e9)
+)
+
+// world is a ready-to-run cluster: one cloud, one edge, two clients.
+type world struct {
+	sim   *sim.Sim
+	cloud *cloud.Node
+	edge  *edge.Node
+	c1    *client.Core
+	c2    *client.Core
+}
+
+type worldOpts struct {
+	batch     int
+	l0Thresh  int
+	fault     *edge.Fault
+	gossip    int64
+	freshness int64
+	proofTO   int64
+}
+
+func newWorld(t *testing.T, o worldOpts) *world {
+	t.Helper()
+	if o.batch == 0 {
+		o.batch = 2
+	}
+	if o.l0Thresh == 0 {
+		o.l0Thresh = 2
+	}
+	if o.proofTO == 0 {
+		o.proofTO = 200 * ms
+	}
+	reg := wcrypto.NewRegistry()
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	for _, id := range []wire.NodeID{"cloud", "edge-1", "c1", "c2"} {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		reg.Register(id, k.Pub)
+	}
+	cl := cloud.New(cloud.Config{
+		ID:          "cloud",
+		Levels:      3,
+		PageCap:     4,
+		GossipEvery: o.gossip,
+		GossipTo:    []wire.NodeID{"c1", "c2"},
+	}, keys["cloud"], reg)
+	ed := edge.New(edge.Config{
+		ID:              "edge-1",
+		Cloud:           "cloud",
+		BatchSize:       o.batch,
+		L0Threshold:     o.l0Thresh,
+		LevelThresholds: []int{2, 4, 8},
+		PageCap:         4,
+		Fault:           o.fault,
+	}, keys["edge-1"], reg)
+	mkClient := func(id wire.NodeID) *client.Core {
+		return client.New(client.Config{
+			ID:              id,
+			Edge:            "edge-1",
+			Cloud:           "cloud",
+			ProofTimeout:    o.proofTO,
+			FreshnessWindow: o.freshness,
+		}, keys[id], reg)
+	}
+	c1, c2 := mkClient("c1"), mkClient("c2")
+
+	sm := sim.New(sim.Config{
+		TickEvery:   5 * ms,
+		DefaultLink: sim.Link{Latency: 1 * ms},
+	})
+	sm.Add(cl)
+	sm.Add(ed)
+	sm.Add(c1)
+	sm.Add(c2)
+	return &world{sim: sm, cloud: cl, edge: ed, c1: c1, c2: c2}
+}
+
+func (w *world) add(c *client.Core, payload string) *client.Op {
+	op, envs := c.Add(w.sim.Now(), []byte(payload))
+	w.sim.Inject(envs)
+	return op
+}
+
+func (w *world) put(c *client.Core, key, value string) *client.Op {
+	op, envs := c.Put(w.sim.Now(), []byte(key), []byte(value))
+	w.sim.Inject(envs)
+	return op
+}
+
+func (w *world) read(c *client.Core, bid uint64) *client.Op {
+	op, envs := c.Read(w.sim.Now(), bid)
+	w.sim.Inject(envs)
+	return op
+}
+
+func (w *world) get(c *client.Core, key string) *client.Op {
+	op, envs := c.Get(w.sim.Now(), []byte(key))
+	w.sim.Inject(envs)
+	return op
+}
+
+func (w *world) settle(t *testing.T, limit int64) {
+	t.Helper()
+	w.sim.Drain(w.sim.Now() + limit)
+}
+
+func TestHonestAddReachesBothPhases(t *testing.T) {
+	w := newWorld(t, worldOpts{})
+	op1 := w.add(w.c1, "m0")
+	op2 := w.add(w.c2, "m1")
+	w.settle(t, 2*s)
+
+	for i, op := range []*client.Op{op1, op2} {
+		if op.Phase != core.PhaseII {
+			t.Fatalf("op%d phase = %v, want phase-II (err=%v)", i+1, op.Phase, op.Err)
+		}
+		if op.Err != nil {
+			t.Fatalf("op%d err = %v", i+1, op.Err)
+		}
+		if op.BID != 0 {
+			t.Fatalf("op%d bid = %d, want 0", i+1, op.BID)
+		}
+		if op.PhaseIAt >= op.PhaseIIAt {
+			t.Fatalf("op%d: Phase I at %d not before Phase II at %d", i+1, op.PhaseIAt, op.PhaseIIAt)
+		}
+	}
+	if got := w.edge.Log().CertifiedBlocks(); got != 1 {
+		t.Fatalf("certified blocks = %d", got)
+	}
+}
+
+func TestAgreementTwoReadersSameBlock(t *testing.T) {
+	w := newWorld(t, worldOpts{})
+	w.add(w.c1, "m0")
+	w.add(w.c1, "m1")
+	w.settle(t, 2*s)
+
+	r1 := w.read(w.c1, 0)
+	r2 := w.read(w.c2, 0)
+	w.settle(t, 2*s)
+
+	if r1.Phase != core.PhaseII || r2.Phase != core.PhaseII {
+		t.Fatalf("read phases = %v / %v", r1.Phase, r2.Phase)
+	}
+	if r1.Block == nil || r2.Block == nil {
+		t.Fatal("missing blocks")
+	}
+	if !bytes.Equal(r1.Block.Canonical(), r2.Block.Canonical()) {
+		t.Fatal("agreement violated: two Phase II readers saw different blocks")
+	}
+}
+
+func TestPhaseIReadGetsForwardedProof(t *testing.T) {
+	// Slow the edge-cloud link so a read lands between Phase I and
+	// Phase II of the block.
+	w := newWorld(t, worldOpts{})
+	reg := wcrypto.NewRegistry()
+	_ = reg
+	sm := w.sim
+	_ = sm
+	// Reconfigure: rebuild world with a slow cloud link.
+	keys := map[wire.NodeID]wcrypto.KeyPair{}
+	r2 := wcrypto.NewRegistry()
+	for _, id := range []wire.NodeID{"cloud", "edge-1", "c1", "c2"} {
+		k := wcrypto.DeterministicKey(id)
+		keys[id] = k
+		r2.Register(id, k.Pub)
+	}
+	cl := cloud.New(cloud.Config{ID: "cloud", Levels: 3, PageCap: 4}, keys["cloud"], r2)
+	ed := edge.New(edge.Config{ID: "edge-1", Cloud: "cloud", BatchSize: 2, L0Threshold: 100, LevelThresholds: []int{2, 4, 8}}, keys["edge-1"], r2)
+	c1 := client.New(client.Config{ID: "c1", Edge: "edge-1", Cloud: "cloud", ProofTimeout: 10 * s}, keys["c1"], r2)
+	c2 := client.New(client.Config{ID: "c2", Edge: "edge-1", Cloud: "cloud", ProofTimeout: 10 * s}, keys["c2"], r2)
+	slow := sim.New(sim.Config{
+		TickEvery:   5 * ms,
+		DefaultLink: sim.Link{Latency: 1 * ms},
+		Links: map[[2]wire.NodeID]sim.Link{
+			{"edge-1", "cloud"}: {Latency: 100 * ms},
+			{"cloud", "edge-1"}: {Latency: 100 * ms},
+		},
+	})
+	slow.Add(cl)
+	slow.Add(ed)
+	slow.Add(c1)
+	slow.Add(c2)
+
+	op1, envs := c1.Add(slow.Now(), []byte("m0"))
+	slow.Inject(envs)
+	op2, envs2 := c1.Add(slow.Now(), []byte("m1"))
+	slow.Inject(envs2)
+	// Run just past Phase I but before the certify round trip completes.
+	slow.RunUntil(slow.Now() + 50*ms)
+	if op1.Phase != core.PhaseI {
+		t.Fatalf("op1 phase = %v, want phase-I", op1.Phase)
+	}
+	rop, envs3 := c2.Read(slow.Now(), 0)
+	slow.Inject(envs3)
+	slow.RunUntil(slow.Now() + 50*ms)
+	if rop.Phase != core.PhaseI {
+		t.Fatalf("read phase = %v, want phase-I (Phase I read before certification)", rop.Phase)
+	}
+	// Let certification finish; the edge forwards the proof to the reader.
+	slow.RunUntil(slow.Now() + 500*ms)
+	if rop.Phase != core.PhaseII {
+		t.Fatalf("read phase = %v, want phase-II after proof forwarding (err=%v)", rop.Phase, rop.Err)
+	}
+	if op1.Phase != core.PhaseII || op2.Phase != core.PhaseII {
+		t.Fatalf("writer phases = %v/%v", op1.Phase, op2.Phase)
+	}
+}
+
+func TestPutsMergesAndVerifiedGets(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 2})
+	model := map[string]string{}
+	// 24 puts -> 12 blocks -> several L0 merges and at least one cascade.
+	for i := 0; i < 24; i++ {
+		key := fmt.Sprintf("k%02d", i%8)
+		val := fmt.Sprintf("v%02d", i)
+		model[key] = val
+		c := w.c1
+		if i%2 == 1 {
+			c = w.c2
+		}
+		op := w.put(c, key, val)
+		w.settle(t, 2*s)
+		if op.Err != nil {
+			t.Fatalf("put %d: %v", i, op.Err)
+		}
+	}
+	w.settle(t, 5*s)
+	if w.edge.Stats().Merges == 0 {
+		t.Fatal("no merges happened; test parameters wrong")
+	}
+	for key, want := range model {
+		op := w.get(w.c2, key)
+		w.settle(t, 2*s)
+		if op.Err != nil {
+			t.Fatalf("get %s: %v", key, op.Err)
+		}
+		if !op.Found || string(op.GotValue) != want {
+			t.Fatalf("get %s = %q (found=%v), want %q", key, op.GotValue, op.Found, want)
+		}
+		if op.Phase != core.PhaseII {
+			t.Fatalf("get %s phase = %v", key, op.Phase)
+		}
+	}
+	// Verified non-existence.
+	op := w.get(w.c1, "missing-key")
+	w.settle(t, 2*s)
+	if op.Err != nil {
+		t.Fatalf("get missing: %v", op.Err)
+	}
+	if op.Found {
+		t.Fatal("missing key reported found")
+	}
+}
+
+func TestGetBeforeAnyMerge(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100})
+	w.put(w.c1, "a", "1")
+	w.put(w.c2, "b", "2")
+	w.settle(t, 2*s)
+	op := w.get(w.c1, "a")
+	w.settle(t, 2*s)
+	if op.Err != nil || !op.Found || string(op.GotValue) != "1" {
+		t.Fatalf("get a = %q found=%v err=%v", op.GotValue, op.Found, op.Err)
+	}
+	op = w.get(w.c1, "zz")
+	w.settle(t, 2*s)
+	if op.Err != nil || op.Found {
+		t.Fatalf("get zz found=%v err=%v", op.Found, op.Err)
+	}
+}
+
+func TestTamperedAddIsDetectedAndPunished(t *testing.T) {
+	fault := &edge.Fault{TamperAddVictim: "c1"}
+	w := newWorld(t, worldOpts{fault: fault})
+	op1 := w.add(w.c1, "victim-entry")
+	w.add(w.c2, "other-entry")
+	w.settle(t, 5*s)
+
+	if !errors.Is(op1.Err, client.ErrEdgeLied) {
+		t.Fatalf("victim op err = %v, want ErrEdgeLied (phase=%v)", op1.Err, op1.Phase)
+	}
+	if op1.Verdict == nil || !op1.Verdict.Guilty {
+		t.Fatalf("verdict = %+v, want guilty", op1.Verdict)
+	}
+	if _, flagged := w.cloud.Flagged("edge-1"); !flagged {
+		t.Fatal("cloud did not punish the edge")
+	}
+	if w.c1.Stats().LiesDetected == 0 {
+		t.Fatal("client did not count the lie")
+	}
+}
+
+func TestTamperedReadIsDetectedAndPunished(t *testing.T) {
+	fault := &edge.Fault{}
+	w := newWorld(t, worldOpts{fault: fault})
+	w.add(w.c1, "m0")
+	w.add(w.c1, "m1")
+	w.settle(t, 2*s)
+
+	fault.TamperReadVictim = "c2"
+	rop := w.read(w.c2, 0)
+	// Use RunUntil: the lie only surfaces through the client's proof
+	// timeout, which Drain's quiet-period heuristic would skip past.
+	w.sim.RunUntil(w.sim.Now() + 5*s)
+
+	if !errors.Is(rop.Err, client.ErrEdgeLied) {
+		t.Fatalf("read err = %v, want ErrEdgeLied (phase=%v)", rop.Err, rop.Phase)
+	}
+	if _, flagged := w.cloud.Flagged("edge-1"); !flagged {
+		t.Fatal("cloud did not punish the edge")
+	}
+}
+
+func TestDoubleCertifyFlaggedByCloud(t *testing.T) {
+	fault := &edge.Fault{DoubleCertify: true}
+	w := newWorld(t, worldOpts{fault: fault})
+	w.add(w.c1, "m0")
+	w.add(w.c2, "m1")
+	w.settle(t, 2*s)
+
+	if _, flagged := w.cloud.Flagged("edge-1"); !flagged {
+		t.Fatal("certify-time equivocation not flagged")
+	}
+	if w.cloud.Stats().Conflicts == 0 {
+		t.Fatal("no conflict recorded")
+	}
+}
+
+func TestOmissionDetectedViaGossip(t *testing.T) {
+	fault := &edge.Fault{OmitBlocks: map[uint64]bool{0: true}}
+	w := newWorld(t, worldOpts{fault: fault, gossip: 20 * ms})
+	w.add(w.c1, "m0")
+	w.add(w.c1, "m1")
+	w.settle(t, 2*s)
+	// Wait for gossip to reach c2.
+	w.sim.RunUntil(w.sim.Now() + 100*ms)
+	if w.c2.Gossip() == nil {
+		t.Fatal("no gossip received")
+	}
+
+	rop := w.read(w.c2, 0)
+	w.sim.RunUntil(w.sim.Now() + 2*s)
+
+	if !errors.Is(rop.Err, client.ErrEdgeLied) {
+		t.Fatalf("read err = %v, want ErrEdgeLied", rop.Err)
+	}
+	if rop.Verdict == nil || !rop.Verdict.Guilty || rop.Verdict.Kind != wire.DisputeOmission {
+		t.Fatalf("verdict = %+v", rop.Verdict)
+	}
+	if _, flagged := w.cloud.Flagged("edge-1"); !flagged {
+		t.Fatal("cloud did not punish the omission")
+	}
+}
+
+func TestDroppedCertifyConvictedOnTimeout(t *testing.T) {
+	fault := &edge.Fault{DropCertify: true}
+	w := newWorld(t, worldOpts{fault: fault, proofTO: 100 * ms})
+	op := w.add(w.c1, "m0")
+	w.add(w.c2, "m1")
+	w.sim.RunUntil(w.sim.Now() + 3*s)
+
+	if op.Phase != core.PhaseI && !op.Done {
+		t.Fatalf("op should have reached Phase I; got %v", op.Phase)
+	}
+	if !errors.Is(op.Err, client.ErrEdgeLied) {
+		t.Fatalf("op err = %v, want ErrEdgeLied after proof timeout", op.Err)
+	}
+	if op.Verdict == nil || !op.Verdict.Guilty {
+		t.Fatalf("verdict = %+v", op.Verdict)
+	}
+}
+
+func TestFreshnessWindowRejectsFrozenIndex(t *testing.T) {
+	fault := &edge.Fault{}
+	w := newWorld(t, worldOpts{fault: fault, freshness: 500 * ms})
+	// Build some merged state honestly.
+	for i := 0; i < 12; i++ {
+		w.put(w.c1, fmt.Sprintf("k%d", i), "v")
+		w.settle(t, 2*s)
+	}
+	w.settle(t, 5*s)
+	if w.edge.Stats().Merges == 0 {
+		t.Fatal("no merges; cannot test freshness")
+	}
+	// Freeze the index and let virtual time pass the freshness window.
+	fault.FreezeIndex = true
+	w.sim.RunUntil(w.sim.Now() + 2*s)
+
+	op := w.get(w.c2, "nonexistent")
+	w.sim.RunUntil(w.sim.Now() + 2*s)
+	if !errors.Is(op.Err, client.ErrStale) {
+		t.Fatalf("get err = %v, want ErrStale", op.Err)
+	}
+	if w.c2.Stats().StaleRejected == 0 {
+		t.Fatal("stale responses not counted")
+	}
+}
+
+func TestReservationMakesAddsIdempotent(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2})
+	var start uint64
+	var granted bool
+	w.c1.SetReserveHandler(func(s uint64, n uint32) { start, granted = s, true })
+	w.sim.Inject(w.c1.Reserve(w.sim.Now(), 1))
+	w.settle(t, 1*s)
+	if !granted {
+		t.Fatal("reservation not granted")
+	}
+	op, envs := w.c1.AddAt(w.sim.Now(), []byte("reserved-entry"), start)
+	w.sim.Inject(envs)
+	w.add(w.c2, "filler") // completes the batch
+	w.settle(t, 2*s)
+	if op.Phase != core.PhaseII {
+		t.Fatalf("reserved add phase = %v (err=%v)", op.Phase, op.Err)
+	}
+	// The committed block must hold the entry at the reserved position.
+	blk, err := w.edge.Log().Block(op.BID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := int(start - blk.StartPos)
+	if string(blk.Entries[idx].Value) != "reserved-entry" {
+		t.Fatalf("entry at reserved position = %q", blk.Entries[idx].Value)
+	}
+	// A replayed entry for the same position must not commit again.
+	before := w.edge.Log().NumBlocks()
+	op2, envs2 := w.c1.AddAt(w.sim.Now(), []byte("replayed"), start)
+	w.sim.Inject(envs2)
+	w.settle(t, 1*s)
+	if op2.Phase != core.PhaseNone {
+		t.Fatalf("replayed add advanced to %v", op2.Phase)
+	}
+	if w.edge.Log().NumBlocks() != before {
+		t.Fatal("replay created new blocks")
+	}
+}
+
+func TestValidityOnlyClientEntriesCommit(t *testing.T) {
+	w := newWorld(t, worldOpts{})
+	w.add(w.c1, "m0")
+	w.add(w.c2, "m1")
+	w.settle(t, 2*s)
+	blk, err := w.edge.Log().Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := wcrypto.NewRegistry()
+	for _, id := range []wire.NodeID{"c1", "c2"} {
+		k := wcrypto.DeterministicKey(id)
+		reg.Register(id, k.Pub)
+	}
+	for i := range blk.Entries {
+		e := &blk.Entries[i]
+		if err := wcrypto.VerifyMsg(reg, e.Client, e, e.Sig); err != nil {
+			t.Fatalf("committed entry %d fails validity: %v", i, err)
+		}
+	}
+}
+
+func TestGossipCountsCertifiedBlocks(t *testing.T) {
+	w := newWorld(t, worldOpts{gossip: 20 * ms})
+	for i := 0; i < 6; i++ {
+		w.add(w.c1, fmt.Sprintf("m%d", i))
+		w.settle(t, 1*s)
+	}
+	w.sim.RunUntil(w.sim.Now() + 200*ms)
+	g := w.c1.Gossip()
+	if g == nil {
+		t.Fatal("no gossip")
+	}
+	if g.Blocks != 3 {
+		t.Fatalf("gossip blocks = %d, want 3", g.Blocks)
+	}
+}

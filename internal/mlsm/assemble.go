@@ -1,0 +1,125 @@
+package mlsm
+
+import (
+	"bytes"
+	"fmt"
+
+	"wedgechain/internal/wire"
+)
+
+// InstallAll replaces every level at once from a flat page list (pages
+// carry their Level field), validating each non-empty level's invariants
+// and checking every rebuilt tree against roots. Levels with no pages in
+// the list become empty. Used by the Edge-baseline edge, whose cloud
+// pushes whole index snapshots, and by recovery paths.
+func (x *Index) InstallAll(pages []wire.Page, roots [][]byte, global wire.SignedRoot) error {
+	if len(roots) != len(x.levels) {
+		return fmt.Errorf("%w: %d roots for %d levels", ErrBadPages, len(roots), len(x.levels))
+	}
+	byLevel := make([][]wire.Page, len(x.levels))
+	for _, p := range pages {
+		lvl := int(p.Level)
+		if lvl < 1 || lvl > len(x.levels) {
+			return fmt.Errorf("%w: page for level %d", ErrLevelRange, lvl)
+		}
+		byLevel[lvl-1] = append(byLevel[lvl-1], p)
+	}
+	// Validate everything before mutating.
+	for i, lp := range byLevel {
+		if len(lp) == 0 {
+			continue
+		}
+		if err := CheckLevel(lp); err != nil {
+			return fmt.Errorf("level %d: %w", i+1, err)
+		}
+	}
+	for i, lp := range byLevel {
+		x.levels[i] = lp
+		x.trees[i] = LevelTree(lp)
+		if !bytes.Equal(x.trees[i].Root(), roots[i]) {
+			return fmt.Errorf("%w: level %d root mismatch", ErrBadPages, i+1)
+		}
+	}
+	x.roots = make([][]byte, len(roots))
+	for i := range roots {
+		x.roots[i] = append([]byte(nil), roots[i]...)
+	}
+	x.global = global
+	return nil
+}
+
+// L0Source supplies the uncompacted level-0 pages (log blocks) and their
+// certificates for get assembly. Certificates with an empty CloudSig mark
+// Phase I (uncertified) blocks.
+type L0Source struct {
+	Blocks []wire.Block
+	Certs  []wire.BlockProof
+}
+
+// AssembleGet builds the unsigned get response for key against the given
+// L0 snapshot and merged index — the proof-construction algorithm of
+// Section V-B shared by the WedgeChain edge and the Edge-baseline edge.
+func AssembleGet(key []byte, reqID uint64, l0 L0Source, idx *Index) *wire.GetResponse {
+	resp := &wire.GetResponse{ReqID: reqID}
+
+	var bestVer uint64
+	var bestVal []byte
+	for bi := range l0.Blocks {
+		blk := &l0.Blocks[bi]
+		resp.Proof.L0Blocks = append(resp.Proof.L0Blocks, *blk)
+		var cert wire.BlockProof
+		if bi < len(l0.Certs) {
+			cert = l0.Certs[bi]
+		}
+		resp.Proof.L0Certs = append(resp.Proof.L0Certs, cert)
+		for i := range blk.Entries {
+			e := &blk.Entries[i]
+			if len(e.Key) == 0 || !bytes.Equal(e.Key, key) {
+				continue
+			}
+			ver := blk.StartPos + uint64(i) + 1
+			if ver > bestVer {
+				bestVer, bestVal = ver, e.Value
+			}
+		}
+	}
+	if bestVer > 0 {
+		// Freshest version is in L0: deeper levels are older by
+		// construction, so no level evidence is required.
+		resp.Found = true
+		resp.Value = bestVal
+		resp.Ver = bestVer
+		return resp
+	}
+
+	hitLevel, pageIdx, kv, found := idx.Lookup(key)
+	last := idx.Levels()
+	if found {
+		last = hitLevel
+	}
+	for lvl := 1; lvl <= last; lvl++ {
+		pi := pageIdx
+		if lvl != hitLevel || !found {
+			pi = idx.FindPage(lvl, key)
+		}
+		if pi < 0 {
+			continue // empty level: root is EmptyRoot, checked client-side
+		}
+		lp, err := idx.LevelProof(lvl, pi)
+		if err != nil {
+			continue
+		}
+		lp.Width = uint32(idx.LevelLen(lvl))
+		resp.Proof.Levels = append(resp.Proof.Levels, lp)
+	}
+	if g := idx.Global(); len(g.CloudSig) > 0 {
+		resp.Proof.Roots = idx.Roots()
+		resp.Proof.Global = g
+	}
+	if found {
+		resp.Found = true
+		resp.Value = kv.Value
+		resp.Ver = kv.Ver
+	}
+	return resp
+}

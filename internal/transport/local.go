@@ -1,0 +1,154 @@
+// Package transport runs the protocol state machines over real I/O: an
+// in-process channel transport with injectable latency (examples, façade)
+// and a TCP transport with length-prefixed framing (the cmd/ binaries).
+// Both drive the identical core.Handler implementations the simulator
+// drives, so deployed behaviour and measured behaviour share one codebase.
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/wire"
+)
+
+// LocalConfig parameterizes an in-process network.
+type LocalConfig struct {
+	// TickEvery drives Handler.Tick; 0 defaults to 10ms.
+	TickEvery time.Duration
+	// Latency returns the one-way delay between two nodes; nil = none.
+	Latency func(from, to wire.NodeID) time.Duration
+	// Buffer is the per-node inbox depth; 0 defaults to 4096.
+	Buffer int
+}
+
+type localMsg struct {
+	env wire.Envelope
+	fn  func(now int64) []wire.Envelope
+}
+
+type localNode struct {
+	h     core.Handler
+	inbox chan localMsg
+}
+
+// Local is an in-process message bus connecting handlers, each running on
+// its own goroutine so per-node single-threading is preserved.
+type Local struct {
+	cfg   LocalConfig
+	mu    sync.RWMutex
+	nodes map[wire.NodeID]*localNode
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	timers sync.WaitGroup
+}
+
+// NewLocal creates an empty in-process network.
+func NewLocal(cfg LocalConfig) *Local {
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10 * time.Millisecond
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 4096
+	}
+	return &Local{
+		cfg:   cfg,
+		nodes: make(map[wire.NodeID]*localNode),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Add registers a handler and starts its node goroutine.
+func (l *Local) Add(h core.Handler) {
+	n := &localNode{h: h, inbox: make(chan localMsg, l.cfg.Buffer)}
+	l.mu.Lock()
+	l.nodes[h.ID()] = n
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go l.run(n)
+}
+
+func (l *Local) run(n *localNode) {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case m := <-n.inbox:
+			now := time.Now().UnixNano()
+			if m.fn != nil {
+				l.route(m.fn(now))
+				continue
+			}
+			l.route(n.h.Receive(now, m.env))
+		case <-ticker.C:
+			l.route(n.h.Tick(time.Now().UnixNano()))
+		}
+	}
+}
+
+// route delivers envelopes, applying the configured latency.
+func (l *Local) route(envs []wire.Envelope) {
+	for _, env := range envs {
+		env := env
+		var delay time.Duration
+		if l.cfg.Latency != nil {
+			delay = l.cfg.Latency(env.From, env.To)
+		}
+		if delay <= 0 {
+			l.deliver(env)
+			continue
+		}
+		l.timers.Add(1)
+		time.AfterFunc(delay, func() {
+			defer l.timers.Done()
+			l.deliver(env)
+		})
+	}
+}
+
+func (l *Local) deliver(env wire.Envelope) {
+	l.mu.RLock()
+	n := l.nodes[env.To]
+	l.mu.RUnlock()
+	if n == nil {
+		return
+	}
+	select {
+	case n.inbox <- localMsg{env: env}:
+	case <-l.stop:
+	}
+}
+
+// Send injects envelopes into the network as if their From nodes emitted
+// them now.
+func (l *Local) Send(envs []wire.Envelope) { l.route(envs) }
+
+// Do runs fn on node id's goroutine — the only safe way to call into a
+// handler's non-Handler API (e.g. starting a client operation) while the
+// transport is live. The returned envelopes are routed.
+func (l *Local) Do(id wire.NodeID, fn func(now int64) []wire.Envelope) bool {
+	l.mu.RLock()
+	n := l.nodes[id]
+	l.mu.RUnlock()
+	if n == nil {
+		return false
+	}
+	select {
+	case n.inbox <- localMsg{fn: fn}:
+		return true
+	case <-l.stop:
+		return false
+	}
+}
+
+// Close stops all node goroutines. Pending delayed deliveries are allowed
+// to fire into the void.
+func (l *Local) Close() {
+	close(l.stop)
+	l.wg.Wait()
+}

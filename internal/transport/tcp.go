@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/wire"
+)
+
+// maxFrame bounds a single TCP frame (64 MiB) against hostile peers.
+const maxFrame = 64 << 20
+
+// TCPConfig parameterizes a TCP endpoint.
+type TCPConfig struct {
+	// Listen is the local address to accept peer connections on.
+	Listen string
+	// Peers maps node identities to dialable addresses.
+	Peers map[wire.NodeID]string
+	// TickEvery drives Handler.Tick; 0 defaults to 50ms.
+	TickEvery time.Duration
+	// DialTimeout bounds outbound connection setup; 0 defaults to 5s.
+	DialTimeout time.Duration
+}
+
+// TCP serves one handler over real sockets: inbound frames are decoded and
+// delivered under a per-node mutex (preserving single-threaded handler
+// semantics); outputs are framed and written to per-peer pooled
+// connections.
+type TCP struct {
+	cfg TCPConfig
+	h   core.Handler
+
+	mu sync.Mutex // serializes handler access
+
+	connMu sync.Mutex
+	conns  map[wire.NodeID]net.Conn
+	peers  map[wire.NodeID]string
+
+	lisMu sync.Mutex
+	lis   net.Listener
+}
+
+// NewTCP wraps a handler for TCP service.
+func NewTCP(h core.Handler, cfg TCPConfig) *TCP {
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 50 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	peers := make(map[wire.NodeID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		peers[id] = addr
+	}
+	return &TCP{cfg: cfg, h: h, conns: make(map[wire.NodeID]net.Conn), peers: peers}
+}
+
+// Addr returns the bound listen address, or nil before Listen succeeded.
+func (t *TCP) Addr() net.Addr {
+	t.lisMu.Lock()
+	defer t.lisMu.Unlock()
+	if t.lis == nil {
+		return nil
+	}
+	return t.lis.Addr()
+}
+
+// SetPeer binds or replaces a peer's dialable address at runtime.
+func (t *TCP) SetPeer(id wire.NodeID, addr string) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	t.peers[id] = addr
+}
+
+// Listen binds the listener; idempotent. Serve calls it automatically,
+// but callers that need the bound address before serving may call it
+// first.
+func (t *TCP) Listen() error {
+	t.lisMu.Lock()
+	defer t.lisMu.Unlock()
+	if t.lis != nil {
+		return nil
+	}
+	lis, err := net.Listen("tcp", t.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", t.cfg.Listen, err)
+	}
+	t.lis = lis
+	return nil
+}
+
+// Serve listens and processes frames until ctx is done.
+func (t *TCP) Serve(ctx context.Context) error {
+	if err := t.Listen(); err != nil {
+		return err
+	}
+	t.lisMu.Lock()
+	lis := t.lis
+	t.lisMu.Unlock()
+	go func() {
+		<-ctx.Done()
+		lis.Close()
+	}()
+
+	ticker := time.NewTicker(t.cfg.TickEvery)
+	defer ticker.Stop()
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				t.mu.Lock()
+				outs := t.h.Tick(time.Now().UnixNano())
+				t.mu.Unlock()
+				t.sendAll(outs)
+			}
+		}
+	}()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		go t.read(ctx, conn)
+	}
+}
+
+// Deliver processes one envelope as if it arrived from the network.
+func (t *TCP) Deliver(env wire.Envelope) {
+	t.mu.Lock()
+	outs := t.h.Receive(time.Now().UnixNano(), env)
+	t.mu.Unlock()
+	t.sendAll(outs)
+}
+
+// Do runs fn under the handler mutex and routes its outputs — the hook
+// synchronous clients use to start operations.
+func (t *TCP) Do(fn func(now int64) []wire.Envelope) {
+	t.mu.Lock()
+	outs := fn(time.Now().UnixNano())
+	t.mu.Unlock()
+	t.sendAll(outs)
+}
+
+func (t *TCP) read(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if env.To != t.h.ID() {
+			continue // misrouted
+		}
+		t.Deliver(env)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func (t *TCP) sendAll(envs []wire.Envelope) {
+	for _, env := range envs {
+		if err := t.send(env); err != nil {
+			// Connection-level failures drop the message; the protocol's
+			// timeout and dispute machinery owns recovery, mirroring the
+			// paper's asynchronous network assumption.
+			continue
+		}
+	}
+}
+
+func (t *TCP) send(env wire.Envelope) error {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	addr, ok := t.peers[env.To]
+	if !ok {
+		return fmt.Errorf("transport: no address for %q", env.To)
+	}
+	conn := t.conns[env.To]
+	if conn == nil {
+		c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		conn = c
+		t.conns[env.To] = conn
+	}
+	if err := WriteFrame(conn, env); err != nil {
+		conn.Close()
+		delete(t.conns, env.To)
+		return err
+	}
+	return nil
+}
+
+// WriteFrame writes one length-prefixed envelope.
+func WriteFrame(w io.Writer, env wire.Envelope) error {
+	payload := wire.EncodeEnvelope(env)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed envelope.
+func ReadFrame(r io.Reader) (wire.Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return wire.Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return wire.Envelope{}, errors.New("transport: frame exceeds limit")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return wire.Envelope{}, err
+	}
+	return wire.DecodeEnvelope(buf)
+}

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+
+	"sync"
+	"testing"
+	"time"
+
+	"wedgechain/internal/wire"
+)
+
+// echoHandler counts deliveries and echoes pings.
+type echoHandler struct {
+	id    wire.NodeID
+	mu    sync.Mutex
+	seen  map[uint64]int
+	pongs int
+}
+
+func newEcho(id wire.NodeID) *echoHandler {
+	return &echoHandler{id: id, seen: make(map[uint64]int)}
+}
+
+func (e *echoHandler) ID() wire.NodeID { return e.id }
+func (e *echoHandler) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch m := env.Msg.(type) {
+	case *wire.Ping:
+		e.seen[m.Seq]++
+		return []wire.Envelope{{From: e.id, To: env.From, Msg: &wire.Pong{Seq: m.Seq, Ts: m.Ts}}}
+	case *wire.Pong:
+		e.pongs++
+	}
+	return nil
+}
+func (e *echoHandler) Tick(now int64) []wire.Envelope { return nil }
+
+func (e *echoHandler) counts() (dups, total, pongs int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, n := range e.seen {
+		total++
+		if n > 1 {
+			dups++
+		}
+	}
+	return dups, total, e.pongs
+}
+
+func TestTCPDeliversExactlyOnce(t *testing.T) {
+	server := newEcho("server")
+	client := newEcho("client")
+
+	st := NewTCP(server, TCPConfig{Listen: "127.0.0.1:0"})
+	if err := st.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go st.Serve(ctx)
+
+	ct := NewTCP(client, TCPConfig{
+		Listen: "127.0.0.1:0",
+		Peers:  map[wire.NodeID]string{"server": st.Addr().String()},
+	})
+	if err := ct.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go ct.Serve(ctx)
+	// Server replies over a fresh dial back to the client.
+	st.SetPeer("client", ct.Addr().String())
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		ct.Do(func(now int64) []wire.Envelope {
+			return []wire.Envelope{{From: "client", To: "server", Msg: &wire.Ping{Seq: uint64(i), Ts: now}}}
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, total, pongs := server.counts()
+		_ = total
+		if pongs == 0 { // server doesn't receive pongs
+		}
+		_, _, clientPongs := client.counts()
+		if clientPongs >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d pongs arrived", clientPongs, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	dups, total, _ := server.counts()
+	if total != n {
+		t.Fatalf("server saw %d distinct pings, want %d", total, n)
+	}
+	if dups != 0 {
+		t.Fatalf("%d pings delivered more than once", dups)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	env := wire.Envelope{From: "a", To: "b", Msg: &wire.Ping{Seq: 7, Ts: 9}}
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.To != "b" {
+		t.Fatalf("routing lost: %+v", got)
+	}
+	if p, ok := got.Msg.(*wire.Ping); !ok || p.Seq != 7 {
+		t.Fatalf("payload lost: %+v", got.Msg)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestLocalTransportDelivery(t *testing.T) {
+	l := NewLocal(LocalConfig{TickEvery: 5 * time.Millisecond})
+	defer l.Close()
+	a, b := newEcho("a"), newEcho("b")
+	l.Add(a)
+	l.Add(b)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		l.Send([]wire.Envelope{{From: "a", To: "b", Msg: &wire.Ping{Seq: uint64(i)}}})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, pongs := a.counts()
+		if pongs >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d pongs", pongs, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	dups, total, _ := b.counts()
+	if total != n || dups != 0 {
+		t.Fatalf("b saw %d distinct (%d dups), want %d distinct", total, dups, n)
+	}
+}
+
+func TestLocalLatencyInjection(t *testing.T) {
+	l := NewLocal(LocalConfig{
+		TickEvery: time.Millisecond,
+		Latency: func(from, to wire.NodeID) time.Duration {
+			return 50 * time.Millisecond
+		},
+	})
+	defer l.Close()
+	a, b := newEcho("a"), newEcho("b")
+	l.Add(a)
+	l.Add(b)
+
+	start := time.Now()
+	l.Send([]wire.Envelope{{From: "a", To: "b", Msg: &wire.Ping{Seq: 1}}})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, pongs := a.counts()
+		if pongs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pong never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rtt := time.Since(start); rtt < 100*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 100ms (2x injected latency)", rtt)
+	}
+}
+
+func TestLocalDoRunsOnNodeGoroutine(t *testing.T) {
+	l := NewLocal(LocalConfig{TickEvery: time.Millisecond})
+	defer l.Close()
+	a := newEcho("a")
+	l.Add(a)
+	done := make(chan struct{})
+	if !l.Do("a", func(now int64) []wire.Envelope {
+		close(done)
+		return nil
+	}) {
+		t.Fatal("Do refused")
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Do thunk never ran")
+	}
+	if l.Do("missing", func(int64) []wire.Envelope { return nil }) {
+		t.Fatal("Do accepted unknown node")
+	}
+}

@@ -1,0 +1,140 @@
+// Package wcrypto is WedgeChain's cryptographic substrate: Ed25519
+// identities and signatures, SHA-256 digests, and the key registry that
+// binds node identities to public keys.
+//
+// Identities being known and bound to keys is the premise of lazy
+// certification (Section II-D of the paper): a malicious edge cannot deny
+// its signed statements, cannot forge others', and cannot re-enter under a
+// fresh identity after punishment.
+package wcrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+
+	"wedgechain/internal/wire"
+)
+
+// DigestSize is the size in bytes of a block/page digest.
+const DigestSize = sha256.Size
+
+// Digest returns the SHA-256 digest of b. Block digests, page hashes and
+// Merkle nodes all use this one-way function; agreement on a digest
+// therefore implies agreement on the data (data-free certification).
+func Digest(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}
+
+// KeyPair is a node's Ed25519 identity.
+type KeyPair struct {
+	ID   wire.NodeID
+	Pub  ed25519.PublicKey
+	Priv ed25519.PrivateKey
+}
+
+// GenerateKey creates a fresh random identity for id.
+func GenerateKey(id wire.NodeID) (KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return KeyPair{}, fmt.Errorf("wcrypto: generating key for %s: %w", id, err)
+	}
+	return KeyPair{ID: id, Pub: pub, Priv: priv}, nil
+}
+
+// DeterministicKey derives a key pair from id alone. Used by the simulator
+// and tests for reproducible runs; real deployments use GenerateKey.
+func DeterministicKey(id wire.NodeID) KeyPair {
+	seed := sha256.Sum256([]byte("wedgechain-key-seed:" + string(id)))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return KeyPair{ID: id, Pub: priv.Public().(ed25519.PublicKey), Priv: priv}
+}
+
+// Sign signs msg with the pair's private key.
+func (k KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.Priv, msg)
+}
+
+// Registry maps node identities to public keys. It is safe for concurrent
+// use. Every node holds (a copy of) the registry; in the paper's model the
+// application owner distributes it out of band.
+type Registry struct {
+	mu   sync.RWMutex
+	keys map[wire.NodeID]ed25519.PublicKey
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{keys: make(map[wire.NodeID]ed25519.PublicKey)}
+}
+
+// Register binds id to pub, replacing any previous binding.
+func (r *Registry) Register(id wire.NodeID, pub ed25519.PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys[id] = pub
+}
+
+// Lookup returns the public key bound to id.
+func (r *Registry) Lookup(id wire.NodeID) (ed25519.PublicKey, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pub, ok := r.keys[id]
+	return pub, ok
+}
+
+// Known reports whether id has a registered key — i.e. whether it is an
+// authenticated participant.
+func (r *Registry) Known(id wire.NodeID) bool {
+	_, ok := r.Lookup(id)
+	return ok
+}
+
+// IDs returns all registered identities in sorted order.
+func (r *Registry) IDs() []wire.NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]wire.NodeID, 0, len(r.keys))
+	for id := range r.keys {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Verify checks sig over msg against id's registered key.
+func (r *Registry) Verify(id wire.NodeID, msg, sig []byte) error {
+	pub, ok := r.Lookup(id)
+	if !ok {
+		return fmt.Errorf("wcrypto: unknown identity %q", id)
+	}
+	if len(sig) != ed25519.SignatureSize || !ed25519.Verify(pub, msg, sig) {
+		return fmt.Errorf("wcrypto: bad signature from %q", id)
+	}
+	return nil
+}
+
+// Signable is any message type carrying a signature over its canonical
+// body encoding.
+type Signable interface {
+	SignableBytes() []byte
+}
+
+// SignMsg returns the signature for a signable message body.
+func SignMsg(k KeyPair, m Signable) []byte { return k.Sign(m.SignableBytes()) }
+
+// VerifyMsg checks a signable message's signature against signer's
+// registered key.
+func VerifyMsg(r *Registry, signer wire.NodeID, m Signable, sig []byte) error {
+	return r.Verify(signer, m.SignableBytes(), sig)
+}
+
+// BlockDigest returns the digest of a block's canonical encoding.
+func BlockDigest(b *wire.Block) []byte { return Digest(b.Canonical()) }
+
+// PageHash returns the digest of a page's canonical encoding.
+func PageHash(p *wire.Page) []byte { return Digest(p.Canonical()) }

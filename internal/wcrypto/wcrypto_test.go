@@ -1,0 +1,159 @@
+package wcrypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"wedgechain/internal/wire"
+)
+
+func TestSignVerify(t *testing.T) {
+	k := DeterministicKey("edge-1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+
+	msg := []byte("block digest payload")
+	sig := k.Sign(msg)
+	if err := reg.Verify("edge-1", msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	k := DeterministicKey("edge-1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+
+	msg := []byte("original")
+	sig := k.Sign(msg)
+	if err := reg.Verify("edge-1", []byte("tampered"), sig); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	edge := DeterministicKey("edge-1")
+	evil := DeterministicKey("edge-evil")
+	reg := NewRegistry()
+	reg.Register(edge.ID, edge.Pub)
+	reg.Register(evil.ID, evil.Pub)
+
+	msg := []byte("payload")
+	sig := evil.Sign(msg)
+	if err := reg.Verify("edge-1", msg, sig); err == nil {
+		t.Fatal("forged identity accepted")
+	}
+}
+
+func TestVerifyRejectsUnknownIdentity(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Verify("ghost", []byte("x"), make([]byte, 64)); err == nil {
+		t.Fatal("unknown identity accepted")
+	}
+}
+
+func TestVerifyRejectsMalformedSignature(t *testing.T) {
+	k := DeterministicKey("edge-1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+	for _, n := range []int{0, 1, 63, 65} {
+		if err := reg.Verify("edge-1", []byte("x"), make([]byte, n)); err == nil {
+			t.Fatalf("signature of length %d accepted", n)
+		}
+	}
+}
+
+func TestDeterministicKeyIsStable(t *testing.T) {
+	a := DeterministicKey("node")
+	b := DeterministicKey("node")
+	if !bytes.Equal(a.Priv, b.Priv) {
+		t.Fatal("DeterministicKey not deterministic")
+	}
+	c := DeterministicKey("other")
+	if bytes.Equal(a.Priv, c.Priv) {
+		t.Fatal("distinct ids produced the same key")
+	}
+}
+
+func TestGenerateKeyDistinct(t *testing.T) {
+	a, err := GenerateKey("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKey("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Priv, b.Priv) {
+		t.Fatal("GenerateKey returned identical keys")
+	}
+}
+
+func TestDigestProperties(t *testing.T) {
+	// Deterministic, fixed size, sensitive to single-bit changes.
+	f := func(b []byte) bool {
+		d1 := Digest(b)
+		d2 := Digest(b)
+		if !bytes.Equal(d1, d2) || len(d1) != DigestSize {
+			return false
+		}
+		if len(b) > 0 {
+			mut := append([]byte{}, b...)
+			mut[0] ^= 1
+			if bytes.Equal(Digest(mut), d1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignVerifyMsgHelpers(t *testing.T) {
+	k := DeterministicKey("cloud")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+
+	bp := &wire.BlockProof{Edge: "edge-1", BID: 9, Digest: Digest([]byte("b"))}
+	bp.CloudSig = SignMsg(k, bp)
+	if err := VerifyMsg(reg, "cloud", bp, bp.CloudSig); err != nil {
+		t.Fatalf("VerifyMsg: %v", err)
+	}
+	bp.BID = 10 // tamper with a signed field
+	if err := VerifyMsg(reg, "cloud", bp, bp.CloudSig); err == nil {
+		t.Fatal("tampered BlockProof accepted")
+	}
+}
+
+func TestBlockDigestBindsContent(t *testing.T) {
+	b1 := &wire.Block{Edge: "e", ID: 1, Entries: []wire.Entry{{Client: "c", Value: []byte("v1")}}}
+	b2 := &wire.Block{Edge: "e", ID: 1, Entries: []wire.Entry{{Client: "c", Value: []byte("v2")}}}
+	if bytes.Equal(BlockDigest(b1), BlockDigest(b2)) {
+		t.Fatal("blocks with different contents share a digest")
+	}
+	b3 := &wire.Block{Edge: "e", ID: 2, Entries: b1.Entries}
+	if bytes.Equal(BlockDigest(b1), BlockDigest(b3)) {
+		t.Fatal("blocks with different ids share a digest")
+	}
+}
+
+func TestRegistryIDsSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, id := range []wire.NodeID{"zeta", "alpha", "mid"} {
+		k := DeterministicKey(id)
+		reg.Register(id, k.Pub)
+	}
+	ids := reg.IDs()
+	want := []wire.NodeID{"alpha", "mid", "zeta"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+}

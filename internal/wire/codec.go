@@ -1,0 +1,314 @@
+// Package wire defines WedgeChain's canonical binary wire format and the
+// complete protocol message set exchanged among clients, edge nodes and the
+// cloud node.
+//
+// All encoding is deterministic ("canonical"): encoding a decoded message
+// reproduces the input bytes exactly. Signatures throughout the system are
+// computed over these canonical encodings, so determinism is a correctness
+// requirement, not an optimization.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// maxLen bounds any length-prefixed field to guard against corrupt or
+// hostile inputs allocating unbounded memory during decode.
+const maxLen = 1 << 30
+
+// ErrTruncated reports that a decoder ran out of input mid-message.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// Encoder accumulates the canonical encoding of a message. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding. The returned slice aliases the
+// encoder's internal buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the accumulated encoding, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// U8 appends a single byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a big-endian 16-bit value.
+func (e *Encoder) U16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// U32 appends a big-endian 32-bit value.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a big-endian 64-bit value.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a big-endian 64-bit signed value (two's complement).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Bool appends a boolean as a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Blob appends a length-prefixed byte string. nil and empty encode
+// identically; use OptBlob when the distinction matters.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// OptBlob appends a presence flag followed by a length-prefixed byte string,
+// preserving the nil / non-nil distinction (used for ±infinity range
+// sentinels in LSMerkle pages).
+func (e *Encoder) OptBlob(b []byte) {
+	if b == nil {
+		e.U8(0)
+		return
+	}
+	e.U8(1)
+	e.Blob(b)
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// ID appends a node identity.
+func (e *Encoder) ID(id NodeID) { e.Str(string(id)) }
+
+// Decoder consumes a canonical encoding. Errors are sticky: after the first
+// failure every subsequent read returns a zero value and Err reports the
+// original cause.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder reading from b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish reports an error if input remains unconsumed or a decode error
+// occurred. Canonical decoding must consume the entire message.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads a single byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian 16-bit value.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian 32-bit value.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian 64-bit value.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian 64-bit signed value.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bool reads a 0/1 byte; any other value is a decode error.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = errors.New("wire: invalid bool")
+		}
+		return false
+	}
+}
+
+// Blob reads a length-prefixed byte string. The result is a copy and never
+// aliases the input. Zero-length blobs decode as nil for canonical
+// re-encoding (Blob treats nil and empty identically).
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		d.err = fmt.Errorf("wire: blob length %d exceeds limit", n)
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// OptBlob reads a presence-flagged byte string written by Encoder.OptBlob.
+func (d *Decoder) OptBlob() []byte {
+	switch d.U8() {
+	case 0:
+		return nil
+	case 1:
+		b := d.Blob()
+		if b == nil && d.err == nil {
+			// Present but empty: preserve non-nil-ness.
+			return []byte{}
+		}
+		return b
+	default:
+		if d.err == nil {
+			d.err = errors.New("wire: invalid optional flag")
+		}
+		return nil
+	}
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.U32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		d.err = fmt.Errorf("wire: string length %d exceeds limit", n)
+		return ""
+	}
+	b := d.take(int(n))
+	return string(b)
+}
+
+// ID reads a node identity.
+func (d *Decoder) ID() NodeID { return NodeID(d.Str()) }
+
+// Count reads a element count for a slice, bounded to avoid hostile
+// allocations.
+func (d *Decoder) Count() int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if n > maxLen {
+		d.err = fmt.Errorf("wire: count %d exceeds limit", n)
+		return 0
+	}
+	return int(n)
+}
+
+// decodeSlice reads a counted sequence of T using the element decoder fn
+// (typically a method expression such as (*Block).DecodeFrom). An empty
+// sequence decodes as nil so round-tripped messages compare equal.
+func decodeSlice[T any](d *Decoder, fn func(*T, *Decoder)) []T {
+	n := d.Count()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	for i := range out {
+		fn(&out[i], d)
+	}
+	return out
+}
+
+// decodeBlobs reads a counted sequence of length-prefixed byte strings,
+// decoding an empty sequence as nil.
+func decodeBlobs(d *Decoder) [][]byte {
+	n := d.Count()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = d.Blob()
+	}
+	return out
+}
+
+// decodeU64s reads a counted sequence of uint64s, decoding an empty
+// sequence as nil.
+func decodeU64s(d *Decoder) []uint64 {
+	n := d.Count()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.U64()
+	}
+	return out
+}

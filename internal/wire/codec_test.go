@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderRoundTripScalars(t *testing.T) {
+	var e Encoder
+	e.U8(0xAB)
+	e.U16(0xBEEF)
+	e.U32(0xDEADBEEF)
+	e.U64(0x0123456789ABCDEF)
+	e.I64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Str("hello")
+	e.ID(NodeID("edge-1"))
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %x", got)
+	}
+	if got := d.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %x", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := d.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Bool(); got != true {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := d.Bool(); got != false {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.ID(); got != NodeID("edge-1") {
+		t.Errorf("ID = %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestBlobRoundTripProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		var e Encoder
+		e.Blob(b)
+		d := NewDecoder(e.Bytes())
+		got := d.Blob()
+		return d.Finish() == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptBlobPreservesNil(t *testing.T) {
+	cases := [][]byte{nil, {}, {1}, {0, 0, 0}}
+	for _, c := range cases {
+		var e Encoder
+		e.OptBlob(c)
+		d := NewDecoder(e.Bytes())
+		got := d.OptBlob()
+		if err := d.Finish(); err != nil {
+			t.Fatalf("OptBlob(%v): %v", c, err)
+		}
+		if (got == nil) != (c == nil) {
+			t.Errorf("OptBlob(%v) nil-ness changed: got %v", c, got)
+		}
+		if !bytes.Equal(got, c) {
+			t.Errorf("OptBlob(%v) = %v", c, got)
+		}
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.U64(7)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.U64()
+		if d.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	d.U64() // fails
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.U32()
+	d.Blob()
+	if d.Err() != first {
+		t.Fatalf("error not sticky: %v != %v", d.Err(), first)
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.U8(1)
+	e.U8(2)
+	d := NewDecoder(e.Bytes())
+	d.U8()
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish accepted trailing bytes")
+	}
+}
+
+func TestBoolRejectsNonCanonical(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("Bool accepted byte 2")
+	}
+}
+
+func TestBlobLengthLimit(t *testing.T) {
+	var e Encoder
+	e.U32(1 << 31) // absurd length prefix
+	d := NewDecoder(e.Bytes())
+	d.Blob()
+	if d.Err() == nil {
+		t.Fatal("Blob accepted absurd length")
+	}
+}

@@ -1,0 +1,74 @@
+package wire
+
+// Batched write requests. The paper batches add and put requests in all
+// experiments ("each batch consists of 100 put operations"); these
+// messages carry a client's whole batch in one request. Each entry still
+// carries its own client signature, so servers verify entries exactly as
+// they do for single-entry requests.
+
+// PutBatch submits a batch of writes to a WedgeChain edge node. Entries
+// with a key are puts; entries without are log adds.
+type PutBatch struct {
+	Entries []Entry
+}
+
+// MsgKind implements Message.
+func (*PutBatch) MsgKind() Kind { return KindPutBatch }
+
+// EncodeTo implements Message.
+func (m *PutBatch) EncodeTo(e *Encoder) {
+	e.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom implements Message.
+func (m *PutBatch) DecodeFrom(d *Decoder) {
+	m.Entries = decodeSlice(d, (*Entry).DecodeFrom)
+}
+
+// CloudPutBatch submits a batch of writes to the Cloud-only server.
+type CloudPutBatch struct {
+	Entries []Entry
+}
+
+// MsgKind implements Message.
+func (*CloudPutBatch) MsgKind() Kind { return KindCloudPutBatch }
+
+// EncodeTo implements Message.
+func (m *CloudPutBatch) EncodeTo(e *Encoder) {
+	e.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom implements Message.
+func (m *CloudPutBatch) DecodeFrom(d *Decoder) {
+	m.Entries = decodeSlice(d, (*Entry).DecodeFrom)
+}
+
+// EBPutBatch submits a batch of writes to the Edge-baseline cloud.
+type EBPutBatch struct {
+	Edge    NodeID
+	Entries []Entry
+}
+
+// MsgKind implements Message.
+func (*EBPutBatch) MsgKind() Kind { return KindEBPutBatch }
+
+// EncodeTo implements Message.
+func (m *EBPutBatch) EncodeTo(e *Encoder) {
+	e.ID(m.Edge)
+	e.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom implements Message.
+func (m *EBPutBatch) DecodeFrom(d *Decoder) {
+	m.Edge = d.ID()
+	m.Entries = decodeSlice(d, (*Entry).DecodeFrom)
+}

@@ -1,0 +1,325 @@
+package wire
+
+// Messages of the LSMerkle key-value protocol (Section V).
+
+// PutRequest applies a key-value write through the edge node's LSMerkle
+// index. The write is batched into a WedgeChain log block which doubles as
+// an L0 page, so puts inherit the lazy-certification lifecycle of adds.
+type PutRequest struct {
+	Entry Entry
+}
+
+// MsgKind implements Message.
+func (*PutRequest) MsgKind() Kind { return KindPutRequest }
+
+// EncodeTo implements Message.
+func (m *PutRequest) EncodeTo(e *Encoder) { m.Entry.EncodeTo(e) }
+
+// DecodeFrom implements Message.
+func (m *PutRequest) DecodeFrom(d *Decoder) { m.Entry.DecodeFrom(d) }
+
+// PutResponse mirrors AddResponse for the key-value interface: the signed
+// block containing the put, establishing Phase I commit.
+type PutResponse struct {
+	BID     uint64
+	Block   Block
+	EdgeSig []byte
+}
+
+// MsgKind implements Message.
+func (*PutResponse) MsgKind() Kind { return KindPutResponse }
+
+// EncodeTo implements Message.
+func (m *PutResponse) EncodeTo(e *Encoder) {
+	m.encodeBody(e)
+	e.Blob(m.EdgeSig)
+}
+
+func (m *PutResponse) encodeBody(e *Encoder) {
+	e.U64(m.BID)
+	m.Block.EncodeTo(e)
+}
+
+// DecodeFrom implements Message.
+func (m *PutResponse) DecodeFrom(d *Decoder) {
+	m.BID = d.U64()
+	m.Block.DecodeFrom(d)
+	m.EdgeSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the edge signs.
+func (m *PutResponse) SignableBytes() []byte {
+	var e Encoder
+	m.encodeBody(&e)
+	return e.Bytes()
+}
+
+// GetRequest looks a key up in the edge's LSMerkle index.
+type GetRequest struct {
+	Key   []byte
+	ReqID uint64
+}
+
+// MsgKind implements Message.
+func (*GetRequest) MsgKind() Kind { return KindGetRequest }
+
+// EncodeTo implements Message.
+func (m *GetRequest) EncodeTo(e *Encoder) {
+	e.Blob(m.Key)
+	e.U64(m.ReqID)
+}
+
+// DecodeFrom implements Message.
+func (m *GetRequest) DecodeFrom(d *Decoder) {
+	m.Key = d.Blob()
+	m.ReqID = d.U64()
+}
+
+// LevelProof proves one page's membership in its level's Merkle tree: the
+// page itself, its leaf index, and the audit path (bottom-up sibling
+// hashes). The client recomputes the leaf hash from the page bytes and
+// folds the path to the level root.
+type LevelProof struct {
+	Level uint32
+	Page  Page
+	Index uint32
+	Width uint32 // total leaves in the level tree, needed to fold the path
+	Path  [][]byte
+}
+
+// EncodeTo appends the proof's canonical encoding.
+func (lp *LevelProof) EncodeTo(e *Encoder) {
+	e.U32(lp.Level)
+	lp.Page.EncodeTo(e)
+	e.U32(lp.Index)
+	e.U32(lp.Width)
+	e.U32(uint32(len(lp.Path)))
+	for _, h := range lp.Path {
+		e.Blob(h)
+	}
+}
+
+// DecodeFrom reads the proof.
+func (lp *LevelProof) DecodeFrom(d *Decoder) {
+	lp.Level = d.U32()
+	lp.Page.DecodeFrom(d)
+	lp.Index = d.U32()
+	lp.Width = d.U32()
+	lp.Path = decodeBlobs(d)
+}
+
+// GetProof is the complete authenticity evidence attached to a get
+// response, per Section V-B "Reading":
+//
+//   - every L0 page (block) with its Phase II certificate where available
+//     (missing certificates put the read in Phase I commit);
+//   - for each level between L1 and the level that resolved the key, the
+//     single intersecting page with its Merkle audit path;
+//   - all level roots, so the client can recompute the global root;
+//   - the cloud-signed global root with its freshness timestamp.
+type GetProof struct {
+	L0Blocks []Block
+	L0Certs  []BlockProof // aligned with L0Blocks; empty Digest = uncertified
+	Levels   []LevelProof
+	Roots    [][]byte // level roots 1..n in order
+	Global   SignedRoot
+}
+
+// EncodeTo appends the proof's canonical encoding.
+func (gp *GetProof) EncodeTo(e *Encoder) {
+	e.U32(uint32(len(gp.L0Blocks)))
+	for i := range gp.L0Blocks {
+		gp.L0Blocks[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(gp.L0Certs)))
+	for i := range gp.L0Certs {
+		gp.L0Certs[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(gp.Levels)))
+	for i := range gp.Levels {
+		gp.Levels[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(gp.Roots)))
+	for _, r := range gp.Roots {
+		e.Blob(r)
+	}
+	gp.Global.EncodeTo(e)
+}
+
+// DecodeFrom reads the proof.
+func (gp *GetProof) DecodeFrom(d *Decoder) {
+	gp.L0Blocks = decodeSlice(d, (*Block).DecodeFrom)
+	gp.L0Certs = decodeSlice(d, (*BlockProof).DecodeFrom)
+	gp.Levels = decodeSlice(d, (*LevelProof).DecodeFrom)
+	gp.Roots = decodeBlobs(d)
+	gp.Global.DecodeFrom(d)
+}
+
+// GetResponse answers a GetRequest with the value (or a verifiable
+// non-existence statement) plus the full GetProof.
+type GetResponse struct {
+	ReqID   uint64
+	Found   bool
+	Value   []byte
+	Ver     uint64
+	Proof   GetProof
+	EdgeSig []byte
+}
+
+// MsgKind implements Message.
+func (*GetResponse) MsgKind() Kind { return KindGetResponse }
+
+// EncodeTo implements Message.
+func (m *GetResponse) EncodeTo(e *Encoder) {
+	m.encodeBody(e)
+	e.Blob(m.EdgeSig)
+}
+
+func (m *GetResponse) encodeBody(e *Encoder) {
+	e.U64(m.ReqID)
+	e.Bool(m.Found)
+	e.Blob(m.Value)
+	e.U64(m.Ver)
+	m.Proof.EncodeTo(e)
+}
+
+// DecodeFrom implements Message.
+func (m *GetResponse) DecodeFrom(d *Decoder) {
+	m.ReqID = d.U64()
+	m.Found = d.Bool()
+	m.Value = d.Blob()
+	m.Ver = d.U64()
+	m.Proof.DecodeFrom(d)
+	m.EdgeSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the edge signs.
+func (m *GetResponse) SignableBytes() []byte {
+	var e Encoder
+	m.encodeBody(&e)
+	return e.Bytes()
+}
+
+// MergeRequest ships the pages undergoing an LSMerkle compaction from the
+// edge to the cloud. For FromLevel == 0 the sources are log blocks (L0
+// pages); otherwise they are the pages of FromLevel. DstPages are the
+// current pages of FromLevel+1. The cloud verifies everything against its
+// own certified digests and leaf tables before merging.
+type MergeRequest struct {
+	Edge      NodeID
+	ReqID     uint64
+	FromLevel uint32
+	L0Blocks  []Block
+	SrcPages  []Page
+	DstPages  []Page
+	EdgeSig   []byte
+}
+
+// MsgKind implements Message.
+func (*MergeRequest) MsgKind() Kind { return KindMergeRequest }
+
+// EncodeTo implements Message.
+func (m *MergeRequest) EncodeTo(e *Encoder) {
+	m.encodeBody(e)
+	e.Blob(m.EdgeSig)
+}
+
+func (m *MergeRequest) encodeBody(e *Encoder) {
+	e.ID(m.Edge)
+	e.U64(m.ReqID)
+	e.U32(m.FromLevel)
+	e.U32(uint32(len(m.L0Blocks)))
+	for i := range m.L0Blocks {
+		m.L0Blocks[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(m.SrcPages)))
+	for i := range m.SrcPages {
+		m.SrcPages[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(m.DstPages)))
+	for i := range m.DstPages {
+		m.DstPages[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom implements Message.
+func (m *MergeRequest) DecodeFrom(d *Decoder) {
+	m.Edge = d.ID()
+	m.ReqID = d.U64()
+	m.FromLevel = d.U32()
+	m.L0Blocks = decodeSlice(d, (*Block).DecodeFrom)
+	m.SrcPages = decodeSlice(d, (*Page).DecodeFrom)
+	m.DstPages = decodeSlice(d, (*Page).DecodeFrom)
+	m.EdgeSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the edge signs.
+func (m *MergeRequest) SignableBytes() []byte {
+	var e Encoder
+	m.encodeBody(&e)
+	return e.Bytes()
+}
+
+// MergeResponse returns the merged pages for FromLevel+1, the refreshed
+// level roots, and the new signed global root. OK is false (with Reason)
+// when verification failed — which itself flags the edge.
+type MergeResponse struct {
+	Edge       NodeID
+	ReqID      uint64
+	OK         bool
+	Reason     string
+	FromLevel  uint32
+	NewPages   []Page
+	Roots      [][]byte // all level roots after the merge
+	Global     SignedRoot
+	ConsumedTo uint64 // for L0 merges: blocks consumed through this id
+	CloudSig   []byte
+}
+
+// MsgKind implements Message.
+func (*MergeResponse) MsgKind() Kind { return KindMergeResponse }
+
+// EncodeTo implements Message.
+func (m *MergeResponse) EncodeTo(e *Encoder) {
+	m.encodeBody(e)
+	e.Blob(m.CloudSig)
+}
+
+func (m *MergeResponse) encodeBody(e *Encoder) {
+	e.ID(m.Edge)
+	e.U64(m.ReqID)
+	e.Bool(m.OK)
+	e.Str(m.Reason)
+	e.U32(m.FromLevel)
+	e.U32(uint32(len(m.NewPages)))
+	for i := range m.NewPages {
+		m.NewPages[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(m.Roots)))
+	for _, r := range m.Roots {
+		e.Blob(r)
+	}
+	m.Global.EncodeTo(e)
+	e.U64(m.ConsumedTo)
+}
+
+// DecodeFrom implements Message.
+func (m *MergeResponse) DecodeFrom(d *Decoder) {
+	m.Edge = d.ID()
+	m.ReqID = d.U64()
+	m.OK = d.Bool()
+	m.Reason = d.Str()
+	m.FromLevel = d.U32()
+	m.NewPages = decodeSlice(d, (*Page).DecodeFrom)
+	m.Roots = decodeBlobs(d)
+	m.Global.DecodeFrom(d)
+	m.ConsumedTo = d.U64()
+	m.CloudSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the cloud signs.
+func (m *MergeResponse) SignableBytes() []byte {
+	var e Encoder
+	m.encodeBody(&e)
+	return e.Bytes()
+}

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rnd builds deterministic pseudo-random test inputs.
+var rnd = rand.New(rand.NewSource(42))
+
+func randBytes(n int) []byte {
+	b := make([]byte, n)
+	rnd.Read(b)
+	return b
+}
+
+func sampleEntry(i int) Entry {
+	return Entry{
+		Client: NodeID("client-" + string(rune('a'+i%3))),
+		Seq:    uint64(i),
+		Key:    randBytes(8),
+		Value:  randBytes(32),
+		Ts:     int64(1000 + i),
+		Pos:    uint64(i * 7),
+		Sig:    randBytes(64),
+	}
+}
+
+func sampleBlock() Block {
+	b := Block{Edge: "edge-1", ID: 12, StartPos: 1200, Ts: 999}
+	for i := 0; i < 5; i++ {
+		b.Entries = append(b.Entries, sampleEntry(i))
+	}
+	return b
+}
+
+func samplePage(level uint32) Page {
+	p := Page{
+		Level: level,
+		Seq:   77,
+		Lo:    []byte("aaa"),
+		Hi:    []byte("mmm"),
+		Ts:    5555,
+	}
+	for i := 0; i < 4; i++ {
+		p.KVs = append(p.KVs, KV{Key: randBytes(6), Value: randBytes(20), Ver: uint64(i)})
+	}
+	return p
+}
+
+// sampleMessages returns one populated instance of every message kind.
+func sampleMessages() []Message {
+	blk := sampleBlock()
+	proof := BlockProof{Edge: "edge-1", BID: 12, Digest: randBytes(32), CloudSig: randBytes(64)}
+	global := SignedRoot{Edge: "edge-1", Epoch: 3, Root: randBytes(32), Ts: 123, CloudSig: randBytes(64)}
+	return []Message{
+		&AddRequest{Entry: sampleEntry(1), WantBlock: true},
+		&AddResponse{BID: 12, Block: blk, EdgeSig: randBytes(64)},
+		&BlockCertify{Edge: "edge-1", BID: 12, Digest: randBytes(32), EdgeSig: randBytes(64)},
+		&proof,
+		&ReadRequest{BID: 12, ReqID: 9},
+		&ReadResponse{ReqID: 9, BID: 12, OK: true, Ts: 77, Block: blk, HasProof: true, Proof: proof, EdgeSig: randBytes(64)},
+		&Gossip{Edge: "edge-1", Ts: 50, LogSize: 900, Blocks: 9, CloudSig: randBytes(64)},
+		&Dispute{Kind: DisputeAddLie, Edge: "edge-1", BID: 12, Evidence: randBytes(100), Evidence2: randBytes(40), ClientSig: randBytes(64)},
+		&Verdict{Edge: "edge-1", BID: 12, Kind: DisputeReadLie, Guilty: true, Reason: "digest mismatch", CloudSig: randBytes(64)},
+		&ReserveRequest{Client: "client-a", Count: 4, ReqID: 2, ClientSig: randBytes(64)},
+		&ReserveResponse{ReqID: 2, Start: 40, Count: 4, EdgeSig: randBytes(64)},
+		&PutRequest{Entry: sampleEntry(2)},
+		&PutResponse{BID: 13, Block: blk, EdgeSig: randBytes(64)},
+		&GetRequest{Key: []byte("k"), ReqID: 4},
+		&GetResponse{
+			ReqID: 4, Found: true, Value: randBytes(10), Ver: 2,
+			Proof: GetProof{
+				L0Blocks: []Block{blk},
+				L0Certs:  []BlockProof{proof},
+				Levels: []LevelProof{{
+					Level: 1, Page: samplePage(1), Index: 2, Width: 4,
+					Path: [][]byte{randBytes(32), randBytes(32)},
+				}},
+				Roots:  [][]byte{randBytes(32), randBytes(32)},
+				Global: global,
+			},
+			EdgeSig: randBytes(64),
+		},
+		&MergeRequest{
+			Edge: "edge-1", ReqID: 1, FromLevel: 0,
+			L0Blocks: []Block{blk},
+			SrcPages: nil,
+			DstPages: []Page{samplePage(1)},
+			EdgeSig:  randBytes(64),
+		},
+		&MergeResponse{
+			Edge: "edge-1", ReqID: 1, OK: true, FromLevel: 0,
+			NewPages:   []Page{samplePage(1), samplePage(1)},
+			Roots:      [][]byte{randBytes(32)},
+			Global:     global,
+			ConsumedTo: 12,
+			CloudSig:   randBytes(64),
+		},
+		&CloudPutRequest{Entry: sampleEntry(3)},
+		&CloudPutResponse{BID: 5, OK: true},
+		&CloudGetRequest{Key: []byte("k2"), ReqID: 6},
+		&CloudGetResponse{ReqID: 6, Found: false},
+		&EBPutRequest{Entry: sampleEntry(4), Edge: "edge-2"},
+		&EBPutResponse{BID: 7, OK: true},
+		&EBStatePush{
+			Epoch: 2, Block: blk, Proof: proof,
+			Pages:  []Page{samplePage(2)},
+			Roots:  [][]byte{randBytes(32), randBytes(32)},
+			Global: global, CloudSig: randBytes(64),
+		},
+		&EBStateAck{Epoch: 2, EdgeSig: randBytes(64)},
+		&Ping{Seq: 1, Ts: 2},
+		&Pong{Seq: 1, Ts: 2},
+		&PutBatch{Entries: []Entry{sampleEntry(5), sampleEntry(6)}},
+		&CloudPutBatch{Entries: []Entry{sampleEntry(7)}},
+		&EBPutBatch{Edge: "edge-2", Entries: []Entry{sampleEntry(8), sampleEntry(9)}},
+	}
+}
+
+// TestEveryMessageRoundTrips checks decode(encode(m)) == m and that the
+// encoding is canonical (re-encoding is byte-identical) for every message
+// kind in the protocol.
+func TestEveryMessageRoundTrips(t *testing.T) {
+	msgs := sampleMessages()
+	seen := map[Kind]bool{}
+	for _, m := range msgs {
+		seen[m.MsgKind()] = true
+		env := Envelope{From: "a", To: "b", Msg: m}
+		enc := EncodeEnvelope(env)
+		got, err := DecodeEnvelope(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.MsgKind(), err)
+		}
+		if got.From != "a" || got.To != "b" {
+			t.Errorf("%v: routing lost: %+v", m.MsgKind(), got)
+		}
+		if !reflect.DeepEqual(got.Msg, m) {
+			t.Errorf("%v: round trip mismatch:\n got %#v\nwant %#v", m.MsgKind(), got.Msg, m)
+		}
+		re := EncodeEnvelope(got)
+		if !bytes.Equal(re, enc) {
+			t.Errorf("%v: encoding not canonical", m.MsgKind())
+		}
+	}
+	// Every kind in the registry must be covered by this test.
+	for k := KindInvalid + 1; k < kindEnd; k++ {
+		if !seen[k] {
+			t.Errorf("kind %v has no round-trip coverage", k)
+		}
+	}
+}
+
+func TestDecodeEnvelopeRejectsUnknownKind(t *testing.T) {
+	var e Encoder
+	e.U16(9999)
+	e.ID("a")
+	e.ID("b")
+	if _, err := DecodeEnvelope(e.Bytes()); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDecodeEnvelopeRejectsTrailing(t *testing.T) {
+	enc := EncodeEnvelope(Envelope{From: "a", To: "b", Msg: &Ping{Seq: 1}})
+	enc = append(enc, 0x00)
+	if _, err := DecodeEnvelope(enc); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeEnvelopeRejectsTruncation(t *testing.T) {
+	enc := EncodeEnvelope(Envelope{From: "a", To: "b", Msg: &AddResponse{BID: 1, Block: sampleBlock()}})
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := DecodeEnvelope(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSignableBytesExcludeSignature(t *testing.T) {
+	m1 := &BlockCertify{Edge: "e", BID: 1, Digest: []byte{1, 2}, EdgeSig: []byte{9}}
+	m2 := &BlockCertify{Edge: "e", BID: 1, Digest: []byte{1, 2}, EdgeSig: []byte{8, 8, 8}}
+	if !bytes.Equal(m1.SignableBytes(), m2.SignableBytes()) {
+		t.Fatal("SignableBytes depends on signature")
+	}
+	m3 := &BlockCertify{Edge: "e", BID: 2, Digest: []byte{1, 2}}
+	if bytes.Equal(m1.SignableBytes(), m3.SignableBytes()) {
+		t.Fatal("SignableBytes ignores BID")
+	}
+}
+
+func TestPageContains(t *testing.T) {
+	cases := []struct {
+		lo, hi []byte
+		key    []byte
+		want   bool
+	}{
+		{nil, nil, []byte("anything"), true},
+		{[]byte("b"), []byte("d"), []byte("b"), true},
+		{[]byte("b"), []byte("d"), []byte("c"), true},
+		{[]byte("b"), []byte("d"), []byte("d"), false}, // exclusive hi
+		{[]byte("b"), []byte("d"), []byte("a"), false},
+		{nil, []byte("d"), []byte("a"), true},
+		{[]byte("b"), nil, []byte("zzz"), true},
+		{[]byte("b"), nil, []byte("a"), false},
+	}
+	for _, c := range cases {
+		p := Page{Lo: c.lo, Hi: c.hi}
+		if got := p.Contains(c.key); got != c.want {
+			t.Errorf("Contains(%q) in [%q,%q) = %v, want %v", c.key, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestEntryEqual(t *testing.T) {
+	a := sampleEntry(1)
+	b := a
+	if !a.Equal(&b) {
+		t.Fatal("identical entries not equal")
+	}
+	b.Value = append([]byte{}, a.Value...)
+	b.Value[0] ^= 1
+	if a.Equal(&b) {
+		t.Fatal("differing entries equal")
+	}
+}
+
+func TestBlockCanonicalStable(t *testing.T) {
+	b := sampleBlock()
+	if !bytes.Equal(b.Canonical(), b.Canonical()) {
+		t.Fatal("Canonical not deterministic")
+	}
+	b2 := b
+	b2.ID++
+	if bytes.Equal(b.Canonical(), b2.Canonical()) {
+		t.Fatal("Canonical ignores block id")
+	}
+}
+
+func TestMessageSizeAccounting(t *testing.T) {
+	small := Envelope{From: "a", To: "b", Msg: &BlockCertify{Edge: "e", BID: 1, Digest: randBytes(32), EdgeSig: randBytes(64)}}
+	big := Envelope{From: "a", To: "b", Msg: &AddResponse{BID: 1, Block: sampleBlock(), EdgeSig: randBytes(64)}}
+	if Size(small) >= Size(big) {
+		t.Fatalf("digest-only certify (%d B) should be smaller than block response (%d B)",
+			Size(small), Size(big))
+	}
+}

@@ -1,0 +1,219 @@
+package wire
+
+import "bytes"
+
+// Entry is a single client-proposed datum: a log record for add() or a
+// key-value write for put(). Clients sign entries; edges and the cloud
+// verify the signature before accepting, which yields the paper's validity
+// guarantee (every logged entry was proposed by an authenticated client).
+type Entry struct {
+	Client NodeID // authenticated producer
+	Seq    uint64 // client-local sequence number (idempotence / replay defence)
+	Key    []byte // nil for pure log entries; the key for put()
+	Value  []byte // payload
+	Ts     int64  // client timestamp, virtual nanoseconds
+	Pos    uint64 // reserved absolute log position + 1; 0 = unreserved
+	Sig    []byte // client signature over SignableBytes
+}
+
+// EncodeTo appends the entry's canonical encoding including the signature.
+func (en *Entry) EncodeTo(e *Encoder) {
+	en.encodeBody(e)
+	e.Blob(en.Sig)
+}
+
+func (en *Entry) encodeBody(e *Encoder) {
+	e.ID(en.Client)
+	e.U64(en.Seq)
+	e.Blob(en.Key)
+	e.Blob(en.Value)
+	e.I64(en.Ts)
+	e.U64(en.Pos)
+}
+
+// DecodeFrom reads the entry.
+func (en *Entry) DecodeFrom(d *Decoder) {
+	en.Client = d.ID()
+	en.Seq = d.U64()
+	en.Key = d.Blob()
+	en.Value = d.Blob()
+	en.Ts = d.I64()
+	en.Pos = d.U64()
+	en.Sig = d.Blob()
+}
+
+// SignableBytes returns the bytes the client signs: everything except the
+// signature itself.
+func (en *Entry) SignableBytes() []byte {
+	var e Encoder
+	en.encodeBody(&e)
+	return e.Bytes()
+}
+
+// Equal reports whether two entries are identical, including signatures.
+func (en *Entry) Equal(o *Entry) bool {
+	return en.Client == o.Client && en.Seq == o.Seq &&
+		bytes.Equal(en.Key, o.Key) && bytes.Equal(en.Value, o.Value) &&
+		en.Ts == o.Ts && en.Pos == o.Pos && bytes.Equal(en.Sig, o.Sig)
+}
+
+// Block is a batch of entries appended to an edge node's log. Block IDs are
+// unique monotonic numbers per edge node (not globally unique). StartPos is
+// the absolute log position of the first entry, supporting the reservation
+// extension and gossip-based omission detection.
+type Block struct {
+	Edge     NodeID
+	ID       uint64
+	StartPos uint64
+	Ts       int64 // edge timestamp at block cut
+	Entries  []Entry
+}
+
+// EncodeTo appends the block's canonical encoding.
+func (b *Block) EncodeTo(e *Encoder) {
+	e.ID(b.Edge)
+	e.U64(b.ID)
+	e.U64(b.StartPos)
+	e.I64(b.Ts)
+	e.U32(uint32(len(b.Entries)))
+	for i := range b.Entries {
+		b.Entries[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom reads the block.
+func (b *Block) DecodeFrom(d *Decoder) {
+	b.Edge = d.ID()
+	b.ID = d.U64()
+	b.StartPos = d.U64()
+	b.Ts = d.I64()
+	b.Entries = decodeSlice(d, (*Entry).DecodeFrom)
+}
+
+// Canonical returns the block's canonical encoding; the block digest is the
+// SHA-256 of these bytes (computed in internal/wcrypto to keep hashing in
+// one place).
+func (b *Block) Canonical() []byte {
+	var e Encoder
+	b.EncodeTo(&e)
+	return e.Bytes()
+}
+
+// KV is one key-version-value record inside an LSMerkle page. Ver orders
+// versions of the same key: higher wins.
+type KV struct {
+	Key   []byte
+	Value []byte
+	Ver   uint64
+}
+
+// EncodeTo appends the record's canonical encoding.
+func (kv *KV) EncodeTo(e *Encoder) {
+	e.Blob(kv.Key)
+	e.Blob(kv.Value)
+	e.U64(kv.Ver)
+}
+
+// DecodeFrom reads the record.
+func (kv *KV) DecodeFrom(d *Decoder) {
+	kv.Key = d.Blob()
+	kv.Value = d.Blob()
+	kv.Ver = d.U64()
+}
+
+// Page is an LSMerkle page at level >= 1: a sorted run of KV records
+// covering the half-open key range [Lo, Hi). Lo == nil means -infinity and
+// Hi == nil means +infinity. Consecutive pages in a level satisfy
+// prev.Hi == next.Lo, so the level's pages partition the keyspace — the
+// contiguity invariant clients use to verify non-existence proofs.
+type Page struct {
+	Level uint32
+	Seq   uint64 // unique page number assigned by the cloud at merge time
+	Lo    []byte // inclusive lower bound; nil = -infinity
+	Hi    []byte // exclusive upper bound; nil = +infinity
+	Ts    int64  // cloud timestamp of the merge that created the page
+	KVs   []KV
+}
+
+// EncodeTo appends the page's canonical encoding.
+func (p *Page) EncodeTo(e *Encoder) {
+	e.U32(p.Level)
+	e.U64(p.Seq)
+	e.OptBlob(p.Lo)
+	e.OptBlob(p.Hi)
+	e.I64(p.Ts)
+	e.U32(uint32(len(p.KVs)))
+	for i := range p.KVs {
+		p.KVs[i].EncodeTo(e)
+	}
+}
+
+// DecodeFrom reads the page.
+func (p *Page) DecodeFrom(d *Decoder) {
+	p.Level = d.U32()
+	p.Seq = d.U64()
+	p.Lo = d.OptBlob()
+	p.Hi = d.OptBlob()
+	p.Ts = d.I64()
+	p.KVs = decodeSlice(d, (*KV).DecodeFrom)
+}
+
+// Canonical returns the page's canonical encoding, the preimage of the
+// page hash used as a Merkle leaf component.
+func (p *Page) Canonical() []byte {
+	var e Encoder
+	p.EncodeTo(&e)
+	return e.Bytes()
+}
+
+// Contains reports whether key falls in the page's half-open range.
+func (p *Page) Contains(key []byte) bool {
+	if p.Lo != nil && bytes.Compare(key, p.Lo) < 0 {
+		return false
+	}
+	if p.Hi != nil && bytes.Compare(key, p.Hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// SignedRoot is the cloud-signed commitment to an edge's entire LSMerkle
+// index: the global root (hash over all level roots), an epoch counter that
+// increments on every merge, and a cloud timestamp enabling the freshness
+// window check of Section V-D.
+type SignedRoot struct {
+	Edge     NodeID
+	Epoch    uint64
+	Root     []byte
+	Ts       int64
+	CloudSig []byte
+}
+
+// EncodeTo appends the signed root including the signature.
+func (r *SignedRoot) EncodeTo(e *Encoder) {
+	r.encodeBody(e)
+	e.Blob(r.CloudSig)
+}
+
+func (r *SignedRoot) encodeBody(e *Encoder) {
+	e.ID(r.Edge)
+	e.U64(r.Epoch)
+	e.Blob(r.Root)
+	e.I64(r.Ts)
+}
+
+// DecodeFrom reads the signed root.
+func (r *SignedRoot) DecodeFrom(d *Decoder) {
+	r.Edge = d.ID()
+	r.Epoch = d.U64()
+	r.Root = d.Blob()
+	r.Ts = d.I64()
+	r.CloudSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the cloud signs.
+func (r *SignedRoot) SignableBytes() []byte {
+	var e Encoder
+	r.encodeBody(&e)
+	return e.Bytes()
+}

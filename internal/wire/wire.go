@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a participant: a client, an edge node, or the cloud
+// node. Identities are public, known, and bound to signing keys in the key
+// registry — the premise that makes lazy certification's "detect and punish"
+// model enforceable.
+type NodeID string
+
+// Kind discriminates message types on the wire.
+type Kind uint16
+
+// Message kinds. Values are part of the wire format; append only.
+const (
+	KindInvalid Kind = iota
+
+	// Logging protocol (Section IV).
+	KindAddRequest
+	KindAddResponse
+	KindBlockCertify
+	KindBlockProof
+	KindReadRequest
+	KindReadResponse
+	KindGossip
+	KindDispute
+	KindVerdict
+	KindReserveRequest
+	KindReserveResponse
+
+	// LSMerkle key-value protocol (Section V).
+	KindPutRequest
+	KindPutResponse
+	KindGetRequest
+	KindGetResponse
+	KindMergeRequest
+	KindMergeResponse
+
+	// Baselines (Section II-C / VI).
+	KindCloudPutRequest
+	KindCloudPutResponse
+	KindCloudGetRequest
+	KindCloudGetResponse
+	KindEBPutRequest
+	KindEBPutResponse
+	KindEBStatePush
+	KindEBStateAck
+
+	// Measurement.
+	KindPing
+	KindPong
+
+	// Batched writes (appended; values are part of the wire format).
+	KindPutBatch
+	KindCloudPutBatch
+	KindEBPutBatch
+
+	kindEnd // sentinel; keep last
+)
+
+var kindNames = map[Kind]string{
+	KindAddRequest:       "AddRequest",
+	KindAddResponse:      "AddResponse",
+	KindBlockCertify:     "BlockCertify",
+	KindBlockProof:       "BlockProof",
+	KindReadRequest:      "ReadRequest",
+	KindReadResponse:     "ReadResponse",
+	KindGossip:           "Gossip",
+	KindDispute:          "Dispute",
+	KindVerdict:          "Verdict",
+	KindReserveRequest:   "ReserveRequest",
+	KindReserveResponse:  "ReserveResponse",
+	KindPutRequest:       "PutRequest",
+	KindPutResponse:      "PutResponse",
+	KindGetRequest:       "GetRequest",
+	KindGetResponse:      "GetResponse",
+	KindMergeRequest:     "MergeRequest",
+	KindMergeResponse:    "MergeResponse",
+	KindCloudPutRequest:  "CloudPutRequest",
+	KindCloudPutResponse: "CloudPutResponse",
+	KindCloudGetRequest:  "CloudGetRequest",
+	KindCloudGetResponse: "CloudGetResponse",
+	KindEBPutRequest:     "EBPutRequest",
+	KindEBPutResponse:    "EBPutResponse",
+	KindEBStatePush:      "EBStatePush",
+	KindEBStateAck:       "EBStateAck",
+	KindPing:             "Ping",
+	KindPong:             "Pong",
+	KindPutBatch:         "PutBatch",
+	KindCloudPutBatch:    "CloudPutBatch",
+	KindEBPutBatch:       "EBPutBatch",
+}
+
+// String returns the human-readable name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint16(k))
+}
+
+// Message is any protocol message with a canonical encoding.
+type Message interface {
+	// MsgKind identifies the concrete type on the wire.
+	MsgKind() Kind
+	// EncodeTo appends the message's canonical encoding.
+	EncodeTo(e *Encoder)
+	// DecodeFrom reads the message from d; errors surface via d.Err.
+	DecodeFrom(d *Decoder)
+}
+
+// newMessage constructs an empty message of the given kind for decoding.
+func newMessage(k Kind) (Message, error) {
+	switch k {
+	case KindAddRequest:
+		return &AddRequest{}, nil
+	case KindAddResponse:
+		return &AddResponse{}, nil
+	case KindBlockCertify:
+		return &BlockCertify{}, nil
+	case KindBlockProof:
+		return &BlockProof{}, nil
+	case KindReadRequest:
+		return &ReadRequest{}, nil
+	case KindReadResponse:
+		return &ReadResponse{}, nil
+	case KindGossip:
+		return &Gossip{}, nil
+	case KindDispute:
+		return &Dispute{}, nil
+	case KindVerdict:
+		return &Verdict{}, nil
+	case KindReserveRequest:
+		return &ReserveRequest{}, nil
+	case KindReserveResponse:
+		return &ReserveResponse{}, nil
+	case KindPutRequest:
+		return &PutRequest{}, nil
+	case KindPutResponse:
+		return &PutResponse{}, nil
+	case KindGetRequest:
+		return &GetRequest{}, nil
+	case KindGetResponse:
+		return &GetResponse{}, nil
+	case KindMergeRequest:
+		return &MergeRequest{}, nil
+	case KindMergeResponse:
+		return &MergeResponse{}, nil
+	case KindCloudPutRequest:
+		return &CloudPutRequest{}, nil
+	case KindCloudPutResponse:
+		return &CloudPutResponse{}, nil
+	case KindCloudGetRequest:
+		return &CloudGetRequest{}, nil
+	case KindCloudGetResponse:
+		return &CloudGetResponse{}, nil
+	case KindEBPutRequest:
+		return &EBPutRequest{}, nil
+	case KindEBPutResponse:
+		return &EBPutResponse{}, nil
+	case KindEBStatePush:
+		return &EBStatePush{}, nil
+	case KindEBStateAck:
+		return &EBStateAck{}, nil
+	case KindPing:
+		return &Ping{}, nil
+	case KindPong:
+		return &Pong{}, nil
+	case KindPutBatch:
+		return &PutBatch{}, nil
+	case KindCloudPutBatch:
+		return &CloudPutBatch{}, nil
+	case KindEBPutBatch:
+		return &EBPutBatch{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
+	}
+}
+
+// Envelope is a routed message: the unit the transports and the simulator
+// move between nodes.
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	Msg  Message
+}
+
+// EncodeEnvelope produces the canonical encoding of an envelope, suitable
+// for framing over TCP or for size accounting in the simulator.
+func EncodeEnvelope(env Envelope) []byte {
+	var e Encoder
+	e.U16(uint16(env.Msg.MsgKind()))
+	e.ID(env.From)
+	e.ID(env.To)
+	env.Msg.EncodeTo(&e)
+	return e.Bytes()
+}
+
+// DecodeEnvelope parses an envelope previously produced by EncodeEnvelope.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	d := NewDecoder(b)
+	k := Kind(d.U16())
+	from := d.ID()
+	to := d.ID()
+	if d.Err() != nil {
+		return Envelope{}, d.Err()
+	}
+	msg, err := newMessage(k)
+	if err != nil {
+		return Envelope{}, err
+	}
+	msg.DecodeFrom(d)
+	if err := d.Finish(); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decoding %v: %w", k, err)
+	}
+	return Envelope{From: from, To: to, Msg: msg}, nil
+}
+
+// EncodeMessage returns the canonical encoding of a bare message (without
+// routing headers). Used for embedding messages as dispute evidence.
+func EncodeMessage(m Message) []byte {
+	var e Encoder
+	e.U16(uint16(m.MsgKind()))
+	m.EncodeTo(&e)
+	return e.Bytes()
+}
+
+// DecodeMessage parses a bare message produced by EncodeMessage.
+func DecodeMessage(b []byte) (Message, error) {
+	d := NewDecoder(b)
+	k := Kind(d.U16())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	msg, err := newMessage(k)
+	if err != nil {
+		return nil, err
+	}
+	msg.DecodeFrom(d)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", k, err)
+	}
+	return msg, nil
+}
+
+// Size reports the encoded size of an envelope in bytes. The simulator uses
+// it to model bandwidth serialization delay.
+func Size(env Envelope) int { return len(EncodeEnvelope(env)) }

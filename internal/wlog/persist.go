@@ -1,0 +1,214 @@
+package wlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Persistence: an append-only segment file durably storing cut blocks and
+// their cloud certificates, with crash recovery. The format is
+// length-prefixed records over the canonical wire encoding:
+//
+//	record := kind(1) length(4, big-endian) payload(length) crc-free
+//
+// Torn tails (a partial final record after a crash) are truncated on
+// recovery — exactly the blocks whose Phase I responses may not have been
+// sent yet, so nothing acknowledged is lost: a block is only acknowledged
+// after Append returns, and Append syncs when Durable is set.
+//
+// Records are self-authenticating on recovery: block digests are
+// recomputed and certificates re-verified against the cloud's key, so a
+// corrupted store surfaces as an error instead of silent state divergence.
+
+// Record kinds in the segment file.
+const (
+	recBlock byte = 1
+	recCert  byte = 2
+)
+
+// ErrCorrupt reports an unrecoverable store inconsistency (as opposed to
+// a torn tail, which is repaired silently).
+var ErrCorrupt = errors.New("wlog: corrupt segment")
+
+// Store persists a log to a single segment file. It is not safe for
+// concurrent use; the owning node serializes access.
+type Store struct {
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+}
+
+// OpenStore opens (or creates) the segment file under dir. When durable
+// is set, every record is fsynced before returning — the production
+// setting; tests and benchmarks may trade durability for speed.
+func OpenStore(dir string, durable bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wlog: creating store dir: %w", err)
+	}
+	path := filepath.Join(dir, "wedgelog.seg")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wlog: opening segment: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Store{f: f, w: bufio.NewWriter(f), sync: durable}, nil
+}
+
+// Close flushes and closes the segment.
+func (s *Store) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+func (s *Store) append(kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.sync {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// AppendBlock durably records a cut block.
+func (s *Store) AppendBlock(b *wire.Block) error {
+	return s.append(recBlock, b.Canonical())
+}
+
+// AppendCert durably records a cloud certificate.
+func (s *Store) AppendCert(p *wire.BlockProof) error {
+	var e wire.Encoder
+	p.EncodeTo(&e)
+	return s.append(recCert, e.Bytes())
+}
+
+// Recover replays the segment into a fresh Log, verifying digests and
+// certificate signatures against the registry (the cloud's identity is
+// taken from each certificate's signer field recorded at write time).
+// A torn final record is truncated. Returns the number of blocks and
+// certificates recovered.
+func Recover(dir string, edge wire.NodeID, batchSize int, reg *wcrypto.Registry, cloud wire.NodeID) (*Log, *Store, int, int, error) {
+	path := filepath.Join(dir, "wedgelog.seg")
+	l := New(edge, batchSize)
+	blocks, certs := 0, 0
+
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		st, err := OpenStore(dir, true)
+		return l, st, 0, 0, err
+	}
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+
+	r := bufio.NewReader(f)
+	var validLen int64
+	for {
+		var hdr [5]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // clean EOF or torn header: truncate here
+		}
+		n := binary.BigEndian.Uint32(hdr[1:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn payload: truncate here
+		}
+		switch hdr[0] {
+		case recBlock:
+			var b wire.Block
+			d := wire.NewDecoder(payload)
+			b.DecodeFrom(d)
+			if err := d.Finish(); err != nil {
+				f.Close()
+				return nil, nil, 0, 0, fmt.Errorf("%w: block record: %v", ErrCorrupt, err)
+			}
+			if b.Edge != edge {
+				f.Close()
+				return nil, nil, 0, 0, fmt.Errorf("%w: block for edge %q in %q's store", ErrCorrupt, b.Edge, edge)
+			}
+			if err := l.restoreBlock(b); err != nil {
+				f.Close()
+				return nil, nil, 0, 0, err
+			}
+			blocks++
+		case recCert:
+			var p wire.BlockProof
+			d := wire.NewDecoder(payload)
+			p.DecodeFrom(d)
+			if err := d.Finish(); err != nil {
+				f.Close()
+				return nil, nil, 0, 0, fmt.Errorf("%w: cert record: %v", ErrCorrupt, err)
+			}
+			if err := wcrypto.VerifyMsg(reg, cloud, &p, p.CloudSig); err != nil {
+				f.Close()
+				return nil, nil, 0, 0, fmt.Errorf("%w: cert signature: %v", ErrCorrupt, err)
+			}
+			if err := l.SetCert(p); err != nil {
+				f.Close()
+				return nil, nil, 0, 0, fmt.Errorf("%w: cert: %v", ErrCorrupt, err)
+			}
+			certs++
+		default:
+			f.Close()
+			return nil, nil, 0, 0, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, hdr[0])
+		}
+		validLen += 5 + int64(n)
+	}
+	f.Close()
+
+	// Repair a torn tail before reopening for append.
+	if info, err := os.Stat(path); err == nil && info.Size() > validLen {
+		if err := os.Truncate(path, validLen); err != nil {
+			return nil, nil, 0, 0, fmt.Errorf("wlog: truncating torn tail: %w", err)
+		}
+	}
+	st, err := OpenStore(dir, true)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return l, st, blocks, certs, nil
+}
+
+// restoreBlock reinstates a recovered block: it must be the next block id,
+// and positions must be contiguous with the log tail.
+func (l *Log) restoreBlock(b wire.Block) error {
+	if b.ID != uint64(len(l.blocks)) {
+		return fmt.Errorf("%w: block %d out of order (want %d)", ErrCorrupt, b.ID, len(l.blocks))
+	}
+	if b.StartPos != l.bufStart {
+		return fmt.Errorf("%w: block %d position %d (want %d)", ErrCorrupt, b.ID, b.StartPos, l.bufStart)
+	}
+	l.blocks = append(l.blocks, b)
+	l.digests[b.ID] = wcrypto.BlockDigest(&b)
+	l.bufStart += uint64(len(b.Entries))
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		if !IsNoop(e) {
+			l.markSeen(*e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package wlog implements the WedgeChain logging layer kept at each edge
+// node (Section IV of the paper): an append-only log of blocks, where each
+// block is a batch of client-signed entries. The log tracks, per block, the
+// digest sent for data-free certification and the cloud-signed block-proof
+// that upgrades the block from Phase I to Phase II commitment.
+//
+// The package also implements the log-position reservation extension
+// (Section IV-E): clients may reserve absolute positions and sign entries
+// for them, which makes arbitrary requests idempotent — a replayed entry
+// targets an already-filled position and is rejected.
+package wlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Common errors.
+var (
+	ErrNoSuchBlock     = errors.New("wlog: no such block")
+	ErrPositionTaken   = errors.New("wlog: reserved position already filled")
+	ErrPositionInvalid = errors.New("wlog: entry position not reserved for this client")
+	ErrPositionCut     = errors.New("wlog: reserved position already cut into a block")
+	ErrCertDigest      = errors.New("wlog: certificate digest does not match block")
+	ErrDuplicateEntry  = errors.New("wlog: duplicate entry (client, seq)")
+)
+
+// slot is one buffered log position awaiting block cut.
+type slot struct {
+	entry      wire.Entry
+	filled     bool
+	reserved   bool
+	reservedBy wire.NodeID
+	deadline   int64 // reserved slots expire at this time; 0 = none
+	enqueuedAt int64
+}
+
+// Log is a single edge node's log. It is not safe for concurrent use; the
+// owning node serializes access (nodes are single-threaded state machines).
+type Log struct {
+	edge      wire.NodeID
+	batchSize int
+
+	buf      []slot
+	bufStart uint64 // absolute position of buf[0]
+
+	blocks  []wire.Block               // blocks[i] has ID == uint64(i)
+	digests map[uint64][]byte          // block id -> digest
+	certs   map[uint64]wire.BlockProof // block id -> cloud certificate
+
+	certifiedEntries uint64 // total entries across certified blocks
+	certifiedBlocks  uint64
+
+	seen map[wire.NodeID]map[uint64]bool // client -> seq numbers accepted
+}
+
+// New returns an empty log for the given edge identity cutting blocks of
+// batchSize entries.
+func New(edge wire.NodeID, batchSize int) *Log {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	return &Log{
+		edge:      edge,
+		batchSize: batchSize,
+		digests:   make(map[uint64][]byte),
+		certs:     make(map[uint64]wire.BlockProof),
+		seen:      make(map[wire.NodeID]map[uint64]bool),
+	}
+}
+
+// Edge returns the owning edge identity.
+func (l *Log) Edge() wire.NodeID { return l.edge }
+
+// BatchSize returns the block cut threshold.
+func (l *Log) BatchSize() int { return l.batchSize }
+
+// NumBlocks returns the number of blocks cut so far.
+func (l *Log) NumBlocks() uint64 { return uint64(len(l.blocks)) }
+
+// BufferLen returns the number of buffered (uncut) positions.
+func (l *Log) BufferLen() int { return len(l.buf) }
+
+// NextPos returns the next unassigned absolute log position.
+func (l *Log) NextPos() uint64 { return l.bufStart + uint64(len(l.buf)) }
+
+// CertifiedEntries returns the number of entries in certified blocks — the
+// LogSize the cloud gossips for omission detection.
+func (l *Log) CertifiedEntries() uint64 { return l.certifiedEntries }
+
+// CertifiedBlocks returns the number of certified blocks.
+func (l *Log) CertifiedBlocks() uint64 { return l.certifiedBlocks }
+
+// Append adds a client entry to the buffer. Entries carrying a reserved
+// position (Pos > 0) must land in their reserved slot; others take the next
+// free position. Duplicate (client, seq) pairs are rejected, implementing
+// the replay defence. The returned position is absolute.
+func (l *Log) Append(e wire.Entry, now int64) (pos uint64, err error) {
+	if s := l.seen[e.Client]; s != nil && s[e.Seq] {
+		return 0, fmt.Errorf("%w: %s/%d", ErrDuplicateEntry, e.Client, e.Seq)
+	}
+	if e.Pos > 0 {
+		p := e.Pos - 1
+		if p < l.bufStart {
+			return 0, fmt.Errorf("%w: position %d", ErrPositionCut, p)
+		}
+		idx := int(p - l.bufStart)
+		if idx >= len(l.buf) {
+			return 0, fmt.Errorf("%w: position %d never reserved", ErrPositionInvalid, p)
+		}
+		s := &l.buf[idx]
+		if !s.reserved || s.reservedBy != e.Client {
+			return 0, fmt.Errorf("%w: position %d", ErrPositionInvalid, p)
+		}
+		if s.filled {
+			return 0, fmt.Errorf("%w: position %d", ErrPositionTaken, p)
+		}
+		s.entry = e
+		s.filled = true
+		s.enqueuedAt = now
+		l.markSeen(e)
+		return p, nil
+	}
+	l.buf = append(l.buf, slot{entry: e, filled: true, enqueuedAt: now})
+	l.markSeen(e)
+	return l.bufStart + uint64(len(l.buf)-1), nil
+}
+
+func (l *Log) markSeen(e wire.Entry) {
+	s := l.seen[e.Client]
+	if s == nil {
+		s = make(map[uint64]bool)
+		l.seen[e.Client] = s
+	}
+	s[e.Seq] = true
+}
+
+// Reserve grants count consecutive absolute positions to client, expiring
+// at deadline. Returns the first reserved position.
+func (l *Log) Reserve(client wire.NodeID, count int, deadline int64) uint64 {
+	start := l.NextPos()
+	for i := 0; i < count; i++ {
+		l.buf = append(l.buf, slot{reserved: true, reservedBy: client, deadline: deadline})
+	}
+	return start
+}
+
+// noopEntry fills an expired reservation so position arithmetic stays
+// contiguous. Readers recognize no-ops by the empty client identity.
+func noopEntry() wire.Entry { return wire.Entry{} }
+
+// IsNoop reports whether an entry is a reservation-expiry filler.
+func IsNoop(e *wire.Entry) bool { return e.Client == "" }
+
+// cutEligible reports how many leading buffer slots can form a block at
+// time now: a prefix where every slot is filled or an expired reservation.
+func (l *Log) cutEligible(now int64) int {
+	n := 0
+	for i := range l.buf {
+		s := &l.buf[i]
+		if !s.filled && (!s.reserved || s.deadline == 0 || s.deadline > now) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// TryCut cuts the next block if a full batch is ready (or if force is set
+// and at least one eligible slot exists — used for flush timeouts and
+// no-op-triggered refreshes). Expired reservations become no-op entries.
+// Returns nil when no block was cut.
+func (l *Log) TryCut(now int64, force bool) *wire.Block {
+	eligible := l.cutEligible(now)
+	take := l.batchSize
+	if eligible < take {
+		if !force || eligible == 0 {
+			return nil
+		}
+		take = eligible
+	}
+	entries := make([]wire.Entry, take)
+	for i := 0; i < take; i++ {
+		s := &l.buf[i]
+		if s.filled {
+			entries[i] = s.entry
+		} else {
+			entries[i] = noopEntry()
+		}
+	}
+	blk := wire.Block{
+		Edge:     l.edge,
+		ID:       uint64(len(l.blocks)),
+		StartPos: l.bufStart,
+		Ts:       now,
+		Entries:  entries,
+	}
+	l.buf = append([]slot(nil), l.buf[take:]...)
+	l.bufStart += uint64(take)
+	l.blocks = append(l.blocks, blk)
+	l.digests[blk.ID] = wcrypto.BlockDigest(&blk)
+	return &l.blocks[blk.ID]
+}
+
+// Block returns the cut block with the given id.
+func (l *Log) Block(bid uint64) (*wire.Block, error) {
+	if bid >= uint64(len(l.blocks)) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchBlock, bid)
+	}
+	return &l.blocks[bid], nil
+}
+
+// Digest returns the digest of block bid.
+func (l *Log) Digest(bid uint64) ([]byte, error) {
+	d, ok := l.digests[bid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchBlock, bid)
+	}
+	return d, nil
+}
+
+// SetCert records the cloud's block-proof for a block, upgrading it to
+// Phase II. The proof's digest must match the locally computed digest.
+func (l *Log) SetCert(p wire.BlockProof) error {
+	d, ok := l.digests[p.BID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchBlock, p.BID)
+	}
+	if !bytes.Equal(d, p.Digest) {
+		return ErrCertDigest
+	}
+	if _, dup := l.certs[p.BID]; dup {
+		return nil // idempotent
+	}
+	l.certs[p.BID] = p
+	l.certifiedBlocks++
+	l.certifiedEntries += uint64(len(l.blocks[p.BID].Entries))
+	return nil
+}
+
+// Cert returns the block-proof for bid if the block is certified.
+func (l *Log) Cert(bid uint64) (wire.BlockProof, bool) {
+	c, ok := l.certs[bid]
+	return c, ok
+}
+
+// CertifiedThrough returns the highest block id B such that all blocks
+// 0..B are certified, or false when block 0 is uncertified. L0 compaction
+// consumes only certified prefixes.
+func (l *Log) CertifiedThrough() (uint64, bool) {
+	var last uint64
+	found := false
+	for bid := uint64(0); bid < uint64(len(l.blocks)); bid++ {
+		if _, ok := l.certs[bid]; !ok {
+			break
+		}
+		last, found = bid, true
+	}
+	return last, found
+}

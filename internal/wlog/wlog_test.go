@@ -1,0 +1,257 @@
+package wlog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+func entry(client wire.NodeID, seq uint64) wire.Entry {
+	return wire.Entry{Client: client, Seq: seq, Value: []byte{byte(seq)}}
+}
+
+func TestAppendAndCutBatch(t *testing.T) {
+	l := New("edge-1", 3)
+	for i := uint64(0); i < 3; i++ {
+		pos, err := l.Append(entry("c", i), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos != i {
+			t.Fatalf("pos = %d, want %d", pos, i)
+		}
+	}
+	blk := l.TryCut(11, false)
+	if blk == nil {
+		t.Fatal("full batch did not cut")
+	}
+	if blk.ID != 0 || blk.StartPos != 0 || len(blk.Entries) != 3 {
+		t.Fatalf("block = %+v", blk)
+	}
+	if l.BufferLen() != 0 {
+		t.Fatalf("buffer not drained: %d", l.BufferLen())
+	}
+	if l.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d", l.NumBlocks())
+	}
+}
+
+func TestTryCutPartialNeedsForce(t *testing.T) {
+	l := New("edge-1", 10)
+	l.Append(entry("c", 1), 0)
+	if blk := l.TryCut(1, false); blk != nil {
+		t.Fatal("partial batch cut without force")
+	}
+	blk := l.TryCut(1, true)
+	if blk == nil || len(blk.Entries) != 1 {
+		t.Fatalf("forced cut = %+v", blk)
+	}
+}
+
+func TestTryCutEmptyForceReturnsNil(t *testing.T) {
+	l := New("edge-1", 10)
+	if blk := l.TryCut(1, true); blk != nil {
+		t.Fatal("cut an empty buffer")
+	}
+}
+
+func TestBlockIDsMonotonic(t *testing.T) {
+	l := New("edge-1", 1)
+	for i := uint64(0); i < 5; i++ {
+		l.Append(entry("c", i), 0)
+		blk := l.TryCut(0, false)
+		if blk == nil || blk.ID != i {
+			t.Fatalf("block %d = %+v", i, blk)
+		}
+		if blk.StartPos != i {
+			t.Fatalf("StartPos = %d, want %d", blk.StartPos, i)
+		}
+	}
+}
+
+func TestDigestMatchesCanonicalHash(t *testing.T) {
+	l := New("edge-1", 1)
+	l.Append(entry("c", 1), 0)
+	blk := l.TryCut(0, false)
+	d, err := l.Digest(blk.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, wcrypto.BlockDigest(blk)) {
+		t.Fatal("stored digest != recomputed digest")
+	}
+}
+
+func TestCertLifecycle(t *testing.T) {
+	l := New("edge-1", 2)
+	l.Append(entry("c", 1), 0)
+	l.Append(entry("c", 2), 0)
+	blk := l.TryCut(0, false)
+	d, _ := l.Digest(blk.ID)
+
+	if _, ok := l.Cert(blk.ID); ok {
+		t.Fatal("uncertified block has a cert")
+	}
+	proof := wire.BlockProof{Edge: "edge-1", BID: blk.ID, Digest: d}
+	if err := l.SetCert(proof); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Cert(blk.ID); !ok {
+		t.Fatal("cert not stored")
+	}
+	if l.CertifiedEntries() != 2 || l.CertifiedBlocks() != 1 {
+		t.Fatalf("certified counts = %d/%d", l.CertifiedEntries(), l.CertifiedBlocks())
+	}
+	// Idempotent re-set must not double-count.
+	if err := l.SetCert(proof); err != nil {
+		t.Fatal(err)
+	}
+	if l.CertifiedEntries() != 2 {
+		t.Fatalf("re-cert double counted: %d", l.CertifiedEntries())
+	}
+}
+
+func TestSetCertRejectsWrongDigest(t *testing.T) {
+	l := New("edge-1", 1)
+	l.Append(entry("c", 1), 0)
+	blk := l.TryCut(0, false)
+	bad := wire.BlockProof{Edge: "edge-1", BID: blk.ID, Digest: wcrypto.Digest([]byte("other"))}
+	if err := l.SetCert(bad); !errors.Is(err, ErrCertDigest) {
+		t.Fatalf("err = %v, want ErrCertDigest", err)
+	}
+}
+
+func TestSetCertUnknownBlock(t *testing.T) {
+	l := New("edge-1", 1)
+	err := l.SetCert(wire.BlockProof{BID: 7})
+	if !errors.Is(err, ErrNoSuchBlock) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCertifiedThrough(t *testing.T) {
+	l := New("edge-1", 1)
+	for i := uint64(0); i < 3; i++ {
+		l.Append(entry("c", i), 0)
+		l.TryCut(0, false)
+	}
+	if _, ok := l.CertifiedThrough(); ok {
+		t.Fatal("nothing certified yet")
+	}
+	cert := func(bid uint64) {
+		d, _ := l.Digest(bid)
+		if err := l.SetCert(wire.BlockProof{Edge: "edge-1", BID: bid, Digest: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cert(0)
+	cert(2) // gap at 1
+	got, ok := l.CertifiedThrough()
+	if !ok || got != 0 {
+		t.Fatalf("CertifiedThrough = %d,%v want 0,true", got, ok)
+	}
+	cert(1)
+	got, ok = l.CertifiedThrough()
+	if !ok || got != 2 {
+		t.Fatalf("CertifiedThrough = %d,%v want 2,true", got, ok)
+	}
+}
+
+func TestDuplicateEntryRejected(t *testing.T) {
+	l := New("edge-1", 10)
+	if _, err := l.Append(entry("c", 7), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(entry("c", 7), 0); !errors.Is(err, ErrDuplicateEntry) {
+		t.Fatalf("replayed entry: err = %v", err)
+	}
+	// Same seq from another client is fine.
+	if _, err := l.Append(entry("other", 7), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservationFlow(t *testing.T) {
+	l := New("edge-1", 4)
+	start := l.Reserve("c", 2, 100)
+	if start != 0 {
+		t.Fatalf("Reserve start = %d", start)
+	}
+	// Unreserved entry lands after the reserved slots.
+	pos, err := l.Append(entry("other", 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 2 {
+		t.Fatalf("unreserved pos = %d, want 2", pos)
+	}
+	// Entry signed for position 1 (Pos is position+1).
+	e := entry("c", 5)
+	e.Pos = 2
+	pos, err = l.Append(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 1 {
+		t.Fatalf("reserved pos = %d, want 1", pos)
+	}
+	// Replay to the same position must fail.
+	e2 := entry("c", 6)
+	e2.Pos = 2
+	if _, err := l.Append(e2, 0); !errors.Is(err, ErrPositionTaken) {
+		t.Fatalf("replay err = %v", err)
+	}
+	// Wrong client for a reserved slot must fail.
+	e3 := entry("other", 9)
+	e3.Pos = 1
+	if _, err := l.Append(e3, 0); !errors.Is(err, ErrPositionInvalid) {
+		t.Fatalf("wrong client err = %v", err)
+	}
+}
+
+func TestReservationExpiryBecomesNoop(t *testing.T) {
+	l := New("edge-1", 2)
+	l.Reserve("c", 1, 50) // expires at t=50
+	l.Append(entry("other", 1), 0)
+	// Before expiry the block must not cut (hole in the prefix).
+	if blk := l.TryCut(10, false); blk != nil {
+		t.Fatal("cut across an unexpired reservation")
+	}
+	blk := l.TryCut(60, false)
+	if blk == nil {
+		t.Fatal("expired reservation blocked the cut")
+	}
+	if !IsNoop(&blk.Entries[0]) {
+		t.Fatalf("expired slot not a no-op: %+v", blk.Entries[0])
+	}
+	if IsNoop(&blk.Entries[1]) {
+		t.Fatal("real entry marked no-op")
+	}
+}
+
+func TestReservedPositionAfterCutRejected(t *testing.T) {
+	l := New("edge-1", 1)
+	l.Reserve("c", 1, 5)
+	blk := l.TryCut(10, false) // reservation expired, cut as no-op
+	if blk == nil {
+		t.Fatal("no cut")
+	}
+	e := entry("c", 1)
+	e.Pos = 1
+	if _, err := l.Append(e, 11); !errors.Is(err, ErrPositionCut) {
+		t.Fatalf("late reserved entry: err = %v", err)
+	}
+}
+
+func TestBlockLookupErrors(t *testing.T) {
+	l := New("edge-1", 1)
+	if _, err := l.Block(0); !errors.Is(err, ErrNoSuchBlock) {
+		t.Fatalf("Block(0) err = %v", err)
+	}
+	if _, err := l.Digest(0); !errors.Is(err, ErrNoSuchBlock) {
+		t.Fatalf("Digest(0) err = %v", err)
+	}
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"wedgechain/internal/sim"
+	"wedgechain/internal/wire"
+)
+
+func TestKeyGenerators(t *testing.T) {
+	u := NewUniformKeys(100, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := u.Next()
+		if !bytes.HasPrefix(k, []byte("k")) || len(k) != 9 {
+			t.Fatalf("key format: %q", k)
+		}
+		seen[string(k)] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("uniform generator visited only %d/100 keys", len(seen))
+	}
+
+	z := NewZipfKeys(1000, 1.2, 1)
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[string(z.Next())]++
+	}
+	if counts[string(KeyName(0))] < 500 {
+		t.Fatalf("zipf head key drawn %d times, expected skew", counts[string(KeyName(0))])
+	}
+
+	s := &SeqKeys{}
+	if string(s.Next()) != "k00000000" || string(s.Next()) != "k00000001" {
+		t.Fatal("sequential generator broken")
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	m := &Metrics{
+		BurstLat: []int64{10e6, 20e6, 30e6},
+		ReadLat:  []int64{1e6},
+		StartAt:  0, EndAt: 2e9,
+		Writes: 300, Reads: 100,
+	}
+	if got := m.MeanBurstLatency(); got != 20 {
+		t.Fatalf("mean burst = %v", got)
+	}
+	if got := m.Throughput(); got != 200 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if got := m.P99BurstLatency(); got != 30 {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+// fakeServer acknowledges batches instantly.
+type fakeServer struct{}
+
+func (s *fakeServer) ID() wire.NodeID { return "server" }
+func (s *fakeServer) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	switch m := env.Msg.(type) {
+	case *wire.CloudPutBatch:
+		var out []wire.Envelope
+		for _, e := range m.Entries {
+			out = append(out, wire.Envelope{
+				From: "server", To: env.From,
+				Msg: &wire.CloudPutResponse{Seq: e.Seq, BID: 0, OK: true},
+			})
+		}
+		return out
+	case *wire.CloudGetRequest:
+		return []wire.Envelope{{From: "server", To: env.From,
+			Msg: &wire.CloudGetResponse{ReqID: m.ReqID, Found: true, Value: []byte("v")}}}
+	}
+	return nil
+}
+func (s *fakeServer) Tick(now int64) []wire.Envelope { return nil }
+
+// fakeConn implements Conn against the fake server.
+type fakeConn struct {
+	id    wire.NodeID
+	seq   uint64
+	reqID uint64
+	puts  map[uint64]*fakeStatus
+	gets  map[uint64]*fakeStatus
+}
+
+type fakeStatus struct{ done bool }
+
+func (s *fakeStatus) Settled() bool { return s.done }
+func (s *fakeStatus) Err() error    { return nil }
+
+func newFakeConn() *fakeConn {
+	return &fakeConn{id: "c1", puts: map[uint64]*fakeStatus{}, gets: map[uint64]*fakeStatus{}}
+}
+
+func (c *fakeConn) ID() wire.NodeID { return c.id }
+func (c *fakeConn) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	switch m := env.Msg.(type) {
+	case *wire.CloudPutResponse:
+		if st := c.puts[m.Seq]; st != nil {
+			st.done = true
+		}
+	case *wire.CloudGetResponse:
+		if st := c.gets[m.ReqID]; st != nil {
+			st.done = true
+		}
+	}
+	return nil
+}
+func (c *fakeConn) Tick(now int64) []wire.Envelope { return nil }
+
+func (c *fakeConn) PutOp(now int64, key, value []byte) (Status, []wire.Envelope) {
+	sts, envs := c.PutBurst(now, [][]byte{key}, [][]byte{value})
+	return sts[0], envs
+}
+
+func (c *fakeConn) PutBurst(now int64, keys, values [][]byte) ([]Status, []wire.Envelope) {
+	batch := &wire.CloudPutBatch{}
+	sts := make([]Status, len(keys))
+	for i := range keys {
+		c.seq++
+		st := &fakeStatus{}
+		c.puts[c.seq] = st
+		sts[i] = st
+		batch.Entries = append(batch.Entries, wire.Entry{Client: c.id, Seq: c.seq, Key: keys[i], Value: values[i]})
+	}
+	return sts, []wire.Envelope{{From: c.id, To: "server", Msg: batch}}
+}
+
+func (c *fakeConn) GetOp(now int64, key []byte) (Status, []wire.Envelope) {
+	c.reqID++
+	st := &fakeStatus{}
+	c.gets[c.reqID] = st
+	return st, []wire.Envelope{{From: c.id, To: "server", Msg: &wire.CloudGetRequest{Key: key, ReqID: c.reqID}}}
+}
+
+func TestDriverRunsMixedRounds(t *testing.T) {
+	conn := newFakeConn()
+	d := NewDriver(Config{
+		WritesPerRound: 5,
+		ReadsPerRound:  3,
+		Rounds:         4,
+		WarmupRounds:   1,
+		Keys:           NewUniformKeys(10, 1),
+		ValueSize:      8,
+	}, conn)
+
+	s := sim.New(sim.Config{
+		TickEvery:   1e6,
+		DefaultLink: sim.Link{Latency: 2e6},
+	})
+	s.Add(&fakeServer{})
+	s.Add(d)
+	if d.Done() {
+		t.Fatal("done before start")
+	}
+	d.Start()
+	if !s.RunWhile(func() bool { return !d.Done() }, 60e9) {
+		t.Fatal("driver never finished")
+	}
+	m := d.Metrics()
+	// Warmup excluded: 4 measured rounds.
+	if m.Writes != 20 || m.Reads != 12 {
+		t.Fatalf("writes=%d reads=%d", m.Writes, m.Reads)
+	}
+	if len(m.BurstLat) != 4 || len(m.ReadLat) != 12 {
+		t.Fatalf("burst=%d readlat=%d", len(m.BurstLat), len(m.ReadLat))
+	}
+	// Burst latency must be at least one round trip (4ms).
+	if m.MeanBurstLatency() < 4 {
+		t.Fatalf("burst latency = %v ms, below RTT", m.MeanBurstLatency())
+	}
+	if m.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestDriverHeldUntilStart(t *testing.T) {
+	conn := newFakeConn()
+	d := NewDriver(Config{WritesPerRound: 1, Rounds: 1, Keys: &SeqKeys{}, ValueSize: 1}, conn)
+	s := sim.New(sim.Config{TickEvery: 1e6})
+	s.Add(&fakeServer{})
+	s.Add(d)
+	s.RunUntil(50e6)
+	if d.Done() || d.Metrics().Writes != 0 {
+		t.Fatal("held driver issued work")
+	}
+	d.Start()
+	if !s.RunWhile(func() bool { return !d.Done() }, 10e9) {
+		t.Fatal("driver never finished after Start")
+	}
+}
+
+func TestDriverReadOnly(t *testing.T) {
+	conn := newFakeConn()
+	d := NewDriver(Config{
+		WritesPerRound: 0,
+		ReadsPerRound:  10,
+		Rounds:         2,
+		Keys:           NewUniformKeys(5, 2),
+		ValueSize:      1,
+	}, conn)
+	s := sim.New(sim.Config{TickEvery: 1e6, DefaultLink: sim.Link{Latency: 1e6}})
+	s.Add(&fakeServer{})
+	s.Add(d)
+	d.Start()
+	if !s.RunWhile(func() bool { return !d.Done() }, 30e9) {
+		t.Fatal("read-only driver never finished")
+	}
+	m := d.Metrics()
+	if m.Reads != 20 || m.Writes != 0 {
+		t.Fatalf("reads=%d writes=%d", m.Reads, m.Writes)
+	}
+}

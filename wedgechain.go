@@ -1,0 +1,137 @@
+// Package wedgechain is a trusted edge-cloud data store with asynchronous
+// (lazy) trust — a from-scratch implementation of "WedgeChain: A Trusted
+// Edge-Cloud Store With Asynchronous (Lazy) Trust" (ICDE 2021).
+//
+// WedgeChain spans untrusted edge nodes and a trusted cloud node. Writes
+// commit at the nearby edge immediately (Phase I commit: the edge's signed
+// response is evidence that convicts it if it lies) and are certified
+// asynchronously by the cloud (Phase II commit: the cloud signs the block
+// digest, and no two clients can ever observe conflicting Phase II state).
+// Certification is data-free — only digests cross the expensive edge-cloud
+// link. A trusted index, LSMerkle (LSM tree × Merkle tree), serves
+// key-value gets from the edge with cryptographic proofs.
+//
+// This package is the embedding façade: it assembles a full cluster
+// (cloud, edges, clients) over an in-process transport and exposes a
+// synchronous client API. The building blocks live under internal/: the
+// protocol state machines (internal/edge, internal/cloud,
+// internal/client), the lazy-certification core (internal/core), the
+// LSMerkle structure (internal/mlsm), the discrete-event evaluation
+// substrate (internal/sim, internal/bench), and the paper's baselines
+// (internal/baseline). The cmd/ binaries deploy the same state machines
+// over TCP.
+//
+// Quickstart:
+//
+//	cluster, _ := wedgechain.NewCluster(wedgechain.Config{Edges: 1, BatchSize: 4})
+//	defer cluster.Close()
+//	c, _ := cluster.NewClient("sensor-1", "edge-1")
+//	receipt, _ := c.Add([]byte("reading: 21.7C"))      // Phase I commit
+//	_ = receipt.WaitPhaseII(5 * time.Second)            // cloud certified
+//	val, found, _, _ := c.Get([]byte("some-key"))       // verified read
+//	_ = val
+//	_ = found
+package wedgechain
+
+import (
+	"time"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/wire"
+)
+
+// Phase re-exports the commit phase vocabulary.
+type Phase = core.Phase
+
+// Commit phases.
+const (
+	PhaseNone = core.PhaseNone
+	PhaseI    = core.PhaseI
+	PhaseII   = core.PhaseII
+)
+
+// Fault re-exports the byzantine fault-injection hooks of the edge node,
+// letting applications and examples demonstrate detection and punishment.
+type Fault = edge.Fault
+
+// NodeID re-exports node identities.
+type NodeID = wire.NodeID
+
+// Block re-exports the log block type returned by reads.
+type Block = wire.Block
+
+// Verdict re-exports the cloud's dispute ruling.
+type Verdict = wire.Verdict
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Edges is the number of edge nodes ("edge-1".."edge-N"). Each edge
+	// owns one partition; clients bind to a single edge (Section III).
+	Edges int
+	// BatchSize is the entries per block (default 100).
+	BatchSize int
+	// FlushEvery force-cuts partial blocks after this idle duration
+	// (default 50ms; 0 keeps the default — use NoFlush to disable).
+	FlushEvery time.Duration
+	// NoFlush disables partial-block flushing.
+	NoFlush bool
+	// L0Threshold, LevelThresholds and PageCap configure LSMerkle
+	// (defaults: 10, [10, 100, 1000], BatchSize).
+	L0Threshold     int
+	LevelThresholds []int
+	PageCap         int
+	// GossipEvery is the cloud's omission-detection gossip period
+	// (default 1s; 0 keeps the default — use NoGossip to disable).
+	GossipEvery time.Duration
+	NoGossip    bool
+	// ProofTimeout is how long clients wait for Phase II before filing
+	// a dispute (default 10s).
+	ProofTimeout time.Duration
+	// FreshnessWindow bounds get staleness (Section V-D); 0 disables.
+	FreshnessWindow time.Duration
+	// SessionConsistency enables the paper's clock-free alternative to
+	// the freshness window (Section V-D): clients remember the newest
+	// snapshot they observed and reject any get served from an older
+	// one, yielding monotonic reads.
+	SessionConsistency bool
+	// Latency injects one-way delay between any two nodes; nil = none.
+	// Use it to emulate WAN topologies in-process.
+	Latency func(from, to NodeID) time.Duration
+	// EdgeFaults makes selected edges byzantine (for demonstrations and
+	// tests of the detect-and-punish machinery).
+	EdgeFaults map[NodeID]*Fault
+}
+
+func (c *Config) fill() {
+	if c.Edges <= 0 {
+		c.Edges = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 50 * time.Millisecond
+	}
+	if c.NoFlush {
+		c.FlushEvery = 0
+	}
+	if c.L0Threshold <= 0 {
+		c.L0Threshold = 10
+	}
+	if len(c.LevelThresholds) == 0 {
+		c.LevelThresholds = []int{10, 100, 1000}
+	}
+	if c.PageCap <= 0 {
+		c.PageCap = c.BatchSize
+	}
+	if c.GossipEvery <= 0 {
+		c.GossipEvery = time.Second
+	}
+	if c.NoGossip {
+		c.GossipEvery = 0
+	}
+	if c.ProofTimeout <= 0 {
+		c.ProofTimeout = 10 * time.Second
+	}
+}
