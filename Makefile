@@ -1,0 +1,37 @@
+# WedgeChain build/test entry points. CI (.github/workflows/ci.yml) runs
+# exactly these targets, so a green local `make ci` means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: every benchmark once (N=1 is exact for the deterministic
+# virtual-time experiments), short mode to skip the heavy preload suites.
+bench:
+	$(GO) test -bench . -benchtime 1x -short -run '^$$' .
+
+# Quick-scale paper tables as a machine-readable CI artifact.
+bench-json:
+	$(GO) run ./cmd/wedge-bench -run all -quick -json BENCH_quick.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench bench-json

@@ -155,6 +155,16 @@ func BenchmarkFig7bEdgeLoc(b *testing.B) {
 	})
 }
 
+// BenchmarkShardScaling regenerates S1: aggregate put throughput vs
+// shard (edge) count — the multi-edge scaling curve.
+func BenchmarkShardScaling(b *testing.B) {
+	runExperiment(b, "S1", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, 0, 1), "wedge_1shard_ops")
+		b.ReportMetric(cell(t, len(t.Rows)-1, 1), "wedge_8shard_ops")
+		b.ReportMetric(cell(t, len(t.Rows)-1, 2), "speedup_8shard_x")
+	})
+}
+
 // BenchmarkSecVIEDataset regenerates Section VI-E: dataset size sweep.
 func BenchmarkSecVIEDataset(b *testing.B) {
 	runExperiment(b, "E1", func(t *bench.Table, b *testing.B) {

@@ -16,6 +16,7 @@ import (
 var (
 	ErrTimeout     = errors.New("wedgechain: operation timed out")
 	ErrEdgeLied    = client.ErrEdgeLied
+	ErrEdgeBanned  = client.ErrEdgeBanned
 	ErrStale       = client.ErrStale
 	ErrUnavailable = client.ErrUnavailable
 )
@@ -29,6 +30,7 @@ var (
 type Receipt struct {
 	mu      sync.Mutex
 	bid     uint64
+	edge    NodeID
 	phase   Phase
 	err     error
 	verdict *Verdict
@@ -56,6 +58,7 @@ func (r *Receipt) snapshot(op *client.Op) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.bid = op.BID
+	r.edge = op.Edge
 	r.phase = op.Phase
 	r.err = op.Err
 	r.verdict = op.Verdict
@@ -70,6 +73,14 @@ func (r *Receipt) BID() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.bid
+}
+
+// Edge returns the shard edge the operation was routed to — the edge
+// whose log holds BID. Pass it to ReadFrom to audit the entry's block.
+func (r *Receipt) Edge() NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.edge
 }
 
 // Phase returns the last published commit phase.
@@ -109,26 +120,55 @@ func (r *Receipt) WaitPhaseII(timeout time.Duration) error {
 // Client is the synchronous application-facing client. All verification
 // (signatures, digests, Merkle proofs, freshness) happens internally; a
 // returned value is a verified value.
+//
+// In a sharded cluster one Client session spans every shard: Put and Get
+// route by key through the cloud-signed shard map, while the
+// position-based log API (Add, AddAt, Reserve, Read) binds to the
+// session's home shard. Each shard's lazy-verify pipeline is independent;
+// Pending exposes the per-shard backlog.
 type Client struct {
 	id      NodeID
 	cluster *Cluster
-	core    *client.Core
+	session *client.Sharded
 
 	// waiters is touched only on the client's transport goroutine.
 	waiters map[*client.Op]*Receipt
 }
 
-func newClient(cluster *Cluster, id NodeID, core *client.Core) *Client {
+func newClient(cluster *Cluster, id NodeID, session *client.Sharded) *Client {
 	return &Client{
 		id:      id,
 		cluster: cluster,
-		core:    core,
+		session: session,
 		waiters: make(map[*client.Op]*Receipt),
 	}
 }
 
 // ID returns the client identity.
 func (c *Client) ID() NodeID { return c.id }
+
+// Shards returns the number of shards this session multiplexes.
+func (c *Client) Shards() int { return c.session.Shards() }
+
+// EdgeFor returns the edge that serves key under the session's shard map.
+func (c *Client) EdgeFor(key []byte) NodeID { return c.session.EdgeFor(key) }
+
+// HomeEdge returns the edge serving this session's position-based log API.
+func (c *Client) HomeEdge() NodeID { return c.session.Home().Edge() }
+
+// Pending reports the number of unsettled operations per shard edge —
+// one shard's backlog (or conviction) is visible without conflating it
+// with its siblings.
+func (c *Client) Pending() (map[NodeID]int, error) {
+	ch := make(chan map[NodeID]int, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		ch <- c.session.Pending()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return <-ch, nil
+}
 
 // do runs fn on the client's transport goroutine.
 func (c *Client) do(fn func(now int64) []wire.Envelope) error {
@@ -140,6 +180,20 @@ func (c *Client) do(fn func(now int64) []wire.Envelope) error {
 
 func (c *Client) register(op *client.Op) *Receipt {
 	r := newReceipt()
+	if op.Done {
+		// The op settled during launch — e.g. it was routed to a shard
+		// whose edge is already convicted. Signal the receipt directly;
+		// the callbacks fired before registration.
+		r.snapshot(op)
+		if op.Phase >= PhaseI {
+			close(r.phase1)
+		}
+		if op.Phase >= PhaseII {
+			close(r.phase2)
+		}
+		close(r.settled)
+		return r
+	}
 	c.waiters[op] = r
 	return r
 }
@@ -193,7 +247,7 @@ func (c *Client) startWrite(launch func(now int64) (*client.Op, []wire.Envelope)
 // Add appends a payload to the edge log, returning after Phase I commit.
 func (c *Client) Add(payload []byte) (*Receipt, error) {
 	return c.startWrite(func(now int64) (*client.Op, []wire.Envelope) {
-		return c.core.Add(now, payload)
+		return c.session.Add(now, payload)
 	}, 30*time.Second)
 }
 
@@ -201,14 +255,14 @@ func (c *Client) Add(payload []byte) (*Receipt, error) {
 // Phase I commit.
 func (c *Client) Put(key, value []byte) (*Receipt, error) {
 	return c.startWrite(func(now int64) (*client.Op, []wire.Envelope) {
-		return c.core.Put(now, key, value)
+		return c.session.Put(now, key, value)
 	}, 30*time.Second)
 }
 
 // AddAt appends a payload signed for a previously reserved position.
 func (c *Client) AddAt(payload []byte, pos uint64) (*Receipt, error) {
 	return c.startWrite(func(now int64) (*client.Op, []wire.Envelope) {
-		return c.core.AddAt(now, payload, pos)
+		return c.session.AddAt(now, payload, pos)
 	}, 30*time.Second)
 }
 
@@ -216,37 +270,62 @@ func (c *Client) AddAt(payload []byte, pos uint64) (*Receipt, error) {
 // (Section IV-E).
 func (c *Client) Reserve(count uint32, timeout time.Duration) (uint64, error) {
 	ch := make(chan uint64, 1)
+	banned := make(chan struct{}, 1)
 	if err := c.do(func(now int64) []wire.Envelope {
-		c.core.SetReserveHandler(func(start uint64, n uint32) {
+		if c.session.Home().Banned() != nil {
+			banned <- struct{}{}
+			return nil
+		}
+		c.session.SetReserveHandler(func(start uint64, n uint32) {
 			select {
 			case ch <- start:
 			default:
 			}
 		})
-		return c.core.Reserve(now, count)
+		return c.session.Reserve(now, count)
 	}); err != nil {
 		return 0, err
 	}
 	select {
 	case start := <-ch:
 		return start, nil
+	case <-banned:
+		return 0, ErrEdgeBanned
 	case <-time.After(timeout):
 		return 0, ErrTimeout
 	}
 }
 
-// Read fetches block bid with its proof, blocking until the read settles
-// (Phase II, a verified denial, or a terminal error).
+// Read fetches block bid from the session's home-shard log with its
+// proof, blocking until the read settles (Phase II, a verified denial,
+// or a terminal error).
 func (c *Client) Read(bid uint64, timeout time.Duration) (*Block, Phase, error) {
+	return c.ReadFrom(c.HomeEdge(), bid, timeout)
+}
+
+// ReadFrom fetches block bid from a specific shard's log. Read addresses
+// the session's home shard; ReadFrom lets auditors walk any shard's
+// chain.
+func (c *Client) ReadFrom(edgeID NodeID, bid uint64, timeout time.Duration) (*Block, Phase, error) {
 	ch := make(chan *Receipt, 1)
+	errCh := make(chan error, 1)
 	if err := c.do(func(now int64) []wire.Envelope {
-		op, envs := c.core.Read(now, bid)
+		op, envs, err := c.session.ReadFrom(now, edgeID, bid)
+		if err != nil {
+			errCh <- err
+			return nil
+		}
 		ch <- c.register(op)
 		return envs
 	}); err != nil {
 		return nil, PhaseNone, err
 	}
-	r := <-ch
+	var r *Receipt
+	select {
+	case err := <-errCh:
+		return nil, PhaseNone, err
+	case r = <-ch:
+	}
 	select {
 	case <-r.settled:
 	case <-time.After(timeout):
@@ -264,7 +343,7 @@ func (c *Client) Read(bid uint64, timeout time.Duration) (*Block, Phase, error) 
 func (c *Client) Get(key []byte) (value []byte, found bool, phase Phase, err error) {
 	ch := make(chan *Receipt, 1)
 	if err := c.do(func(now int64) []wire.Envelope {
-		op, envs := c.core.Get(now, key)
+		op, envs := c.session.Get(now, key)
 		ch <- c.register(op)
 		return envs
 	}); err != nil {

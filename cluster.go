@@ -8,6 +8,7 @@ import (
 	"wedgechain/internal/client"
 	"wedgechain/internal/cloud"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/shard"
 	"wedgechain/internal/transport"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
@@ -26,6 +27,11 @@ type Cluster struct {
 	cfg Config
 	reg *wcrypto.Registry
 	net *transport.Local
+
+	// shardMap routes keys across the first cfg.Shards edges; wireMap is
+	// its cloud-signed serialization, verified by every client session.
+	shardMap *shard.Map
+	wireMap  *wire.ShardMap
 
 	mu      sync.Mutex
 	keys    map[NodeID]wcrypto.KeyPair
@@ -94,6 +100,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.edges[id] = en
 		c.net.Add(en)
 	}
+
+	// The shard map spans the first cfg.Shards edges. The cloud signs it
+	// so clients can verify their routing table came from the trusted
+	// party, not from an edge steering traffic toward itself.
+	sm, err := shard.New(edgeIDs[:cfg.Shards])
+	if err != nil {
+		return nil, err
+	}
+	c.shardMap = sm
+	c.wireMap = sm.Wire(1)
+	c.wireMap.CloudSig = wcrypto.SignMsg(ck, c.wireMap)
 	return c, nil
 }
 
@@ -140,20 +157,91 @@ func (c *Cluster) Verdicts() []Verdict {
 	return <-ch
 }
 
-// NewClient creates an authenticated client bound to edgeID's partition.
+// VerdictsFor returns the guilty verdicts issued against one edge — in a
+// sharded cluster, the conviction history of that shard alone.
+func (c *Cluster) VerdictsFor(edgeID NodeID) []Verdict {
+	ch := make(chan []Verdict, 1)
+	if !c.net.Do(CloudID, func(now int64) []wire.Envelope {
+		ch <- c.cloud.VerdictsFor(edgeID)
+		return nil
+	}) {
+		return nil
+	}
+	return <-ch
+}
+
+// Shards returns the cluster's shard count.
+func (c *Cluster) Shards() int { return c.shardMap.Shards() }
+
+// ShardMap returns the cloud-signed shard map distributed to clients.
+func (c *Cluster) ShardMap() *wire.ShardMap { return c.wireMap }
+
+// EdgeStats returns one edge node's operational counters, read on that
+// edge's own goroutine. In a sharded cluster this is the per-shard view:
+// writes, blocks cut, certifications, reads, and merges for that shard
+// alone.
+func (c *Cluster) EdgeStats(edgeID NodeID) (edge.Stats, error) {
+	c.mu.Lock()
+	en, ok := c.edges[edgeID]
+	c.mu.Unlock()
+	if !ok {
+		return edge.Stats{}, fmt.Errorf("wedgechain: unknown edge %q (have edge-1..edge-%d)", edgeID, c.cfg.Edges)
+	}
+	ch := make(chan edge.Stats, 1)
+	if !c.net.Do(edgeID, func(now int64) []wire.Envelope {
+		ch <- en.Stats()
+		return nil
+	}) {
+		return edge.Stats{}, fmt.Errorf("wedgechain: cluster closed")
+	}
+	return <-ch, nil
+}
+
+// NewClient creates an authenticated client session.
+//
+// With Shards <= 1 the session binds to edgeID's partition exactly as in
+// the paper (an empty edgeID defaults to edge-1). With Shards > 1 the
+// session ignores the binding and routes through the shard map instead:
+// one session multiplexes every shard, with Put/Get routed by key and the
+// log API bound to the session's home shard. A non-empty edgeID must name
+// an existing edge in either mode.
 func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("wedgechain: cluster closed")
 	}
+	if edgeID == "" {
+		edgeID = EdgeID(1)
+	}
 	if _, ok := c.edges[edgeID]; !ok {
-		return nil, fmt.Errorf("wedgechain: unknown edge %q", edgeID)
+		return nil, fmt.Errorf("wedgechain: unknown edge %q (have edge-1..edge-%d)", edgeID, c.cfg.Edges)
 	}
 	id := NodeID(name)
 	if _, dup := c.clients[id]; dup {
 		return nil, fmt.Errorf("wedgechain: duplicate client %q", name)
 	}
+
+	// Trust the routing table only after checking the cloud's signature
+	// on the shard map — an edge must not be able to steer keys.
+	var ring *shard.Map
+	if c.cfg.Shards > 1 {
+		if err := wcrypto.VerifyMsg(c.reg, CloudID, c.wireMap, c.wireMap.CloudSig); err != nil {
+			return nil, fmt.Errorf("wedgechain: shard map signature: %w", err)
+		}
+		var err error
+		ring, err = shard.FromWire(c.wireMap)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		ring, err = shard.New([]NodeID{edgeID})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	k, err := wcrypto.GenerateKey(id)
 	if err != nil {
 		return nil, err
@@ -161,23 +249,33 @@ func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
 	c.keys[id] = k
 	c.reg.Register(id, k.Pub)
 
-	core := client.New(client.Config{
+	session := client.NewSharded(client.Config{
 		ID:              id,
-		Edge:            edgeID,
 		Cloud:           CloudID,
 		ProofTimeout:    c.cfg.ProofTimeout.Nanoseconds(),
 		FreshnessWindow: c.cfg.FreshnessWindow.Nanoseconds(),
 		Session:         c.cfg.SessionConsistency,
-	}, k, c.reg)
-	cl := newClient(c, id, core)
-	core.OnPhaseI = cl.onPhaseI
-	core.OnPhaseII = cl.onPhaseII
-	core.OnDone = cl.onDone
+	}, ring, k, c.reg)
+	cl := newClient(c, id, session)
+	for _, core := range session.Cores() {
+		core.OnPhaseI = cl.onPhaseI
+		core.OnPhaseII = cl.onPhaseII
+		core.OnDone = cl.onDone
+	}
 	c.clients[id] = cl
 	c.net.Add(&clientHandler{cl})
 	c.net.Do(CloudID, func(now int64) []wire.Envelope {
 		c.cloud.AddGossipTarget(id)
-		return nil
+		// Replay existing convictions to the new session: the verdict
+		// broadcast at conviction time predates this client, and banned
+		// edges are excluded from gossip, so without this a late joiner
+		// would keep trusting an already-frozen shard.
+		var out []wire.Envelope
+		for _, v := range c.cloud.Punishments().Verdicts() {
+			v := v
+			out = append(out, wire.Envelope{From: CloudID, To: id, Msg: &v})
+		}
+		return out
 	})
 	return cl, nil
 }
@@ -188,6 +286,6 @@ type clientHandler struct{ c *Client }
 
 func (h *clientHandler) ID() wire.NodeID { return h.c.id }
 func (h *clientHandler) Receive(now int64, env wire.Envelope) []wire.Envelope {
-	return h.c.core.Receive(now, env)
+	return h.c.session.Receive(now, env)
 }
-func (h *clientHandler) Tick(now int64) []wire.Envelope { return h.c.core.Tick(now) }
+func (h *clientHandler) Tick(now int64) []wire.Envelope { return h.c.session.Tick(now) }

@@ -1,14 +1,18 @@
 // Command wedge-bench regenerates the paper's evaluation: every table and
-// figure of Section VI plus the ablations in DESIGN.md.
+// figure of Section VI plus the ablations in DESIGN.md and the shard
+// scaling curve (S1).
 //
 // Usage:
 //
 //	wedge-bench -list
 //	wedge-bench -run F4a            # one experiment, full scale
 //	wedge-bench -run all -quick     # everything, reduced rounds
+//	wedge-bench -run S1 -json -     # machine-readable results on stdout
+//	wedge-bench -run all -quick -json bench.json   # CI artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +21,32 @@ import (
 	"wedgechain/internal/bench"
 )
 
+// jsonResult is one experiment's machine-readable output.
+type jsonResult struct {
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
+	WallSeconds float64    `json:"wall_seconds"`
+}
+
+// jsonReport is the top-level -json document, a stable schema suitable
+// for CI artifacts and trajectory files.
+type jsonReport struct {
+	Schema     string       `json:"schema"`
+	Scale      string       `json:"scale"`
+	StartedAt  string       `json:"started_at"`
+	Experiment string       `json:"experiment"`
+	Results    []jsonResult `json:"results"`
+}
+
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "reduced rounds for a fast pass")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced rounds for a fast pass")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath = flag.String("json", "", "write machine-readable results to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -32,27 +57,65 @@ func main() {
 		return
 	}
 	scale := bench.Full
+	scaleName := "full"
 	if *quick {
 		scale = bench.Quick
+		scaleName = "quick"
+	}
+
+	report := jsonReport{
+		Schema:     "wedge-bench/v1",
+		Scale:      scaleName,
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		Experiment: *run,
+	}
+	// Human-readable tables go to stdout unless stdout is the JSON sink.
+	tablesOut := os.Stdout
+	if *jsonPath == "-" {
+		tablesOut = os.Stderr
 	}
 
 	runOne := func(id string, fn func(bench.Scale) *bench.Table) {
 		start := time.Now()
 		t := fn(scale)
-		t.Print(os.Stdout)
-		fmt.Printf("  [%s completed in %.1fs wall time]\n", id, time.Since(start).Seconds())
+		wall := time.Since(start).Seconds()
+		t.Print(tablesOut)
+		fmt.Fprintf(tablesOut, "  [%s completed in %.1fs wall time]\n", id, wall)
+		report.Results = append(report.Results, jsonResult{
+			ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+			Notes: t.Notes, WallSeconds: wall,
+		})
 	}
 
 	if *run == "all" {
 		for _, e := range bench.Experiments {
 			runOne(e.ID, e.Fn)
 		}
+	} else {
+		fn, ok := bench.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(1)
+		}
+		runOne(*run, fn)
+	}
+
+	if *jsonPath == "" {
 		return
 	}
-	fn, ok := bench.Lookup(*run)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encoding results: %v\n", err)
 		os.Exit(1)
 	}
-	runOne(*run, fn)
+	blob = append(blob, '\n')
+	if *jsonPath == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(tablesOut, "wrote %s (%d experiments)\n", *jsonPath, len(report.Results))
 }

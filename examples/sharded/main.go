@@ -1,0 +1,139 @@
+// Sharded-keyspace demonstration: WedgeChain keeps the cloud off the
+// write critical path, so throughput scales by adding edge nodes. This
+// example stands up a 4-shard cluster, shows keys routing
+// deterministically across all four edges, and then convicts one
+// tampering shard while its siblings keep committing — the per-shard
+// isolation the lazy-trust design makes natural.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"wedgechain"
+)
+
+func main() {
+	demoRouting()
+	demoConvictionIsolation()
+}
+
+// demoRouting: one client session spans all four shards; puts spread by
+// key hash and every edge ends up owning part of the keyspace.
+func demoRouting() {
+	fmt.Println("== Sharded routing across 4 edges ==")
+	cluster, err := wedgechain.NewCluster(wedgechain.Config{Shards: 4, BatchSize: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	c, err := cluster.NewClient("sensor-1", "") // shard-routed session
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  session spans %d shards; home shard for log ops: %s\n", c.Shards(), c.HomeEdge())
+
+	var receipts []*wedgechain.Receipt
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("reading/%d", i)
+		r, err := c.Put([]byte(key), []byte(fmt.Sprintf("21.%dC", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		receipts = append(receipts, r)
+		if i < 4 {
+			fmt.Printf("  %-12s -> %s\n", key, c.EdgeFor([]byte(key)))
+		}
+	}
+	for _, r := range receipts {
+		if err := r.WaitPhaseII(10 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		st, err := cluster.EdgeStats(wedgechain.EdgeID(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: %d writes, %d blocks cut\n", wedgechain.EdgeID(i), st.Writes, st.BlocksCut)
+	}
+}
+
+// demoConvictionIsolation: shard edge-2 tampers; its client write is
+// convicted by its own evidence, while the three sibling shards keep
+// committing through Phase II.
+func demoConvictionIsolation() {
+	fmt.Println("== One shard convicted, siblings live ==")
+	cluster, err := wedgechain.NewCluster(wedgechain.Config{
+		Shards:       4,
+		BatchSize:    2,
+		ProofTimeout: 300 * time.Millisecond,
+		EdgeFaults: map[wedgechain.NodeID]*wedgechain.Fault{
+			wedgechain.EdgeID(2): {TamperAddVictim: "victim"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	c, err := cluster.NewClient("victim", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a key owned by the tampering shard and one per honest shard.
+	keyFor := func(edge wedgechain.NodeID) []byte {
+		for i := 0; ; i++ {
+			k := []byte(fmt.Sprintf("key-%d", i))
+			if c.EdgeFor(k) == edge {
+				return k
+			}
+		}
+	}
+
+	r, err := c.Put(keyFor(wedgechain.EdgeID(2)), []byte("precious"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.WaitPhaseII(15 * time.Second); errors.Is(err, wedgechain.ErrEdgeLied) {
+		fmt.Println("  edge-2 lied; evidence convicted it")
+	} else {
+		log.Fatalf("expected ErrEdgeLied, got %v", err)
+	}
+	for {
+		if reason, punished := cluster.Punished(wedgechain.EdgeID(2)); punished {
+			fmt.Printf("  verdict: %s banned (%s)\n", wedgechain.EdgeID(2), reason)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for _, i := range []int{1, 3, 4} {
+		edge := wedgechain.EdgeID(i)
+		r, err := c.Put(keyFor(edge), []byte("business-as-usual"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WaitPhaseII(10 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: Phase II commit after sibling conviction\n", edge)
+	}
+	// The session saw the guilty verdict: operations routed to the
+	// convicted shard now fail immediately instead of waiting out a
+	// proof timeout.
+	if _, err := c.Put(keyFor(wedgechain.EdgeID(2)), []byte("late")); errors.Is(err, wedgechain.ErrEdgeBanned) {
+		fmt.Println("  edge-2: further writes fail fast with ErrEdgeBanned")
+	} else {
+		log.Fatalf("expected ErrEdgeBanned, got %v", err)
+	}
+	fmt.Printf("  verdicts against edge-2: %d; against siblings: %d\n",
+		len(cluster.VerdictsFor(wedgechain.EdgeID(2))),
+		len(cluster.VerdictsFor(wedgechain.EdgeID(1)))+
+			len(cluster.VerdictsFor(wedgechain.EdgeID(3)))+
+			len(cluster.VerdictsFor(wedgechain.EdgeID(4))))
+}

@@ -1,0 +1,3 @@
+module wedgechain
+
+go 1.22

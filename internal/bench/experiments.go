@@ -522,6 +522,7 @@ var Experiments = []struct {
 	{"F7a", Fig7aCloudLoc, "Figure 7(a): latency vs cloud location"},
 	{"F7b", Fig7bEdgeLoc, "Figure 7(b): latency vs edge location"},
 	{"E1", SecVIEDataset, "Section VI-E: dataset size sweep"},
+	{"S1", ShardScaling, "Shard scaling: put throughput vs edge count"},
 	{"A1", AblationDataFree, "Ablation: data-free certification"},
 	{"A2", AblationGossip, "Ablation: gossip period vs omission detection"},
 	{"A3", AblationBaselineIndex, "Ablation: Edge-baseline index policy"},

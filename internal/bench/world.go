@@ -8,6 +8,7 @@ import (
 	"wedgechain/internal/client"
 	"wedgechain/internal/cloud"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/shard"
 	"wedgechain/internal/sim"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
@@ -34,7 +35,12 @@ var AllSystems = []System{Wedge, CloudOnly, EdgeBase}
 
 // WorldCfg describes one experimental setup.
 type WorldCfg struct {
-	System    System
+	System System
+	// Shards spreads the keyspace across this many edge nodes
+	// (WedgeChain only; the baselines have no sharding story). Each
+	// client session multiplexes every shard, routing puts and gets by
+	// key. 0 or 1 reproduces the paper's single-edge deployment.
+	Shards    int
 	Clients   int
 	Batch     int
 	ValueSize int
@@ -52,6 +58,11 @@ type WorldCfg struct {
 	// use the paper's configuration (10, 10, 100, 1000).
 	L0Threshold     int
 	LevelThresholds []int
+	// FlushEvery force-cuts partial edge blocks after this idle period
+	// (virtual ns; 0 disables). Sharded worlds need it: a burst of B
+	// writes splits into sub-batches of roughly B/Shards entries, which
+	// would otherwise never fill a block.
+	FlushEvery int64
 	// Gossip and Freshness configure the cloud gossip period and the
 	// client freshness window (0 = off).
 	Gossip    int64
@@ -64,6 +75,9 @@ type WorldCfg struct {
 }
 
 func (c *WorldCfg) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Clients <= 0 {
 		c.Clients = 1
 	}
@@ -96,10 +110,15 @@ type World struct {
 	Sim     *sim.Sim
 	Drivers []*workload.Driver
 	// WedgeClients exposes the protocol client cores (WedgeChain only)
-	// for Phase I/II instrumentation.
+	// for Phase I/II instrumentation — one per client per shard, in
+	// client-major order.
 	WedgeClients []*client.Core
-	// EdgeNode / CloudNode are set for the WedgeChain system.
+	// WedgeSessions exposes the per-client sharded sessions.
+	WedgeSessions []*client.Sharded
+	// EdgeNode / CloudNode are set for the WedgeChain system. EdgeNode
+	// is the first shard's edge; EdgeNodes lists all of them.
 	EdgeNode  *edge.Node
+	EdgeNodes []*edge.Node
 	CloudNode *cloud.Node
 
 	roles       map[wire.NodeID]Role
@@ -113,14 +132,26 @@ const (
 
 func clientID(i int) wire.NodeID { return wire.NodeID(fmt.Sprintf("c%d", i+1)) }
 
+func shardEdgeID(i int) wire.NodeID { return wire.NodeID(fmt.Sprintf("edge-%d", i+1)) }
+
 // BuildWorld constructs the system, topology and drivers for cfg.
 func BuildWorld(cfg WorldCfg) *World {
 	cfg.fill()
-	w := &World{Cfg: cfg, roles: map[wire.NodeID]Role{cloudID: RCloud, edgeID: REdge}}
+	if cfg.System != Wedge {
+		// The baselines have no sharding story; they keep one edge.
+		cfg.Shards = 1
+	}
+	w := &World{Cfg: cfg, roles: map[wire.NodeID]Role{cloudID: RCloud}}
+
+	edgeIDs := make([]wire.NodeID, cfg.Shards)
+	for i := range edgeIDs {
+		edgeIDs[i] = shardEdgeID(i)
+		w.roles[edgeIDs[i]] = REdge
+	}
 
 	reg := wcrypto.NewRegistry()
 	keys := map[wire.NodeID]wcrypto.KeyPair{}
-	ids := []wire.NodeID{cloudID, edgeID}
+	ids := append([]wire.NodeID{cloudID}, edgeIDs...)
 	for i := 0; i < cfg.Clients; i++ {
 		ids = append(ids, clientID(i))
 	}
@@ -133,16 +164,23 @@ func BuildWorld(cfg WorldCfg) *World {
 		w.roles[clientID(i)] = RClient
 	}
 
-	// Topology: directional links per role pair.
+	// Topology: directional links per role pair. Every shard edge sits
+	// in the same datacenter as the paper's single edge; clients reach
+	// all of them and the cloud coordinates with each over the tight
+	// edge-cloud channel.
 	links := map[[2]wire.NodeID]sim.Link{}
 	addPair := func(a, b wire.NodeID, da, db DC, bw float64) {
 		links[[2]wire.NodeID{a, b}] = linkFor(da, db, bw)
 		links[[2]wire.NodeID{b, a}] = linkFor(db, da, bw)
 	}
-	addPair(edgeID, cloudID, cfg.Place.Edge, cfg.Place.Cloud, coordBW)
+	for _, eid := range edgeIDs {
+		addPair(eid, cloudID, cfg.Place.Edge, cfg.Place.Cloud, coordBW)
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		cid := clientID(i)
-		addPair(cid, edgeID, cfg.Place.Client, cfg.Place.Edge, wanBW)
+		for _, eid := range edgeIDs {
+			addPair(cid, eid, cfg.Place.Client, cfg.Place.Edge, wanBW)
+		}
 		addPair(cid, cloudID, cfg.Place.Client, cfg.Place.Cloud, wanBW)
 	}
 
@@ -159,16 +197,22 @@ func BuildWorld(cfg WorldCfg) *World {
 		gossipTo = append(gossipTo, clientID(i))
 	}
 
+	ring, err := shard.New(edgeIDs)
+	if err != nil {
+		panic(err) // unreachable: ids are distinct by construction
+	}
+
 	mkConn := func(i int) workload.Conn {
 		cid := clientID(i)
 		switch cfg.System {
 		case Wedge:
-			cc := client.New(client.Config{
-				ID: cid, Edge: edgeID, Cloud: cloudID,
+			s := client.NewSharded(client.Config{
+				ID: cid, Cloud: cloudID,
 				FreshnessWindow: cfg.Freshness,
-			}, keys[cid], reg)
-			w.WedgeClients = append(w.WedgeClients, cc)
-			return workload.WedgeConn{Core: cc}
+			}, ring, keys[cid], reg)
+			w.WedgeSessions = append(w.WedgeSessions, s)
+			w.WedgeClients = append(w.WedgeClients, s.Cores()...)
+			return workload.ShardedConn{Sharded: s}
 		case CloudOnly:
 			return workload.CloudOnlyConn{Client: cloudonly.NewClient(cid, cloudID, keys[cid])}
 		default:
@@ -185,17 +229,22 @@ func BuildWorld(cfg WorldCfg) *World {
 			GossipEvery: cfg.Gossip,
 			GossipTo:    gossipTo,
 		}, keys[cloudID], reg)
-		w.EdgeNode = edge.New(edge.Config{
-			ID:              edgeID,
-			Cloud:           cloudID,
-			BatchSize:       cfg.Batch,
-			L0Threshold:     cfg.L0Threshold,
-			LevelThresholds: cfg.LevelThresholds,
-			PageCap:         cfg.Batch,
-			FullDataCert:    cfg.FullDataCert,
-		}, keys[edgeID], reg)
+		for _, eid := range edgeIDs {
+			en := edge.New(edge.Config{
+				ID:              eid,
+				Cloud:           cloudID,
+				BatchSize:       cfg.Batch,
+				FlushEvery:      cfg.FlushEvery,
+				L0Threshold:     cfg.L0Threshold,
+				LevelThresholds: cfg.LevelThresholds,
+				PageCap:         cfg.Batch,
+				FullDataCert:    cfg.FullDataCert,
+			}, keys[eid], reg)
+			w.EdgeNodes = append(w.EdgeNodes, en)
+			w.Sim.Add(en)
+		}
+		w.EdgeNode = w.EdgeNodes[0]
 		w.Sim.Add(w.CloudNode)
-		w.Sim.Add(w.EdgeNode)
 	case CloudOnly:
 		w.Sim.Add(cloudonly.NewServer(cloudonly.ServerConfig{ID: cloudID, BatchSize: cfg.Batch}, reg))
 	case EdgeBase:
@@ -328,8 +377,14 @@ func (w *World) Throughput() float64 {
 }
 
 // EdgeCloudBytes reports bytes moved on the edge-cloud coordination
-// channel in both directions (the data-free certification savings metric).
+// channel in both directions (the data-free certification savings
+// metric), summed over every shard's edge.
 func (w *World) EdgeCloudBytes() uint64 {
 	lb := w.Sim.Stats().LinkBytes
-	return lb[[2]wire.NodeID{edgeID, cloudID}] + lb[[2]wire.NodeID{cloudID, edgeID}]
+	var total uint64
+	for i := 0; i < w.Cfg.Shards; i++ {
+		eid := shardEdgeID(i)
+		total += lb[[2]wire.NodeID{eid, cloudID}] + lb[[2]wire.NodeID{cloudID, eid}]
+	}
+	return total
 }

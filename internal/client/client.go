@@ -32,6 +32,11 @@ var (
 	// ErrEdgeLied reports an operation whose evidence contradicts the
 	// certified state; a dispute was filed.
 	ErrEdgeLied = errors.New("client: edge served content contradicting certification")
+	// ErrEdgeBanned reports an operation routed to an edge the cloud has
+	// convicted. Once a guilty verdict for the edge reaches the client,
+	// in-flight and subsequent operations on that edge fail immediately
+	// instead of waiting out a proof that can never arrive.
+	ErrEdgeBanned = errors.New("client: edge was convicted and banned")
 	// ErrBadResponse reports a response that failed local verification.
 	ErrBadResponse = errors.New("client: response failed verification")
 	// ErrRegression reports a get served from a snapshot older than one
@@ -71,8 +76,9 @@ func (k Kind) String() string {
 // Figure 6 commit-rate curves.
 type Op struct {
 	Kind  Kind
-	Seq   uint64 // entry seq for writes
-	ReqID uint64 // correlation id for reads/gets
+	Seq   uint64      // entry seq for writes
+	ReqID uint64      // correlation id for reads/gets
+	Edge  wire.NodeID // edge the operation was routed to
 	Key   []byte
 	Value []byte
 
@@ -161,7 +167,9 @@ type Core struct {
 
 	onReserve Reservations
 
-	stats Stats
+	pending int           // started ops not yet settled
+	banned  *wire.Verdict // guilty verdict against my edge, once known
+	stats   Stats
 }
 
 // Stats are client counters.
@@ -192,8 +200,29 @@ func (c *Core) ID() wire.NodeID { return c.cfg.ID }
 // Stats returns a copy of the client's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// Edge returns the edge this core is bound to.
+func (c *Core) Edge() wire.NodeID { return c.cfg.Edge }
+
+// Pending reports the number of started operations that have not yet
+// settled (reached Phase II, a verified result, or a terminal error).
+func (c *Core) Pending() int { return c.pending }
+
 // Gossip returns the latest cloud gossip seen for this client's edge.
 func (c *Core) Gossip() *wire.Gossip { return c.gossip }
+
+// Banned returns the guilty verdict against this core's edge, or nil
+// while the edge is in good standing.
+func (c *Core) Banned() *wire.Verdict { return c.banned }
+
+// launchBanned settles a would-be operation immediately: the edge is
+// convicted, so no entry is signed, no request is sent, and no tracking
+// state is kept.
+func (c *Core) launchBanned(op *Op) (*Op, []wire.Envelope) {
+	c.pending++
+	op.Verdict = c.banned
+	c.settle(op, ErrEdgeBanned)
+	return op, nil
+}
 
 // makeEntry builds and signs an entry.
 func (c *Core) makeEntry(now int64, key, value []byte, pos uint64) wire.Entry {
@@ -223,29 +252,45 @@ func (c *Core) AddAt(now int64, payload []byte, pos uint64) (*Op, []wire.Envelop
 }
 
 func (c *Core) addAt(now int64, payload []byte, pos uint64) (*Op, []wire.Envelope) {
+	if c.banned != nil {
+		return c.launchBanned(&Op{Kind: KindAdd, Edge: c.cfg.Edge, Value: payload, StartedAt: now})
+	}
 	e := c.makeEntry(now, nil, payload, pos)
-	op := &Op{Kind: KindAdd, Seq: e.Seq, Value: payload, StartedAt: now}
+	op := &Op{Kind: KindAdd, Seq: e.Seq, Edge: c.cfg.Edge, Value: payload, StartedAt: now}
 	c.bySeq[e.Seq] = op
+	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.AddRequest{Entry: e, WantBlock: true}}}
 }
 
 // Put starts a key-value write through the LSMerkle index.
 func (c *Core) Put(now int64, key, value []byte) (*Op, []wire.Envelope) {
+	if c.banned != nil {
+		return c.launchBanned(&Op{Kind: KindPut, Edge: c.cfg.Edge, Key: key, Value: value, StartedAt: now})
+	}
 	e := c.makeEntry(now, key, value, 0)
-	op := &Op{Kind: KindPut, Seq: e.Seq, Key: key, Value: value, StartedAt: now}
+	op := &Op{Kind: KindPut, Seq: e.Seq, Edge: c.cfg.Edge, Key: key, Value: value, StartedAt: now}
 	c.bySeq[e.Seq] = op
+	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.PutRequest{Entry: e}}}
 }
 
 // PutBatch starts a batch of key-value writes carried in one request —
 // the paper's batched submission mode. One Op is returned per pair.
 func (c *Core) PutBatch(now int64, keys, values [][]byte) ([]*Op, []wire.Envelope) {
-	batch := &wire.PutBatch{Entries: make([]wire.Entry, 0, len(keys))}
 	ops := make([]*Op, 0, len(keys))
+	if c.banned != nil {
+		for i := range keys {
+			op, _ := c.launchBanned(&Op{Kind: KindPut, Edge: c.cfg.Edge, Key: keys[i], Value: values[i], StartedAt: now})
+			ops = append(ops, op)
+		}
+		return ops, nil
+	}
+	batch := &wire.PutBatch{Entries: make([]wire.Entry, 0, len(keys))}
 	for i := range keys {
 		e := c.makeEntry(now, keys[i], values[i], 0)
-		op := &Op{Kind: KindPut, Seq: e.Seq, Key: keys[i], Value: values[i], StartedAt: now}
+		op := &Op{Kind: KindPut, Seq: e.Seq, Edge: c.cfg.Edge, Key: keys[i], Value: values[i], StartedAt: now}
 		c.bySeq[e.Seq] = op
+		c.pending++
 		ops = append(ops, op)
 		batch.Entries = append(batch.Entries, e)
 	}
@@ -254,23 +299,36 @@ func (c *Core) PutBatch(now int64, keys, values [][]byte) ([]*Op, []wire.Envelop
 
 // Read starts a block read.
 func (c *Core) Read(now int64, bid uint64) (*Op, []wire.Envelope) {
+	if c.banned != nil {
+		return c.launchBanned(&Op{Kind: KindRead, Edge: c.cfg.Edge, BID: bid, StartedAt: now})
+	}
 	c.reqID++
-	op := &Op{Kind: KindRead, ReqID: c.reqID, BID: bid, StartedAt: now}
+	op := &Op{Kind: KindRead, ReqID: c.reqID, Edge: c.cfg.Edge, BID: bid, StartedAt: now}
 	c.byReq[c.reqID] = op
+	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.ReadRequest{BID: bid, ReqID: c.reqID}}}
 }
 
 // Get starts a key-value lookup.
 func (c *Core) Get(now int64, key []byte) (*Op, []wire.Envelope) {
+	if c.banned != nil {
+		return c.launchBanned(&Op{Kind: KindGet, Edge: c.cfg.Edge, Key: key, StartedAt: now})
+	}
 	c.reqID++
-	op := &Op{Kind: KindGet, ReqID: c.reqID, Key: key, StartedAt: now}
+	op := &Op{Kind: KindGet, ReqID: c.reqID, Edge: c.cfg.Edge, Key: key, StartedAt: now}
 	c.byReq[c.reqID] = op
+	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.GetRequest{Key: key, ReqID: c.reqID}}}
 }
 
 // Reserve asks the edge for count reserved log positions. The response is
-// surfaced through OnReserve.
+// surfaced through OnReserve. A convicted edge's chain is frozen, so no
+// request is sent once the edge is banned — callers should check Banned
+// rather than wait out the reservation timeout.
 func (c *Core) Reserve(now int64, count uint32) []wire.Envelope {
+	if c.banned != nil {
+		return nil
+	}
 	c.reqID++
 	m := &wire.ReserveRequest{Client: c.cfg.ID, Count: count, ReqID: c.reqID}
 	m.ClientSig = wcrypto.SignMsg(c.key, m)
@@ -302,6 +360,11 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	case *wire.Verdict:
 		return c.handleVerdict(now, m)
 	case *wire.ReserveResponse:
+		// A convicted edge's reservations are positions on a frozen
+		// chain; drop them.
+		if c.banned != nil {
+			return nil
+		}
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err == nil && c.onReserve != nil {
 			c.onReserve(m.Start, m.Count)
 		}
@@ -334,6 +397,7 @@ func (c *Core) settle(op *Op, err error) {
 	}
 	op.Done = true
 	op.Err = err
+	c.pending--
 	if c.OnDone != nil {
 		c.OnDone(op)
 	}
@@ -565,6 +629,27 @@ func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 		remaining = append(remaining, op)
 	}
 	c.accused = remaining
+	if v.Guilty {
+		// The edge is convicted: the cloud ignores it from here on, so
+		// no outstanding operation can ever complete. Record the ban
+		// (future ops fail at launch) and fail everything in flight —
+		// this is how clients that were not party to the dispute learn
+		// of a conviction from the cloud's verdict broadcast.
+		c.banned = v
+		c.accused = nil
+		for _, op := range c.bySeq {
+			if !op.Done {
+				op.Verdict = v
+				c.settle(op, ErrEdgeBanned)
+			}
+		}
+		for _, op := range c.byReq {
+			if !op.Done {
+				op.Verdict = v
+				c.settle(op, ErrEdgeBanned)
+			}
+		}
+	}
 	return nil
 }
 

@@ -164,7 +164,10 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	}
 }
 
-// Tick implements core.Handler: periodic gossip emission.
+// Tick implements core.Handler: periodic gossip emission. Convicted
+// edges are excluded — their chains are frozen at conviction, and
+// continuing to gossip them would invite clients to keep trusting a
+// banned shard — while sibling shards' gossip continues undisturbed.
 func (n *Node) Tick(now int64) []wire.Envelope {
 	if n.cfg.GossipEvery <= 0 || now-n.lastGossip < n.cfg.GossipEvery {
 		return nil
@@ -172,6 +175,9 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 	n.lastGossip = now
 	var out []wire.Envelope
 	for edgeID := range n.edges {
+		if _, banned := n.punish.Banned(edgeID); banned {
+			continue
+		}
 		g := &wire.Gossip{
 			Edge:    edgeID,
 			Ts:      now,
@@ -210,7 +216,7 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify) 
 		}
 		v.CloudSig = wcrypto.SignMsg(n.key, &v)
 		n.convict(v)
-		return nil
+		return n.broadcastVerdict(v)
 	}
 	st := n.edge(m.Edge)
 	// Data-free certification cannot know the entry count; edges report
@@ -239,7 +245,7 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify) 
 		}
 		v.CloudSig = wcrypto.SignMsg(n.key, &v)
 		n.convict(v)
-		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: &v}}
+		return append(n.broadcastVerdict(v), wire.Envelope{From: n.cfg.ID, To: m.Edge, Msg: &v})
 	}
 }
 
@@ -251,6 +257,34 @@ func (n *Node) convict(v wire.Verdict) {
 	n.logf("edge punished", "edge", v.Edge, "reason", v.Reason)
 }
 
+// broadcastVerdict pushes a signed guilty verdict to every gossip target
+// except those in skip (parties already served directly). In a sharded
+// cluster this is how clients of a convicted shard learn of the
+// conviction even when they were not party to the dispute; clients of
+// sibling shards discard the verdict by its Edge field, so one shard's
+// punishment never perturbs another's pipeline.
+func (n *Node) broadcastVerdict(v wire.Verdict, skip ...wire.NodeID) []wire.Envelope {
+	var out []wire.Envelope
+	for _, to := range n.cfg.GossipTo {
+		skipped := false
+		for _, s := range skip {
+			if to == s {
+				skipped = true
+				break
+			}
+		}
+		if !skipped {
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: to, Msg: &v})
+		}
+	}
+	return out
+}
+
+// VerdictsFor returns the guilty verdicts recorded against one edge.
+func (n *Node) VerdictsFor(edge wire.NodeID) []wire.Verdict {
+	return n.punish.VerdictsFor(edge)
+}
+
 // handleDispute adjudicates client evidence (Section IV-E "Disputes").
 // The verdict is returned to the client; when a certificate exists for the
 // disputed block it is attached, so an honest edge's slow certification
@@ -259,10 +293,11 @@ func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wir
 	n.stats.Disputes++
 	v := core.Judge(n.reg, n.certs, from, d)
 	v.CloudSig = wcrypto.SignMsg(n.key, &v)
+	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
 	if v.Guilty {
 		n.convict(v)
+		out = append(out, n.broadcastVerdict(v, from)...)
 	}
-	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
 	if st, ok := n.edges[d.Edge]; ok {
 		if proof, ok := st.proofs[d.BID]; ok {
 			out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: &proof})
@@ -326,7 +361,7 @@ func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest) []
 				}
 				v.CloudSig = wcrypto.SignMsg(n.key, &v)
 				n.convict(v)
-				return reject("block contradicts certified digest")
+				return append(n.broadcastVerdict(v), reject("block contradicts certified digest")...)
 			}
 			entries += uint64(len(blk.Entries))
 			srcKVs = append(srcKVs, mlsm.BlockKVs(blk)...)

@@ -171,6 +171,19 @@ func (p *Punishments) Banned(edge wire.NodeID) (string, bool) {
 // Verdicts returns all recorded guilty verdicts in order.
 func (p *Punishments) Verdicts() []wire.Verdict { return p.log }
 
+// VerdictsFor returns the recorded guilty verdicts against one edge, in
+// order. In a sharded deployment this scopes a conviction to the shard it
+// concerns without mixing in sibling shards' histories.
+func (p *Punishments) VerdictsFor(edge wire.NodeID) []wire.Verdict {
+	var out []wire.Verdict
+	for _, v := range p.log {
+		if v.Edge == edge {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // BuildAddLieDispute packages a signed AddResponse whose block never
 // matched the certified digest as dispute evidence.
 func BuildAddLieDispute(key wcrypto.KeyPair, edge wire.NodeID, resp *wire.AddResponse) *wire.Dispute {

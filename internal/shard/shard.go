@@ -1,0 +1,116 @@
+// Package shard partitions the WedgeChain keyspace across edge nodes.
+//
+// WedgeChain keeps the cloud off the write critical path, so aggregate
+// throughput scales by adding edge nodes — provided clients spread their
+// keys across them. This package supplies the routing layer: a stable
+// hash partitioner mapping every key to one of N shards, and a Map that
+// binds shard indexes to edge identities. Each edge still owns an
+// independent log, LSMerkle index, and lazy-certification pipeline; the
+// cloud tracks each shard's chain separately, so a convicted shard never
+// disturbs its siblings.
+package shard
+
+import (
+	"fmt"
+
+	"wedgechain/internal/wire"
+)
+
+// Of returns the shard index for key under n shards using 64-bit FNV-1a.
+// The function is pure and stable across processes and releases: the
+// shard map can be serialized (wire.ShardMap), signed, and re-derived by
+// any party without coordination. n must be positive; n == 1 always
+// yields shard 0. A nil key is valid and hashes like an empty key.
+func Of(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// Map binds shard indexes to edge identities: shard i is owned by
+// Edges[i]. A Map with a single edge degenerates to the paper's
+// one-partition deployment. The zero Map is invalid; build one with New.
+type Map struct {
+	edges []wire.NodeID
+	index map[wire.NodeID]int
+}
+
+// New builds a shard map over the given edges, in shard order. Every edge
+// must be distinct and non-empty.
+func New(edges []wire.NodeID) (*Map, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("shard: map needs at least one edge")
+	}
+	m := &Map{
+		edges: append([]wire.NodeID(nil), edges...),
+		index: make(map[wire.NodeID]int, len(edges)),
+	}
+	for i, e := range edges {
+		if e == "" {
+			return nil, fmt.Errorf("shard: empty edge id at shard %d", i)
+		}
+		if _, dup := m.index[e]; dup {
+			return nil, fmt.Errorf("shard: duplicate edge %q", e)
+		}
+		m.index[e] = i
+	}
+	return m, nil
+}
+
+// FromWire validates a wire-level shard map (signature verification is
+// the caller's job) and builds the routing Map.
+func FromWire(w *wire.ShardMap) (*Map, error) {
+	if w == nil {
+		return nil, fmt.Errorf("shard: nil wire map")
+	}
+	return New(w.Edges)
+}
+
+// Shards returns the shard count.
+func (m *Map) Shards() int { return len(m.edges) }
+
+// Edges returns the edges in shard order. The slice is shared; treat it
+// as read-only.
+func (m *Map) Edges() []wire.NodeID { return m.edges }
+
+// EdgeAt returns the edge owning shard i.
+func (m *Map) EdgeAt(i int) wire.NodeID { return m.edges[i] }
+
+// EdgeFor returns the edge owning key.
+func (m *Map) EdgeFor(key []byte) wire.NodeID {
+	return m.edges[Of(key, len(m.edges))]
+}
+
+// ShardOf returns the shard index that edge owns, or -1 when the edge is
+// not part of the map.
+func (m *Map) ShardOf(edge wire.NodeID) int {
+	i, ok := m.index[edge]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Contains reports whether edge owns a shard in this map.
+func (m *Map) Contains(edge wire.NodeID) bool {
+	_, ok := m.index[edge]
+	return ok
+}
+
+// Wire serializes the map for signing and distribution.
+func (m *Map) Wire(version uint64) *wire.ShardMap {
+	return &wire.ShardMap{
+		Version: version,
+		Edges:   append([]wire.NodeID(nil), m.edges...),
+	}
+}

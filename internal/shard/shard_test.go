@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"wedgechain/internal/wire"
+)
+
+func TestOfStableAndInRange(t *testing.T) {
+	// Golden values pin the hash: the shard map is part of the protocol,
+	// so a silent change to the partitioner would misroute every key.
+	golden := map[string]int{
+		"":                5,
+		"a":               4,
+		"key-0":           1,
+		"key-1":           6,
+		"user/42/profile": 7,
+	}
+	for k, want := range golden {
+		if got := Of([]byte(k), 8); got != want {
+			t.Errorf("Of(%q, 8) = %d, want %d", k, got, want)
+		}
+	}
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 1000; i++ {
+			s := Of([]byte(fmt.Sprintf("key-%d", i)), n)
+			if s < 0 || s >= n {
+				t.Fatalf("Of out of range: %d for n=%d", s, n)
+			}
+		}
+	}
+	if Of([]byte("x"), 0) != 0 || Of(nil, -3) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+	if Of(nil, 8) != Of([]byte{}, 8) {
+		t.Fatal("nil and empty keys must hash identically")
+	}
+}
+
+func TestOfSpreadsKeys(t *testing.T) {
+	const n, keys = 8, 8000
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[Of([]byte(fmt.Sprintf("key-%d", i)), n)]++
+	}
+	for s, c := range counts {
+		if c < keys/n/2 || c > keys/n*2 {
+			t.Errorf("shard %d holds %d of %d keys; partitioner badly skewed", s, c, keys)
+		}
+	}
+}
+
+func TestMapRouting(t *testing.T) {
+	edges := []wire.NodeID{"edge-1", "edge-2", "edge-3", "edge-4"}
+	m, err := New(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d", m.Shards())
+	}
+	for i, e := range edges {
+		if m.EdgeAt(i) != e {
+			t.Fatalf("EdgeAt(%d) = %q", i, m.EdgeAt(i))
+		}
+		if m.ShardOf(e) != i {
+			t.Fatalf("ShardOf(%q) = %d", e, m.ShardOf(e))
+		}
+		if !m.Contains(e) {
+			t.Fatalf("Contains(%q) = false", e)
+		}
+	}
+	if m.Contains("edge-9") || m.ShardOf("edge-9") != -1 {
+		t.Fatal("unknown edge reported as member")
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		if m.EdgeFor(key) != edges[Of(key, 4)] {
+			t.Fatalf("EdgeFor(%q) disagrees with Of", key)
+		}
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty map accepted")
+	}
+	if _, err := New([]wire.NodeID{"edge-1", ""}); err == nil {
+		t.Fatal("empty edge id accepted")
+	}
+	if _, err := New([]wire.NodeID{"edge-1", "edge-1"}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if _, err := FromWire(nil); err == nil {
+		t.Fatal("nil wire map accepted")
+	}
+}
+
+func TestMapWireRoundTrip(t *testing.T) {
+	m, err := New([]wire.NodeID{"edge-1", "edge-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Wire(7)
+	if w.Version != 7 || len(w.Edges) != 2 {
+		t.Fatalf("wire map = %+v", w)
+	}
+	back, err := FromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shards() != 2 || back.EdgeAt(1) != "edge-2" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,51 @@
+package wire
+
+// ShardMap is the cluster's authoritative keyspace partition: shard i of
+// len(Edges) is owned by Edges[i], and a key routes to the shard selected
+// by the stable partitioner in internal/shard. The cloud signs the map so
+// clients can verify their routing table came from the trusted party
+// rather than from an edge steering traffic toward itself. Version is
+// carried for future reconfiguration support; today a cluster signs a
+// single version-1 map at assembly and clients do not compare versions.
+type ShardMap struct {
+	Version  uint64
+	Edges    []NodeID
+	CloudSig []byte
+}
+
+// MsgKind implements Message.
+func (*ShardMap) MsgKind() Kind { return KindShardMap }
+
+// EncodeTo implements Message.
+func (m *ShardMap) EncodeTo(e *Encoder) {
+	m.encodeBody(e)
+	e.Blob(m.CloudSig)
+}
+
+func (m *ShardMap) encodeBody(e *Encoder) {
+	e.U64(m.Version)
+	e.U32(uint32(len(m.Edges)))
+	for _, id := range m.Edges {
+		e.ID(id)
+	}
+}
+
+// DecodeFrom implements Message.
+func (m *ShardMap) DecodeFrom(d *Decoder) {
+	m.Version = d.U64()
+	n := d.Count()
+	if d.Err() == nil && n > 0 {
+		m.Edges = make([]NodeID, n)
+		for i := range m.Edges {
+			m.Edges[i] = d.ID()
+		}
+	}
+	m.CloudSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the cloud signs.
+func (m *ShardMap) SignableBytes() []byte {
+	var e Encoder
+	m.encodeBody(&e)
+	return e.Bytes()
+}

@@ -117,6 +117,7 @@ func sampleMessages() []Message {
 		&PutBatch{Entries: []Entry{sampleEntry(5), sampleEntry(6)}},
 		&CloudPutBatch{Entries: []Entry{sampleEntry(7)}},
 		&EBPutBatch{Edge: "edge-2", Entries: []Entry{sampleEntry(8), sampleEntry(9)}},
+		&ShardMap{Version: 1, Edges: []NodeID{"edge-1", "edge-2", "edge-3"}, CloudSig: randBytes(64)},
 	}
 }
 

@@ -57,6 +57,9 @@ const (
 	KindCloudPutBatch
 	KindEBPutBatch
 
+	// Keyspace sharding (appended).
+	KindShardMap
+
 	kindEnd // sentinel; keep last
 )
 
@@ -91,6 +94,7 @@ var kindNames = map[Kind]string{
 	KindPutBatch:         "PutBatch",
 	KindCloudPutBatch:    "CloudPutBatch",
 	KindEBPutBatch:       "EBPutBatch",
+	KindShardMap:         "ShardMap",
 }
 
 // String returns the human-readable name of the kind.
@@ -174,6 +178,8 @@ func newMessage(k Kind) (Message, error) {
 		return &CloudPutBatch{}, nil
 	case KindEBPutBatch:
 		return &EBPutBatch{}, nil
+	case KindShardMap:
+		return &ShardMap{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
 	}

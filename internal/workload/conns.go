@@ -44,6 +44,35 @@ func (w WedgeConn) GetOp(now int64, key []byte) (Status, []wire.Envelope) {
 	return wedgeStatus{op}, envs
 }
 
+// ShardedConn adapts a sharded WedgeChain client session: puts and gets
+// route by key across every shard's edge, and each shard's lazy-verify
+// pipeline settles independently.
+type ShardedConn struct {
+	*client.Sharded
+}
+
+// PutOp implements Conn.
+func (w ShardedConn) PutOp(now int64, key, value []byte) (Status, []wire.Envelope) {
+	op, envs := w.Put(now, key, value)
+	return wedgeStatus{op}, envs
+}
+
+// PutBurst implements Conn.
+func (w ShardedConn) PutBurst(now int64, keys, values [][]byte) ([]Status, []wire.Envelope) {
+	ops, envs := w.PutBatch(now, keys, values)
+	sts := make([]Status, len(ops))
+	for i, op := range ops {
+		sts[i] = wedgeStatus{op}
+	}
+	return sts, envs
+}
+
+// GetOp implements Conn.
+func (w ShardedConn) GetOp(now int64, key []byte) (Status, []wire.Envelope) {
+	op, envs := w.Get(now, key)
+	return wedgeStatus{op}, envs
+}
+
 // CloudOnlyConn adapts the Cloud-only client.
 type CloudOnlyConn struct {
 	*cloudonly.Client

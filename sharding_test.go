@@ -1,0 +1,425 @@
+package wedgechain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"wedgechain/internal/shard"
+)
+
+// keysForShard returns count distinct keys owned by shard idx of shards.
+func keysForShard(t *testing.T, shards, idx, count int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for i := 0; len(out) < count; i++ {
+		k := []byte(fmt.Sprintf("shardkey-%d", i))
+		if shard.Of(k, shards) == idx {
+			out = append(out, k)
+		}
+		if i > 100000 {
+			t.Fatalf("could not find %d keys for shard %d/%d", count, idx, shards)
+		}
+	}
+	return out
+}
+
+func TestShardedClusterRoutesAcrossAllEdges(t *testing.T) {
+	const shards = 4
+	c := newTestCluster(t, Config{Shards: shards, BatchSize: 1})
+	cl, err := c.NewClient("c1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", cl.Shards(), shards)
+	}
+	if got := len(c.ShardMap().Edges); got != shards {
+		t.Fatalf("shard map spans %d edges, want %d", got, shards)
+	}
+
+	var receipts []*Receipt
+	for i := 0; i < 32; i++ {
+		key := []byte(fmt.Sprintf("shardkey-%d", i))
+		want := EdgeID(shard.Of(key, shards) + 1)
+		if got := cl.EdgeFor(key); got != want {
+			t.Fatalf("EdgeFor(%q) = %q, want %q", key, got, want)
+		}
+		r, err := cl.Put(key, []byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if r.Edge() != want {
+			t.Fatalf("receipt %d landed on %q, want %q", i, r.Edge(), want)
+		}
+		receipts = append(receipts, r)
+	}
+	for i, r := range receipts {
+		if err := r.WaitPhaseII(10 * time.Second); err != nil {
+			t.Fatalf("phase II for put %d: %v", i, err)
+		}
+	}
+	// Deterministic routing must have spread writes over every edge,
+	// observable in each edge's own counters.
+	for i := 1; i <= shards; i++ {
+		st, err := c.EdgeStats(EdgeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Writes == 0 {
+			t.Errorf("edge-%d received no writes; routing left a shard idle", i)
+		}
+		if st.BlocksCut == 0 {
+			t.Errorf("edge-%d cut no blocks", i)
+		}
+	}
+	// Reads route back to the owning shard and verify end to end.
+	for i := 0; i < 32; i++ {
+		key := []byte(fmt.Sprintf("shardkey-%d", i))
+		got, found, _, err := cl.Get(key)
+		if err != nil || !found {
+			t.Fatalf("get %q: found=%v err=%v", key, found, err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(got) != want {
+			t.Fatalf("get %q = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestShardedInterleavedWritersIsolatePerShardState(t *testing.T) {
+	const shards = 2
+	c := newTestCluster(t, Config{Shards: shards, BatchSize: 2, FlushEvery: 20 * time.Millisecond})
+	c1, err := c.NewClient("c1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c.NewClient("c2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys0 := keysForShard(t, shards, 0, 8)
+	keys1 := keysForShard(t, shards, 1, 8)
+
+	// Interleave writes from two sessions across both shards.
+	var receipts []*Receipt
+	for i := 0; i < 8; i++ {
+		for _, w := range []struct {
+			cl  *Client
+			key []byte
+		}{
+			{c1, keys0[i]}, {c2, keys1[i]},
+		} {
+			r, err := w.cl.Put(w.key, []byte(fmt.Sprintf("%s-v%d", w.cl.ID(), i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			receipts = append(receipts, r)
+		}
+	}
+	for i, r := range receipts {
+		if err := r.WaitPhaseII(10 * time.Second); err != nil {
+			t.Fatalf("receipt %d: %v", i, err)
+		}
+	}
+	// Cross-session reads see the other writer's data on both shards.
+	for i := 0; i < 8; i++ {
+		got, found, _, err := c2.Get(keys0[i])
+		if err != nil || !found {
+			t.Fatalf("c2 get shard-0 key: found=%v err=%v", found, err)
+		}
+		if want := fmt.Sprintf("c1-v%d", i); string(got) != want {
+			t.Fatalf("c2 read %q, want %q", got, want)
+		}
+	}
+}
+
+func TestShardedReadUnaffectedBySiblingShardBacklog(t *testing.T) {
+	const shards = 2
+	// edge-2's certifications are dropped: its shard accumulates Phase I
+	// operations that never reach Phase II. ProofTimeout is long so the
+	// backlog persists for the whole test.
+	c := newTestCluster(t, Config{
+		Shards:       shards,
+		BatchSize:    1,
+		ProofTimeout: time.Minute,
+		EdgeFaults: map[NodeID]*Fault{
+			EdgeID(2): {DropCertify: true},
+		},
+	})
+	cl, err := c.NewClient("c1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := keysForShard(t, shards, 0, 1)[0]
+	keyB := keysForShard(t, shards, 1, 4)
+
+	rA, err := cl.Put(keyA, []byte("healthy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rA.WaitPhaseII(10 * time.Second); err != nil {
+		t.Fatalf("healthy shard phase II: %v", err)
+	}
+
+	// Pile a backlog onto shard 1: Phase I commits fine, Phase II never
+	// arrives.
+	var backlog []*Receipt
+	for i, k := range keyB {
+		r, err := cl.Put(k, []byte(fmt.Sprintf("stuck-%d", i)))
+		if err != nil {
+			t.Fatalf("put to faulty shard should still Phase-I commit: %v", err)
+		}
+		backlog = append(backlog, r)
+	}
+	pending, err := cl.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pending[EdgeID(2)] == 0 {
+		t.Fatalf("expected a backlog on edge-2, pending = %v", pending)
+	}
+	if pending[EdgeID(1)] != 0 {
+		t.Fatalf("healthy shard shows backlog: %v", pending)
+	}
+
+	// The healthy shard's read path is untouched by the sibling backlog.
+	start := time.Now()
+	got, found, phase, err := cl.Get(keyA)
+	if err != nil || !found {
+		t.Fatalf("get on healthy shard: found=%v err=%v", found, err)
+	}
+	if string(got) != "healthy" {
+		t.Fatalf("get = %q", got)
+	}
+	if phase != PhaseII {
+		t.Fatalf("healthy shard get phase = %v, want PhaseII", phase)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("healthy-shard get took %v with sibling backlog", elapsed)
+	}
+	for _, r := range backlog {
+		if r.Phase() >= PhaseII {
+			t.Fatal("faulty shard op reached Phase II despite dropped certification")
+		}
+	}
+}
+
+func TestShardedConvictionLeavesSiblingsLive(t *testing.T) {
+	const shards = 4
+	const bad = 3 // edge-3 tampers; shards 0,1,3 stay honest
+	c := newTestCluster(t, Config{
+		Shards:       shards,
+		BatchSize:    2,
+		ProofTimeout: 200 * time.Millisecond,
+		EdgeFaults: map[NodeID]*Fault{
+			EdgeID(bad): {TamperAddVictim: "victim"},
+		},
+	})
+	cl, err := c.NewClient("victim", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One write per healthy shard commits through Phase II.
+	for _, idx := range []int{0, 1, 3} {
+		key := keysForShard(t, shards, idx, 1)[0]
+		r, err := cl.Put(key, []byte("ok"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WaitPhaseII(10 * time.Second); err != nil {
+			t.Fatalf("healthy shard %d phase II: %v", idx, err)
+		}
+	}
+
+	// The write routed to the tampering shard is convicted by its own
+	// evidence.
+	badKey := keysForShard(t, shards, bad-1, 1)[0]
+	r, err := cl.Put(badKey, []byte("precious"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitPhaseII(15 * time.Second); !errors.Is(err, ErrEdgeLied) {
+		t.Fatalf("tampering shard err = %v, want ErrEdgeLied", err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if _, punished := c.Punished(EdgeID(bad)); punished {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("tampering shard never punished")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if len(c.VerdictsFor(EdgeID(bad))) == 0 {
+		t.Fatal("no verdicts against the tampering shard")
+	}
+	if len(c.Verdicts()) == 0 {
+		t.Fatal("no verdicts recorded")
+	}
+	// The client saw the guilty verdict, so further operations on the
+	// convicted shard fail immediately — no proof-timeout wait.
+	start := time.Now()
+	if _, err := cl.Put(keysForShard(t, shards, bad-1, 2)[1], []byte("late")); !errors.Is(err, ErrEdgeBanned) {
+		t.Fatalf("put to convicted shard: err = %v, want ErrEdgeBanned", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("banned-shard put took %v; expected immediate failure", elapsed)
+	}
+	// The conviction is scoped: sibling shards have clean records and
+	// keep committing.
+	for _, idx := range []int{0, 1, 3} {
+		if got := c.VerdictsFor(EdgeID(idx + 1)); len(got) != 0 {
+			t.Fatalf("honest edge-%d has verdicts: %v", idx+1, got)
+		}
+		if _, punished := c.Punished(EdgeID(idx + 1)); punished {
+			t.Fatalf("honest edge-%d punished", idx+1)
+		}
+		key := keysForShard(t, shards, idx, 2)[1]
+		r, err := cl.Put(key, []byte("after-conviction"))
+		if err != nil {
+			t.Fatalf("shard %d write after sibling conviction: %v", idx, err)
+		}
+		if err := r.WaitPhaseII(10 * time.Second); err != nil {
+			t.Fatalf("shard %d phase II after sibling conviction: %v", idx, err)
+		}
+	}
+}
+
+func TestLateJoinerLearnsExistingConviction(t *testing.T) {
+	const shards = 2
+	const bad = 2
+	c := newTestCluster(t, Config{
+		Shards:       shards,
+		BatchSize:    2,
+		ProofTimeout: 200 * time.Millisecond,
+		EdgeFaults: map[NodeID]*Fault{
+			EdgeID(bad): {TamperAddVictim: "victim"},
+		},
+	})
+	victim, err := c.NewClient("victim", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badKey := keysForShard(t, shards, bad-1, 1)[0]
+	r, err := victim.Put(badKey, []byte("bait"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitPhaseII(15 * time.Second); !errors.Is(err, ErrEdgeLied) {
+		t.Fatalf("err = %v, want ErrEdgeLied", err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if _, punished := c.Punished(EdgeID(bad)); punished {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("edge never punished")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	// A session created after the conviction is seeded with the verdict:
+	// its writes to the banned shard fail fast (the verdict replay is
+	// asynchronous, so allow a brief settling window).
+	late, err := c.NewClient("late-joiner", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateKeys := keysForShard(t, shards, bad-1, 50)
+	deadline = time.After(10 * time.Second)
+	for i := 0; ; i++ {
+		_, err := late.Put(lateKeys[i%len(lateKeys)], []byte("late"))
+		if errors.Is(err, ErrEdgeBanned) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("late joiner never learned of the conviction (last err: %v)", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	// The healthy shard still serves the late joiner.
+	okKey := keysForShard(t, shards, 2-bad, 1)[0] // the other shard
+	r2, err := late.Put(okKey, []byte("fine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WaitPhaseII(10 * time.Second); err != nil {
+		t.Fatalf("healthy shard for late joiner: %v", err)
+	}
+}
+
+func TestNewClientEdgeBindingRules(t *testing.T) {
+	single := newTestCluster(t, Config{Edges: 2, BatchSize: 1})
+	if _, err := single.NewClient("c1", "edge-99"); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+	cl, err := single.NewClient("c2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Shards() != 1 || cl.HomeEdge() != EdgeID(1) {
+		t.Fatalf("default binding = %d shards, home %q", cl.Shards(), cl.HomeEdge())
+	}
+	if _, err := single.NewClient("c2", EdgeID(1)); err == nil {
+		t.Fatal("duplicate client accepted")
+	}
+	if _, err := single.EdgeStats("edge-99"); err == nil {
+		t.Fatal("EdgeStats accepted unknown edge")
+	}
+
+	sharded := newTestCluster(t, Config{Shards: 2, BatchSize: 1})
+	scl, err := sharded.NewClient("c1", EdgeID(1)) // binding allowed, routing wins
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scl.Shards() != 2 {
+		t.Fatalf("sharded session spans %d shards, want 2", scl.Shards())
+	}
+	if _, err := sharded.NewClient("c2", "edge-99"); err == nil {
+		t.Fatal("unknown edge accepted on sharded cluster")
+	}
+}
+
+func TestShardedLogAPIUsesHomeShard(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, BatchSize: 1})
+	cl, err := c.NewClient("c1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := cl.HomeEdge()
+	if home != EdgeID(shard.Of([]byte("c1"), 2)+1) {
+		t.Fatalf("home edge = %q", home)
+	}
+	r, err := cl.Add([]byte("log-entry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitPhaseII(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.Edge() != home {
+		t.Fatalf("log receipt landed on %q, want home %q", r.Edge(), home)
+	}
+	blk, phase, err := cl.ReadFrom(r.Edge(), r.BID(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase != PhaseII || blk == nil || len(blk.Entries) != 1 {
+		t.Fatalf("read from home shard: phase=%v blk=%+v", phase, blk)
+	}
+	if _, _, err := cl.ReadFrom("edge-99", 0, time.Second); err == nil {
+		t.Fatal("ReadFrom accepted an edge outside the shard map")
+	}
+	// Plain Read addresses the same home-shard log.
+	blk2, _, err := cl.Read(r.BID(), 10*time.Second)
+	if err != nil || blk2 == nil {
+		t.Fatalf("home read: %v", err)
+	}
+}

@@ -67,8 +67,19 @@ type Verdict = wire.Verdict
 // Config parameterizes a cluster.
 type Config struct {
 	// Edges is the number of edge nodes ("edge-1".."edge-N"). Each edge
-	// owns one partition; clients bind to a single edge (Section III).
+	// owns one partition; clients bind to a single edge (Section III)
+	// unless Shards spreads the keyspace across several of them.
 	Edges int
+	// Shards is the number of keyspace shards. When > 1, the first
+	// Shards edges each own a hash partition of the keyspace (Edges is
+	// raised to Shards if smaller), the cloud signs an explicit shard
+	// map, and NewClient defaults to a shard-routed session that
+	// multiplexes every shard: Put/Get route by key, while the
+	// position-based log API (Add, Read, Reserve) binds to the session's
+	// home shard. Each shard keeps its own log, LSMerkle index, and
+	// lazy-certification pipeline, so a convicted shard never disturbs
+	// its siblings. 0 or 1 keeps the paper's single-partition deployment.
+	Shards int
 	// BatchSize is the entries per block (default 100).
 	BatchSize int
 	// FlushEvery force-cuts partial blocks after this idle duration
@@ -104,8 +115,11 @@ type Config struct {
 }
 
 func (c *Config) fill() {
-	if c.Edges <= 0 {
-		c.Edges = 1
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Edges < c.Shards {
+		c.Edges = c.Shards
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 100
