@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-micro bench-pipeline fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,17 @@ bench:
 bench-json:
 	$(GO) run ./cmd/wedge-bench -run all -quick -json BENCH_quick.json
 
+# Micro-benchmarks for the crypto/wire/merkle hot paths (allocation
+# counts included; the *Legacy benchmarks reproduce the pre-pipeline
+# implementations for comparison).
+bench-micro:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/wcrypto ./internal/wire ./internal/merkle
+
+# P1 crypto-pipeline experiment (wall-clock serial vs pipelined put hot
+# path) as a machine-readable artifact.
+bench-pipeline:
+	$(GO) run ./cmd/wedge-bench -run P1 -json BENCH_pr2.json
+
 fmt:
 	gofmt -w .
 
@@ -34,4 +45,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-json
+ci: fmt-check vet build test race bench bench-micro bench-json bench-pipeline

@@ -54,6 +54,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.net = transport.NewLocal(transport.LocalConfig{
 		TickEvery: 5 * time.Millisecond,
 		Latency:   cfg.Latency,
+		// Pre-verify signatures in parallel in front of every node so
+		// the single-threaded state machines spend their time on
+		// protocol work, not Ed25519.
+		Registry:      c.reg,
+		VerifyWorkers: -1, // negative = GOMAXPROCS, sized by the pool
 	})
 
 	ck, err := wcrypto.GenerateKey(CloudID)

@@ -55,7 +55,10 @@ func main() {
 		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}, key, reg)
 
-	t := transport.NewTCP(node, transport.TCPConfig{Listen: *listen, Peers: peerMap})
+	t := transport.NewTCP(node, transport.TCPConfig{
+		Listen: *listen, Peers: peerMap,
+		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	log.Printf("wedge-cloud %s listening on %s", *id, *listen)

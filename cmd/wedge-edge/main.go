@@ -33,6 +33,7 @@ func main() {
 		levels  = flag.String("levels", "10,100,1000", "level page thresholds")
 		evil    = flag.String("evil", "", "byzantine mode: tamper-add=<victim>|omit=<bid>|double-certify|drop-certify")
 		dataDir = flag.String("data", "", "directory for the durable log segment (empty = in-memory)")
+		syncWin = flag.Duration("group-commit", 0, "group-commit fsync window: blocks persisted within it share one fsync (0 = fsync per block)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		FlushEvery:      flush.Nanoseconds(),
 		L0Threshold:     *l0,
 		LevelThresholds: thresholds,
+		SyncEvery:       syncWin.Nanoseconds(),
 		Fault:           fault,
 		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
@@ -73,7 +75,10 @@ func main() {
 		node = edge.New(cfg, key, reg)
 	}
 
-	t := transport.NewTCP(node, transport.TCPConfig{Listen: *listen, Peers: peerMap})
+	t := transport.NewTCP(node, transport.TCPConfig{
+		Listen: *listen, Peers: peerMap,
+		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	mode := "honest"

@@ -244,7 +244,7 @@ func (c *Cloud) pump() []wire.Envelope {
 	}
 	c.inFlight = true
 	env := wire.Envelope{From: c.cfg.ID, To: c.cfg.Edge, Msg: c.queue[0].push}
-	c.stats.PushBytes += uint64(wire.Size(env))
+	c.stats.PushBytes += uint64(wire.EncodedSize(env))
 	return []wire.Envelope{env}
 }
 

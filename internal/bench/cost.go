@@ -95,11 +95,11 @@ func (p CostParams) Fn(roles map[wire.NodeID]Role) sim.CostFn {
 			}
 		case *wire.MergeRequest:
 			if role == RCloud {
-				cost += p.MergeBase + int64(p.MergePerByte*float64(wire.Size(in)))
+				cost += p.MergeBase + int64(p.MergePerByte*float64(wire.EncodedSize(in)))
 			}
 		case *wire.EBStatePush:
 			if role == REdge {
-				cost += p.ApplyBase + int64(p.ApplyPerByte*float64(wire.Size(in)))
+				cost += p.ApplyBase + int64(p.ApplyPerByte*float64(wire.EncodedSize(in)))
 			}
 		case *wire.GetResponse, *wire.ReadResponse:
 			if role == RClient {
@@ -115,7 +115,7 @@ func (p CostParams) Fn(roles map[wire.NodeID]Role) sim.CostFn {
 			}
 		case *wire.MergeResponse:
 			if role == REdge && m.OK {
-				cost += p.ApplyBase + int64(p.ApplyPerByte*float64(wire.Size(in)))
+				cost += p.ApplyBase + int64(p.ApplyPerByte*float64(wire.EncodedSize(in)))
 			}
 		}
 
@@ -131,7 +131,7 @@ func (p CostParams) Fn(roles map[wire.NodeID]Role) sim.CostFn {
 				// compacted: pages ride along and cost per byte).
 				cost += p.CutBaseCloud + p.CutPerOp*int64(len(m.Block.Entries))
 				if len(m.Pages) > 0 {
-					cost += int64(p.MergePerByte * float64(wire.Size(out)))
+					cost += int64(p.MergePerByte * float64(wire.EncodedSize(out)))
 				}
 			case *wire.CloudPutResponse:
 				// Cloud-only server committed a batch: one response per

@@ -523,6 +523,7 @@ var Experiments = []struct {
 	{"F7b", Fig7bEdgeLoc, "Figure 7(b): latency vs edge location"},
 	{"E1", SecVIEDataset, "Section VI-E: dataset size sweep"},
 	{"S1", ShardScaling, "Shard scaling: put throughput vs edge count"},
+	{"P1", CryptoPipeline, "Crypto pipeline: wall-clock put hot path, serial vs pipelined"},
 	{"A1", AblationDataFree, "Ablation: data-free certification"},
 	{"A2", AblationGossip, "Ablation: gossip period vs omission detection"},
 	{"A3", AblationBaselineIndex, "Ablation: Edge-baseline index policy"},

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"wedgechain/internal/cloud"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+	"wedgechain/internal/workload"
+)
+
+// CryptoPipeline (P1) measures the crypto pipeline's effect on the real
+// (wall-clock) single-shard put hot path — unlike the virtual-time
+// experiments, this one runs the actual state machines as fast as the
+// host allows and reports measured throughput and latency percentiles.
+//
+// Two configurations process the same put traffic, submitted in the
+// paper's batched mode (one PutBatch of B entries per client burst):
+//
+//   - "serial (pre-pipeline)": the pre-PR hot path — every entry carries
+//     its own Ed25519 signature, verified inline on the handler
+//     goroutine, and each block cut signs one acknowledgement per
+//     (client, kind) responder (edge.Config.SerialCrypto).
+//   - "pipelined": session-signed batches (one signature authenticates
+//     the whole batch) checked by a wcrypto.VerifyPool in front of the
+//     handler, which then does only map/log work; the block
+//     acknowledgement is signed once and shared across all responders.
+//
+// The cloud node rides along: certification requests and block proofs
+// flow exactly as in deployment, so Phase II work is included in both
+// configurations. Compaction is disabled (huge L0 threshold) to keep the
+// measurement on the write path.
+func CryptoPipeline(scale Scale) *Table {
+	t := &Table{
+		ID: "P1",
+		Title: fmt.Sprintf("Crypto pipeline: single-shard put hot path, wall-clock (B=100, %d clients, %d CPUs)",
+			pipeClients, runtime.GOMAXPROCS(0)),
+		Header: []string{"Mode", "Puts", "Throughput (Kops/s)", "p50 (us)", "p99 (us)", "Speedup"},
+	}
+	total := 60_000 / int(scale)
+	if total < 10_000 {
+		total = 10_000
+	}
+	total -= total % pipeBatch // full blocks only, so every put is acknowledged
+	w := buildPipelineWorkload(total)
+
+	var base float64
+	for _, pipelined := range []bool{false, true} {
+		r := runPipeline(w, total, pipelined)
+		if !pipelined {
+			base = r.throughput
+		}
+		mode := "serial (pre-PR: per-entry verify, per-responder sign)"
+		if pipelined {
+			mode = "pipelined (session batch sig + VerifyPool + shared block sig)"
+		}
+		t.Rows = append(t.Rows, []string{
+			mode,
+			fmt.Sprint(total),
+			f1(r.throughput / 1e3),
+			f1(r.p50.Seconds() * 1e6),
+			f1(r.p99.Seconds() * 1e6),
+			fmt.Sprintf("%.2fx", r.throughput/base),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"wall-clock measurement on the host CPU; both modes process the same pre-generated put traffic in B-sized bursts, closed loop (one outstanding burst per client)",
+		"latency = put submission to Phase I acknowledgement (block cut + persist-free edge)",
+	)
+	return t
+}
+
+const (
+	pipeClients = 12
+	pipeBatch   = 100
+)
+
+// pipeBatchEnv is one pre-built client burst and the submission indices
+// of the puts it carries.
+type pipeBatchEnv struct {
+	env  wire.Envelope
+	idxs []int
+}
+
+// pipelineWorkload is the shared pre-generated input: identities plus two
+// renderings of the same put traffic — per-entry-signed batches for the
+// pre-PR serial baseline and session-signed batches for the pipelined
+// mode — so signing cost never pollutes the measured window.
+type pipelineWorkload struct {
+	reg      *wcrypto.Registry
+	edgeKey  wcrypto.KeyPair
+	cloudKey wcrypto.KeyPair
+	serial   []pipeBatchEnv // per-entry signatures (pre-PR wire format)
+	session  []pipeBatchEnv // one batch signature per burst
+	// index resolves (client, seq) back to the submission index.
+	index map[wire.NodeID]map[uint64]int
+}
+
+func buildPipelineWorkload(total int) *pipelineWorkload {
+	w := &pipelineWorkload{
+		reg:      wcrypto.NewRegistry(),
+		edgeKey:  wcrypto.DeterministicKey("edge-1"),
+		cloudKey: wcrypto.DeterministicKey("cloud"),
+		index:    make(map[wire.NodeID]map[uint64]int),
+	}
+	w.reg.Register("edge-1", w.edgeKey.Pub)
+	w.reg.Register("cloud", w.cloudKey.Pub)
+
+	clients := make([]wcrypto.KeyPair, pipeClients)
+	seqs := make([]uint64, pipeClients)
+	for i := range clients {
+		id := wire.NodeID(fmt.Sprintf("c%d", i+1))
+		clients[i] = wcrypto.DeterministicKey(id)
+		w.reg.Register(id, clients[i].Pub)
+		w.index[id] = make(map[uint64]int)
+	}
+
+	val := make([]byte, 100)
+	for start := 0; start < total; start += pipeBatch {
+		ck := clients[(start/pipeBatch)%pipeClients]
+		ci := (start / pipeBatch) % pipeClients
+		idxs := make([]int, 0, pipeBatch)
+		entries := make([]wire.Entry, 0, pipeBatch)
+		for i := start; i < start+pipeBatch && i < total; i++ {
+			seqs[ci]++
+			e := wire.Entry{
+				Client: ck.ID,
+				Seq:    seqs[ci],
+				Key:    workload.KeyName(i),
+				Value:  val,
+				Ts:     int64(i),
+			}
+			w.index[ck.ID][e.Seq] = i
+			idxs = append(idxs, i)
+			entries = append(entries, e)
+		}
+		// Pre-PR rendering: every entry individually signed.
+		signed := make([]wire.Entry, len(entries))
+		copy(signed, entries)
+		for i := range signed {
+			signed[i].Sig = wcrypto.SignMsg(ck, &signed[i])
+		}
+		w.serial = append(w.serial, pipeBatchEnv{
+			env:  wire.Envelope{From: ck.ID, To: "edge-1", Msg: &wire.PutBatch{Entries: signed}},
+			idxs: idxs,
+		})
+		// Pipelined rendering: one session signature per batch.
+		sb := &wire.PutBatch{Client: ck.ID, Entries: entries}
+		sb.BatchSig = wcrypto.SignMsg(ck, sb)
+		w.session = append(w.session, pipeBatchEnv{
+			env:  wire.Envelope{From: ck.ID, To: "edge-1", Msg: sb},
+			idxs: idxs,
+		})
+	}
+	return w
+}
+
+type pipelineResult struct {
+	throughput float64
+	p50, p99   time.Duration
+}
+
+// runPipeline drives one configuration over the workload and reports
+// measured throughput and put-to-Phase-I latency percentiles.
+func runPipeline(w *pipelineWorkload, total int, pipelined bool) pipelineResult {
+	en := edge.New(edge.Config{
+		ID:           "edge-1",
+		Cloud:        "cloud",
+		BatchSize:    pipeBatch,
+		L0Threshold:  1 << 30, // no compaction: isolate the write path
+		SerialCrypto: !pipelined,
+	}, w.edgeKey, w.reg)
+	cn := cloud.New(cloud.Config{ID: "cloud"}, w.cloudKey, w.reg)
+
+	batches := w.serial
+	if pipelined {
+		batches = w.session
+	}
+	submitted := make([]time.Time, total)
+	finished := make([]time.Duration, total)
+	remaining := make([]int, (total+pipeBatch-1)/pipeBatch)
+	for i := range remaining {
+		remaining[i] = pipeBatch
+	}
+	// Closed loop: each client keeps one burst outstanding, so the
+	// latency columns measure service latency, not submission queueing.
+	// Tokens are fully built before the run — the sink goroutine only
+	// ever reads the map.
+	tokens := make(map[wire.NodeID]chan struct{}, pipeClients)
+	for i := range batches {
+		if tokens[batches[i].env.From] == nil {
+			tok := make(chan struct{}, 1)
+			tok <- struct{}{}
+			tokens[batches[i].env.From] = tok
+		}
+	}
+	acked := 0
+	done := make(chan struct{})
+
+	// sink runs single-threaded (the caller in serial mode, the pool's
+	// dispatcher in pipelined mode) and owns both state machines.
+	var sink func(env wire.Envelope)
+	handleOuts := func(outs []wire.Envelope) {
+		now := time.Now()
+		for _, out := range outs {
+			switch m := out.Msg.(type) {
+			case *wire.PutResponse:
+				for i := range m.Block.Entries {
+					ent := &m.Block.Entries[i]
+					if ent.Client != out.To {
+						continue
+					}
+					idx := w.index[ent.Client][ent.Seq]
+					finished[idx] = now.Sub(submitted[idx])
+					acked++
+					b := idx / pipeBatch
+					if remaining[b]--; remaining[b] == 0 {
+						select {
+						case tokens[ent.Client] <- struct{}{}:
+						default:
+						}
+					}
+				}
+			case *wire.BlockCertify:
+				proofs := cn.Receive(now.UnixNano(), wire.Envelope{From: out.From, To: "cloud", Msg: m})
+				for _, p := range proofs {
+					sink(wire.Envelope{From: "cloud", To: "edge-1", Msg: p.Msg})
+				}
+			}
+		}
+		if acked >= total {
+			select {
+			case <-done:
+			default:
+				close(done)
+			}
+		}
+	}
+	sink = func(env wire.Envelope) {
+		handleOuts(en.Receive(time.Now().UnixNano(), env))
+	}
+
+	submit := func(send func(wire.Envelope)) {
+		for i := range batches {
+			<-tokens[batches[i].env.From]
+			now := time.Now()
+			for _, idx := range batches[i].idxs {
+				submitted[idx] = now
+			}
+			send(batches[i].env)
+		}
+		<-done
+	}
+
+	start := time.Now()
+	if pipelined {
+		pool := wcrypto.NewVerifyPool(w.reg, -1, 0, sink)
+		submit(pool.Submit)
+		elapsed := time.Since(start)
+		pool.Close()
+		return summarize(finished, total, elapsed)
+	}
+	submit(sink)
+	return summarize(finished, total, time.Since(start))
+}
+
+func summarize(lat []time.Duration, total int, elapsed time.Duration) pipelineResult {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return pipelineResult{
+		throughput: float64(total) / elapsed.Seconds(),
+		p50:        pct(0.50),
+		p99:        pct(0.99),
+	}
+}

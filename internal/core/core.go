@@ -373,7 +373,7 @@ func gossipSigner(reg *wcrypto.Registry, g *wire.Gossip) wire.NodeID {
 
 // judgeDigest compares evidence block content against the certified digest.
 func judgeDigest(certs *CertTable, verdict wire.Verdict, blk *wire.Block) wire.Verdict {
-	got := wcrypto.BlockDigest(blk)
+	got := wcrypto.RecomputedBlockDigest(blk)
 	certified, ok := certs.Lookup(verdict.Edge, verdict.BID)
 	if !ok {
 		verdict.Guilty = true

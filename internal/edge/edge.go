@@ -49,6 +49,16 @@ type Config struct {
 	// instead of digests only — the ablation disabling the paper's
 	// data-free coordination (used to quantify its savings).
 	FullDataCert bool
+	// SyncEvery batches block durability (group commit): blocks persisted
+	// within this window share one fsync, and their Phase I
+	// acknowledgements and certification requests are withheld until the
+	// shared sync completes — so nothing is ever acknowledged before it
+	// is durable. 0 fsyncs inline per block.
+	SyncEvery int64
+	// SerialCrypto reproduces the pre-pipeline hot path — one signature
+	// per (client, kind) responder instead of one shared block-ack
+	// signature. Only the P1 before/after benchmark sets it.
+	SerialCrypto bool
 	// Fault, when non-nil, makes the node byzantine. See Fault.
 	Fault *Fault
 	// Logger receives operational events; nil disables logging.
@@ -98,6 +108,11 @@ type Node struct {
 	lastArrival  int64
 	store        *wlog.Store // nil = in-memory only
 
+	// Group commit (SyncEvery > 0): outputs of persisted-but-unsynced
+	// blocks, withheld until the shared fsync.
+	pendingAcks  []wire.Envelope
+	pendingSince int64
+
 	// Stats counters exposed for benchmarks and tests.
 	stats Stats
 }
@@ -146,10 +161,15 @@ func NewPersistent(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry, dataD
 	return n, blocks, nil
 }
 
-// CloseStore flushes and closes the persistent store, if any.
+// CloseStore flushes and closes the persistent store, if any. A final
+// group-commit sync covers records still inside the flush window.
 func (n *Node) CloseStore() error {
 	if n.store == nil {
 		return nil
+	}
+	if err := n.store.Sync(); err != nil {
+		n.store.Close()
+		return err
 	}
 	return n.store.Close()
 }
@@ -175,18 +195,42 @@ func (n *Node) logf(msg string, args ...any) {
 	}
 }
 
-// Receive implements core.Handler.
+// Receive implements core.Handler. env.Verified marks signatures already
+// checked by a trusted verification stage (wcrypto.VerifyPool) in front of
+// this node; handlers then skip only the signature re-check — every
+// structural check still runs here.
 func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	switch m := env.Msg.(type) {
 	case *wire.AddRequest:
-		return n.handleWrite(now, env.From, m.Entry, false)
+		return n.handleWrite(now, env.From, m.Entry, false, env.Verified)
 	case *wire.PutRequest:
-		return n.handleWrite(now, env.From, m.Entry, true)
+		return n.handleWrite(now, env.From, m.Entry, true, env.Verified)
 	case *wire.PutBatch:
+		verified := env.Verified
+		if len(m.BatchSig) > 0 {
+			// Session-signed batch: the signer must BE the sender.
+			// Entries are accepted on the batch signature alone, so
+			// binding m.Client to the envelope sender (plus the
+			// per-entry e.Client == from check below) is what stops a
+			// registered client from forging writes attributed to
+			// another identity. This structural check runs even for
+			// pool-verified envelopes — the pool only checks signatures.
+			if m.Client != env.From {
+				n.logf("rejecting batch signed by a different identity", "from", env.From, "signer", m.Client)
+				return nil
+			}
+			if !verified {
+				if err := wcrypto.VerifyMsg(n.reg, m.Client, m, m.BatchSig); err != nil {
+					n.logf("rejecting batch with bad session signature", "client", env.From, "err", err)
+					return nil
+				}
+				verified = true
+			}
+		}
 		var out []wire.Envelope
 		for i := range m.Entries {
 			isPut := len(m.Entries[i].Key) > 0
-			out = append(out, n.handleWrite(now, env.From, m.Entries[i], isPut)...)
+			out = append(out, n.handleWrite(now, env.From, m.Entries[i], isPut, verified)...)
 		}
 		return out
 	case *wire.ReadRequest:
@@ -194,11 +238,11 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	case *wire.GetRequest:
 		return n.handleGet(now, env.From, m)
 	case *wire.ReserveRequest:
-		return n.handleReserve(now, env.From, m)
+		return n.handleReserve(now, env.From, m, env.Verified)
 	case *wire.BlockProof:
-		return n.handleProof(now, env.From, m)
+		return n.handleProof(now, env.From, m, env.Verified)
 	case *wire.MergeResponse:
-		return n.handleMergeResponse(now, env.From, m)
+		return n.handleMergeResponse(now, env.From, m, env.Verified)
 	case *wire.Gossip:
 		// Gossip is client-facing; nothing for the edge to do.
 		return nil
@@ -209,33 +253,35 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	}
 }
 
-// Tick implements core.Handler: flush partial blocks that have waited past
-// FlushEvery.
+// Tick implements core.Handler: release group-commit acknowledgements
+// whose sync window elapsed, and flush partial blocks that have waited
+// past FlushEvery.
 func (n *Node) Tick(now int64) []wire.Envelope {
-	if n.cfg.FlushEvery <= 0 || n.log.BufferLen() == 0 {
-		return nil
+	var out []wire.Envelope
+	if len(n.pendingAcks) > 0 && now-n.pendingSince >= n.cfg.SyncEvery {
+		out = append(out, n.flushPending()...)
 	}
-	if now-n.lastArrival < n.cfg.FlushEvery {
-		return nil
+	if n.cfg.FlushEvery > 0 && n.log.BufferLen() > 0 && now-n.lastArrival >= n.cfg.FlushEvery {
+		if blk := n.log.TryCut(now, true); blk != nil {
+			out = append(out, n.emitBlock(now, blk)...)
+		}
 	}
-	blk := n.log.TryCut(now, true)
-	if blk == nil {
-		return nil
-	}
-	return n.emitBlock(now, blk)
+	return out
 }
 
 // handleWrite processes add() and put(). The entry must be signed by a
 // known client; invalid or replayed entries are dropped (the client's
 // timeout machinery owns retries, mirroring the paper's idempotence
 // discussion).
-func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut bool) []wire.Envelope {
+func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, verified bool) []wire.Envelope {
 	if e.Client != from {
 		return nil
 	}
-	if err := wcrypto.VerifyMsg(n.reg, e.Client, &e, e.Sig); err != nil {
-		n.logf("rejecting write with bad signature", "client", from, "err", err)
-		return nil
+	if !verified {
+		if err := wcrypto.VerifyMsg(n.reg, e.Client, &e, e.Sig); err != nil {
+			n.logf("rejecting write with bad signature", "client", from, "err", err)
+			return nil
+		}
 	}
 	pos, err := n.log.Append(e, now)
 	if err != nil {
@@ -252,18 +298,58 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut bool
 	return n.emitBlock(now, blk)
 }
 
-// emitBlock sends the Phase I responses for a freshly cut block and starts
-// data-free certification with the cloud.
+// emitBlock persists a freshly cut block and produces its Phase I
+// responses plus the data-free certification request. Under group commit
+// (SyncEvery > 0) the outputs are withheld until the shared fsync covers
+// the block, so nothing reaches a client or the cloud before durability.
 func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
 	n.stats.BlocksCut++
-	if n.store != nil {
-		if err := n.store.AppendBlock(blk); err != nil {
-			// Durability failed: acknowledge nothing. Clients' timeout
-			// machinery owns retries; an unacknowledged block is safe.
-			n.logf("persist failed; withholding acknowledgements", "bid", blk.ID, "err", err)
-			return nil
+	if n.store == nil || n.cfg.SyncEvery <= 0 {
+		if n.store != nil {
+			if err := n.store.AppendBlock(blk); err != nil {
+				// Durability failed: acknowledge nothing. Clients' timeout
+				// machinery owns retries; an unacknowledged block is safe.
+				n.logf("persist failed; withholding acknowledgements", "bid", blk.ID, "err", err)
+				return nil
+			}
 		}
+		return n.blockOutputs(now, blk)
 	}
+	// Group commit: buffer the record and withhold outputs for the window.
+	if err := n.store.AppendBlockBuffered(blk); err != nil {
+		n.logf("persist failed; withholding acknowledgements", "bid", blk.ID, "err", err)
+		return nil
+	}
+	if len(n.pendingAcks) == 0 {
+		n.pendingSince = now
+	}
+	n.pendingAcks = append(n.pendingAcks, n.blockOutputs(now, blk)...)
+	if now-n.pendingSince >= n.cfg.SyncEvery {
+		return n.flushPending()
+	}
+	return nil
+}
+
+// flushPending issues the shared group-commit fsync and releases every
+// acknowledgement it covers. On sync failure the acknowledgements are
+// dropped — exactly the per-block failure semantics, batched.
+func (n *Node) flushPending() []wire.Envelope {
+	if len(n.pendingAcks) == 0 {
+		return nil
+	}
+	if err := n.store.Sync(); err != nil {
+		n.logf("group-commit sync failed; withholding acknowledgements", "err", err)
+		n.pendingAcks = nil
+		return nil
+	}
+	out := n.pendingAcks
+	n.pendingAcks = nil
+	return out
+}
+
+// blockOutputs builds the Phase I responses and certification request for
+// a cut (and persisted) block.
+func (n *Node) blockOutputs(now int64, blk *wire.Block) []wire.Envelope {
 	// Group responders: one response per (client, kind) pair.
 	seen := make(map[reqInfo]bool)
 	var responders []reqInfo
@@ -281,19 +367,35 @@ func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
 	}
 	n.blockClients[blk.ID] = responders
 
+	// Amortized signing: AddResponse and PutResponse share a
+	// byte-identical signable body (BID + block), so the honest path
+	// signs the block acknowledgement once and every responder carries
+	// the same signature. Faulty nodes tamper per victim and therefore
+	// sign per responder, as does the SerialCrypto A/B baseline.
+	var sharedSig []byte
+	if n.cfg.Fault == nil && !n.cfg.SerialCrypto && len(responders) > 0 {
+		shared := wire.PutResponse{BID: blk.ID, Block: *blk}
+		sharedSig = wcrypto.SignMsg(n.key, &shared)
+	}
+
 	var out []wire.Envelope
 	for _, r := range responders {
 		sendBlk := *blk
 		if n.cfg.Fault != nil {
 			sendBlk = n.cfg.Fault.maybeTamperAdd(r.client, sendBlk)
 		}
+		sig := sharedSig
 		if r.isPut {
-			resp := &wire.PutResponse{BID: blk.ID, Block: sendBlk}
-			resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+			resp := &wire.PutResponse{BID: blk.ID, Block: sendBlk, EdgeSig: sig}
+			if sig == nil {
+				resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+			}
 			out = append(out, wire.Envelope{From: n.cfg.ID, To: r.client, Msg: resp})
 		} else {
-			resp := &wire.AddResponse{BID: blk.ID, Block: sendBlk}
-			resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+			resp := &wire.AddResponse{BID: blk.ID, Block: sendBlk, EdgeSig: sig}
+			if sig == nil {
+				resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+			}
 			out = append(out, wire.Envelope{From: n.cfg.ID, To: r.client, Msg: resp})
 		}
 	}
@@ -310,7 +412,7 @@ func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
 		}
 		cert.EdgeSig = wcrypto.SignMsg(n.key, cert)
 		env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: cert}
-		n.stats.BytesToCloud += uint64(wire.Size(env))
+		n.stats.BytesToCloud += uint64(wire.EncodedSize(env))
 		out = append(out, env)
 		if n.cfg.Fault != nil && n.cfg.Fault.DoubleCertify {
 			// Equivocation at certify time: a second, conflicting digest.
@@ -324,22 +426,30 @@ func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
 
 // handleProof installs the cloud's block-proof (Phase II) and forwards it
 // to every client that contributed to or read the block.
-func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof) []wire.Envelope {
+func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, verified bool) []wire.Envelope {
 	if from != n.cfg.Cloud {
 		return nil
 	}
-	if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, p, p.CloudSig); err != nil {
-		n.logf("dropping block-proof with bad cloud signature", "err", err)
-		return nil
+	if !verified {
+		if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, p, p.CloudSig); err != nil {
+			n.logf("dropping block-proof with bad cloud signature", "err", err)
+			return nil
+		}
 	}
 	if err := n.log.SetCert(*p); err != nil {
 		n.logf("block-proof does not match local block", "bid", p.BID, "err", err)
 		return nil
 	}
 	if n.store != nil {
-		if err := n.store.AppendCert(p); err != nil {
-			// Certificates are re-obtainable from the cloud; log and
-			// continue serving.
+		// Certificates are re-obtainable from the cloud, so under group
+		// commit they ride the next shared sync instead of forcing one.
+		var err error
+		if n.cfg.SyncEvery > 0 {
+			err = n.store.AppendCertBuffered(p)
+		} else {
+			err = n.store.AppendCert(p)
+		}
+		if err != nil {
 			n.logf("persisting certificate failed", "bid", p.BID, "err", err)
 		}
 	}
@@ -389,12 +499,14 @@ func (n *Node) handleRead(now int64, from wire.NodeID, m *wire.ReadRequest) []wi
 }
 
 // handleReserve grants log positions for the idempotence extension.
-func (n *Node) handleReserve(now int64, from wire.NodeID, m *wire.ReserveRequest) []wire.Envelope {
+func (n *Node) handleReserve(now int64, from wire.NodeID, m *wire.ReserveRequest, verified bool) []wire.Envelope {
 	if m.Client != from {
 		return nil
 	}
-	if err := wcrypto.VerifyMsg(n.reg, m.Client, m, m.ClientSig); err != nil {
-		return nil
+	if !verified {
+		if err := wcrypto.VerifyMsg(n.reg, m.Client, m, m.ClientSig); err != nil {
+			return nil
+		}
 	}
 	start := n.log.Reserve(m.Client, int(m.Count), now+n.cfg.ReserveTTL)
 	resp := &wire.ReserveResponse{ReqID: m.ReqID, Start: start, Count: m.Count}
@@ -453,7 +565,7 @@ func (n *Node) sendMerge(req *wire.MergeRequest) []wire.Envelope {
 	n.mergeBusy = true
 	n.stats.Merges++
 	env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: req}
-	n.stats.BytesToCloud += uint64(wire.Size(env))
+	n.stats.BytesToCloud += uint64(wire.EncodedSize(env))
 	return []wire.Envelope{env}
 }
 
@@ -464,13 +576,15 @@ func (n *Node) nextReqID() uint64 {
 
 // handleMergeResponse installs the cloud's merged pages and roots, then
 // cascades to the next over-threshold level if any.
-func (n *Node) handleMergeResponse(now int64, from wire.NodeID, m *wire.MergeResponse) []wire.Envelope {
+func (n *Node) handleMergeResponse(now int64, from wire.NodeID, m *wire.MergeResponse, verified bool) []wire.Envelope {
 	if from != n.cfg.Cloud {
 		return nil
 	}
-	if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, m, m.CloudSig); err != nil {
-		n.logf("dropping merge response with bad signature", "err", err)
-		return nil
+	if !verified {
+		if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, m, m.CloudSig); err != nil {
+			n.logf("dropping merge response with bad signature", "err", err)
+			return nil
+		}
 	}
 	n.mergeBusy = false
 	if !m.OK {

@@ -61,6 +61,9 @@ func (f *Fault) maybeTamperRead(client wire.NodeID, blk wire.Block) wire.Block {
 // to the victim, a forged foreign entry is appended instead.
 func tamperBlock(blk wire.Block, victim wire.NodeID) wire.Block {
 	out := blk
+	// The copy shares the original's cached canonical encoding; drop it
+	// before altering entries or the lie would ship the honest bytes.
+	out.Invalidate()
 	out.Entries = make([]wire.Entry, len(blk.Entries))
 	copy(out.Entries, blk.Entries)
 	for i := range out.Entries {

@@ -185,7 +185,7 @@ func (s *Sim) link(from, to wire.NodeID) (Link, *linkState) {
 // then delivery. Messages a node sends to itself are delivered after its
 // own service time only.
 func (s *Sim) send(t int64, env wire.Envelope) {
-	size := wire.Size(env)
+	size := wire.EncodedSize(env)
 	s.stats.Messages++
 	s.stats.Bytes += uint64(size)
 	key := [2]wire.NodeID{env.From, env.To}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
 
@@ -21,6 +22,17 @@ type LocalConfig struct {
 	Latency func(from, to wire.NodeID) time.Duration
 	// Buffer is the per-node inbox depth; 0 defaults to 4096.
 	Buffer int
+	// Registry and VerifyWorkers enable a parallel signature
+	// verification stage shared by every node on the network: inbound
+	// envelopes are pre-verified by VerifyWorkers goroutines and
+	// delivered in arrival order with Envelope.Verified set, so the
+	// single-threaded handlers skip the per-message signature cost.
+	// Failed or unknown messages are delivered unverified and the
+	// handler rejects them exactly as it would without the stage. Zero
+	// workers or a nil registry disables the stage; negative workers
+	// means GOMAXPROCS.
+	Registry      *wcrypto.Registry
+	VerifyWorkers int
 }
 
 type localMsg struct {
@@ -36,11 +48,12 @@ type localNode struct {
 // Local is an in-process message bus connecting handlers, each running on
 // its own goroutine so per-node single-threading is preserved.
 type Local struct {
-	cfg   LocalConfig
-	mu    sync.RWMutex
-	nodes map[wire.NodeID]*localNode
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	cfg    LocalConfig
+	mu     sync.RWMutex
+	nodes  map[wire.NodeID]*localNode
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	verify *wcrypto.VerifyPool // nil = no pre-verification stage
 
 	timers sync.WaitGroup
 }
@@ -53,11 +66,22 @@ func NewLocal(cfg LocalConfig) *Local {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 4096
 	}
-	return &Local{
+	l := &Local{
 		cfg:   cfg,
 		nodes: make(map[wire.NodeID]*localNode),
 		stop:  make(chan struct{}),
 	}
+	if cfg.Registry != nil && cfg.VerifyWorkers != 0 {
+		// One pool serves the whole network: global delivery order is a
+		// superset of every node's arrival order, and worker count stays
+		// bounded by the host instead of by the node count. The sink
+		// must never block the shared dispatcher, so a node whose inbox
+		// is full sheds load (drop) instead of stalling its siblings —
+		// the lossy-network behaviour the protocol already tolerates.
+		l.verify = wcrypto.NewVerifyPool(cfg.Registry, cfg.VerifyWorkers, cfg.Buffer,
+			func(env wire.Envelope) { l.enqueueNonblock(env) })
+	}
+	return l
 }
 
 // Add registers a handler and starts its node goroutine.
@@ -112,6 +136,14 @@ func (l *Local) route(envs []wire.Envelope) {
 }
 
 func (l *Local) deliver(env wire.Envelope) {
+	if l.verify != nil {
+		l.verify.Submit(env)
+		return
+	}
+	l.enqueueTo(env)
+}
+
+func (l *Local) enqueueTo(env wire.Envelope) {
 	l.mu.RLock()
 	n := l.nodes[env.To]
 	l.mu.RUnlock()
@@ -121,6 +153,22 @@ func (l *Local) deliver(env wire.Envelope) {
 	select {
 	case n.inbox <- localMsg{env: env}:
 	case <-l.stop:
+	}
+}
+
+// enqueueNonblock delivers without ever blocking the caller: a full inbox
+// drops the message. The verify pool's dispatcher uses it so one
+// backlogged node cannot head-of-line-block delivery to every other node.
+func (l *Local) enqueueNonblock(env wire.Envelope) {
+	l.mu.RLock()
+	n := l.nodes[env.To]
+	l.mu.RUnlock()
+	if n == nil {
+		return
+	}
+	select {
+	case n.inbox <- localMsg{env: env}:
+	default:
 	}
 }
 
@@ -151,4 +199,7 @@ func (l *Local) Do(id wire.NodeID, fn func(now int64) []wire.Envelope) bool {
 func (l *Local) Close() {
 	close(l.stop)
 	l.wg.Wait()
+	if l.verify != nil {
+		l.verify.Close()
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
 
@@ -27,24 +28,49 @@ type TCPConfig struct {
 	TickEvery time.Duration
 	// DialTimeout bounds outbound connection setup; 0 defaults to 5s.
 	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write to a peer; 0 defaults to 10s.
+	// A peer that stops reading fails its writes and is redialed on the
+	// next message instead of wedging the sender.
+	WriteTimeout time.Duration
+	// Registry and VerifyWorkers enable a parallel signature
+	// verification stage between the socket readers and the handler:
+	// frames from any number of connections are pre-verified in
+	// parallel and delivered in submission order with Envelope.Verified
+	// set, taking the per-message signature cost off the handler mutex.
+	// Zero workers or a nil registry disables the stage; negative
+	// workers means GOMAXPROCS.
+	Registry      *wcrypto.Registry
+	VerifyWorkers int
 }
 
 // TCP serves one handler over real sockets: inbound frames are decoded and
 // delivered under a per-node mutex (preserving single-threaded handler
-// semantics); outputs are framed and written to per-peer pooled
-// connections.
+// semantics); outputs are handed to one writer goroutine per peer, so a
+// slow or dead peer can only ever stall (and eventually drop) its own
+// traffic — never the handler, the verify pool, or other peers.
 type TCP struct {
-	cfg TCPConfig
-	h   core.Handler
+	cfg    TCPConfig
+	h      core.Handler
+	verify *wcrypto.VerifyPool // nil = verify inline in the handler
+	stopc  chan struct{}       // closed when Serve exits; stops writers
+	stop1  sync.Once
 
 	mu sync.Mutex // serializes handler access
 
-	connMu sync.Mutex
-	conns  map[wire.NodeID]net.Conn
-	peers  map[wire.NodeID]string
+	connMu  sync.Mutex
+	writers map[wire.NodeID]*peerWriter
+	peers   map[wire.NodeID]string
 
 	lisMu sync.Mutex
 	lis   net.Listener
+}
+
+// peerWriter is one peer's outbound lane: a bounded queue drained by a
+// dedicated goroutine. A full queue drops the message — the protocol's
+// timeout and dispute machinery owns recovery, mirroring the paper's
+// asynchronous network assumption.
+type peerWriter struct {
+	out chan wire.Envelope
 }
 
 // NewTCP wraps a handler for TCP service.
@@ -55,11 +81,23 @@ func NewTCP(h core.Handler, cfg TCPConfig) *TCP {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
 	peers := make(map[wire.NodeID]string, len(cfg.Peers))
 	for id, addr := range cfg.Peers {
 		peers[id] = addr
 	}
-	return &TCP{cfg: cfg, h: h, conns: make(map[wire.NodeID]net.Conn), peers: peers}
+	t := &TCP{
+		cfg: cfg, h: h,
+		stopc:   make(chan struct{}),
+		writers: make(map[wire.NodeID]*peerWriter),
+		peers:   peers,
+	}
+	if cfg.Registry != nil && cfg.VerifyWorkers != 0 {
+		t.verify = wcrypto.NewVerifyPool(cfg.Registry, cfg.VerifyWorkers, 0, t.deliverVerified)
+	}
+	return t
 }
 
 // Addr returns the bound listen address, or nil before Listen succeeded.
@@ -72,7 +110,8 @@ func (t *TCP) Addr() net.Addr {
 	return t.lis.Addr()
 }
 
-// SetPeer binds or replaces a peer's dialable address at runtime.
+// SetPeer binds or replaces a peer's dialable address at runtime. An
+// existing writer picks the new address up on its next dial.
 func (t *TCP) SetPeer(id wire.NodeID, addr string) {
 	t.connMu.Lock()
 	defer t.connMu.Unlock()
@@ -96,8 +135,15 @@ func (t *TCP) Listen() error {
 	return nil
 }
 
-// Serve listens and processes frames until ctx is done.
+// Serve listens and processes frames until ctx is done. On exit the
+// verification pool (if any) is drained and stopped and the per-peer
+// writer goroutines are released; frames still in flight are dropped,
+// which shutdown makes moot.
 func (t *TCP) Serve(ctx context.Context) error {
+	defer t.stop1.Do(func() { close(t.stopc) })
+	if t.verify != nil {
+		defer t.verify.Close()
+	}
 	if err := t.Listen(); err != nil {
 		return err
 	}
@@ -137,8 +183,17 @@ func (t *TCP) Serve(ctx context.Context) error {
 	}
 }
 
-// Deliver processes one envelope as if it arrived from the network.
+// Deliver processes one envelope as if it arrived from the network,
+// routing it through the verification stage when one is configured.
 func (t *TCP) Deliver(env wire.Envelope) {
+	if t.verify != nil {
+		t.verify.Submit(env)
+		return
+	}
+	t.deliverVerified(env)
+}
+
+func (t *TCP) deliverVerified(env wire.Envelope) {
 	t.mu.Lock()
 	outs := t.h.Receive(time.Now().UnixNano(), env)
 	t.mu.Unlock()
@@ -173,52 +228,88 @@ func (t *TCP) read(ctx context.Context, conn net.Conn) {
 
 func (t *TCP) sendAll(envs []wire.Envelope) {
 	for _, env := range envs {
-		if err := t.send(env); err != nil {
-			// Connection-level failures drop the message; the protocol's
-			// timeout and dispute machinery owns recovery, mirroring the
-			// paper's asynchronous network assumption.
-			continue
-		}
+		t.send(env)
 	}
 }
 
-func (t *TCP) send(env wire.Envelope) error {
+// send hands the envelope to env.To's writer lane without ever blocking
+// the caller: a full lane drops the message (the protocol's timeout and
+// dispute machinery owns recovery, mirroring the paper's asynchronous
+// network assumption).
+func (t *TCP) send(env wire.Envelope) {
 	t.connMu.Lock()
-	defer t.connMu.Unlock()
-	addr, ok := t.peers[env.To]
-	if !ok {
-		return fmt.Errorf("transport: no address for %q", env.To)
-	}
-	conn := t.conns[env.To]
-	if conn == nil {
-		c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
-		if err != nil {
-			return err
+	w := t.writers[env.To]
+	if w == nil {
+		if _, known := t.peers[env.To]; !known {
+			t.connMu.Unlock()
+			return // no address for this peer
 		}
-		conn = c
-		t.conns[env.To] = conn
+		w = &peerWriter{out: make(chan wire.Envelope, 1024)}
+		t.writers[env.To] = w
+		go t.writeLoop(env.To, w)
 	}
-	if err := WriteFrame(conn, env); err != nil {
-		conn.Close()
-		delete(t.conns, env.To)
-		return err
+	t.connMu.Unlock()
+	select {
+	case w.out <- env:
+	default: // lane full: peer is slow or dead; drop
 	}
-	return nil
 }
 
-// WriteFrame writes one length-prefixed envelope.
-func WriteFrame(w io.Writer, env wire.Envelope) error {
-	payload := wire.EncodeEnvelope(env)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// writeLoop owns the single outbound connection to one peer: it dials on
+// demand (re-reading the peer address, so SetPeer takes effect), writes
+// each frame under WriteTimeout, and drops frames while the peer is
+// unreachable.
+func (t *TCP) writeLoop(to wire.NodeID, w *peerWriter) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var env wire.Envelope
+		select {
+		case <-t.stopc:
+			return
+		case env = <-w.out:
+		}
+		if conn == nil {
+			t.connMu.Lock()
+			addr := t.peers[to]
+			t.connMu.Unlock()
+			c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+			if err != nil {
+				continue // unreachable: drop this frame
+			}
+			conn = c
+		}
+		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if err := WriteFrame(conn, env); err != nil {
+			conn.Close()
+			conn = nil
+		}
 	}
-	_, err := w.Write(payload)
+}
+
+// WriteFrame writes one length-prefixed envelope. The frame is assembled
+// in a pooled buffer (header and payload leave in a single Write) and the
+// buffer is returned to the pool afterwards — steady-state framing
+// allocates nothing.
+func WriteFrame(w io.Writer, env wire.Envelope) error {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	var hdr [4]byte
+	e.Raw(hdr[:]) // length placeholder, patched below
+	wire.AppendEnvelope(e, env)
+	frame := e.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	_, err := w.Write(frame)
 	return err
 }
 
-// ReadFrame reads one length-prefixed envelope.
+// ReadFrame reads one length-prefixed envelope. The frame buffer's
+// ownership transfers to the decoded message (zero-copy decode): each
+// frame is read into a fresh buffer and never reused.
 func ReadFrame(r io.Reader) (wire.Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -232,5 +323,5 @@ func ReadFrame(r io.Reader) (wire.Envelope, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return wire.Envelope{}, err
 	}
-	return wire.DecodeEnvelope(buf)
+	return wire.DecodeEnvelopeOwned(buf)
 }

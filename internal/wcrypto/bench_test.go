@@ -1,0 +1,141 @@
+package wcrypto
+
+import (
+	"fmt"
+	"testing"
+
+	"wedgechain/internal/wire"
+)
+
+// Micro-benchmarks for the crypto hot paths: raw sign/verify, the pooled
+// signable-body encoding against the legacy allocating path, and the
+// verify pool against inline verification.
+
+func benchEntry(k KeyPair, seq uint64) wire.Entry {
+	e := wire.Entry{
+		Client: k.ID,
+		Seq:    seq,
+		Key:    []byte("k00000042"),
+		Value:  make([]byte, 100),
+		Ts:     int64(seq),
+	}
+	e.Sig = SignMsg(k, &e)
+	return e
+}
+
+func BenchmarkSignEntry(b *testing.B) {
+	k := DeterministicKey("c1")
+	e := benchEntry(k, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SignMsg(k, &e)
+	}
+}
+
+func BenchmarkVerifyEntry(b *testing.B) {
+	k := DeterministicKey("c1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+	e := benchEntry(k, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyMsg(reg, k.ID, &e, e.Sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignableBytesLegacy measures the pre-PR allocating signable
+// encoding (a fresh buffer per call); BenchmarkSignableBodyPooled the
+// pooled path SignMsg/VerifyMsg now use.
+func BenchmarkSignableBytesLegacy(b *testing.B) {
+	k := DeterministicKey("c1")
+	e := benchEntry(k, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.SignableBytes()
+	}
+}
+
+func BenchmarkSignableBodyPooled(b *testing.B) {
+	k := DeterministicKey("c1")
+	ent := benchEntry(k, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := wire.GetEncoder()
+		ent.AppendBody(e)
+		wire.PutEncoder(e)
+	}
+}
+
+// BenchmarkPreVerifyBatchSession verifies a session-signed 100-entry
+// batch (one Ed25519 verification); BenchmarkPreVerifyBatchPerEntry the
+// same batch in the pre-PR per-entry format (100 verifications).
+func benchBatch(signed bool) (*Registry, wire.Envelope) {
+	k := DeterministicKey("c1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+	batch := &wire.PutBatch{Client: k.ID}
+	for i := 0; i < 100; i++ {
+		e := wire.Entry{Client: k.ID, Seq: uint64(i + 1), Key: []byte(fmt.Sprintf("k%08d", i)), Value: make([]byte, 100)}
+		if !signed {
+			e.Sig = SignMsg(k, &e)
+		}
+		batch.Entries = append(batch.Entries, e)
+	}
+	if signed {
+		batch.BatchSig = SignMsg(k, batch)
+	}
+	return reg, wire.Envelope{From: k.ID, To: "edge-1", Msg: batch}
+}
+
+func BenchmarkPreVerifyBatchSession(b *testing.B) {
+	reg, env := benchBatch(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !PreVerify(reg, env) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkPreVerifyBatchPerEntry(b *testing.B) {
+	reg, env := benchBatch(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !PreVerify(reg, env) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkVerifyPoolThroughput(b *testing.B) {
+	k := DeterministicKey("c1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+	e := benchEntry(k, 1)
+	env := wire.Envelope{From: k.ID, To: "edge-1", Msg: &wire.PutRequest{Entry: e}}
+	done := make(chan struct{}, 1)
+	n := 0
+	pool := NewVerifyPool(reg, -1, 256, func(out wire.Envelope) {
+		if !out.Verified {
+			panic("verify failed")
+		}
+		if n++; n == b.N {
+			done <- struct{}{}
+		}
+	})
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Submit(env)
+	}
+	<-done
+}

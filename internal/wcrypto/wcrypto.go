@@ -124,17 +124,61 @@ type Signable interface {
 	SignableBytes() []byte
 }
 
+// signableBody writes m's signable body into a pooled encoder when the
+// message supports appending (every wire message does), falling back to
+// the allocating SignableBytes path otherwise. The caller must
+// wire.PutEncoder the returned encoder; it is nil on the fallback path.
+func signableBody(m Signable) (*wire.Encoder, []byte) {
+	if a, ok := m.(wire.BodyAppender); ok {
+		e := wire.GetEncoder()
+		a.AppendBody(e)
+		return e, e.Bytes()
+	}
+	return nil, m.SignableBytes()
+}
+
 // SignMsg returns the signature for a signable message body.
-func SignMsg(k KeyPair, m Signable) []byte { return k.Sign(m.SignableBytes()) }
+func SignMsg(k KeyPair, m Signable) []byte {
+	e, body := signableBody(m)
+	sig := k.Sign(body)
+	wire.PutEncoder(e)
+	return sig
+}
 
 // VerifyMsg checks a signable message's signature against signer's
 // registered key.
 func VerifyMsg(r *Registry, signer wire.NodeID, m Signable, sig []byte) error {
-	return r.Verify(signer, m.SignableBytes(), sig)
+	e, body := signableBody(m)
+	err := r.Verify(signer, body, sig)
+	wire.PutEncoder(e)
+	return err
 }
 
-// BlockDigest returns the digest of a block's canonical encoding.
-func BlockDigest(b *wire.Block) []byte { return Digest(b.Canonical()) }
+// BlockDigest returns the digest of a block's canonical encoding, cached
+// on the block so digesting, persisting and certifying a freshly cut
+// block hash its bytes exactly once. Use it only on blocks the caller
+// owns (its own log, decoded wire input); when judging a block that
+// arrived by reference from another node, use RecomputedBlockDigest.
+func BlockDigest(b *wire.Block) []byte {
+	if d := b.CachedDigest(); d != nil {
+		return d
+	}
+	d := Digest(b.Canonical())
+	b.SetCachedDigest(d)
+	return d
+}
+
+// RecomputedBlockDigest hashes a block's canonical encoding recomputed
+// from its fields, ignoring any cached bytes. Adjudication and
+// verification paths use it because in-process transports move blocks by
+// reference and a cache populated by the accused node proves nothing.
+func RecomputedBlockDigest(b *wire.Block) []byte {
+	e := wire.GetEncoder()
+	b.EncodeToUncached(e)
+	d := Digest(e.Bytes())
+	wire.PutEncoder(e)
+	return d
+}
 
 // PageHash returns the digest of a page's canonical encoding.
 func PageHash(p *wire.Page) []byte { return Digest(p.Canonical()) }

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // maxLen bounds any length-prefixed field to guard against corrupt or
@@ -23,35 +24,67 @@ var ErrTruncated = errors.New("wire: truncated input")
 
 // Encoder accumulates the canonical encoding of a message. The zero value is
 // ready to use.
+//
+// A counting encoder (see EncodedSize in wire.go) walks the same EncodeTo
+// code paths but only sums field widths, never touching a buffer — the
+// allocation-free way to learn a message's encoded size.
 type Encoder struct {
-	buf []byte
+	buf      []byte
+	n        int  // bytes counted in counting mode
+	counting bool // count widths instead of storing bytes
 }
 
 // Bytes returns the accumulated encoding. The returned slice aliases the
-// encoder's internal buffer.
+// encoder's internal buffer. Counting encoders have no bytes.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
-// Len returns the number of bytes encoded so far.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Len returns the number of bytes encoded (or counted) so far.
+func (e *Encoder) Len() int {
+	if e.counting {
+		return e.n
+	}
+	return len(e.buf)
+}
 
-// Reset discards the accumulated encoding, retaining capacity.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+// Reset discards the accumulated encoding, retaining capacity and mode.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.n = 0
+}
 
 // U8 appends a single byte.
-func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+func (e *Encoder) U8(v uint8) {
+	if e.counting {
+		e.n++
+		return
+	}
+	e.buf = append(e.buf, v)
+}
 
 // U16 appends a big-endian 16-bit value.
 func (e *Encoder) U16(v uint16) {
+	if e.counting {
+		e.n += 2
+		return
+	}
 	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
 }
 
 // U32 appends a big-endian 32-bit value.
 func (e *Encoder) U32(v uint32) {
+	if e.counting {
+		e.n += 4
+		return
+	}
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
 }
 
 // U64 appends a big-endian 64-bit value.
 func (e *Encoder) U64(v uint64) {
+	if e.counting {
+		e.n += 8
+		return
+	}
 	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
 }
 
@@ -67,10 +100,24 @@ func (e *Encoder) Bool(v bool) {
 	}
 }
 
+// Raw appends pre-encoded canonical bytes verbatim — the fast path for
+// fields whose encoding is already cached (see Block.Canonical).
+func (e *Encoder) Raw(b []byte) {
+	if e.counting {
+		e.n += len(b)
+		return
+	}
+	e.buf = append(e.buf, b...)
+}
+
 // Blob appends a length-prefixed byte string. nil and empty encode
 // identically; use OptBlob when the distinction matters.
 func (e *Encoder) Blob(b []byte) {
 	e.U32(uint32(len(b)))
+	if e.counting {
+		e.n += len(b)
+		return
+	}
 	e.buf = append(e.buf, b...)
 }
 
@@ -89,23 +136,55 @@ func (e *Encoder) OptBlob(b []byte) {
 // Str appends a length-prefixed string.
 func (e *Encoder) Str(s string) {
 	e.U32(uint32(len(s)))
+	if e.counting {
+		e.n += len(s)
+		return
+	}
 	e.buf = append(e.buf, s...)
 }
 
 // ID appends a node identity.
 func (e *Encoder) ID(id NodeID) { e.Str(string(id)) }
 
+// maxPooledEncoder bounds the buffer capacity an encoder may keep when
+// returned to the pool, so one giant merge payload doesn't pin memory.
+const maxPooledEncoder = 1 << 20
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a reset encoder from the shared pool. Callers must
+// copy or consume Bytes() before PutEncoder — the buffer is reused.
+func GetEncoder() *Encoder {
+	return encoderPool.Get().(*Encoder)
+}
+
+// PutEncoder returns an encoder to the pool for reuse.
+func PutEncoder(e *Encoder) {
+	if e == nil || e.counting || cap(e.buf) > maxPooledEncoder {
+		return
+	}
+	e.Reset()
+	encoderPool.Put(e)
+}
+
 // Decoder consumes a canonical encoding. Errors are sticky: after the first
 // failure every subsequent read returns a zero value and Err reports the
 // original cause.
 type Decoder struct {
-	buf []byte
-	off int
-	err error
+	buf      []byte
+	off      int
+	err      error
+	zeroCopy bool
 }
 
 // NewDecoder returns a decoder reading from b.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// NewDecoderZeroCopy returns a decoder whose Blob and OptBlob results
+// alias b instead of copying it. Only safe when the caller transfers
+// ownership of b to the decoded message — e.g. a transport that allocated
+// the frame buffer and never reuses it.
+func NewDecoderZeroCopy(b []byte) *Decoder { return &Decoder{buf: b, zeroCopy: true} }
 
 // Err returns the first error encountered, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -198,8 +277,9 @@ func (d *Decoder) Bool() bool {
 	}
 }
 
-// Blob reads a length-prefixed byte string. The result is a copy and never
-// aliases the input. Zero-length blobs decode as nil for canonical
+// Blob reads a length-prefixed byte string. The result is a copy — unless
+// the decoder is in zero-copy mode (NewDecoderZeroCopy), in which case it
+// aliases the input buffer. Zero-length blobs decode as nil for canonical
 // re-encoding (Blob treats nil and empty identically).
 func (d *Decoder) Blob() []byte {
 	n := d.U32()
@@ -213,6 +293,9 @@ func (d *Decoder) Blob() []byte {
 	b := d.take(int(n))
 	if b == nil || n == 0 {
 		return nil
+	}
+	if d.zeroCopy {
+		return b[:n:n]
 	}
 	out := make([]byte, n)
 	copy(out, b)

@@ -166,11 +166,11 @@ func (*EBStatePush) MsgKind() Kind { return KindEBStatePush }
 
 // EncodeTo implements Message.
 func (m *EBStatePush) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.CloudSig)
 }
 
-func (m *EBStatePush) encodeBody(e *Encoder) {
+func (m *EBStatePush) AppendBody(e *Encoder) {
 	e.U64(m.Epoch)
 	m.Block.EncodeTo(e)
 	m.Proof.EncodeTo(e)
@@ -201,7 +201,7 @@ func (m *EBStatePush) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (m *EBStatePush) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 

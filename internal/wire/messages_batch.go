@@ -8,8 +8,20 @@ package wire
 
 // PutBatch submits a batch of writes to a WedgeChain edge node. Entries
 // with a key are puts; entries without are log adds.
+//
+// Two authentication modes coexist. In the original per-entry mode
+// (Client empty, BatchSig nil) every entry carries its own client
+// signature and the edge verifies each one. In session-signed mode the
+// client signs the whole batch once — BatchSig covers Client and every
+// entry byte-for-byte — and the per-entry signatures may be empty: one
+// Ed25519 verification authenticates the batch, amortizing the dominant
+// per-write crypto cost across the paper's batch size B. Splicing is not
+// possible: an entry lifted out of a signed batch has no individual
+// signature, and any reorder, subset or substitution breaks BatchSig.
 type PutBatch struct {
-	Entries []Entry
+	Client   NodeID // batch signer; must match every entry in signed mode
+	Entries  []Entry
+	BatchSig []byte // nil = per-entry signatures
 }
 
 // MsgKind implements Message.
@@ -17,6 +29,13 @@ func (*PutBatch) MsgKind() Kind { return KindPutBatch }
 
 // EncodeTo implements Message.
 func (m *PutBatch) EncodeTo(e *Encoder) {
+	m.AppendBody(e)
+	e.Blob(m.BatchSig)
+}
+
+// AppendBody appends everything the batch signature covers.
+func (m *PutBatch) AppendBody(e *Encoder) {
+	e.ID(m.Client)
 	e.U32(uint32(len(m.Entries)))
 	for i := range m.Entries {
 		m.Entries[i].EncodeTo(e)
@@ -25,7 +44,16 @@ func (m *PutBatch) EncodeTo(e *Encoder) {
 
 // DecodeFrom implements Message.
 func (m *PutBatch) DecodeFrom(d *Decoder) {
+	m.Client = d.ID()
 	m.Entries = decodeSlice(d, (*Entry).DecodeFrom)
+	m.BatchSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the client signs in session-signed mode.
+func (m *PutBatch) SignableBytes() []byte {
+	var e Encoder
+	m.AppendBody(&e)
+	return e.Bytes()
 }
 
 // CloudPutBatch submits a batch of writes to the Cloud-only server.

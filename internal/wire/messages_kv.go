@@ -31,11 +31,11 @@ func (*PutResponse) MsgKind() Kind { return KindPutResponse }
 
 // EncodeTo implements Message.
 func (m *PutResponse) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *PutResponse) encodeBody(e *Encoder) {
+func (m *PutResponse) AppendBody(e *Encoder) {
 	e.U64(m.BID)
 	m.Block.EncodeTo(e)
 }
@@ -50,7 +50,7 @@ func (m *PutResponse) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *PutResponse) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -171,11 +171,11 @@ func (*GetResponse) MsgKind() Kind { return KindGetResponse }
 
 // EncodeTo implements Message.
 func (m *GetResponse) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *GetResponse) encodeBody(e *Encoder) {
+func (m *GetResponse) AppendBody(e *Encoder) {
 	e.U64(m.ReqID)
 	e.Bool(m.Found)
 	e.Blob(m.Value)
@@ -196,7 +196,7 @@ func (m *GetResponse) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *GetResponse) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -220,11 +220,11 @@ func (*MergeRequest) MsgKind() Kind { return KindMergeRequest }
 
 // EncodeTo implements Message.
 func (m *MergeRequest) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *MergeRequest) encodeBody(e *Encoder) {
+func (m *MergeRequest) AppendBody(e *Encoder) {
 	e.ID(m.Edge)
 	e.U64(m.ReqID)
 	e.U32(m.FromLevel)
@@ -256,7 +256,7 @@ func (m *MergeRequest) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *MergeRequest) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -281,11 +281,11 @@ func (*MergeResponse) MsgKind() Kind { return KindMergeResponse }
 
 // EncodeTo implements Message.
 func (m *MergeResponse) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.CloudSig)
 }
 
-func (m *MergeResponse) encodeBody(e *Encoder) {
+func (m *MergeResponse) AppendBody(e *Encoder) {
 	e.ID(m.Edge)
 	e.U64(m.ReqID)
 	e.Bool(m.OK)
@@ -320,6 +320,6 @@ func (m *MergeResponse) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (m *MergeResponse) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }

@@ -39,11 +39,11 @@ func (*AddResponse) MsgKind() Kind { return KindAddResponse }
 
 // EncodeTo implements Message.
 func (m *AddResponse) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *AddResponse) encodeBody(e *Encoder) {
+func (m *AddResponse) AppendBody(e *Encoder) {
 	e.U64(m.BID)
 	m.Block.EncodeTo(e)
 }
@@ -58,7 +58,7 @@ func (m *AddResponse) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *AddResponse) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -83,11 +83,11 @@ func (*BlockCertify) MsgKind() Kind { return KindBlockCertify }
 
 // EncodeTo implements Message.
 func (m *BlockCertify) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *BlockCertify) encodeBody(e *Encoder) {
+func (m *BlockCertify) AppendBody(e *Encoder) {
 	e.ID(m.Edge)
 	e.U64(m.BID)
 	e.Blob(m.Digest)
@@ -106,7 +106,7 @@ func (m *BlockCertify) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *BlockCertify) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -125,11 +125,11 @@ func (*BlockProof) MsgKind() Kind { return KindBlockProof }
 
 // EncodeTo implements Message.
 func (m *BlockProof) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.CloudSig)
 }
 
-func (m *BlockProof) encodeBody(e *Encoder) {
+func (m *BlockProof) AppendBody(e *Encoder) {
 	e.ID(m.Edge)
 	e.U64(m.BID)
 	e.Blob(m.Digest)
@@ -146,7 +146,7 @@ func (m *BlockProof) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (m *BlockProof) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -190,11 +190,11 @@ func (*ReadResponse) MsgKind() Kind { return KindReadResponse }
 
 // EncodeTo implements Message.
 func (m *ReadResponse) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *ReadResponse) encodeBody(e *Encoder) {
+func (m *ReadResponse) AppendBody(e *Encoder) {
 	e.U64(m.ReqID)
 	e.U64(m.BID)
 	e.Bool(m.OK)
@@ -219,7 +219,7 @@ func (m *ReadResponse) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *ReadResponse) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -239,11 +239,11 @@ func (*Gossip) MsgKind() Kind { return KindGossip }
 
 // EncodeTo implements Message.
 func (m *Gossip) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.CloudSig)
 }
 
-func (m *Gossip) encodeBody(e *Encoder) {
+func (m *Gossip) AppendBody(e *Encoder) {
 	e.ID(m.Edge)
 	e.I64(m.Ts)
 	e.U64(m.LogSize)
@@ -262,7 +262,7 @@ func (m *Gossip) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (m *Gossip) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -319,11 +319,11 @@ func (*Dispute) MsgKind() Kind { return KindDispute }
 
 // EncodeTo implements Message.
 func (m *Dispute) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.ClientSig)
 }
 
-func (m *Dispute) encodeBody(e *Encoder) {
+func (m *Dispute) AppendBody(e *Encoder) {
 	e.U8(uint8(m.Kind))
 	e.ID(m.Edge)
 	e.U64(m.BID)
@@ -344,7 +344,7 @@ func (m *Dispute) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the client signs.
 func (m *Dispute) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -365,11 +365,11 @@ func (*Verdict) MsgKind() Kind { return KindVerdict }
 
 // EncodeTo implements Message.
 func (m *Verdict) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.CloudSig)
 }
 
-func (m *Verdict) encodeBody(e *Encoder) {
+func (m *Verdict) AppendBody(e *Encoder) {
 	e.ID(m.Edge)
 	e.U64(m.BID)
 	e.U8(uint8(m.Kind))
@@ -390,7 +390,7 @@ func (m *Verdict) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (m *Verdict) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -409,11 +409,11 @@ func (*ReserveRequest) MsgKind() Kind { return KindReserveRequest }
 
 // EncodeTo implements Message.
 func (m *ReserveRequest) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.ClientSig)
 }
 
-func (m *ReserveRequest) encodeBody(e *Encoder) {
+func (m *ReserveRequest) AppendBody(e *Encoder) {
 	e.ID(m.Client)
 	e.U32(m.Count)
 	e.U64(m.ReqID)
@@ -430,7 +430,7 @@ func (m *ReserveRequest) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the client signs.
 func (m *ReserveRequest) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -448,11 +448,11 @@ func (*ReserveResponse) MsgKind() Kind { return KindReserveResponse }
 
 // EncodeTo implements Message.
 func (m *ReserveResponse) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.EdgeSig)
 }
 
-func (m *ReserveResponse) encodeBody(e *Encoder) {
+func (m *ReserveResponse) AppendBody(e *Encoder) {
 	e.U64(m.ReqID)
 	e.U64(m.Start)
 	e.U32(m.Count)
@@ -469,6 +469,6 @@ func (m *ReserveResponse) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the edge signs.
 func (m *ReserveResponse) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }

@@ -18,11 +18,11 @@ func (*ShardMap) MsgKind() Kind { return KindShardMap }
 
 // EncodeTo implements Message.
 func (m *ShardMap) EncodeTo(e *Encoder) {
-	m.encodeBody(e)
+	m.AppendBody(e)
 	e.Blob(m.CloudSig)
 }
 
-func (m *ShardMap) encodeBody(e *Encoder) {
+func (m *ShardMap) AppendBody(e *Encoder) {
 	e.U64(m.Version)
 	e.U32(uint32(len(m.Edges)))
 	for _, id := range m.Edges {
@@ -46,6 +46,6 @@ func (m *ShardMap) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (m *ShardMap) SignableBytes() []byte {
 	var e Encoder
-	m.encodeBody(&e)
+	m.AppendBody(&e)
 	return e.Bytes()
 }

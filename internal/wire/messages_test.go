@@ -114,7 +114,7 @@ func sampleMessages() []Message {
 		&EBStateAck{Epoch: 2, EdgeSig: randBytes(64)},
 		&Ping{Seq: 1, Ts: 2},
 		&Pong{Seq: 1, Ts: 2},
-		&PutBatch{Entries: []Entry{sampleEntry(5), sampleEntry(6)}},
+		&PutBatch{Client: "client-a", Entries: []Entry{sampleEntry(5), sampleEntry(6)}, BatchSig: randBytes(64)},
 		&CloudPutBatch{Entries: []Entry{sampleEntry(7)}},
 		&EBPutBatch{Edge: "edge-2", Entries: []Entry{sampleEntry(8), sampleEntry(9)}},
 		&ShardMap{Version: 1, Edges: []NodeID{"edge-1", "edge-2", "edge-3"}, CloudSig: randBytes(64)},

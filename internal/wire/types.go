@@ -18,11 +18,11 @@ type Entry struct {
 
 // EncodeTo appends the entry's canonical encoding including the signature.
 func (en *Entry) EncodeTo(e *Encoder) {
-	en.encodeBody(e)
+	en.AppendBody(e)
 	e.Blob(en.Sig)
 }
 
-func (en *Entry) encodeBody(e *Encoder) {
+func (en *Entry) AppendBody(e *Encoder) {
 	e.ID(en.Client)
 	e.U64(en.Seq)
 	e.Blob(en.Key)
@@ -46,7 +46,7 @@ func (en *Entry) DecodeFrom(d *Decoder) {
 // signature itself.
 func (en *Entry) SignableBytes() []byte {
 	var e Encoder
-	en.encodeBody(&e)
+	en.AppendBody(&e)
 	return e.Bytes()
 }
 
@@ -67,10 +67,38 @@ type Block struct {
 	StartPos uint64
 	Ts       int64 // edge timestamp at block cut
 	Entries  []Entry
+
+	// cache holds the block's canonical encoding and digest, populated
+	// only by an explicit Freeze — the block-cut path calls it exactly
+	// once, before the block is shared. Frozen blocks are immutable by
+	// contract; struct copies share the cache, and the rare code that
+	// mutates a frozen copy (fault injection) must call Invalidate
+	// first. Unfrozen blocks never cache, so the idiomatic
+	// copy-then-mutate pattern stays safe.
+	cache *blockCache
 }
 
-// EncodeTo appends the block's canonical encoding.
+type blockCache struct {
+	canon  []byte
+	digest []byte
+}
+
+// EncodeTo appends the block's canonical encoding, serving cached bytes
+// when Canonical has been computed.
 func (b *Block) EncodeTo(e *Encoder) {
+	if b.cache != nil && b.cache.canon != nil {
+		e.Raw(b.cache.canon)
+		return
+	}
+	b.EncodeToUncached(e)
+}
+
+// EncodeToUncached appends the block's canonical encoding recomputed from
+// its fields, bypassing the cache. Verification paths that judge blocks
+// received from other nodes use it: in-process transports move blocks by
+// reference, so a stale or adversarial cache must never be able to
+// satisfy a digest check.
+func (b *Block) EncodeToUncached(e *Encoder) {
 	e.ID(b.Edge)
 	e.U64(b.ID)
 	e.U64(b.StartPos)
@@ -88,16 +116,58 @@ func (b *Block) DecodeFrom(d *Decoder) {
 	b.StartPos = d.U64()
 	b.Ts = d.I64()
 	b.Entries = decodeSlice(d, (*Entry).DecodeFrom)
+	b.cache = nil
 }
 
 // Canonical returns the block's canonical encoding; the block digest is the
 // SHA-256 of these bytes (computed in internal/wcrypto to keep hashing in
-// one place).
+// one place). Frozen blocks return the cached encoding; unfrozen blocks
+// recompute on every call.
 func (b *Block) Canonical() []byte {
+	if b.cache != nil && b.cache.canon != nil {
+		return b.cache.canon
+	}
 	var e Encoder
-	b.EncodeTo(&e)
+	b.EncodeToUncached(&e)
 	return e.Bytes()
 }
+
+// Freeze computes and caches the block's canonical encoding. The caller
+// asserts the block will never be mutated again: the log calls it exactly
+// once when a block is cut (or restored), after which digest, persist,
+// certification and response encoding all reuse the same bytes.
+func (b *Block) Freeze() {
+	if b.cache != nil && b.cache.canon != nil {
+		return
+	}
+	var e Encoder
+	b.EncodeToUncached(&e)
+	b.cache = &blockCache{canon: e.Bytes()}
+}
+
+// CachedDigest returns the block's cached digest, or nil if none has been
+// recorded. Hashing stays in internal/wcrypto; this is only the cache.
+func (b *Block) CachedDigest() []byte {
+	if b.cache == nil {
+		return nil
+	}
+	return b.cache.digest
+}
+
+// SetCachedDigest records the digest of the block's canonical encoding.
+// It sticks only on frozen blocks — an unfrozen block may still be
+// mutated, and a cached digest would go stale with it.
+func (b *Block) SetCachedDigest(d []byte) {
+	if b.cache == nil || b.cache.canon == nil {
+		return
+	}
+	b.cache.digest = d
+}
+
+// Invalidate drops the cached encoding and digest, un-freezing the block.
+// Any code that mutates a frozen copy's fields must call it first, or
+// stale bytes would be served.
+func (b *Block) Invalidate() { b.cache = nil }
 
 // KV is one key-version-value record inside an LSMerkle page. Ver orders
 // versions of the same key: higher wins.
@@ -191,11 +261,11 @@ type SignedRoot struct {
 
 // EncodeTo appends the signed root including the signature.
 func (r *SignedRoot) EncodeTo(e *Encoder) {
-	r.encodeBody(e)
+	r.AppendBody(e)
 	e.Blob(r.CloudSig)
 }
 
-func (r *SignedRoot) encodeBody(e *Encoder) {
+func (r *SignedRoot) AppendBody(e *Encoder) {
 	e.ID(r.Edge)
 	e.U64(r.Epoch)
 	e.Blob(r.Root)
@@ -214,6 +284,6 @@ func (r *SignedRoot) DecodeFrom(d *Decoder) {
 // SignableBytes returns the bytes the cloud signs.
 func (r *SignedRoot) SignableBytes() []byte {
 	var e Encoder
-	r.encodeBody(&e)
+	r.AppendBody(&e)
 	return e.Bytes()
 }

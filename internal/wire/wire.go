@@ -105,6 +105,14 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint16(k))
 }
 
+// BodyAppender is implemented by signed messages (and entries) that can
+// append their signable body — everything except the signature — to an
+// existing encoder. Signing and verification use it to reuse pooled
+// buffers instead of allocating a fresh one per SignableBytes call.
+type BodyAppender interface {
+	AppendBody(e *Encoder)
+}
+
 // Message is any protocol message with a canonical encoding.
 type Message interface {
 	// MsgKind identifies the concrete type on the wire.
@@ -191,22 +199,50 @@ type Envelope struct {
 	From NodeID
 	To   NodeID
 	Msg  Message
+
+	// Verified marks the message's signatures as already checked by a
+	// local verification stage (wcrypto.VerifyPool) trusted by the
+	// receiving node. It is hop-local metadata: encoding drops it and
+	// decoding leaves it false, so a remote peer can never assert it.
+	// Handlers treat false as "verify yourself" — the flag is an
+	// optimization hint, never a correctness requirement.
+	Verified bool
 }
 
 // EncodeEnvelope produces the canonical encoding of an envelope, suitable
 // for framing over TCP or for size accounting in the simulator.
 func EncodeEnvelope(env Envelope) []byte {
 	var e Encoder
-	e.U16(uint16(env.Msg.MsgKind()))
-	e.ID(env.From)
-	e.ID(env.To)
-	env.Msg.EncodeTo(&e)
+	appendEnvelope(&e, env)
 	return e.Bytes()
 }
 
+// AppendEnvelope appends an envelope's canonical encoding to an existing
+// encoder — the allocation-free path for transports that pool buffers.
+func AppendEnvelope(e *Encoder, env Envelope) { appendEnvelope(e, env) }
+
+func appendEnvelope(e *Encoder, env Envelope) {
+	e.U16(uint16(env.Msg.MsgKind()))
+	e.ID(env.From)
+	e.ID(env.To)
+	env.Msg.EncodeTo(e)
+}
+
 // DecodeEnvelope parses an envelope previously produced by EncodeEnvelope.
+// The decoded message owns fresh copies of every byte field.
 func DecodeEnvelope(b []byte) (Envelope, error) {
-	d := NewDecoder(b)
+	return decodeEnvelope(NewDecoder(b))
+}
+
+// DecodeEnvelopeOwned parses an envelope from a buffer whose ownership
+// transfers to the decoded message: byte fields alias b instead of being
+// copied. Transports that allocate one buffer per frame use it to halve
+// decode allocations.
+func DecodeEnvelopeOwned(b []byte) (Envelope, error) {
+	return decodeEnvelope(NewDecoderZeroCopy(b))
+}
+
+func decodeEnvelope(d *Decoder) (Envelope, error) {
 	k := Kind(d.U16())
 	from := d.ID()
 	to := d.ID()
@@ -251,6 +287,19 @@ func DecodeMessage(b []byte) (Message, error) {
 	return msg, nil
 }
 
-// Size reports the encoded size of an envelope in bytes. The simulator uses
-// it to model bandwidth serialization delay.
-func Size(env Envelope) int { return len(EncodeEnvelope(env)) }
+// EncodedSize reports the encoded size of an envelope in bytes by summing
+// field widths through a counting encoder — no buffer is allocated and no
+// bytes are produced. The simulator uses it to model bandwidth
+// serialization delay; the edge and cloud stats counters use it for
+// coordination-byte accounting.
+func EncodedSize(env Envelope) int {
+	e := Encoder{counting: true}
+	appendEnvelope(&e, env)
+	return e.n
+}
+
+// Size reports the encoded size of an envelope in bytes.
+//
+// Deprecated: use EncodedSize, which counts widths instead of encoding the
+// whole envelope.
+func Size(env Envelope) int { return EncodedSize(env) }

@@ -1,0 +1,66 @@
+package wlog
+
+import (
+	"testing"
+
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// TestGroupCommitSharesOneSync batches N buffered block appends behind a
+// single Sync and asserts exactly one fsync was issued for all of them —
+// the group-commit contract — and that recovery then sees every block
+// covered by that sync.
+func TestGroupCommitSharesOneSync(t *testing.T) {
+	keys, reg := persistKeys(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var pos uint64
+	for i := 0; i < n; i++ {
+		e := wire.Entry{Client: "c1", Seq: uint64(i + 1), Value: []byte{byte(i)}}
+		e.Sig = wcrypto.SignMsg(keys["c1"], &e)
+		b := wire.Block{Edge: "edge-1", ID: uint64(i), StartPos: pos, Entries: []wire.Entry{e}}
+		pos++
+		if err := st.AppendBlockBuffered(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Syncs(); got != 0 {
+		t.Fatalf("buffered appends issued %d fsyncs, want 0", got)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Syncs(); got != 1 {
+		t.Fatalf("group commit issued %d fsyncs, want 1", got)
+	}
+	// Idempotent when clean.
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Syncs(); got != 1 {
+		t.Fatalf("clean Sync issued another fsync (%d total)", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, st2, blocks, _, err := Recover(dir, "edge-1", 1, reg, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if blocks != n {
+		t.Fatalf("recovered %d blocks, want %d", blocks, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if _, err := l.Block(i); err != nil {
+			t.Fatalf("block %d missing after group-commit recovery: %v", i, err)
+		}
+	}
+}

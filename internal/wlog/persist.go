@@ -40,10 +40,19 @@ var ErrCorrupt = errors.New("wlog: corrupt segment")
 
 // Store persists a log to a single segment file. It is not safe for
 // concurrent use; the owning node serializes access.
+//
+// Two durability disciplines coexist: AppendBlock/AppendCert fsync each
+// record (when the store is durable), while the Buffered variants plus an
+// explicit Sync implement group commit — the owning node appends several
+// records inside a flush window and pays one fsync for all of them,
+// withholding acknowledgements until the shared Sync returns.
 type Store struct {
 	f    *os.File
 	w    *bufio.Writer
 	sync bool
+
+	dirty bool   // buffered records not yet synced
+	syncs uint64 // fsyncs issued (observable for group-commit tests)
 }
 
 // OpenStore opens (or creates) the segment file under dir. When durable
@@ -74,7 +83,7 @@ func (s *Store) Close() error {
 	return s.f.Close()
 }
 
-func (s *Store) append(kind byte, payload []byte) error {
+func (s *Store) append(kind byte, payload []byte, syncNow bool) error {
 	var hdr [5]byte
 	hdr[0] = kind
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -84,26 +93,76 @@ func (s *Store) append(kind byte, payload []byte) error {
 	if _, err := s.w.Write(payload); err != nil {
 		return err
 	}
+	s.dirty = true
+	if !syncNow {
+		return nil
+	}
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
 	if s.sync {
-		return s.f.Sync()
+		s.syncs++
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
 	}
+	s.dirty = false
 	return nil
 }
 
-// AppendBlock durably records a cut block.
+// AppendBlock durably records a cut block (flush + fsync per record).
 func (s *Store) AppendBlock(b *wire.Block) error {
-	return s.append(recBlock, b.Canonical())
+	return s.append(recBlock, b.Canonical(), true)
+}
+
+// AppendBlockBuffered records a cut block without forcing it to disk; the
+// caller owns durability via a later Sync and must not acknowledge the
+// block before that Sync returns.
+func (s *Store) AppendBlockBuffered(b *wire.Block) error {
+	return s.append(recBlock, b.Canonical(), false)
 }
 
 // AppendCert durably records a cloud certificate.
 func (s *Store) AppendCert(p *wire.BlockProof) error {
-	var e wire.Encoder
-	p.EncodeTo(&e)
-	return s.append(recCert, e.Bytes())
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	p.EncodeTo(e)
+	return s.append(recCert, e.Bytes(), true)
 }
+
+// AppendCertBuffered records a certificate without forcing it to disk.
+// Certificates are re-obtainable from the cloud, so they may simply ride
+// the next group-commit Sync.
+func (s *Store) AppendCertBuffered(p *wire.BlockProof) error {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	p.EncodeTo(e)
+	return s.append(recCert, e.Bytes(), false)
+}
+
+// Sync flushes buffered records and fsyncs them (durable stores): the
+// group-commit barrier shared by every record appended since the last
+// Sync. It is a no-op when nothing is dirty.
+func (s *Store) Sync() error {
+	if !s.dirty {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.sync {
+		s.syncs++
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.dirty = false
+	return nil
+}
+
+// Syncs reports how many fsyncs the store has issued — group-commit tests
+// assert N batched blocks share one.
+func (s *Store) Syncs() uint64 { return s.syncs }
 
 // Recover replays the segment into a fresh Log, verifying digests and
 // certificate signatures against the registry (the cloud's identity is
@@ -201,8 +260,9 @@ func (l *Log) restoreBlock(b wire.Block) error {
 	if b.StartPos != l.bufStart {
 		return fmt.Errorf("%w: block %d position %d (want %d)", ErrCorrupt, b.ID, b.StartPos, l.bufStart)
 	}
-	l.blocks = append(l.blocks, b)
+	b.Freeze() // recovered blocks are immutable; share one encoding
 	l.digests[b.ID] = wcrypto.BlockDigest(&b)
+	l.blocks = append(l.blocks, b)
 	l.bufStart += uint64(len(b.Entries))
 	for i := range b.Entries {
 		e := &b.Entries[i]

@@ -201,8 +201,13 @@ func (l *Log) TryCut(now int64, force bool) *wire.Block {
 	}
 	l.buf = append([]slot(nil), l.buf[take:]...)
 	l.bufStart += uint64(take)
-	l.blocks = append(l.blocks, blk)
+	// Freeze before sharing: persist, certify and response paths reuse
+	// the cached canonical bytes and digest, and concurrent readers
+	// (verify pool, clients on an in-process transport) only ever read
+	// the fully populated cache.
+	blk.Freeze()
 	l.digests[blk.ID] = wcrypto.BlockDigest(&blk)
+	l.blocks = append(l.blocks, blk)
 	return &l.blocks[blk.ID]
 }
 
