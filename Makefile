@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline fmt fmt-check vet ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -25,14 +25,22 @@ bench-json:
 
 # Micro-benchmarks for the crypto/wire/merkle hot paths (allocation
 # counts included; the *Legacy benchmarks reproduce the pre-pipeline
-# implementations for comparison).
+# implementations for comparison, and the BlockAck* benchmarks sweep
+# block sizes to show the digest-signed ack's flat cost).
 bench-micro:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/wcrypto ./internal/wire ./internal/merkle
 
 # P1 crypto-pipeline experiment (wall-clock serial vs pipelined put hot
-# path) as a machine-readable artifact.
+# path) as a machine-readable artifact. Not part of `ci`: bench-pr3 runs
+# the same P1 binary as part of its P1,P2,D1 sweep, so chaining both
+# would measure P1 twice; BENCH_pr2.json stays the committed PR-2 record.
 bench-pipeline:
 	$(GO) run ./cmd/wedge-bench -run P1 -json BENCH_pr2.json
+
+# PR-3 artifact: put hot path (P1) + block-ack size sweep (P2, flat
+# digest signing) + durable SyncEvery sweep (D1, fsync amortization).
+bench-pr3:
+	$(GO) run ./cmd/wedge-bench -run P1,P2,D1 -json BENCH_pr3.json
 
 fmt:
 	gofmt -w .
@@ -45,4 +53,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-micro bench-json bench-pipeline
+ci: fmt-check vet build test race bench bench-micro bench-json bench-pr3

@@ -8,6 +8,7 @@
 //	wedge-bench -run F4a            # one experiment, full scale
 //	wedge-bench -run all -quick     # everything, reduced rounds
 //	wedge-bench -run S1 -json -     # machine-readable results on stdout
+//	wedge-bench -run P1,P2,D1 -json BENCH_pr3.json   # several ids, one report
 //	wedge-bench -run all -quick -json bench.json   # CI artifact
 package main
 
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"wedgechain/internal/bench"
@@ -43,7 +45,7 @@ type jsonReport struct {
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		run      = flag.String("run", "all", "experiment id(s), comma-separated (see -list), or 'all'")
 		quick    = flag.Bool("quick", false, "reduced rounds for a fast pass")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonPath = flag.String("json", "", "write machine-readable results to this file ('-' = stdout)")
@@ -92,12 +94,20 @@ func main() {
 			runOne(e.ID, e.Fn)
 		}
 	} else {
-		fn, ok := bench.Lookup(*run)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
-			os.Exit(1)
+		// A comma-separated list runs several experiments into one
+		// report (e.g. -run P1,P2,D1 for the PR-3 artifact).
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			fn, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(1)
+			}
+			runOne(id, fn)
 		}
-		runOne(*run, fn)
 	}
 
 	if *jsonPath == "" {

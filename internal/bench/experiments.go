@@ -524,6 +524,8 @@ var Experiments = []struct {
 	{"E1", SecVIEDataset, "Section VI-E: dataset size sweep"},
 	{"S1", ShardScaling, "Shard scaling: put throughput vs edge count"},
 	{"P1", CryptoPipeline, "Crypto pipeline: wall-clock put hot path, serial vs pipelined"},
+	{"P2", BlockAckSizeSweep, "Block-ack signature cost vs block size (digest vs legacy body signing)"},
+	{"D1", DurableSyncSweep, "Durable put path: group-commit (SyncEvery) fsync-amortization sweep"},
 	{"A1", AblationDataFree, "Ablation: data-free certification"},
 	{"A2", AblationGossip, "Ablation: gossip period vs omission detection"},
 	{"A3", AblationBaselineIndex, "Ablation: Edge-baseline index policy"},

@@ -27,8 +27,9 @@ import (
 //     (client, kind) responder (edge.Config.SerialCrypto).
 //   - "pipelined": session-signed batches (one signature authenticates
 //     the whole batch) checked by a wcrypto.VerifyPool in front of the
-//     handler, which then does only map/log work; the block
-//     acknowledgement is signed once and shared across all responders.
+//     handler, which then does only ring/log work; the block
+//     acknowledgement is signed once over the cached 32-byte block digest
+//     (size-independent) and shared across all responders.
 //
 // The cloud node rides along: certification requests and block proofs
 // flow exactly as in deployment, so Phase II work is included in both
@@ -54,9 +55,9 @@ func CryptoPipeline(scale Scale) *Table {
 		if !pipelined {
 			base = r.throughput
 		}
-		mode := "serial (pre-PR: per-entry verify, per-responder sign)"
+		mode := "serial (pre-PR: per-entry verify, per-responder full-body sign)"
 		if pipelined {
-			mode = "pipelined (session batch sig + VerifyPool + shared block sig)"
+			mode = "pipelined (session batch sig + VerifyPool + shared digest-signed ack)"
 		}
 		t.Rows = append(t.Rows, []string{
 			mode,

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"wedgechain/internal/baseline/cloudonly"
 	"wedgechain/internal/baseline/edgebase"
@@ -71,7 +73,16 @@ type WorldCfg struct {
 	// meaning "unset") maps to data-free on. Set FullDataCert for the
 	// A1 ablation.
 	FullDataCert bool
-	Seed         int64
+	// Durable gives every edge a persistent store (real segment files,
+	// real fsyncs). A durable world must state its fsync discipline:
+	// SyncEvery is either SyncPerBlock or a positive group-commit window
+	// (virtual ns). Leaving it zero panics — durable numbers measured
+	// with the group-commit dimension silently unset are not numbers.
+	Durable   bool
+	SyncEvery int64
+	// DataDir roots the durable stores; empty uses a fresh temp dir.
+	DataDir string
+	Seed    int64
 }
 
 func (c *WorldCfg) fill() {
@@ -123,6 +134,19 @@ type World struct {
 
 	roles       map[wire.NodeID]Role
 	preloadConn workload.Conn
+	ownDataDir  string // temp dir backing a durable world, removed on Close
+}
+
+// Close releases a durable world's resources: edge stores are synced and
+// closed, and a temp data dir owned by the world is removed. In-memory
+// worlds are no-ops.
+func (w *World) Close() {
+	for _, en := range w.EdgeNodes {
+		en.CloseStore()
+	}
+	if w.ownDataDir != "" {
+		os.RemoveAll(w.ownDataDir)
+	}
 }
 
 const (
@@ -229,8 +253,24 @@ func BuildWorld(cfg WorldCfg) *World {
 			GossipEvery: cfg.Gossip,
 			GossipTo:    gossipTo,
 		}, keys[cloudID], reg)
+		var syncEvery int64
+		var dataDir string
+		if cfg.Durable {
+			// Validated up front: a durable world with SyncEvery unset
+			// panics here rather than producing misleading numbers.
+			syncEvery = durableSyncEvery(cfg.SyncEvery)
+			dataDir = cfg.DataDir
+			if dataDir == "" {
+				d, err := os.MkdirTemp("", "wedge-durable-world-*")
+				if err != nil {
+					panic(fmt.Sprintf("bench: durable world temp dir: %v", err))
+				}
+				dataDir = d
+				w.ownDataDir = d
+			}
+		}
 		for _, eid := range edgeIDs {
-			en := edge.New(edge.Config{
+			ecfg := edge.Config{
 				ID:              eid,
 				Cloud:           cloudID,
 				BatchSize:       cfg.Batch,
@@ -239,7 +279,18 @@ func BuildWorld(cfg WorldCfg) *World {
 				LevelThresholds: cfg.LevelThresholds,
 				PageCap:         cfg.Batch,
 				FullDataCert:    cfg.FullDataCert,
-			}, keys[eid], reg)
+				SyncEvery:       syncEvery,
+			}
+			var en *edge.Node
+			if cfg.Durable {
+				var err error
+				en, _, err = edge.NewPersistent(ecfg, keys[eid], reg, filepath.Join(dataDir, string(eid)), true)
+				if err != nil {
+					panic(fmt.Sprintf("bench: durable edge %s: %v", eid, err))
+				}
+			} else {
+				en = edge.New(ecfg, keys[eid], reg)
+			}
 			w.EdgeNodes = append(w.EdgeNodes, en)
 			w.Sim.Add(en)
 		}

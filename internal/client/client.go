@@ -449,17 +449,21 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 	if from != c.cfg.Edge {
 		return nil
 	}
-	if !verified {
-		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
-			return nil
-		}
-	}
 	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
 		c.stats.VerifyFailures++
 		return nil
 	}
+	// One hash serves both checks: the recomputed digest is the signable
+	// body of the block-ack signature AND the value compared against the
+	// cloud's certification later, so the signature check costs O(1) on
+	// top of the digest the client needs anyway.
 	digest := wcrypto.RecomputedBlockDigest(&m.Block)
+	if !verified {
+		if err := wcrypto.VerifyBlockAck(c.reg, c.cfg.Edge, m.BID, digest, m.EdgeSig); err != nil {
+			c.stats.VerifyFailures++
+			return nil
+		}
+	}
 	for i := range m.Block.Entries {
 		e := &m.Block.Entries[i]
 		if e.Client != c.cfg.ID {
@@ -485,17 +489,19 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 	if from != c.cfg.Edge {
 		return nil
 	}
-	if !verified {
-		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
-			return nil
-		}
-	}
 	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
 		c.stats.VerifyFailures++
 		return nil
 	}
+	// As in handleAddResponse: the recomputed digest doubles as the
+	// signable body, so signature verification is size-independent.
 	digest := wcrypto.RecomputedBlockDigest(&m.Block)
+	if !verified {
+		if err := wcrypto.VerifyBlockAck(c.reg, c.cfg.Edge, m.BID, digest, m.EdgeSig); err != nil {
+			c.stats.VerifyFailures++
+			return nil
+		}
+	}
 	for i := range m.Block.Entries {
 		e := &m.Block.Entries[i]
 		if e.Client != c.cfg.ID {

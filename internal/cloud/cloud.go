@@ -51,7 +51,7 @@ func (c *Config) fill() {
 // and per-level Merkle leaf tables mirroring the edge's index structure
 // without its data.
 type edgeState struct {
-	proofs     map[uint64]wire.BlockProof
+	proofs     map[uint64]*wire.BlockProof
 	l0Consumed uint64     // next uncompacted block id
 	leaves     [][][]byte // per level (0-based = level 1): ordered page leaf hashes
 	trees      []*merkle.Tree
@@ -74,7 +74,12 @@ type Node struct {
 
 // Stats are operational counters.
 type Stats struct {
-	Certifies     uint64
+	Certifies uint64
+	// ProofSigns counts Ed25519 signatures spent on block proofs. The
+	// cloud signs each (edge, bid) proof exactly once: duplicate certify
+	// attempts and dispute re-delivery reuse the cached signed proof, so
+	// ProofSigns == Certifies is an invariant tests pin.
+	ProofSigns    uint64
 	Conflicts     uint64
 	Merges        uint64
 	MergeRejects  uint64
@@ -135,7 +140,7 @@ func (n *Node) edge(id wire.NodeID) *edgeState {
 	s := n.edges[id]
 	if s == nil {
 		s = &edgeState{
-			proofs: make(map[uint64]wire.BlockProof),
+			proofs: make(map[uint64]*wire.BlockProof),
 			leaves: make([][][]byte, n.cfg.Levels),
 			trees:  make([]*merkle.Tree, n.cfg.Levels),
 		}
@@ -231,13 +236,13 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 	switch n.certs.Certify(m.Edge, m.BID, m.Digest, 0) {
 	case core.CertAccepted:
 		n.stats.Certifies++
-		proof := wire.BlockProof{Edge: m.Edge, BID: m.BID, Digest: m.Digest}
-		proof.CloudSig = wcrypto.SignMsg(n.key, &proof)
-		st.proofs[m.BID] = proof
-		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: &proof}}
+		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
+		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: proof}}
 	case core.CertDuplicate:
-		proof := st.proofs[m.BID]
-		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: &proof}}
+		// Re-delivery: the digest matched the certified one, so the
+		// cached proof is returned without spending another signature.
+		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
+		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: proof}}
 	default: // CertConflict: equivocation caught red-handed.
 		n.stats.Conflicts++
 		v := wire.Verdict{
@@ -251,6 +256,21 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 		n.convict(v)
 		return append(n.broadcastVerdict(v), wire.Envelope{From: n.cfg.ID, To: m.Edge, Msg: &v})
 	}
+}
+
+// signedProof returns the cached signed proof for (edge, bid), signing it
+// on first use only. Every path that hands out a proof — first certify,
+// duplicate certify, dispute attachment — goes through here, which is what
+// makes the one-signature-per-proof invariant (Stats.ProofSigns) hold.
+func (n *Node) signedProof(st *edgeState, edge wire.NodeID, bid uint64, digest []byte) *wire.BlockProof {
+	if p, ok := st.proofs[bid]; ok {
+		return p
+	}
+	p := &wire.BlockProof{Edge: edge, BID: bid, Digest: digest}
+	p.CloudSig = wcrypto.SignMsg(n.key, p)
+	n.stats.ProofSigns++
+	st.proofs[bid] = p
+	return p
 }
 
 func (n *Node) convict(v wire.Verdict) {
@@ -304,7 +324,7 @@ func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wir
 	}
 	if st, ok := n.edges[d.Edge]; ok {
 		if proof, ok := st.proofs[d.BID]; ok {
-			out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: &proof})
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: proof})
 		}
 	}
 	return out

@@ -281,3 +281,49 @@ func TestAddGossipTargetIdempotent(t *testing.T) {
 		t.Fatalf("duplicate gossip target: %d messages", len(out))
 	}
 }
+
+// TestCertifyTwiceSignsOnce pins the proof-cache contract: the cloud
+// spends exactly one Ed25519 signature per (edge, bid) proof. A duplicate
+// certify and a dispute attachment both reuse the cached signed proof
+// byte-for-byte instead of re-signing.
+func TestCertifyTwiceSignsOnce(t *testing.T) {
+	f := newFixture(t, Config{})
+	d := wcrypto.Digest([]byte("block-0"))
+	out1 := f.certify(t, 0, d)
+	out2 := f.certify(t, 0, d)
+	if got := f.node.Stats().ProofSigns; got != 1 {
+		t.Fatalf("ProofSigns = %d, want 1 (duplicate certify must reuse the cached proof)", got)
+	}
+	p1 := out1[0].Msg.(*wire.BlockProof)
+	p2 := out2[0].Msg.(*wire.BlockProof)
+	if !bytes.Equal(p1.CloudSig, p2.CloudSig) {
+		t.Fatal("duplicate certify produced a different signature")
+	}
+	if f.node.Stats().Certifies != 1 {
+		t.Fatalf("Certifies = %d, want 1", f.node.Stats().Certifies)
+	}
+}
+
+// TestMergeConvictsCachePoisonedBlock is the cloud leg of digest-signing
+// adversarial parity: an edge ships a block whose frozen cache still holds
+// the certified (honest) digest while its fields were tampered. The cloud
+// recomputes the digest from the fields, so the poisoned cache proves
+// nothing and the edge is convicted.
+func TestMergeConvictsCachePoisonedBlock(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2})
+	b0 := f.buildCertifiedBlock(t, 0, "a")
+	b0.Freeze() // cache now matches the certified digest
+	poisoned := b0
+	poisoned.Entries = append([]wire.Entry(nil), b0.Entries...)
+	poisoned.Entries[0].Value = []byte("rewritten-history") // cache NOT invalidated
+	if !bytes.Equal(wcrypto.BlockDigest(&poisoned), wcrypto.BlockDigest(&b0)) {
+		t.Fatal("test setup: cache should still serve the honest digest")
+	}
+	resp := f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{poisoned}})
+	if resp.OK {
+		t.Fatal("cache-poisoned block merged")
+	}
+	if _, banned := f.node.Flagged("edge-1"); !banned {
+		t.Fatal("cache poisoning not convicted")
+	}
+}

@@ -154,3 +154,35 @@ func TestSessionBatchForeignEntriesDropped(t *testing.T) {
 		t.Fatalf("writes = %d, want 1 (own entry only)", w)
 	}
 }
+
+// TestForgedProofDigestRejectedSerialAndPooled is the edge leg of
+// digest-signing adversarial parity: a validly cloud-signed block proof
+// whose digest does not match the edge's own block must be rejected — and
+// rejected identically whether the envelope is verified inline or
+// pre-verified by a concurrent pool (the digest cross-check is structural
+// and independent of Envelope.Verified).
+func TestForgedProofDigestRejectedSerialAndPooled(t *testing.T) {
+	run := func(pooled bool) Stats {
+		f := newFixture(t, Config{BatchSize: 1})
+		f.add(t, 1, "c1", 1, "a") // cuts block 0
+		forged := &wire.BlockProof{
+			Edge: "edge-1", BID: 0,
+			Digest: wcrypto.Digest([]byte("not-the-block")),
+		}
+		forged.CloudSig = wcrypto.SignMsg(f.keys["cloud"], forged)
+		env := wire.Envelope{From: "cloud", To: "edge-1", Msg: forged}
+		if pooled {
+			feedThroughPool(t, f.node, f.reg, []wire.Envelope{env})
+		} else {
+			f.node.Receive(2, env)
+		}
+		return f.node.Stats()
+	}
+	serial, pooled := run(false), run(true)
+	if serial.Certified != 0 || pooled.Certified != 0 {
+		t.Fatalf("forged-digest proof certified: serial %d pooled %d", serial.Certified, pooled.Certified)
+	}
+	if serial != pooled {
+		t.Fatalf("stats diverged: serial %+v pooled %+v", serial, pooled)
+	}
+}

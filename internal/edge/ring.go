@@ -1,0 +1,92 @@
+package edge
+
+// reqRing maps absolute log positions to the (client, kind) that submitted
+// the entry there, replacing the former reqs map on the put hot path. Log
+// positions are assigned monotonically and consumed as a contiguous prefix
+// at block cut, so a power-of-two ring indexed by (pos - base) serves every
+// lookup without hashing or per-entry allocation: set on append, take on
+// cut, advance past each cut block.
+type reqRing struct {
+	base  uint64 // absolute log position of slots[head]
+	head  int    // ring index of base
+	slots []reqSlot
+}
+
+type reqSlot struct {
+	info reqInfo
+	used bool
+}
+
+const reqRingMinCap = 64
+
+// set records the submitter of the entry at absolute position pos.
+// Positions below base (already cut) are ignored; the log rejects such
+// appends before they reach the ring.
+func (r *reqRing) set(pos uint64, info reqInfo) {
+	if pos < r.base {
+		return
+	}
+	off := pos - r.base
+	if off >= uint64(len(r.slots)) {
+		r.grow(off + 1)
+	}
+	s := &r.slots[(r.head+int(off))&(len(r.slots)-1)]
+	s.info = info
+	s.used = true
+}
+
+// take returns and clears the submitter recorded at pos.
+func (r *reqRing) take(pos uint64) (reqInfo, bool) {
+	if pos < r.base {
+		return reqInfo{}, false
+	}
+	off := pos - r.base
+	if off >= uint64(len(r.slots)) {
+		return reqInfo{}, false
+	}
+	s := &r.slots[(r.head+int(off))&(len(r.slots)-1)]
+	if !s.used {
+		return reqInfo{}, false
+	}
+	info := s.info
+	*s = reqSlot{}
+	return info, true
+}
+
+// advance moves the ring's base to absolute position to, clearing any
+// slots left behind — positions whose acknowledgements were dropped (e.g.
+// a block whose persist failed) must not leak into later blocks.
+func (r *reqRing) advance(to uint64) {
+	if to <= r.base {
+		return
+	}
+	if len(r.slots) == 0 || to-r.base >= uint64(len(r.slots)) {
+		// Everything representable is behind to; reset in one step.
+		for i := range r.slots {
+			r.slots[i] = reqSlot{}
+		}
+		r.head = 0
+		r.base = to
+		return
+	}
+	for r.base < to {
+		r.slots[r.head] = reqSlot{}
+		r.head = (r.head + 1) & (len(r.slots) - 1)
+		r.base++
+	}
+}
+
+// grow resizes the ring to hold at least need positions, unwrapping the
+// live window to the front of the new slice.
+func (r *reqRing) grow(need uint64) {
+	newCap := reqRingMinCap
+	for uint64(newCap) < need {
+		newCap <<= 1
+	}
+	slots := make([]reqSlot, newCap)
+	for i := range r.slots {
+		slots[i] = r.slots[(r.head+i)&(len(r.slots)-1)]
+	}
+	r.slots = slots
+	r.head = 0
+}

@@ -1,0 +1,95 @@
+package edge
+
+import (
+	"fmt"
+	"testing"
+
+	"wedgechain/internal/wire"
+)
+
+func TestReqRingSetTakeAdvance(t *testing.T) {
+	var r reqRing
+	r.set(0, reqInfo{client: "c1"})
+	r.set(1, reqInfo{client: "c2", isPut: true})
+	if info, ok := r.take(0); !ok || info.client != "c1" || info.isPut {
+		t.Fatalf("take(0) = %+v %v", info, ok)
+	}
+	if _, ok := r.take(0); ok {
+		t.Fatal("take(0) succeeded twice")
+	}
+	if info, ok := r.take(1); !ok || info.client != "c2" || !info.isPut {
+		t.Fatalf("take(1) = %+v %v", info, ok)
+	}
+	r.advance(2)
+	if _, ok := r.take(1); ok {
+		t.Fatal("take below base succeeded")
+	}
+	// Positions keep working across the advanced base.
+	r.set(2, reqInfo{client: "c3"})
+	if info, ok := r.take(2); !ok || info.client != "c3" {
+		t.Fatalf("take(2) after advance = %+v %v", info, ok)
+	}
+}
+
+// TestReqRingGrowsAndWraps drives the ring past several growth and wrap
+// cycles, with reservation holes, checking every recorded position comes
+// back exactly once with the right submitter.
+func TestReqRingGrowsAndWraps(t *testing.T) {
+	var r reqRing
+	const blocks, batch = 64, 37 // non-power-of-two batch forces wrap offsets
+	pos := uint64(0)
+	for b := 0; b < blocks; b++ {
+		start := pos
+		set := map[uint64]wire.NodeID{}
+		for i := 0; i < batch; i++ {
+			if i%5 == 4 {
+				pos++ // hole: expired reservation, never set
+				continue
+			}
+			id := wire.NodeID(fmt.Sprintf("c%d", pos%7))
+			r.set(pos, reqInfo{client: id})
+			set[pos] = id
+			pos++
+		}
+		for p := start; p < pos; p++ {
+			info, ok := r.take(p)
+			want, wasSet := set[p]
+			if ok != wasSet {
+				t.Fatalf("pos %d: take ok=%v, want %v", p, ok, wasSet)
+			}
+			if ok && info.client != want {
+				t.Fatalf("pos %d: client %q, want %q", p, info.client, want)
+			}
+		}
+		r.advance(pos)
+	}
+	if r.base != pos {
+		t.Fatalf("base = %d, want %d", r.base, pos)
+	}
+}
+
+// TestReqRingAdvanceClearsDroppedSlots models a block whose persist failed:
+// its positions were set but never taken; advancing past them must clear
+// the slots so later positions mapping to the same ring index start clean.
+func TestReqRingAdvanceClearsDroppedSlots(t *testing.T) {
+	var r reqRing
+	for p := uint64(0); p < reqRingMinCap; p++ {
+		r.set(p, reqInfo{client: "stale"})
+	}
+	r.advance(reqRingMinCap) // drop them all without take
+	for p := uint64(reqRingMinCap); p < 2*reqRingMinCap; p++ {
+		if info, ok := r.take(p); ok {
+			t.Fatalf("pos %d: stale slot leaked: %+v", p, info)
+		}
+	}
+	// Far-forward advance (beyond the window) resets wholesale.
+	r.set(2*reqRingMinCap, reqInfo{client: "x"})
+	r.advance(10 * reqRingMinCap)
+	if _, ok := r.take(2 * reqRingMinCap); ok {
+		t.Fatal("slot behind a wholesale advance leaked")
+	}
+	r.set(10*reqRingMinCap+1, reqInfo{client: "y"})
+	if info, ok := r.take(10*reqRingMinCap + 1); !ok || info.client != "y" {
+		t.Fatalf("post-reset take = %+v %v", info, ok)
+	}
+}

@@ -63,6 +63,12 @@ type TCP struct {
 
 	lisMu sync.Mutex
 	lis   net.Listener
+
+	// accepted tracks inbound connections so Serve's exit closes them —
+	// the same teardown a process death produces, which peers rely on to
+	// notice this endpoint restarted.
+	acceptMu sync.Mutex
+	accepted map[net.Conn]struct{}
 }
 
 // peerWriter is one peer's outbound lane: a bounded queue drained by a
@@ -71,6 +77,48 @@ type TCP struct {
 // asynchronous network assumption.
 type peerWriter struct {
 	out chan wire.Envelope
+}
+
+// peerConn is one outbound connection plus a liveness flag maintained by a
+// read-side monitor. Outbound connections are write-only in this protocol
+// (responses travel over the peer's own dial), so a returning Read means
+// the peer closed or reset the connection — most importantly, that the
+// peer's process died or restarted. The writer consults the flag before
+// each frame: writing into a socket the kernel already knows is dead
+// "succeeds" locally and loses the frame without ever surfacing an error.
+type peerConn struct {
+	net.Conn
+	dead chan struct{}
+	once sync.Once
+}
+
+func newPeerConn(c net.Conn) *peerConn {
+	pc := &peerConn{Conn: c, dead: make(chan struct{})}
+	go pc.monitor()
+	return pc
+}
+
+func (c *peerConn) monitor() {
+	var buf [64]byte
+	for {
+		if _, err := c.Conn.Read(buf[:]); err != nil {
+			c.markDead()
+			return
+		}
+		// Peers never send application data on our outbound connection;
+		// anything read is discarded and the watch continues.
+	}
+}
+
+func (c *peerConn) markDead() { c.once.Do(func() { close(c.dead) }) }
+
+func (c *peerConn) isDead() bool {
+	select {
+	case <-c.dead:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewTCP wraps a handler for TCP service.
@@ -90,9 +138,10 @@ func NewTCP(h core.Handler, cfg TCPConfig) *TCP {
 	}
 	t := &TCP{
 		cfg: cfg, h: h,
-		stopc:   make(chan struct{}),
-		writers: make(map[wire.NodeID]*peerWriter),
-		peers:   peers,
+		stopc:    make(chan struct{}),
+		writers:  make(map[wire.NodeID]*peerWriter),
+		peers:    peers,
+		accepted: make(map[net.Conn]struct{}),
 	}
 	if cfg.Registry != nil && cfg.VerifyWorkers != 0 {
 		t.verify = wcrypto.NewVerifyPool(cfg.Registry, cfg.VerifyWorkers, 0, t.deliverVerified)
@@ -141,6 +190,13 @@ func (t *TCP) Listen() error {
 // which shutdown makes moot.
 func (t *TCP) Serve(ctx context.Context) error {
 	defer t.stop1.Do(func() { close(t.stopc) })
+	defer func() {
+		t.acceptMu.Lock()
+		for c := range t.accepted {
+			c.Close()
+		}
+		t.acceptMu.Unlock()
+	}()
 	if t.verify != nil {
 		defer t.verify.Close()
 	}
@@ -179,6 +235,9 @@ func (t *TCP) Serve(ctx context.Context) error {
 			}
 			return fmt.Errorf("transport: accept: %w", err)
 		}
+		t.acceptMu.Lock()
+		t.accepted[conn] = struct{}{}
+		t.acceptMu.Unlock()
 		go t.read(ctx, conn)
 	}
 }
@@ -210,7 +269,12 @@ func (t *TCP) Do(fn func(now int64) []wire.Envelope) {
 }
 
 func (t *TCP) read(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		t.acceptMu.Lock()
+		delete(t.accepted, conn)
+		t.acceptMu.Unlock()
+	}()
 	for {
 		env, err := ReadFrame(conn)
 		if err != nil {
@@ -259,8 +323,21 @@ func (t *TCP) send(env wire.Envelope) {
 // demand (re-reading the peer address, so SetPeer takes effect), writes
 // each frame under WriteTimeout, and drops frames while the peer is
 // unreachable.
+//
+// Two mechanisms keep a peer restart (same identity, same address) from
+// losing the first frame addressed to the new incarnation:
+//
+//   - the read-side monitor (peerConn) marks the cached connection dead
+//     as soon as the old incarnation's close reaches us, so the writer
+//     redials BEFORE writing — a write into a kernel-dead socket would
+//     "succeed" locally and lose the frame without any error;
+//   - a write that does fail (detection raced the write) is retried
+//     exactly once on a fresh dial, resending the same frame.
+//
+// One retry is enough: a second failure means the peer is down, and the
+// protocol's timeout and dispute machinery owns recovery from there.
 func (t *TCP) writeLoop(to wire.NodeID, w *peerWriter) {
-	var conn net.Conn
+	var conn *peerConn
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -273,18 +350,26 @@ func (t *TCP) writeLoop(to wire.NodeID, w *peerWriter) {
 			return
 		case env = <-w.out:
 		}
-		if conn == nil {
-			t.connMu.Lock()
-			addr := t.peers[to]
-			t.connMu.Unlock()
-			c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
-			if err != nil {
-				continue // unreachable: drop this frame
+		for attempt := 0; attempt < 2; attempt++ {
+			if conn != nil && conn.isDead() {
+				conn.Close()
+				conn = nil
 			}
-			conn = c
-		}
-		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-		if err := WriteFrame(conn, env); err != nil {
+			if conn == nil {
+				t.connMu.Lock()
+				addr := t.peers[to]
+				t.connMu.Unlock()
+				c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+				if err != nil {
+					break // unreachable: drop this frame
+				}
+				conn = newPeerConn(c)
+			}
+			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+			if err := WriteFrame(conn, env); err == nil {
+				break
+			}
+			// The connection died under us; redial once and resend.
 			conn.Close()
 			conn = nil
 		}

@@ -172,12 +172,63 @@ func BlockDigest(b *wire.Block) []byte {
 // from its fields, ignoring any cached bytes. Adjudication and
 // verification paths use it because in-process transports move blocks by
 // reference and a cache populated by the accused node proves nothing.
+// (The hash itself lives on wire.Block so signable bodies can embed it;
+// this wrapper keeps the one digest entry point callers already use.)
 func RecomputedBlockDigest(b *wire.Block) []byte {
+	return b.BodyDigest()
+}
+
+// SignBlockAck signs the size-independent block acknowledgement body
+// (BID + digest) for a block whose digest the caller already holds — the
+// edge's hot path, where the digest was cached at block cut. The resulting
+// signature verifies through the generic VerifyMsg path on AddResponse and
+// PutResponse, whose signable bodies recompute the digest from the block
+// they carry.
+func SignBlockAck(k KeyPair, bid uint64, digest []byte) []byte {
 	e := wire.GetEncoder()
-	b.EncodeToUncached(e)
-	d := Digest(e.Bytes())
+	wire.AppendBlockAckBody(e, bid, digest)
+	sig := k.Sign(e.Bytes())
 	wire.PutEncoder(e)
-	return d
+	return sig
+}
+
+// VerifyBlockAck checks a block-ack signature against signer's registered
+// key given the block digest the caller computed from the received block.
+// Clients use it to fold the digest they need anyway (for the Phase II
+// certification match) into the signature check, instead of hashing the
+// block a second time inside VerifyMsg.
+func VerifyBlockAck(r *Registry, signer wire.NodeID, bid uint64, digest, sig []byte) error {
+	e := wire.GetEncoder()
+	wire.AppendBlockAckBody(e, bid, digest)
+	err := r.Verify(signer, e.Bytes(), sig)
+	wire.PutEncoder(e)
+	return err
+}
+
+// SignReadResponse signs a read response whose block digest the caller
+// already holds (the edge's cut-time cache), skipping the per-read block
+// re-hash the generic SignMsg path would pay. Only for responses whose
+// Block actually hashes to digest — the honest serve path; tampering
+// faults must sign through SignMsg so the signature matches what ships.
+func SignReadResponse(k KeyPair, m *wire.ReadResponse, digest []byte) []byte {
+	e := wire.GetEncoder()
+	m.AppendBodyWithDigest(e, digest)
+	sig := k.Sign(e.Bytes())
+	wire.PutEncoder(e)
+	return sig
+}
+
+// SignLegacyBlockAck reproduces the pre-digest wire format — a signature
+// over BID plus the block's full re-encoded body — so the serial-crypto
+// A/B baseline and the block-size sweep can measure what the old scheme
+// cost. Production paths never call it.
+func SignLegacyBlockAck(k KeyPair, bid uint64, b *wire.Block) []byte {
+	e := wire.GetEncoder()
+	e.U64(bid)
+	b.EncodeTo(e)
+	sig := k.Sign(e.Bytes())
+	wire.PutEncoder(e)
+	return sig
 }
 
 // PageHash returns the digest of a page's canonical encoding.

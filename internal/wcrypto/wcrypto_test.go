@@ -157,3 +157,81 @@ func TestRegistryIDsSorted(t *testing.T) {
 		}
 	}
 }
+
+// ackBlock builds a frozen block with a cached digest, as the edge's log
+// produces at block cut.
+func ackBlock(entries int) *wire.Block {
+	b := &wire.Block{Edge: "edge-1", ID: 9, StartPos: 900, Ts: 5}
+	for i := 0; i < entries; i++ {
+		b.Entries = append(b.Entries, wire.Entry{
+			Client: "c1", Seq: uint64(i + 1),
+			Key: []byte("k"), Value: make([]byte, 100), Ts: int64(i),
+		})
+	}
+	b.Freeze()
+	BlockDigest(b)
+	return b
+}
+
+// TestSignBlockAckMatchesGenericVerify pins the digest-signing contract:
+// the edge signs with the cached digest (SignBlockAck) and the signature
+// verifies through every path a receiver uses — the generic VerifyMsg on
+// AddResponse and PutResponse (which recompute the digest from the block)
+// and the digest-in-hand VerifyBlockAck.
+func TestSignBlockAckMatchesGenericVerify(t *testing.T) {
+	k := DeterministicKey("edge-1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+	blk := ackBlock(3)
+
+	sig := SignBlockAck(k, blk.ID, blk.CachedDigest())
+	add := &wire.AddResponse{BID: blk.ID, Block: *blk, EdgeSig: sig}
+	if err := VerifyMsg(reg, k.ID, add, add.EdgeSig); err != nil {
+		t.Fatalf("AddResponse rejects digest-signed ack: %v", err)
+	}
+	put := &wire.PutResponse{BID: blk.ID, Block: *blk, EdgeSig: sig}
+	if err := VerifyMsg(reg, k.ID, put, put.EdgeSig); err != nil {
+		t.Fatalf("PutResponse rejects digest-signed ack: %v", err)
+	}
+	if err := VerifyBlockAck(reg, k.ID, blk.ID, RecomputedBlockDigest(blk), sig); err != nil {
+		t.Fatalf("VerifyBlockAck rejects digest-signed ack: %v", err)
+	}
+	// The signature must bind the block id.
+	if err := VerifyBlockAck(reg, k.ID, blk.ID+1, RecomputedBlockDigest(blk), sig); err == nil {
+		t.Fatal("ack signature accepted for wrong block id")
+	}
+}
+
+// TestAckSignatureBindsBlockBody is the adversarial-parity core of digest
+// signing: a block whose frozen cache still holds the honest digest but
+// whose fields were tampered (cache poisoning — possible only for blocks
+// moved by reference in-process) must fail verification everywhere,
+// because every verify path recomputes the digest from the fields.
+func TestAckSignatureBindsBlockBody(t *testing.T) {
+	k := DeterministicKey("edge-1")
+	reg := NewRegistry()
+	reg.Register(k.ID, k.Pub)
+	blk := ackBlock(3)
+	sig := SignBlockAck(k, blk.ID, blk.CachedDigest())
+
+	poisoned := *blk // shares the honest cache
+	poisoned.Entries = append([]wire.Entry(nil), blk.Entries...)
+	poisoned.Entries[1].Value = []byte("evil")
+	if bytes.Equal(RecomputedBlockDigest(&poisoned), poisoned.CachedDigest()) {
+		t.Fatal("test setup: cache not poisoned")
+	}
+
+	add := &wire.AddResponse{BID: blk.ID, Block: poisoned, EdgeSig: sig}
+	if err := VerifyMsg(reg, k.ID, add, add.EdgeSig); err == nil {
+		t.Fatal("AddResponse with poisoned cache verified")
+	}
+	put := &wire.PutResponse{BID: blk.ID, Block: poisoned, EdgeSig: sig}
+	if err := VerifyMsg(reg, k.ID, put, put.EdgeSig); err == nil {
+		t.Fatal("PutResponse with poisoned cache verified")
+	}
+	read := &wire.ReadResponse{ReqID: 1, BID: blk.ID, OK: true, Block: poisoned}
+	read.EdgeSig = SignMsg(k, &wire.ReadResponse{ReqID: 1, BID: blk.ID, OK: true, Block: *blk})
+	if err := VerifyMsg(reg, k.ID, read, read.EdgeSig); err == nil {
+		t.Fatal("ReadResponse with poisoned cache verified")
+	}
+}

@@ -31,13 +31,16 @@ func (*PutResponse) MsgKind() Kind { return KindPutResponse }
 
 // EncodeTo implements Message.
 func (m *PutResponse) EncodeTo(e *Encoder) {
-	m.AppendBody(e)
+	e.U64(m.BID)
+	m.Block.EncodeTo(e)
 	e.Blob(m.EdgeSig)
 }
 
+// AppendBody appends the signable body: the size-independent block-ack
+// body (BID + block digest), byte-identical to AddResponse's so the edge's
+// one shared block-ack signature covers both response kinds.
 func (m *PutResponse) AppendBody(e *Encoder) {
-	e.U64(m.BID)
-	m.Block.EncodeTo(e)
+	AppendBlockAckBody(e, m.BID, m.Block.BodyDigest())
 }
 
 // DecodeFrom implements Message.

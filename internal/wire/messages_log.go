@@ -24,6 +24,20 @@ func (m *AddRequest) DecodeFrom(d *Decoder) {
 	m.WantBlock = d.Bool()
 }
 
+// AppendBlockAckBody appends the signable body shared by every block
+// acknowledgement (AddResponse, PutResponse, and the block portion of
+// ReadResponse): the block id plus the 32-byte block digest. Signing and
+// verifying this body is O(1) in block size — the full block still ships
+// on the wire, but the signature covers only its digest, which the digest's
+// one-way property binds to the contents just as strongly as signing the
+// re-encoded body did. Signers use the digest cached at block cut;
+// verifiers recompute it from the block they received (Block.BodyDigest),
+// so a tampered body fails the signature check exactly as before.
+func AppendBlockAckBody(e *Encoder, bid uint64, digest []byte) {
+	e.U64(bid)
+	e.Blob(digest)
+}
+
 // AddResponse is the edge node's signed promise that the client's entry is
 // part of block BID. It is the client's Phase I commit evidence: if the
 // certified block BID turns out not to contain the entry, this message
@@ -39,13 +53,15 @@ func (*AddResponse) MsgKind() Kind { return KindAddResponse }
 
 // EncodeTo implements Message.
 func (m *AddResponse) EncodeTo(e *Encoder) {
-	m.AppendBody(e)
+	e.U64(m.BID)
+	m.Block.EncodeTo(e)
 	e.Blob(m.EdgeSig)
 }
 
+// AppendBody appends the signable body: the size-independent block-ack
+// body (BID + block digest), not the shipped encoding.
 func (m *AddResponse) AppendBody(e *Encoder) {
-	e.U64(m.BID)
-	m.Block.EncodeTo(e)
+	AppendBlockAckBody(e, m.BID, m.Block.BodyDigest())
 }
 
 // DecodeFrom implements Message.
@@ -190,16 +206,35 @@ func (*ReadResponse) MsgKind() Kind { return KindReadResponse }
 
 // EncodeTo implements Message.
 func (m *ReadResponse) EncodeTo(e *Encoder) {
-	m.AppendBody(e)
-	e.Blob(m.EdgeSig)
-}
-
-func (m *ReadResponse) AppendBody(e *Encoder) {
 	e.U64(m.ReqID)
 	e.U64(m.BID)
 	e.Bool(m.OK)
 	e.I64(m.Ts)
 	m.Block.EncodeTo(e)
+	e.Bool(m.HasProof)
+	m.Proof.EncodeTo(e)
+	e.Blob(m.EdgeSig)
+}
+
+// AppendBody appends the signable body. The block is represented by its
+// 32-byte digest (size-independent signing); the small constant-size
+// fields — including the attached proof, which is itself digest-sized —
+// stay inline.
+func (m *ReadResponse) AppendBody(e *Encoder) {
+	m.AppendBodyWithDigest(e, m.Block.BodyDigest())
+}
+
+// AppendBodyWithDigest appends the signable body using a block digest the
+// caller already holds — the edge's read path signs with the digest cached
+// at block cut instead of re-hashing the block per read. Verifiers never
+// use this entry point: they go through AppendBody, which recomputes the
+// digest from the block they received.
+func (m *ReadResponse) AppendBodyWithDigest(e *Encoder, digest []byte) {
+	e.U64(m.ReqID)
+	e.U64(m.BID)
+	e.Bool(m.OK)
+	e.I64(m.Ts)
+	e.Blob(digest)
 	e.Bool(m.HasProof)
 	m.Proof.EncodeTo(e)
 }

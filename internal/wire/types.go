@@ -1,6 +1,9 @@
 package wire
 
-import "bytes"
+import (
+	"bytes"
+	"crypto/sha256"
+)
 
 // Entry is a single client-proposed datum: a log record for add() or a
 // key-value write for put(). Clients sign entries; edges and the cloud
@@ -143,6 +146,22 @@ func (b *Block) Freeze() {
 	var e Encoder
 	b.EncodeToUncached(&e)
 	b.cache = &blockCache{canon: e.Bytes()}
+}
+
+// BodyDigest returns the SHA-256 digest of the block's canonical encoding
+// recomputed from its fields. It never consults the frozen cache: signable
+// bodies embed this digest, and a signature check must bind to the bytes
+// the verifier actually holds — in-process transports move blocks by
+// reference, so a cache populated by the sending node proves nothing.
+// Signers that already hold the cut-time digest avoid the recompute via
+// AppendBlockAckBody with the cached digest (the two agree for any block
+// whose cache is honest).
+func (b *Block) BodyDigest() []byte {
+	e := GetEncoder()
+	b.EncodeToUncached(e)
+	sum := sha256.Sum256(e.Bytes())
+	PutEncoder(e)
+	return sum[:]
 }
 
 // CachedDigest returns the block's cached digest, or nil if none has been
