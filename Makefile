@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 fmt fmt-check vet ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -39,8 +39,15 @@ bench-pipeline:
 
 # PR-3 artifact: put hot path (P1) + block-ack size sweep (P2, flat
 # digest signing) + durable SyncEvery sweep (D1, fsync amortization).
+# Not part of `ci`: bench-pr4 runs the same P1 binary, so chaining both
+# would measure P1 twice; BENCH_pr3.json stays the committed PR-3 record.
 bench-pr3:
 	$(GO) run ./cmd/wedge-bench -run P1,P2,D1 -json BENCH_pr3.json
+
+# PR-4 artifact: put hot path (P1, regression guard) + verified range
+# scans (R1, latency/row throughput vs range width vs shard count).
+bench-pr4:
+	$(GO) run ./cmd/wedge-bench -run P1,R1 -json BENCH_pr4.json
 
 fmt:
 	gofmt -w .
@@ -53,4 +60,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-micro bench-json bench-pr3
+ci: fmt-check vet build test race bench bench-micro bench-json bench-pr4

@@ -165,6 +165,15 @@ func BenchmarkShardScaling(b *testing.B) {
 	})
 }
 
+// BenchmarkReadScan regenerates R1: verified range scans, latency and
+// row throughput vs range width vs shard count.
+func BenchmarkReadScan(b *testing.B) {
+	runExperiment(b, "R1", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, 0, 2), "narrow_1shard_ms")
+		b.ReportMetric(cell(t, len(t.Rows)-1, 4), "wide_4shard_rows_per_s")
+	})
+}
+
 // BenchmarkSecVIEDataset regenerates Section VI-E: dataset size sweep.
 func BenchmarkSecVIEDataset(b *testing.B) {
 	runExperiment(b, "E1", func(t *bench.Table, b *testing.B) {

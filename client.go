@@ -38,6 +38,7 @@ type Receipt struct {
 	found   bool
 	value   []byte
 	ver     uint64
+	scanKVs []wire.KV
 
 	phase1  chan struct{}
 	phase2  chan struct{}
@@ -66,6 +67,7 @@ func (r *Receipt) snapshot(op *client.Op) {
 	r.found = op.Found
 	r.value = op.GotValue
 	r.ver = op.GotVer
+	r.scanKVs = op.ScanKVs
 }
 
 // BID returns the block id the entry committed into.
@@ -334,6 +336,54 @@ func (c *Client) ReadFrom(edgeID NodeID, bid uint64, timeout time.Duration) (*Bl
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.block, r.phase, r.err
+}
+
+// Scan returns every key-value pair in the half-open range [start, end)
+// — nil bounds mean ±infinity — globally ordered by key and truncated to
+// limit (0 = unlimited). The scan scatter-gathers across every shard:
+// each shard's edge returns a Merkle completeness proof for its slice of
+// the range, the per-shard results are verified independently (omission,
+// injection and boundary truncation all fail verification and convict
+// the lying edge), and the merge preserves newest-wins semantics. A
+// returned slice is therefore a *verified* result: nothing certified was
+// omitted, nothing uncertified was injected.
+func (c *Client) Scan(start, end []byte, limit int) ([]KV, Phase, error) {
+	ch := make(chan []*Receipt, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		ops, envs := c.session.Scan(now, start, end, limit)
+		rs := make([]*Receipt, len(ops))
+		for i, op := range ops {
+			rs[i] = c.register(op)
+		}
+		ch <- rs
+		return envs
+	}); err != nil {
+		return nil, PhaseNone, err
+	}
+	rs := <-ch
+	deadline := time.After(30 * time.Second)
+	for _, r := range rs {
+		select {
+		case <-r.settled:
+		case <-deadline:
+			return nil, PhaseNone, ErrTimeout
+		}
+	}
+	phase := PhaseII
+	perShard := make([][]KV, len(rs))
+	for i, r := range rs {
+		r.mu.Lock()
+		err, ph, kvs := r.err, r.phase, r.scanKVs
+		r.mu.Unlock()
+		if err != nil {
+			return nil, PhaseNone, err
+		}
+		if ph < phase {
+			phase = ph
+		}
+		perShard[i] = kvs
+	}
+	return client.MergeScanKVs(perShard, limit), phase, nil
 }
 
 // Get looks a key up with full proof verification. found=false with a nil

@@ -9,7 +9,10 @@
 //	  -peers cloud=localhost:9001,edge-1=localhost:9002 \
 //	  -edge edge-1 [-wait2] <op> [args]
 //
-// Operations: add <payload> | read <bid> | put <key> <value> | get <key>
+// Operations: add <payload> | read <bid> | put <key> <value> | get <key> |
+// scan <start> <end> [limit] ("-" = unbounded). Scans verify a Merkle
+// completeness proof: the printed rows are provably every certified entry
+// in the range.
 package main
 
 import (
@@ -41,7 +44,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("missing operation: add|read|put|get")
+		log.Fatal("missing operation: add|read|put|get|scan")
 	}
 
 	peerMap, err := cli.ParsePeers(*peers)
@@ -101,6 +104,26 @@ func main() {
 			log.Fatal("usage: get <key>")
 		}
 		launch(func(now int64) (*client.Op, []wire.Envelope) { return cc.Get(now, []byte(args[1])) })
+	case "scan":
+		if len(args) != 3 && len(args) != 4 {
+			log.Fatal(`usage: scan <start> <end> [limit]  ("-" = unbounded)`)
+		}
+		var start, end []byte
+		if args[1] != "-" {
+			start = []byte(args[1])
+		}
+		if args[2] != "-" {
+			end = []byte(args[2])
+		}
+		limit := 0
+		if len(args) == 4 {
+			n, err := strconv.Atoi(args[3])
+			if err != nil {
+				log.Fatal(err)
+			}
+			limit = n
+		}
+		launch(func(now int64) (*client.Op, []wire.Envelope) { return cc.Scan(now, start, end, limit) })
 	default:
 		log.Fatalf("unknown operation %q", args[0])
 	}
@@ -154,6 +177,12 @@ func main() {
 				fmt.Printf("%q = %q (ver %d, phase=%s, proof verified)\n", args[1], op.GotValue, op.GotVer, op.Phase)
 			} else {
 				fmt.Printf("%q not found (verified absence)\n", args[1])
+			}
+		case "scan":
+			fmt.Printf("scan [%s, %s): %d rows (phase=%s, completeness proof verified)\n",
+				args[1], args[2], len(op.ScanKVs), op.Phase)
+			for _, kv := range op.ScanKVs {
+				fmt.Printf("  %q = %q (ver %d)\n", kv.Key, kv.Value, kv.Ver)
 			}
 		}
 		return nil

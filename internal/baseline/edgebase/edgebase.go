@@ -179,7 +179,7 @@ func (c *Cloud) cutAndPush(now int64) []wire.Envelope {
 
 	c.epoch++
 	roots := c.roots()
-	global := wire.SignedRoot{Edge: c.cfg.Edge, Epoch: c.epoch, Root: mlsm.GlobalRoot(roots), Ts: now}
+	global := wire.SignedRoot{Edge: c.cfg.Edge, Epoch: c.epoch, Root: mlsm.GlobalRoot(roots), Ts: now, L0From: c.l0From}
 	global.CloudSig = wcrypto.SignMsg(c.key, &global)
 
 	push := &wire.EBStatePush{

@@ -90,6 +90,18 @@ func (p CostParams) Fn(roles map[wire.NodeID]Role) sim.CostFn {
 		switch m := in.Msg.(type) {
 		case *wire.GetRequest, *wire.ReadRequest, *wire.CloudGetRequest:
 			cost += p.ReadServe
+		case *wire.ScanRequest:
+			// Scan assembly walks the L0 window and per-level page
+			// ranges; the base serve cost covers it (proof material is
+			// hashes already cached by the index).
+			cost += p.ReadServe
+		case *wire.ScanResponse:
+			if role == RClient {
+				// Verification hashes every proven page and block and
+				// merges the derived records, so it scales with the
+				// evidence shipped, not just a flat check.
+				cost += p.VerifyClient + int64(p.ApplyPerByte*float64(wire.EncodedSize(in)))
+			}
 		case *wire.BlockCertify:
 			if role == RCloud {
 				cost += p.CertBase + p.CertPerOp*int64(p.Batch)

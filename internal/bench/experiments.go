@@ -523,6 +523,7 @@ var Experiments = []struct {
 	{"F7b", Fig7bEdgeLoc, "Figure 7(b): latency vs edge location"},
 	{"E1", SecVIEDataset, "Section VI-E: dataset size sweep"},
 	{"S1", ShardScaling, "Shard scaling: put throughput vs edge count"},
+	{"R1", ReadScanBench, "Verified range scans: latency/row throughput vs range width vs shard count"},
 	{"P1", CryptoPipeline, "Crypto pipeline: wall-clock put hot path, serial vs pipelined"},
 	{"P2", BlockAckSizeSweep, "Block-ack signature cost vs block size (digest vs legacy body signing)"},
 	{"D1", DurableSyncSweep, "Durable put path: group-commit (SyncEvery) fsync-amortization sweep"},

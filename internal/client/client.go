@@ -53,6 +53,7 @@ const (
 	KindPut
 	KindRead
 	KindGet
+	KindScan
 )
 
 // String returns the kind name.
@@ -66,6 +67,8 @@ func (k Kind) String() string {
 		return "read"
 	case KindGet:
 		return "get"
+	case KindScan:
+		return "scan"
 	default:
 		return "unknown"
 	}
@@ -96,13 +99,20 @@ type Op struct {
 	GotValue []byte
 	GotVer   uint64
 
+	// Scan parameters and the verified, derived, limit-truncated result.
+	ScanStart []byte
+	ScanEnd   []byte
+	ScanLimit int
+	ScanKVs   []wire.KV
+
 	// Evidence held for dispute filing.
 	digest      []byte // digest of the block accepted at Phase I
 	addEvidence *wire.AddResponse
 	putEvidence *wire.PutResponse
 	readEv      *wire.ReadResponse
 	getEv       *wire.GetResponse
-	pendingBIDs map[uint64][]byte // get: uncertified bid -> expected digest
+	scanEv      *wire.ScanResponse
+	pendingBIDs map[uint64][]byte // get/scan: uncertified bid -> expected digest
 	disputed    bool
 	retries     int
 	Verdict     *wire.Verdict
@@ -333,6 +343,32 @@ func (c *Core) Get(now int64, key []byte) (*Op, []wire.Envelope) {
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.GetRequest{Key: key, ReqID: c.reqID}}}
 }
 
+// Scan starts a verified range scan over [start, end) on this core's
+// edge (nil start/end mean ±infinity). The op settles with ScanKVs
+// holding every certified record of the range, newest version per key,
+// ordered and truncated to limit (0 = unlimited) — or with an error when
+// the edge's completeness proof fails verification, in which case the
+// signed proof is filed as dispute evidence.
+func (c *Core) Scan(now int64, start, end []byte, limit int) (*Op, []wire.Envelope) {
+	op := &Op{Kind: KindScan, Edge: c.cfg.Edge, ScanStart: start, ScanEnd: end, ScanLimit: limit, StartedAt: now}
+	if c.banned != nil {
+		return c.launchBanned(op)
+	}
+	if start != nil && end != nil && bytes.Compare(start, end) >= 0 {
+		// Degenerate range: verifiably empty without touching the network.
+		c.pending++
+		op.Phase = core.PhaseII
+		c.settle(op, nil)
+		return op, nil
+	}
+	c.reqID++
+	op.ReqID = c.reqID
+	c.byReq[c.reqID] = op
+	c.pending++
+	req := &wire.ScanRequest{Start: start, End: end, Limit: uint32(limit), ReqID: c.reqID}
+	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: req}}
+}
+
 // Reserve asks the edge for count reserved log positions. The response is
 // surfaced through OnReserve. A convicted edge's chain is frozen, so no
 // request is sent once the edge is banned — callers should check Banned
@@ -367,6 +403,8 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return c.handleReadResponse(now, env.From, m, env.Verified)
 	case *wire.GetResponse:
 		return c.handleGetResponse(now, env.From, m, env.Verified)
+	case *wire.ScanResponse:
+		return c.handleScanResponse(now, env.From, m, env.Verified)
 	case *wire.Gossip:
 		return c.handleGossip(now, m)
 	case *wire.Verdict:
@@ -544,8 +582,8 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 		if op.Done {
 			continue
 		}
-		if op.Kind == KindGet {
-			if more := c.resolveGetBID(now, op, p); more != nil {
+		if op.Kind == KindGet || op.Kind == KindScan {
+			if more := c.resolveProofDep(now, op, p); more != nil {
 				out = append(out, more...)
 			}
 			if !op.Done && op.Phase != core.PhaseII {
@@ -569,14 +607,19 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 	return out
 }
 
-// resolveGetBID settles one uncertified L0 dependency of a Phase I get.
-func (c *Core) resolveGetBID(now int64, op *Op, p *wire.BlockProof) []wire.Envelope {
+// resolveProofDep settles one uncertified L0 dependency of a Phase I get
+// or scan. A certified digest contradicting the pinned one is the lazy
+// catch for content the edge promised before certification.
+func (c *Core) resolveProofDep(now int64, op *Op, p *wire.BlockProof) []wire.Envelope {
 	want, ok := op.pendingBIDs[p.BID]
 	if !ok {
 		return nil
 	}
 	if !bytes.Equal(want, p.Digest) {
 		c.stats.LiesDetected++
+		if op.Kind == KindScan {
+			return c.fileScanDispute(op, p.BID)
+		}
 		return c.fileGetDispute(op, p.BID)
 	}
 	delete(op.pendingBIDs, p.BID)
@@ -610,6 +653,16 @@ func (c *Core) fileDispute(op *Op) []wire.Envelope {
 		d = core.BuildOmissionDispute(c.key, c.cfg.Edge, op.readEv, c.gossip)
 	case op.getEv != nil:
 		return c.fileGetDispute(op, op.BID)
+	case op.scanEv != nil:
+		// Dispute the lowest still-pending block: the cloud either holds
+		// a contradicting certificate or never saw the block at all.
+		bid, first := op.BID, true
+		for b := range op.pendingBIDs {
+			if first || b < bid {
+				bid, first = b, false
+			}
+		}
+		return c.fileScanDispute(op, bid)
 	default:
 		return nil
 	}
@@ -620,11 +673,17 @@ func (c *Core) fileGetDispute(op *Op, bid uint64) []wire.Envelope {
 	if op.disputed {
 		return nil
 	}
+	return c.accuse(op, bid, core.BuildGetLieDispute(c.key, c.cfg.Edge, bid, op.getEv))
+}
+
+// accuse records op as disputed over bid and returns the accusation for
+// the cloud — the dispute bookkeeping shared by every evidence-backed
+// dispute kind. Callers check op.disputed first.
+func (c *Core) accuse(op *Op, bid uint64, d *wire.Dispute) []wire.Envelope {
 	op.disputed = true
 	op.BID = bid
 	c.accused = append(c.accused, op)
 	c.stats.Disputes++
-	d := core.BuildGetLieDispute(c.key, c.cfg.Edge, bid, op.getEv)
 	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 }
 

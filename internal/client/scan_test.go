@@ -1,0 +1,304 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/scan"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// scanFixture extends the client fixture with a merged single-level index
+// (8 keys in 2-record pages) under a cloud-signed root, so honest scan
+// responses can be assembled and tampered locally.
+type scanFixture struct {
+	*fixture
+	idx *mlsm.Index
+}
+
+func newScanFixture(t *testing.T) *scanFixture {
+	t.Helper()
+	f := newFixture(t)
+	var kvs []wire.KV
+	for i := 0; i < 8; i++ {
+		kvs = append(kvs, wire.KV{Key: []byte(fmt.Sprintf("k%02d", i)), Value: []byte(fmt.Sprintf("v%02d", i)), Ver: uint64(i + 1)})
+	}
+	pages := mlsm.Merge(kvs, nil, 1, 2, 0, 50)
+	idx := mlsm.NewIndex([]int{10, 100})
+	roots := [][]byte{mlsm.LevelTree(pages).Root(), mlsm.LevelTree(nil).Root()}
+	global := wire.SignedRoot{Edge: "edge-1", Epoch: 1, Root: mlsm.GlobalRoot(roots), Ts: 5}
+	global.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &global)
+	if err := idx.InstallLevel(1, pages, roots, global); err != nil {
+		t.Fatal(err)
+	}
+	return &scanFixture{fixture: f, idx: idx}
+}
+
+// launchScan starts a scan op and returns it with the request it emitted.
+func (f *scanFixture) launchScan(t *testing.T, start, end []byte) (*Op, *wire.ScanRequest) {
+	t.Helper()
+	op, envs := f.c.Scan(10, start, end, 0)
+	if len(envs) != 1 {
+		t.Fatalf("scan emitted %d envelopes", len(envs))
+	}
+	return op, envs[0].Msg.(*wire.ScanRequest)
+}
+
+// honestScanResponse assembles and signs the edge's answer to req.
+func (f *scanFixture) honestScanResponse(req *wire.ScanRequest) *wire.ScanResponse {
+	resp := scan.Assemble(req.Start, req.End, req.ReqID, mlsm.L0Source{}, f.idx)
+	resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
+	return resp
+}
+
+// deliver pushes one envelope to the client either inline or through a
+// concurrent VerifyPool, returning after the client processed it and
+// collecting anything the client sent in response.
+func (f *scanFixture) deliver(t *testing.T, pooled bool, msg wire.Message) []wire.Envelope {
+	t.Helper()
+	env := wire.Envelope{From: "edge-1", To: "c1", Msg: msg}
+	if !pooled {
+		return f.c.Receive(20, env)
+	}
+	var outs []wire.Envelope
+	done := make(chan struct{})
+	pool := wcrypto.NewVerifyPool(f.reg, 4, 4, func(e wire.Envelope) {
+		outs = f.c.Receive(20, e)
+		close(done)
+	})
+	pool.Submit(env)
+	<-done
+	pool.Close()
+	return outs
+}
+
+// TestScanVerifiedInlineAndPooled pins the honest path through both
+// delivery modes: the derived result is complete and ordered, and the op
+// reaches Phase II with no uncertified dependencies.
+func TestScanVerifiedInlineAndPooled(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		f := newScanFixture(t)
+		op, req := f.launchScan(t, []byte("k02"), []byte("k06"))
+		f.deliver(t, pooled, f.honestScanResponse(req))
+		if !op.Done || op.Err != nil || op.Phase != core.PhaseII {
+			t.Fatalf("pooled=%v: op did not settle cleanly: %+v", pooled, op)
+		}
+		if len(op.ScanKVs) != 4 || string(op.ScanKVs[0].Key) != "k02" || string(op.ScanKVs[3].Key) != "k05" {
+			t.Fatalf("pooled=%v: result = %v", pooled, op.ScanKVs)
+		}
+	}
+}
+
+// TestScanOmissionParityAndConviction drives a mid-range omission through
+// the inline and pooled paths: both must reject identically, file the
+// signed response as dispute evidence, and that evidence must convict the
+// edge when adjudicated by the cloud's own Judge.
+func TestScanOmissionParityAndConviction(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		f := newScanFixture(t)
+		op, req := f.launchScan(t, []byte("k01"), []byte("k07"))
+		resp := f.honestScanResponse(req)
+		// Omit one record mid-range, then re-sign: the lie must pass the
+		// signature check and fail only the completeness proof.
+		p := &resp.Proof.Levels[0].Pages[1]
+		p.KVs = append([]wire.KV(nil), p.KVs[:1]...)
+		resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
+
+		outs := f.deliver(t, pooled, resp)
+		if !op.Done || !errors.Is(op.Err, ErrBadResponse) {
+			t.Fatalf("pooled=%v: omission not rejected: %+v", pooled, op)
+		}
+		st := f.c.Stats()
+		if st.VerifyFailures == 0 || st.LiesDetected == 0 || st.Disputes != 1 {
+			t.Fatalf("pooled=%v: stats = %+v", pooled, st)
+		}
+		if len(outs) != 1 || outs[0].To != "cloud" {
+			t.Fatalf("pooled=%v: dispute not sent to cloud: %v", pooled, outs)
+		}
+		d, ok := outs[0].Msg.(*wire.Dispute)
+		if !ok || d.Kind != wire.DisputeScanLie {
+			t.Fatalf("pooled=%v: wrong dispute: %+v", pooled, outs[0].Msg)
+		}
+		verdict := core.Judge(f.reg, core.NewCertTable(), "cloud", "c1", d)
+		if !verdict.Guilty {
+			t.Fatalf("pooled=%v: judge acquitted: %s", pooled, verdict.Reason)
+		}
+	}
+}
+
+// TestScanWrongRangeEchoRejectedWithoutDispute: a Merkle-valid proof of a
+// narrower range than requested is rejected, but not disputed — the cloud
+// cannot know what was asked, so it is not provable evidence.
+func TestScanWrongRangeEchoRejectedWithoutDispute(t *testing.T) {
+	f := newScanFixture(t)
+	op, req := f.launchScan(t, []byte("k01"), []byte("k07"))
+	narrower := *req
+	narrower.End = []byte("k04")
+	resp := f.honestScanResponse(&narrower)
+	if outs := f.deliver(t, false, resp); len(outs) != 0 {
+		t.Fatalf("unexpected output: %v", outs)
+	}
+	if !op.Done || !errors.Is(op.Err, ErrBadResponse) {
+		t.Fatalf("wrong-range response accepted: %+v", op)
+	}
+	if f.c.Stats().Disputes != 0 {
+		t.Fatal("unprovable range mismatch was disputed")
+	}
+}
+
+// poisonedScan builds an honest digest-signed scan response over one L0
+// block, then a cache-poisoned twin: same signature, same cached digest,
+// tampered entry — deliverable only by reference (in-process transports).
+func poisonedScan(t *testing.T, f *scanFixture) (op *Op, honest, poisoned *wire.ScanResponse) {
+	t.Helper()
+	op, req := f.launchScan(t, nil, nil)
+	blk := wire.Block{Edge: "edge-1", ID: 0, StartPos: 0, Entries: []wire.Entry{
+		{Client: "c2", Seq: 1, Key: []byte("zz"), Value: []byte("w")},
+	}}
+	blk.Freeze()
+	digest := wcrypto.BlockDigest(&blk)
+	cert := wire.BlockProof{Edge: "edge-1", BID: 0, Digest: digest}
+	cert.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &cert)
+
+	honest = scan.Assemble(req.Start, req.End, req.ReqID, mlsm.L0Source{Blocks: []wire.Block{blk}, Certs: []wire.BlockProof{cert}}, f.idx)
+	honest.EdgeSig = wcrypto.SignScanResponse(f.keys["edge-1"], honest, [][]byte{digest})
+
+	bad := *honest
+	bad.Proof.L0Blocks = append([]wire.Block(nil), honest.Proof.L0Blocks...)
+	pb := &bad.Proof.L0Blocks[0]
+	pb.Entries = append([]wire.Entry(nil), pb.Entries...)
+	pb.Entries[0].Value = []byte("evil") // cache still serves the honest bytes
+	if !bytes.Equal(pb.CachedDigest(), digest) {
+		t.Fatal("test setup: cache should still serve the honest digest")
+	}
+	return op, honest, &bad
+}
+
+// TestCachePoisonedScanRejectedInlineAndPooled extends the PR-3 parity
+// suite to the scan path: the scan signature covers recomputed L0 digests,
+// so a tampered block behind a poisoned frozen cache must fail the
+// signature check identically inline and through the pool.
+func TestCachePoisonedScanRejectedInlineAndPooled(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		// Honest digest-signed response sails through.
+		f := newScanFixture(t)
+		op, honest, _ := poisonedScan(t, f)
+		f.deliver(t, pooled, honest)
+		if !op.Done || op.Err != nil {
+			t.Fatalf("pooled=%v: honest digest-signed scan rejected: %+v", pooled, op)
+		}
+		if f.c.Stats().VerifyFailures != 0 {
+			t.Fatalf("pooled=%v: spurious verify failure", pooled)
+		}
+		// The poisoned twin is rejected before any state advances.
+		f = newScanFixture(t)
+		op, _, poisoned := poisonedScan(t, f)
+		f.deliver(t, pooled, poisoned)
+		if op.Done || op.Phase != core.PhaseNone {
+			t.Fatalf("pooled=%v: cache-poisoned scan advanced the op: %+v", pooled, op)
+		}
+		if f.c.Stats().VerifyFailures == 0 {
+			t.Fatalf("pooled=%v: verify failure not counted", pooled)
+		}
+	}
+}
+
+// poisonedGet mirrors poisonedScan for the get path, whose signable body
+// now also represents L0 blocks by their digests.
+func poisonedGet(t *testing.T, f *fixture) (op *Op, honest, poisoned *wire.GetResponse) {
+	t.Helper()
+	op, envs := f.c.Get(10, []byte("k"))
+	req := envs[0].Msg.(*wire.GetRequest)
+	blk := wire.Block{Edge: "edge-1", ID: 0, StartPos: 0, Entries: []wire.Entry{
+		{Client: "c2", Seq: 1, Key: []byte("k"), Value: []byte("v")},
+	}}
+	blk.Freeze()
+	digest := wcrypto.BlockDigest(&blk)
+	cert := wire.BlockProof{Edge: "edge-1", BID: 0, Digest: digest}
+	cert.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &cert)
+	honest = mlsm.AssembleGet(req.Key, req.ReqID, mlsm.L0Source{Blocks: []wire.Block{blk}, Certs: []wire.BlockProof{cert}}, mlsm.NewIndex([]int{10}))
+	honest.EdgeSig = wcrypto.SignGetResponse(f.keys["edge-1"], honest, [][]byte{digest})
+
+	bad := *honest
+	bad.Proof.L0Blocks = append([]wire.Block(nil), honest.Proof.L0Blocks...)
+	pb := &bad.Proof.L0Blocks[0]
+	pb.Entries = append([]wire.Entry(nil), pb.Entries...)
+	pb.Entries[0].Value = []byte("evil")
+	if !bytes.Equal(pb.CachedDigest(), digest) {
+		t.Fatal("test setup: cache should still serve the honest digest")
+	}
+	return op, honest, &bad
+}
+
+// TestCachePoisonedGetRejectedInlineAndPooled: same parity for gets.
+func TestCachePoisonedGetRejectedInlineAndPooled(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		deliver := func(f *fixture, m *wire.GetResponse) {
+			env := wire.Envelope{From: "edge-1", To: "c1", Msg: m}
+			if !pooled {
+				f.c.Receive(20, env)
+				return
+			}
+			done := make(chan struct{})
+			pool := wcrypto.NewVerifyPool(f.reg, 4, 4, func(e wire.Envelope) {
+				f.c.Receive(20, e)
+				close(done)
+			})
+			pool.Submit(env)
+			<-done
+			pool.Close()
+		}
+		f := newFixture(t)
+		op, honest, _ := poisonedGet(t, f)
+		deliver(f, honest)
+		if !op.Done || op.Err != nil || !op.Found || string(op.GotValue) != "v" {
+			t.Fatalf("pooled=%v: honest digest-signed get rejected: %+v", pooled, op)
+		}
+		f = newFixture(t)
+		op, _, poisoned := poisonedGet(t, f)
+		deliver(f, poisoned)
+		if op.Done || op.Phase != core.PhaseNone {
+			t.Fatalf("pooled=%v: cache-poisoned get advanced the op: %+v", pooled, op)
+		}
+		if f.c.Stats().VerifyFailures == 0 {
+			t.Fatalf("pooled=%v: verify failure not counted", pooled)
+		}
+	}
+}
+
+// TestGetRejectsDroppedLeadingL0Block pins the compaction-frontier rule
+// on the get path: an edge that omits its oldest uncompacted block —
+// which could hold the key's freshest (or only) version — fails
+// verification even though the remaining window is consecutive and
+// certified.
+func TestGetRejectsDroppedLeadingL0Block(t *testing.T) {
+	f := newFixture(t)
+	op, envs := f.c.Get(10, []byte("victim"))
+	req := envs[0].Msg.(*wire.GetRequest)
+	mkBlock := func(id uint64, key string) (wire.Block, wire.BlockProof) {
+		blk := wire.Block{Edge: "edge-1", ID: id, StartPos: id, Entries: []wire.Entry{
+			{Client: "c2", Seq: id + 1, Key: []byte(key), Value: []byte("v")},
+		}}
+		blk.Freeze()
+		cert := wire.BlockProof{Edge: "edge-1", BID: id, Digest: wcrypto.BlockDigest(&blk)}
+		cert.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &cert)
+		return blk, cert
+	}
+	b0, c0 := mkBlock(0, "victim")
+	b1, c1 := mkBlock(1, "other")
+	_, _ = b0, c0
+	// The edge serves only block 1, hiding block 0's write of "victim".
+	resp := mlsm.AssembleGet(req.Key, req.ReqID, mlsm.L0Source{
+		Blocks: []wire.Block{b1}, Certs: []wire.BlockProof{c1},
+	}, mlsm.NewIndex([]int{10}))
+	resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
+	f.c.Receive(20, wire.Envelope{From: "edge-1", To: "c1", Msg: resp})
+	if !op.Done || !errors.Is(op.Err, ErrBadResponse) {
+		t.Fatalf("get over a truncated L0 window accepted: %+v", op)
+	}
+}

@@ -1,7 +1,9 @@
 package client
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"wedgechain/internal/core"
 	"wedgechain/internal/shard"
@@ -124,6 +126,51 @@ func (s *Sharded) PutBatch(now int64, keys, values [][]byte) ([]*Op, []wire.Enve
 		envs = append(envs, shEnvs...)
 	}
 	return ops, envs
+}
+
+// Scan scatter-gathers a verified range scan across every shard: keys
+// hash-route to shards, so a key range is spread over all of them and
+// each shard's edge must prove completeness for its own slice. One op is
+// returned per shard, in shard order; when all have settled,
+// MergeScanResults folds their verified results into one globally ordered
+// slice. Each per-shard op carries the full limit (a single shard could
+// in principle own the limit's worth of smallest keys), and the gather
+// side truncates again after the merge.
+func (s *Sharded) Scan(now int64, start, end []byte, limit int) ([]*Op, []wire.Envelope) {
+	ops := make([]*Op, len(s.cores))
+	var envs []wire.Envelope
+	for i, cc := range s.cores {
+		op, e := cc.Scan(now, start, end, limit)
+		ops[i] = op
+		envs = append(envs, e...)
+	}
+	return ops, envs
+}
+
+// MergeScanResults merges settled per-shard scan results into one
+// globally key-ordered slice, truncated to limit when limit > 0.
+func MergeScanResults(ops []*Op, limit int) []wire.KV {
+	slices := make([][]wire.KV, len(ops))
+	for i, op := range ops {
+		slices[i] = op.ScanKVs
+	}
+	return MergeScanKVs(slices, limit)
+}
+
+// MergeScanKVs merges per-shard verified KV slices into one globally
+// key-ordered slice, truncated to limit when limit > 0. Shards partition
+// the keyspace by hash, so the slices are disjoint and a plain sort is a
+// correct k-way merge — the one place that invariant is encoded.
+func MergeScanKVs(slices [][]wire.KV, limit int) []wire.KV {
+	var all []wire.KV
+	for _, s := range slices {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
 }
 
 // Add appends a payload to the home shard's log.

@@ -249,7 +249,13 @@ func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, 
 
 	// No L0 hit: level evidence decides.
 	if len(p.Roots) == 0 && len(p.Levels) == 0 && len(p.Global.CloudSig) == 0 {
-		// No merged state exists yet; absence is the only valid answer.
+		// No merged state exists yet, so nothing has ever been compacted:
+		// the L0 window must be the log itself, from block 0 — otherwise
+		// a dropped leading block could hide the key's only version.
+		if len(p.L0Blocks) > 0 && p.L0Blocks[0].ID != 0 {
+			return res, fmt.Errorf("no signed index state, yet L0 window starts at block %d", p.L0Blocks[0].ID)
+		}
+		// Absence is then the only valid answer.
 		if m.Found {
 			return res, fmt.Errorf("found claimed without any level evidence")
 		}
@@ -267,6 +273,14 @@ func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, 
 	}
 	if !bytes.Equal(mlsm.GlobalRoot(p.Roots), p.Global.Root) {
 		return res, fmt.Errorf("level roots do not fold to global root")
+	}
+	// The signed compaction frontier (SignedRoot.L0From) pins where the
+	// served L0 window must start, so the edge cannot drop its oldest
+	// uncompacted blocks — which could hold the key's freshest version —
+	// and still claim completeness.
+	if len(p.L0Blocks) > 0 && p.L0Blocks[0].ID != p.Global.L0From {
+		return res, fmt.Errorf("L0 window starts at block %d, signed compaction frontier is %d",
+			p.L0Blocks[0].ID, p.Global.L0From)
 	}
 	if c.cfg.FreshnessWindow > 0 && now-p.Global.Ts > c.cfg.FreshnessWindow {
 		return res, ErrStale

@@ -315,7 +315,7 @@ func (n *Node) VerdictsFor(edge wire.NodeID) []wire.Verdict {
 // still lets the client finish Phase II.
 func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wire.Envelope {
 	n.stats.Disputes++
-	v := core.Judge(n.reg, n.certs, from, d)
+	v := core.Judge(n.reg, n.certs, n.cfg.ID, from, d)
 	v.CloudSig = wcrypto.SignMsg(n.key, &v)
 	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
 	if v.Guilty {
@@ -431,10 +431,11 @@ func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest, ve
 	}
 	st.epoch++
 	global := wire.SignedRoot{
-		Edge:  m.Edge,
-		Epoch: st.epoch,
-		Root:  mlsm.GlobalRoot(roots),
-		Ts:    now,
+		Edge:   m.Edge,
+		Epoch:  st.epoch,
+		Root:   mlsm.GlobalRoot(roots),
+		Ts:     now,
+		L0From: st.l0Consumed, // signed compaction frontier: pins where served L0 windows must start
 	}
 	global.CloudSig = wcrypto.SignMsg(n.key, &global)
 

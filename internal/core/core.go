@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"wedgechain/internal/scan"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -223,6 +224,22 @@ func BuildGetLieDispute(key wcrypto.KeyPair, edge wire.NodeID, bid uint64, resp 
 	return d
 }
 
+// BuildScanLieDispute packages a signed ScanResponse as dispute evidence.
+// Two lies travel under this kind: a structurally defective completeness
+// proof (the cloud re-verifies the whole proof; any defect in a signed
+// proof is the edge's own), and an L0 block bid whose content contradicts
+// the certified digest.
+func BuildScanLieDispute(key wcrypto.KeyPair, edge wire.NodeID, bid uint64, resp *wire.ScanResponse) *wire.Dispute {
+	d := &wire.Dispute{
+		Kind:     wire.DisputeScanLie,
+		Edge:     edge,
+		BID:      bid,
+		Evidence: wire.EncodeMessage(resp),
+	}
+	d.ClientSig = wcrypto.SignMsg(key, d)
+	return d
+}
+
 // BuildOmissionDispute packages a signed not-available denial together
 // with cloud gossip proving the denied block exists.
 func BuildOmissionDispute(key wcrypto.KeyPair, edge wire.NodeID, denial *wire.ReadResponse, gossip *wire.Gossip) *wire.Dispute {
@@ -237,10 +254,13 @@ func BuildOmissionDispute(key wcrypto.KeyPair, edge wire.NodeID, denial *wire.Re
 	return d
 }
 
-// Judge adjudicates a dispute against the certification table. It verifies
-// the client's signature on the accusation and the edge's signature on the
-// evidence — the evidence is self-authenticating, so a client cannot frame
-// an edge, and an edge cannot repudiate its promises.
+// Judge adjudicates a dispute against the certification table on behalf of
+// the cloud node self — inner cloud signatures inside evidence
+// (certificates, signed roots) are verified against the adjudicator's own
+// identity, never a guessed one. It verifies the client's signature on the
+// accusation and the edge's signature on the evidence — the evidence is
+// self-authenticating, so a client cannot frame an edge, and an edge cannot
+// repudiate its promises.
 //
 // Conviction rules:
 //   - add-lie / read-lie: guilty when the evidence block's digest differs
@@ -249,7 +269,7 @@ func BuildOmissionDispute(key wcrypto.KeyPair, edge wire.NodeID, denial *wire.Re
 //     arrive only after the client's generous proof timeout).
 //   - omission: guilty when the edge's signed denial is timestamped at or
 //     after cloud gossip covering the denied block.
-func Judge(reg *wcrypto.Registry, certs *CertTable, from wire.NodeID, d *wire.Dispute) wire.Verdict {
+func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *wire.Dispute) wire.Verdict {
 	verdict := wire.Verdict{Edge: d.Edge, BID: d.BID, Kind: d.Kind}
 	if err := wcrypto.VerifyMsg(reg, from, d, d.ClientSig); err != nil {
 		verdict.Reason = "dispute rejected: bad client signature"
@@ -307,6 +327,36 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, from wire.NodeID, d *wire.Di
 			}
 		}
 		verdict.Reason = "dispute rejected: disputed block not in evidence"
+		return verdict
+	case wire.DisputeScanLie:
+		resp, ok := ev.(*wire.ScanResponse)
+		if !ok {
+			verdict.Reason = "dispute rejected: evidence is not a scan-response"
+			return verdict
+		}
+		if err := wcrypto.VerifyMsg(reg, d.Edge, resp, resp.EdgeSig); err != nil {
+			verdict.Reason = "dispute rejected: evidence not signed by edge"
+			return verdict
+		}
+		// Structural re-verification with the same code the client ran.
+		// The response is edge-signed and self-contained (it echoes the
+		// scanned range), so any structural defect — omission, injection,
+		// boundary truncation, bad Merkle fold — is the edge's own lie.
+		// Freshness is exempt: staleness is time-relative, not provable
+		// after the fact (FreshnessWindow 0 disables the check).
+		if _, err := scan.Verify(scan.Params{Reg: reg, Edge: d.Edge, Cloud: self}, resp); err != nil {
+			verdict.Guilty = true
+			verdict.Reason = fmt.Sprintf("scan proof does not verify: %v", err)
+			return verdict
+		}
+		// The proof holds up structurally; the accusation must then name
+		// an L0 block whose promised content the certified digest refutes.
+		for i := range resp.Proof.L0Blocks {
+			if resp.Proof.L0Blocks[i].ID == d.BID {
+				return judgeDigest(certs, verdict, &resp.Proof.L0Blocks[i])
+			}
+		}
+		verdict.Reason = "not guilty: scan proof verifies and disputed block not in evidence"
 		return verdict
 	case wire.DisputeOmission:
 		denial, ok := ev.(*wire.ReadResponse)

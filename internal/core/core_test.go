@@ -99,7 +99,7 @@ func TestJudgeConvictsDigestMismatch(t *testing.T) {
 	lied.Entries = append([]wire.Entry(nil), honest.Entries...)
 	lied.Entries[0].Value = []byte("tampered")
 	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, lied))
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if !v.Guilty {
 		t.Fatalf("verdict = %+v, want guilty", v)
 	}
@@ -112,7 +112,7 @@ func TestJudgeAcquitsMatchingDigest(t *testing.T) {
 	ct.Certify("edge-1", 0, wcrypto.BlockDigest(&honest), 1)
 
 	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, honest))
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if v.Guilty {
 		t.Fatalf("verdict = %+v, want not guilty", v)
 	}
@@ -122,7 +122,7 @@ func TestJudgeConvictsNeverCertified(t *testing.T) {
 	keys, reg := testKeys(t)
 	ct := NewCertTable()
 	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, testBlock()))
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if !v.Guilty {
 		t.Fatalf("verdict = %+v, want guilty (promised but never certified)", v)
 	}
@@ -135,7 +135,7 @@ func TestJudgeRejectsForgedEvidence(t *testing.T) {
 	resp := &wire.AddResponse{BID: 0, Block: testBlock()}
 	resp.EdgeSig = wcrypto.SignMsg(keys["evil"], resp)
 	d := BuildAddLieDispute(keys["c1"], "edge-1", resp)
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if v.Guilty {
 		t.Fatal("forged evidence convicted the edge")
 	}
@@ -146,7 +146,7 @@ func TestJudgeRejectsBadClientSignature(t *testing.T) {
 	ct := NewCertTable()
 	d := BuildAddLieDispute(keys["c1"], "edge-1", buildEvidence(keys, testBlock()))
 	d.ClientSig[0] ^= 1
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if v.Guilty {
 		t.Fatal("tampered dispute convicted the edge")
 	}
@@ -165,7 +165,7 @@ func TestJudgeReadLie(t *testing.T) {
 	resp.EdgeSig = wcrypto.SignMsg(keys["edge-1"], resp)
 
 	d := BuildReadLieDispute(keys["c1"], "edge-1", resp)
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if !v.Guilty || v.Kind != wire.DisputeReadLie {
 		t.Fatalf("verdict = %+v", v)
 	}
@@ -187,7 +187,7 @@ func TestJudgeGetLie(t *testing.T) {
 	resp.EdgeSig = wcrypto.SignMsg(keys["edge-1"], resp)
 
 	d := BuildGetLieDispute(keys["c1"], "edge-1", 0, resp)
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if !v.Guilty || v.Kind != wire.DisputeGetLie {
 		t.Fatalf("verdict = %+v", v)
 	}
@@ -206,7 +206,7 @@ func TestJudgeOmission(t *testing.T) {
 	denial.EdgeSig = wcrypto.SignMsg(keys["edge-1"], denial)
 
 	d := BuildOmissionDispute(keys["c1"], "edge-1", denial, gossip)
-	v := Judge(reg, ct, "c1", d)
+	v := Judge(reg, ct, "cloud", "c1", d)
 	if !v.Guilty || v.Kind != wire.DisputeOmission {
 		t.Fatalf("verdict = %+v", v)
 	}
@@ -215,7 +215,7 @@ func TestJudgeOmission(t *testing.T) {
 	early := &wire.ReadResponse{ReqID: 2, BID: 0, OK: false, Ts: 50}
 	early.EdgeSig = wcrypto.SignMsg(keys["edge-1"], early)
 	d2 := BuildOmissionDispute(keys["c1"], "edge-1", early, gossip)
-	if v := Judge(reg, ct, "c1", d2); v.Guilty {
+	if v := Judge(reg, ct, "cloud", "c1", d2); v.Guilty {
 		t.Fatal("pre-gossip denial convicted")
 	}
 
@@ -223,7 +223,7 @@ func TestJudgeOmission(t *testing.T) {
 	far := &wire.ReadResponse{ReqID: 3, BID: 9, OK: false, Ts: 150}
 	far.EdgeSig = wcrypto.SignMsg(keys["edge-1"], far)
 	d3 := BuildOmissionDispute(keys["c1"], "edge-1", far, gossip)
-	if v := Judge(reg, ct, "c1", d3); v.Guilty {
+	if v := Judge(reg, ct, "cloud", "c1", d3); v.Guilty {
 		t.Fatal("uncovered denial convicted")
 	}
 }
@@ -233,7 +233,7 @@ func TestJudgeRejectsUndecodableEvidence(t *testing.T) {
 	ct := NewCertTable()
 	d := &wire.Dispute{Kind: wire.DisputeAddLie, Edge: "edge-1", BID: 0, Evidence: []byte{1, 2, 3}}
 	d.ClientSig = wcrypto.SignMsg(keys["c1"], d)
-	if v := Judge(reg, ct, "c1", d); v.Guilty {
+	if v := Judge(reg, ct, "cloud", "c1", d); v.Guilty {
 		t.Fatal("garbage evidence convicted")
 	}
 }

@@ -99,10 +99,10 @@ type Node struct {
 	log *wlog.Log
 	idx *mlsm.Index
 
-	reqs         reqRing                  // log position -> submitter (flat ring, no map)
-	blockClients map[uint64][]reqInfo     // bid -> distinct (client, kind) to notify
-	readWaiters  map[uint64][]wire.NodeID // bid -> clients awaiting a forwarded proof
-	l0From       uint64                   // first uncompacted block id
+	reqs         reqRing              // log position -> submitter (flat ring, no map)
+	blockClients bidRing[reqInfo]     // bid -> distinct (client, kind) to notify
+	readWaiters  bidRing[wire.NodeID] // bid -> clients awaiting a forwarded proof
+	l0From       uint64               // first uncompacted block id
 	mergeBusy    bool
 	nextReq      uint64
 	lastArrival  int64
@@ -124,6 +124,7 @@ type Stats struct {
 	Certified    uint64
 	Reads        uint64
 	Gets         uint64
+	Scans        uint64
 	Merges       uint64
 	BytesToCloud uint64
 }
@@ -132,13 +133,11 @@ type Stats struct {
 func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 	cfg.fill()
 	return &Node{
-		cfg:          cfg,
-		key:          key,
-		reg:          reg,
-		log:          wlog.New(cfg.ID, cfg.BatchSize),
-		idx:          mlsm.NewIndex(cfg.LevelThresholds),
-		blockClients: make(map[uint64][]reqInfo),
-		readWaiters:  make(map[uint64][]wire.NodeID),
+		cfg: cfg,
+		key: key,
+		reg: reg,
+		log: wlog.New(cfg.ID, cfg.BatchSize),
+		idx: mlsm.NewIndex(cfg.LevelThresholds),
 	}
 }
 
@@ -158,8 +157,14 @@ func NewPersistent(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry, dataD
 	n.log = log
 	n.store = store
 	// Recovered blocks were acknowledged in a previous life; start the
-	// request ring at the log's frontier so it never spans cut history.
+	// request ring at the log's frontier so it never spans cut history,
+	// and the bid rings at the certified frontier — blocks behind it can
+	// never register waiters.
 	n.reqs.advance(log.NextPos())
+	if ct, ok := log.CertifiedThrough(); ok {
+		n.blockClients.advanceTo(ct + 1)
+		n.readWaiters.advanceTo(ct + 1)
+	}
 	return n, blocks, nil
 }
 
@@ -248,6 +253,8 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return n.handleRead(now, env.From, m)
 	case *wire.GetRequest:
 		return n.handleGet(now, env.From, m)
+	case *wire.ScanRequest:
+		return n.handleScan(now, env.From, m)
 	case *wire.ReserveRequest:
 		return n.handleReserve(now, env.From, m, env.Verified)
 	case *wire.BlockProof:
@@ -382,7 +389,7 @@ func (n *Node) blockOutputs(now int64, blk *wire.Block) []wire.Envelope {
 		}
 	}
 	n.reqs.advance(blk.StartPos + uint64(len(blk.Entries)))
-	n.blockClients[blk.ID] = responders
+	n.blockClients.set(blk.ID, responders)
 
 	digest, err := n.log.Digest(blk.ID)
 	if err != nil {
@@ -481,14 +488,19 @@ func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 	fwd := func(to wire.NodeID) {
 		out = append(out, wire.Envelope{From: n.cfg.ID, To: to, Msg: cloneProof(p)})
 	}
-	for _, r := range n.blockClients[p.BID] {
+	for _, r := range n.blockClients.take(p.BID) {
 		fwd(r.client)
 	}
-	delete(n.blockClients, p.BID)
-	for _, c := range n.readWaiters[p.BID] {
+	for _, c := range n.readWaiters.take(p.BID) {
 		fwd(c)
 	}
-	delete(n.readWaiters, p.BID)
+	// Certified blocks can never register new waiters, so both rings'
+	// bases chase the certified frontier — the live window stays as small
+	// as the uncertified suffix.
+	if ct, ok := n.log.CertifiedThrough(); ok {
+		n.blockClients.advanceTo(ct + 1)
+		n.readWaiters.advanceTo(ct + 1)
+	}
 	out = append(out, n.maybeStartMerge(now)...)
 	return out
 }
@@ -514,7 +526,7 @@ func (n *Node) handleRead(now int64, from wire.NodeID, m *wire.ReadRequest) []wi
 			resp.Proof = cert
 		} else {
 			// Phase I read: remember the reader for proof forwarding.
-			n.readWaiters[m.BID] = append(n.readWaiters[m.BID], from)
+			n.readWaiters.add(m.BID, from)
 		}
 	}
 	if resp.OK && !tampered(n.cfg.Fault, from) {

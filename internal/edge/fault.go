@@ -36,6 +36,22 @@ type Fault struct {
 	// signed) snapshot. Clients detect it through the freshness window
 	// on the global root's timestamp (Section V-D).
 	FreezeIndex bool
+	// ScanOmitKey: scan responses omit this key from the level page that
+	// holds it (omission attack on range completeness). The tampered page
+	// no longer hashes to its certified leaf, so the client's Merkle
+	// range check fails and the signed response is convicting evidence.
+	ScanOmitKey []byte
+	// ScanInjectKey/ScanInjectValue: scan responses carry this forged
+	// record appended to an uncertified L0 block. Structural verification
+	// passes (nothing pins uncertified content yet); the later block
+	// proof contradicts the pinned digest and convicts the edge.
+	ScanInjectKey   []byte
+	ScanInjectValue []byte
+	// ScanTruncate: scan responses drop the last overlapping page of
+	// every level range, presenting an honestly recomputed (Merkle-valid)
+	// narrower proof. The boundary-coverage check catches the hidden
+	// tail.
+	ScanTruncate bool
 }
 
 // maybeTamperAdd returns the block to embed in an add/put response for

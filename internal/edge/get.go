@@ -16,16 +16,18 @@ import (
 // both the value and its recency.
 func (n *Node) handleGet(now int64, from wire.NodeID, m *wire.GetRequest) []wire.Envelope {
 	n.stats.Gets++
-	resp := n.buildGet(m)
+	resp, digests := n.buildGet(m)
 	// Phase I gets: register the caller for proof forwarding on every
 	// uncertified block it relied on.
 	for i := range resp.Proof.L0Blocks {
 		if len(resp.Proof.L0Certs[i].CloudSig) == 0 {
-			bid := resp.Proof.L0Blocks[i].ID
-			n.readWaiters[bid] = append(n.readWaiters[bid], from)
+			n.readWaiters.add(resp.Proof.L0Blocks[i].ID, from)
 		}
 	}
-	resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+	// Size-independent signing: the signable body represents each L0
+	// block by the digest cached at block cut, so the signature costs the
+	// same whether the uncompacted window holds one block or fifty.
+	resp.EdgeSig = wcrypto.SignGetResponse(n.key, resp, digests)
 	return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
 }
 
@@ -33,14 +35,25 @@ func (n *Node) handleGet(now int64, from wire.NodeID, m *wire.GetRequest) []wire
 // transport — the edge half of the best-case read path that Figure 5(d)
 // measures with real crypto.
 func (n *Node) AssembleGet(key []byte, reqID uint64) *wire.GetResponse {
-	resp := n.buildGet(&wire.GetRequest{Key: key, ReqID: reqID})
-	resp.EdgeSig = wcrypto.SignMsg(n.key, resp)
+	resp, digests := n.buildGet(&wire.GetRequest{Key: key, ReqID: reqID})
+	resp.EdgeSig = wcrypto.SignGetResponse(n.key, resp, digests)
 	return resp
 }
 
-// buildGet assembles the unsigned get response. Split from handleGet so
-// the Figure 5(d) microbenchmark can measure pure assembly cost.
-func (n *Node) buildGet(m *wire.GetRequest) *wire.GetResponse {
+// buildGet assembles the unsigned get response plus the cut-time digests
+// of its L0 blocks (aligned with Proof.L0Blocks), which the signer embeds
+// in the signable body instead of re-hashing every served block. Split
+// from handleGet so the Figure 5(d) microbenchmark can measure pure
+// assembly cost.
+func (n *Node) buildGet(m *wire.GetRequest) (*wire.GetResponse, [][]byte) {
+	src, digests := n.l0Window()
+	return mlsm.AssembleGet(m.Key, m.ReqID, src, n.idx), digests
+}
+
+// l0Window snapshots the uncompacted L0 suffix — blocks, certificates
+// where available, and cut-time digests — honouring the stale-snapshot
+// fault. The digests slice stays aligned with the blocks slice.
+func (n *Node) l0Window() (mlsm.L0Source, [][]byte) {
 	lo, hi := n.l0From, n.log.NumBlocks()
 	if n.cfg.Fault != nil && n.cfg.Fault.HideL0 && n.cfg.Fault.HideL0From < hi {
 		// Stale-snapshot attack: pretend recent blocks do not exist.
@@ -50,17 +63,23 @@ func (n *Node) buildGet(m *wire.GetRequest) *wire.GetResponse {
 		}
 	}
 	var src mlsm.L0Source
+	var digests [][]byte
 	for bid := lo; bid < hi; bid++ {
 		blk, err := n.log.Block(bid)
 		if err != nil {
 			continue
 		}
+		digest, err := n.log.Digest(bid)
+		if err != nil {
+			continue
+		}
 		src.Blocks = append(src.Blocks, *blk)
+		digests = append(digests, digest)
 		cert, ok := n.log.Cert(bid)
 		if !ok {
 			cert = wire.BlockProof{} // uncertified: Phase I evidence only
 		}
 		src.Certs = append(src.Certs, cert)
 	}
-	return mlsm.AssembleGet(m.Key, m.ReqID, src, n.idx)
+	return src, digests
 }

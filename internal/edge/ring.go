@@ -90,3 +90,96 @@ func (r *reqRing) grow(need uint64) {
 	r.slots = slots
 	r.head = 0
 }
+
+// bidRing maps recent block ids to small per-bid slices, replacing the
+// former blockClients/readWaiters maps with the same flat treatment the
+// reqRing gave log positions. Block ids are monotonic and interest in a
+// block ends once its certificate arrives, so a power-of-two ring whose
+// base tracks the certified frontier serves every lookup without hashing;
+// slots behind the base are dead by construction (certified blocks never
+// register new waiters).
+type bidRing[T any] struct {
+	base  uint64 // block id of slots[head]
+	head  int    // ring index of base
+	slots [][]T
+}
+
+func (r *bidRing[T]) slot(off uint64) *[]T {
+	return &r.slots[(r.head+int(off))&(len(r.slots)-1)]
+}
+
+// add appends v to bid's slot. Bids behind the base are ignored — the
+// base only advances past certified blocks, which register no waiters.
+func (r *bidRing[T]) add(bid uint64, v T) {
+	if bid < r.base {
+		return
+	}
+	off := bid - r.base
+	if off >= uint64(len(r.slots)) {
+		r.grow(off + 1)
+	}
+	s := r.slot(off)
+	*s = append(*s, v)
+}
+
+// set replaces bid's slot with vs.
+func (r *bidRing[T]) set(bid uint64, vs []T) {
+	if bid < r.base {
+		return
+	}
+	off := bid - r.base
+	if off >= uint64(len(r.slots)) {
+		r.grow(off + 1)
+	}
+	*r.slot(off) = vs
+}
+
+// take returns and clears bid's slot.
+func (r *bidRing[T]) take(bid uint64) []T {
+	if bid < r.base {
+		return nil
+	}
+	off := bid - r.base
+	if off >= uint64(len(r.slots)) {
+		return nil
+	}
+	s := r.slot(off)
+	vs := *s
+	*s = nil
+	return vs
+}
+
+// advanceTo moves the ring's base to block id to, clearing the slots it
+// passes. Called with one past the certified frontier: everything behind
+// it has been consumed (or can never be consumed) by construction.
+func (r *bidRing[T]) advanceTo(to uint64) {
+	if to <= r.base {
+		return
+	}
+	if len(r.slots) == 0 || to-r.base >= uint64(len(r.slots)) {
+		for i := range r.slots {
+			r.slots[i] = nil
+		}
+		r.head = 0
+		r.base = to
+		return
+	}
+	for r.base < to {
+		r.slots[r.head] = nil
+		r.head = (r.head + 1) & (len(r.slots) - 1)
+		r.base++
+	}
+}
+
+func (r *bidRing[T]) grow(need uint64) {
+	newCap := reqRingMinCap
+	for uint64(newCap) < need {
+		newCap <<= 1
+	}
+	slots := make([][]T, newCap)
+	for i := range r.slots {
+		slots[i] = r.slots[(r.head+i)&(len(r.slots)-1)]
+	}
+	r.slots = slots
+	r.head = 0
+}

@@ -93,3 +93,67 @@ func TestReqRingAdvanceClearsDroppedSlots(t *testing.T) {
 		t.Fatalf("post-reset take = %+v %v", info, ok)
 	}
 }
+
+func TestBidRingBasics(t *testing.T) {
+	var r bidRing[wire.NodeID]
+	r.add(3, "a")
+	r.add(3, "b")
+	r.add(5, "c")
+	if got := r.take(3); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("take(3) = %v", got)
+	}
+	if got := r.take(3); got != nil {
+		t.Fatalf("second take(3) = %v", got)
+	}
+	if got := r.take(4); got != nil {
+		t.Fatalf("take of never-set bid = %v", got)
+	}
+	if got := r.take(5); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("take(5) = %v", got)
+	}
+}
+
+func TestBidRingSetAndGrow(t *testing.T) {
+	var r bidRing[reqInfo]
+	// Force several growth steps with a widening window.
+	for bid := uint64(0); bid < 5*reqRingMinCap; bid++ {
+		r.set(bid, []reqInfo{{client: wire.NodeID(fmt.Sprintf("c%d", bid))}})
+	}
+	for bid := uint64(0); bid < 5*reqRingMinCap; bid++ {
+		got := r.take(bid)
+		if len(got) != 1 || got[0].client != wire.NodeID(fmt.Sprintf("c%d", bid)) {
+			t.Fatalf("bid %d: take = %v", bid, got)
+		}
+	}
+}
+
+func TestBidRingAdvance(t *testing.T) {
+	var r bidRing[wire.NodeID]
+	for bid := uint64(0); bid < 10; bid++ {
+		r.add(bid, "w")
+	}
+	r.advanceTo(7)
+	for bid := uint64(0); bid < 7; bid++ {
+		if got := r.take(bid); got != nil {
+			t.Fatalf("bid %d behind base leaked: %v", bid, got)
+		}
+	}
+	// Additions behind the base are ignored (certified blocks never
+	// register waiters; a racing registration must not resurrect a slot).
+	r.add(3, "stale")
+	if got := r.take(3); got != nil {
+		t.Fatalf("add behind base leaked: %v", got)
+	}
+	if got := r.take(8); len(got) != 1 {
+		t.Fatalf("live slot lost across advance: %v", got)
+	}
+	// Wholesale advance far past the window.
+	r.advanceTo(1000)
+	if got := r.take(9); got != nil {
+		t.Fatalf("slot behind wholesale advance leaked: %v", got)
+	}
+	r.add(1001, "fresh")
+	if got := r.take(1001); len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("post-advance add = %v", got)
+	}
+}

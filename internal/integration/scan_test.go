@@ -1,0 +1,220 @@
+package integration
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wedgechain/internal/client"
+	"wedgechain/internal/core"
+	"wedgechain/internal/edge"
+)
+
+func (w *world) scan(c *client.Core, start, end string, limit int) *client.Op {
+	var s, e []byte
+	if start != "" {
+		s = []byte(start)
+	}
+	if end != "" {
+		e = []byte(end)
+	}
+	op, envs := c.Scan(w.sim.Now(), s, e, limit)
+	w.sim.Inject(envs)
+	return op
+}
+
+// preloadKeys writes n distinct keys (k00..) through alternating clients,
+// settling each put, and returns the final model.
+func (w *world) preloadKeys(t *testing.T, n int) map[string]string {
+	t.Helper()
+	model := map[string]string{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		val := fmt.Sprintf("v%02d", i)
+		model[key] = val
+		c := w.c1
+		if i%2 == 1 {
+			c = w.c2
+		}
+		if op := w.put(c, key, val); op == nil {
+			t.Fatal("put failed to launch")
+		}
+		w.settle(t, 2*s)
+	}
+	w.settle(t, 5*s)
+	return model
+}
+
+// TestScanAcrossMergesAndL0 drives the honest path end to end: writes
+// spread over merged levels and the uncompacted L0 window, scans of
+// several shapes, results checked against the model for completeness,
+// order, newest-wins and limit truncation.
+func TestScanAcrossMergesAndL0(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 2})
+	model := w.preloadKeys(t, 12) // k00..k11, several merges
+	if w.edge.Stats().Merges == 0 {
+		t.Fatal("no merges happened; test parameters wrong")
+	}
+	// Overwrite two merged keys and add two new keys; an even count so
+	// batch-2 blocks cut cleanly. They stay in the uncompacted L0 window.
+	for _, kv := range [][2]string{{"k03", "v03-new"}, {"k07", "v07-new"}, {"k98", "tail-a"}, {"k99", "tail-b"}} {
+		op := w.put(w.c1, kv[0], kv[1])
+		model[kv[0]] = kv[1]
+		w.settle(t, 2*s)
+		if op.Err != nil {
+			t.Fatalf("overwrite %s: %v", kv[0], op.Err)
+		}
+	}
+	w.settle(t, 3*s)
+
+	expect := func(start, end string, limit int) []string {
+		var keys []string
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("k%02d", i)
+			if _, ok := model[k]; !ok {
+				continue
+			}
+			if start != "" && k < start {
+				continue
+			}
+			if end != "" && k >= end {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		if limit > 0 && len(keys) > limit {
+			keys = keys[:limit]
+		}
+		return keys
+	}
+	cases := []struct {
+		start, end string
+		limit      int
+	}{
+		{"k02", "k09", 0}, // interior, spans merged pages
+		{"", "", 0},       // full scan including the L0 tail key
+		{"k05", "", 0},    // open right
+		{"", "k04", 0},    // open left
+		{"k00", "k99", 4}, // limit truncation
+	}
+	for _, c := range cases {
+		op := w.scan(w.c1, c.start, c.end, c.limit)
+		w.settle(t, 3*s)
+		if op.Err != nil {
+			t.Fatalf("scan [%q,%q): %v", c.start, c.end, op.Err)
+		}
+		if op.Phase != core.PhaseII {
+			t.Fatalf("scan [%q,%q) phase = %v", c.start, c.end, op.Phase)
+		}
+		want := expect(c.start, c.end, c.limit)
+		if len(op.ScanKVs) != len(want) {
+			t.Fatalf("scan [%q,%q) limit %d: %d results, want %d (%v)",
+				c.start, c.end, c.limit, len(op.ScanKVs), len(want), op.ScanKVs)
+		}
+		for i, kv := range op.ScanKVs {
+			if string(kv.Key) != want[i] {
+				t.Fatalf("scan [%q,%q) result %d = %q, want %q", c.start, c.end, i, kv.Key, want[i])
+			}
+			if string(kv.Value) != model[want[i]] {
+				t.Fatalf("scan key %q = %q, want %q (newest-wins violated)", kv.Key, kv.Value, model[want[i]])
+			}
+			if i > 0 && bytes.Compare(op.ScanKVs[i-1].Key, kv.Key) >= 0 {
+				t.Fatalf("scan results not strictly ordered at %d", i)
+			}
+		}
+	}
+	// Degenerate range settles empty without touching the network.
+	op := w.scan(w.c2, "k05", "k05", 0)
+	if !op.Done || op.Err != nil || len(op.ScanKVs) != 0 {
+		t.Fatalf("degenerate scan: %+v", op)
+	}
+}
+
+// convictScan runs one byzantine scan scenario through the full loop and
+// asserts detection (verification failure at the client) and punishment
+// (guilty verdict at the cloud).
+func convictScan(t *testing.T, fault *edge.Fault, preload int, start, end string, wantErr error) (*world, *client.Op) {
+	t.Helper()
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 2, fault: fault})
+	w.preloadKeys(t, preload)
+	if w.edge.Stats().Merges == 0 {
+		t.Fatal("no merges happened; test parameters wrong")
+	}
+	op := w.scan(w.c1, start, end, 0)
+	w.settle(t, 3*s)
+	if op.Err == nil || !errors.Is(op.Err, wantErr) {
+		t.Fatalf("byzantine scan settled with %v, want %v", op.Err, wantErr)
+	}
+	if reason, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	} else {
+		t.Logf("convicted: %s", reason)
+	}
+	if w.c1.Stats().LiesDetected == 0 {
+		t.Fatal("lie not counted")
+	}
+	return w, op
+}
+
+// TestScanOmissionConvicts: the edge drops one record from a merged page
+// mid-range. The page no longer hashes to its certified leaf, the Merkle
+// range check fails, and the signed response convicts the edge.
+func TestScanOmissionConvicts(t *testing.T) {
+	fault := &edge.Fault{ScanOmitKey: []byte("k05")}
+	convictScan(t, fault, 12, "k02", "k09", client.ErrBadResponse)
+}
+
+// TestScanTruncationConvicts: the edge hides the tail of the range behind
+// an honestly recomputed — Merkle-valid — narrower page-range proof. The
+// boundary-coverage check catches the committed Hi falling short.
+func TestScanTruncationConvicts(t *testing.T) {
+	fault := &edge.Fault{ScanTruncate: true}
+	convictScan(t, fault, 12, "k01", "k11", client.ErrBadResponse)
+}
+
+// TestScanInjectionConvicts: the edge forges a record inside an
+// uncertified L0 block. Structural verification passes — nothing pins
+// uncertified content yet — so the scan parks in Phase I with the
+// tampered digest pinned; the cloud's certificate then contradicts it and
+// the dispute convicts the edge (lazy certification at work).
+func TestScanInjectionConvicts(t *testing.T) {
+	fault := &edge.Fault{ScanInjectKey: []byte("k50"), ScanInjectValue: []byte("forged")}
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, fault: fault})
+	// Two puts cut one block; the scan is injected in the same breath so
+	// it reaches the edge before the certificate returns from the cloud.
+	w.put(w.c1, "k01", "v01")
+	w.put(w.c2, "k02", "v02")
+	op := w.scan(w.c1, "", "", 0)
+	w.settle(t, 3*s)
+	if op.Err == nil || !errors.Is(op.Err, client.ErrEdgeLied) {
+		t.Fatalf("injected scan settled with %v, want ErrEdgeLied", op.Err)
+	}
+	if _, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	}
+	if op.Verdict == nil || !op.Verdict.Guilty {
+		t.Fatalf("verdict not delivered to the scanning client: %+v", op.Verdict)
+	}
+}
+
+// TestScanDroppedCertifyConvicts: the edge serves a scan over blocks it
+// never certifies. The proof timeout files the scan evidence; the cloud
+// finds a structurally valid proof promising a block it never saw, and
+// convicts.
+func TestScanDroppedCertifyConvicts(t *testing.T) {
+	fault := &edge.Fault{DropCertify: true}
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, fault: fault, proofTO: 200 * ms})
+	w.put(w.c1, "k01", "v01")
+	w.put(w.c2, "k02", "v02")
+	op := w.scan(w.c1, "", "", 0)
+	w.sim.RunUntil(w.sim.Now() + 2*s)
+	if op.Err == nil || !errors.Is(op.Err, client.ErrEdgeLied) {
+		t.Fatalf("uncertified scan settled with %v, want ErrEdgeLied", op.Err)
+	}
+	if reason, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	} else if reason == "" {
+		t.Fatal("empty conviction reason")
+	}
+}

@@ -346,6 +346,68 @@ func (x *Index) FindPage(level int, key []byte) int {
 	return i
 }
 
+// PageRange returns the half-open page index range [a, b) of level
+// (1-based) whose pages overlap the key range [start, end), where nil
+// start means -infinity and nil end means +infinity. It returns (-1, -1)
+// when the level holds no pages. For start < end the result is never
+// empty: level ranges partition the keyspace, so the page containing
+// start always precedes the first page at or beyond end.
+func (x *Index) PageRange(level int, start, end []byte) (int, int) {
+	pages := x.levels[level-1]
+	if len(pages) == 0 {
+		return -1, -1
+	}
+	a := 0
+	if start != nil {
+		// First page with Hi > start — the page containing start.
+		a = sort.Search(len(pages), func(i int) bool {
+			return pages[i].Hi == nil || bytes.Compare(pages[i].Hi, start) > 0
+		})
+	}
+	b := len(pages)
+	if end != nil {
+		// First page with Lo >= end — the first page past the scan.
+		b = sort.Search(len(pages), func(i int) bool {
+			return pages[i].Lo != nil && bytes.Compare(pages[i].Lo, end) >= 0
+		})
+	}
+	return a, b
+}
+
+// LevelRangeProof assembles the multi-page Merkle range proof for pages
+// [a, b) of level (1-based): the pages themselves plus the two flank
+// paths (merkle.RangeProof).
+func (x *Index) LevelRangeProof(level, a, b int) (wire.LevelRangeProof, error) {
+	if level < 1 || level > len(x.levels) {
+		return wire.LevelRangeProof{}, fmt.Errorf("%w: %d", ErrLevelRange, level)
+	}
+	pages := x.levels[level-1]
+	if a < 0 || b > len(pages) || a >= b {
+		return wire.LevelRangeProof{}, fmt.Errorf("mlsm: page range [%d,%d) out of range in level %d", a, b, level)
+	}
+	left, right, err := x.trees[level-1].RangeProof(a, b)
+	if err != nil {
+		return wire.LevelRangeProof{}, err
+	}
+	return wire.LevelRangeProof{
+		Level: uint32(level),
+		First: uint32(a),
+		Width: uint32(x.trees[level-1].Len()),
+		Pages: append([]wire.Page(nil), pages[a:b]...),
+		Left:  left,
+		Right: right,
+	}, nil
+}
+
+// MergeNewest sorts candidate records by key and keeps the highest
+// version per key — the newest-wins rule shared by compaction and by
+// client-side scan result derivation. The input slice is not retained.
+func MergeNewest(kvs []wire.KV) []wire.KV {
+	out := append([]wire.KV(nil), kvs...)
+	sortKVs(out)
+	return dedupeSorted(out)
+}
+
 // Lookup searches levels 1..n for key, returning the containing level
 // (1-based), the page index, and the record. Levels are searched top-down
 // so the newest surviving version wins.

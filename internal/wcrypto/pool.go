@@ -60,6 +60,8 @@ func PreVerify(r *Registry, env wire.Envelope) bool {
 		return VerifyMsg(r, env.From, m, m.EdgeSig) == nil
 	case *wire.GetResponse:
 		return VerifyMsg(r, env.From, m, m.EdgeSig) == nil
+	case *wire.ScanResponse:
+		return VerifyMsg(r, env.From, m, m.EdgeSig) == nil
 	default:
 		return false
 	}

@@ -218,6 +218,30 @@ func SignReadResponse(k KeyPair, m *wire.ReadResponse, digest []byte) []byte {
 	return sig
 }
 
+// SignGetResponse signs a get response using L0 block digests the caller
+// already holds (the edge's cut-time caches), skipping the per-block
+// re-hash the generic SignMsg path would pay — the read-path mirror of
+// SignBlockAck. Only for responses whose L0 blocks actually hash to the
+// given digests — the honest serve path; tampering faults must sign
+// through SignMsg so the signature matches what ships.
+func SignGetResponse(k KeyPair, m *wire.GetResponse, l0Digests [][]byte) []byte {
+	e := wire.GetEncoder()
+	m.AppendBodyWithDigests(e, l0Digests)
+	sig := k.Sign(e.Bytes())
+	wire.PutEncoder(e)
+	return sig
+}
+
+// SignScanResponse is SignGetResponse's scan counterpart: one signature
+// over the scan proof with every L0 block stood in by its cached digest.
+func SignScanResponse(k KeyPair, m *wire.ScanResponse, l0Digests [][]byte) []byte {
+	e := wire.GetEncoder()
+	m.AppendBodyWithDigests(e, l0Digests)
+	sig := k.Sign(e.Bytes())
+	wire.PutEncoder(e)
+	return sig
+}
+
 // SignLegacyBlockAck reproduces the pre-digest wire format — a signature
 // over BID plus the block's full re-encoded body — so the serial-crypto
 // A/B baseline and the block-size sweep can measure what the old scheme

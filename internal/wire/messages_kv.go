@@ -24,6 +24,8 @@ type PutResponse struct {
 	BID     uint64
 	Block   Block
 	EdgeSig []byte
+
+	encSize int // cached encoded size; see sizeMemoized
 }
 
 // MsgKind implements Message.
@@ -48,6 +50,7 @@ func (m *PutResponse) DecodeFrom(d *Decoder) {
 	m.BID = d.U64()
 	m.Block.DecodeFrom(d)
 	m.EdgeSig = d.Blob()
+	m.encSize = 0
 }
 
 // SignableBytes returns the bytes the edge signs.
@@ -55,6 +58,14 @@ func (m *PutResponse) SignableBytes() []byte {
 	var e Encoder
 	m.AppendBody(&e)
 	return e.Bytes()
+}
+
+func (m *PutResponse) encodedSizeMemo() int { return m.encSize }
+
+func (m *PutResponse) memoizeEncodedSize(n int) {
+	if m.Block.frozen() {
+		m.encSize = n
+	}
 }
 
 // GetRequest looks a key up in the edge's LSMerkle index.
@@ -149,6 +160,30 @@ func (gp *GetProof) EncodeTo(e *Encoder) {
 	gp.Global.EncodeTo(e)
 }
 
+// AppendSignable appends the proof's signable form, in which every L0
+// block is represented by its 32-byte digest instead of its body — the
+// same size-independent signing scheme the block acknowledgements use, so
+// the get path's signature cost no longer grows with the uncompacted L0
+// window. digests supplies per-block digests in L0Blocks order (the edge's
+// cut-time cache); nil recomputes each from the block fields, which is
+// what verifiers must do so a poisoned cache can never satisfy the check.
+func (gp *GetProof) AppendSignable(e *Encoder, digests [][]byte) {
+	appendL0Digests(e, gp.L0Blocks, digests)
+	e.U32(uint32(len(gp.L0Certs)))
+	for i := range gp.L0Certs {
+		gp.L0Certs[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(gp.Levels)))
+	for i := range gp.Levels {
+		gp.Levels[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(gp.Roots)))
+	for _, r := range gp.Roots {
+		e.Blob(r)
+	}
+	gp.Global.EncodeTo(e)
+}
+
 // DecodeFrom reads the proof.
 func (gp *GetProof) DecodeFrom(d *Decoder) {
 	gp.L0Blocks = decodeSlice(d, (*Block).DecodeFrom)
@@ -167,6 +202,8 @@ type GetResponse struct {
 	Ver     uint64
 	Proof   GetProof
 	EdgeSig []byte
+
+	encSize int // cached encoded size; see sizeMemoized
 }
 
 // MsgKind implements Message.
@@ -174,16 +211,33 @@ func (*GetResponse) MsgKind() Kind { return KindGetResponse }
 
 // EncodeTo implements Message.
 func (m *GetResponse) EncodeTo(e *Encoder) {
-	m.AppendBody(e)
-	e.Blob(m.EdgeSig)
-}
-
-func (m *GetResponse) AppendBody(e *Encoder) {
 	e.U64(m.ReqID)
 	e.Bool(m.Found)
 	e.Blob(m.Value)
 	e.U64(m.Ver)
 	m.Proof.EncodeTo(e)
+	e.Blob(m.EdgeSig)
+}
+
+// AppendBody appends the signable body. Unlike the wire encoding, the
+// signable body represents each L0 block by its recomputed 32-byte digest
+// (GetProof.AppendSignable), making the edge's get signature — like the
+// block acknowledgements — O(1) in block size.
+func (m *GetResponse) AppendBody(e *Encoder) {
+	m.AppendBodyWithDigests(e, nil)
+}
+
+// AppendBodyWithDigests appends the signable body using L0 digests the
+// caller already holds — the edge's serve path, where every block's digest
+// was cached at block cut. Verifiers never use this entry point: they go
+// through AppendBody, which recomputes the digests from the blocks they
+// received, so a tampered body fails the signature check.
+func (m *GetResponse) AppendBodyWithDigests(e *Encoder, digests [][]byte) {
+	e.U64(m.ReqID)
+	e.Bool(m.Found)
+	e.Blob(m.Value)
+	e.U64(m.Ver)
+	m.Proof.AppendSignable(e, digests)
 }
 
 // DecodeFrom implements Message.
@@ -194,6 +248,7 @@ func (m *GetResponse) DecodeFrom(d *Decoder) {
 	m.Ver = d.U64()
 	m.Proof.DecodeFrom(d)
 	m.EdgeSig = d.Blob()
+	m.encSize = 0
 }
 
 // SignableBytes returns the bytes the edge signs.
@@ -201,6 +256,17 @@ func (m *GetResponse) SignableBytes() []byte {
 	var e Encoder
 	m.AppendBody(&e)
 	return e.Bytes()
+}
+
+func (m *GetResponse) encodedSizeMemo() int { return m.encSize }
+
+func (m *GetResponse) memoizeEncodedSize(n int) {
+	for i := range m.Proof.L0Blocks {
+		if !m.Proof.L0Blocks[i].frozen() {
+			return
+		}
+	}
+	m.encSize = n
 }
 
 // MergeRequest ships the pages undergoing an LSMerkle compaction from the

@@ -46,6 +46,8 @@ type AddResponse struct {
 	BID     uint64
 	Block   Block // the block containing the entry
 	EdgeSig []byte
+
+	encSize int // cached encoded size; see sizeMemoized
 }
 
 // MsgKind implements Message.
@@ -69,6 +71,7 @@ func (m *AddResponse) DecodeFrom(d *Decoder) {
 	m.BID = d.U64()
 	m.Block.DecodeFrom(d)
 	m.EdgeSig = d.Blob()
+	m.encSize = 0
 }
 
 // SignableBytes returns the bytes the edge signs.
@@ -76,6 +79,14 @@ func (m *AddResponse) SignableBytes() []byte {
 	var e Encoder
 	m.AppendBody(&e)
 	return e.Bytes()
+}
+
+func (m *AddResponse) encodedSizeMemo() int { return m.encSize }
+
+func (m *AddResponse) memoizeEncodedSize(n int) {
+	if m.Block.frozen() {
+		m.encSize = n
+	}
 }
 
 // BlockCertify is the data-free certification request from edge to cloud:
@@ -199,6 +210,8 @@ type ReadResponse struct {
 	HasProof bool
 	Proof    BlockProof // valid only when HasProof
 	EdgeSig  []byte
+
+	encSize int // cached encoded size; see sizeMemoized
 }
 
 // MsgKind implements Message.
@@ -249,6 +262,7 @@ func (m *ReadResponse) DecodeFrom(d *Decoder) {
 	m.HasProof = d.Bool()
 	m.Proof.DecodeFrom(d)
 	m.EdgeSig = d.Blob()
+	m.encSize = 0
 }
 
 // SignableBytes returns the bytes the edge signs.
@@ -256,6 +270,14 @@ func (m *ReadResponse) SignableBytes() []byte {
 	var e Encoder
 	m.AppendBody(&e)
 	return e.Bytes()
+}
+
+func (m *ReadResponse) encodedSizeMemo() int { return m.encSize }
+
+func (m *ReadResponse) memoizeEncodedSize(n int) {
+	if m.Block.frozen() {
+		m.encSize = n
+	}
 }
 
 // Gossip is the cloud's periodic signed statement of an edge log's size,
@@ -318,6 +340,11 @@ const (
 	// DisputeGetLie: a get response carried L0 block content for BID
 	// that differs from the certified block (GetResponse evidence).
 	DisputeGetLie
+	// DisputeScanLie: a scan response is provably defective — its signed
+	// completeness proof fails structural verification, or it carried L0
+	// block content for BID that differs from the certified block
+	// (ScanResponse evidence; the cloud re-verifies the whole proof).
+	DisputeScanLie
 )
 
 // String returns the dispute kind's name.
@@ -331,6 +358,8 @@ func (k DisputeKind) String() string {
 		return "omission"
 	case DisputeGetLie:
 		return "get-lie"
+	case DisputeScanLie:
+		return "scan-lie"
 	default:
 		return "unknown"
 	}

@@ -118,6 +118,23 @@ func sampleMessages() []Message {
 		&CloudPutBatch{Entries: []Entry{sampleEntry(7)}},
 		&EBPutBatch{Edge: "edge-2", Entries: []Entry{sampleEntry(8), sampleEntry(9)}},
 		&ShardMap{Version: 1, Edges: []NodeID{"edge-1", "edge-2", "edge-3"}, CloudSig: randBytes(64)},
+		&ScanRequest{Start: []byte("a"), End: []byte("m"), Limit: 50, ReqID: 11},
+		&ScanResponse{
+			ReqID: 11, Start: []byte("a"), End: nil,
+			Proof: ScanProof{
+				L0Blocks: []Block{blk},
+				L0Certs:  []BlockProof{proof},
+				Levels: []LevelRangeProof{{
+					Level: 1, First: 2, Width: 9,
+					Pages: []Page{samplePage(1), samplePage(1)},
+					Left:  [][]byte{randBytes(32)},
+					Right: [][]byte{randBytes(32), randBytes(32)},
+				}},
+				Roots:  [][]byte{randBytes(32), randBytes(32)},
+				Global: global,
+			},
+			EdgeSig: randBytes(64),
+		},
 	}
 }
 

@@ -188,6 +188,10 @@ func (b *Block) SetCachedDigest(d []byte) {
 // stale bytes would be served.
 func (b *Block) Invalidate() { b.cache = nil }
 
+// frozen reports whether the block carries a cached canonical encoding —
+// the immutability contract gate for encoded-size memoization.
+func (b *Block) frozen() bool { return b.cache != nil && b.cache.canon != nil }
+
 // KV is one key-version-value record inside an LSMerkle page. Ver orders
 // versions of the same key: higher wins.
 type KV struct {
@@ -268,13 +272,19 @@ func (p *Page) Contains(key []byte) bool {
 
 // SignedRoot is the cloud-signed commitment to an edge's entire LSMerkle
 // index: the global root (hash over all level roots), an epoch counter that
-// increments on every merge, and a cloud timestamp enabling the freshness
-// window check of Section V-D.
+// increments on every merge, a cloud timestamp enabling the freshness
+// window check of Section V-D, and the compaction frontier — the first
+// block id NOT yet merged into the levels. Committing the frontier is what
+// lets read verifiers demand that a served L0 window *start* exactly where
+// the signed index state ends: without it, an edge could silently drop the
+// oldest certified-but-uncompacted blocks and still present a valid-looking
+// completeness proof.
 type SignedRoot struct {
 	Edge     NodeID
 	Epoch    uint64
 	Root     []byte
 	Ts       int64
+	L0From   uint64 // first uncompacted block id at signing time
 	CloudSig []byte
 }
 
@@ -289,6 +299,7 @@ func (r *SignedRoot) AppendBody(e *Encoder) {
 	e.U64(r.Epoch)
 	e.Blob(r.Root)
 	e.I64(r.Ts)
+	e.U64(r.L0From)
 }
 
 // DecodeFrom reads the signed root.
@@ -297,6 +308,7 @@ func (r *SignedRoot) DecodeFrom(d *Decoder) {
 	r.Epoch = d.U64()
 	r.Root = d.Blob()
 	r.Ts = d.I64()
+	r.L0From = d.U64()
 	r.CloudSig = d.Blob()
 }
 

@@ -60,6 +60,10 @@ const (
 	// Keyspace sharding (appended).
 	KindShardMap
 
+	// Verified range scans (appended).
+	KindScanRequest
+	KindScanResponse
+
 	kindEnd // sentinel; keep last
 )
 
@@ -95,6 +99,8 @@ var kindNames = map[Kind]string{
 	KindCloudPutBatch:    "CloudPutBatch",
 	KindEBPutBatch:       "EBPutBatch",
 	KindShardMap:         "ShardMap",
+	KindScanRequest:      "ScanRequest",
+	KindScanResponse:     "ScanResponse",
 }
 
 // String returns the human-readable name of the kind.
@@ -188,6 +194,10 @@ func newMessage(k Kind) (Message, error) {
 		return &EBPutBatch{}, nil
 	case KindShardMap:
 		return &ShardMap{}, nil
+	case KindScanRequest:
+		return &ScanRequest{}, nil
+	case KindScanResponse:
+		return &ScanResponse{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
 	}
@@ -287,12 +297,37 @@ func DecodeMessage(b []byte) (Message, error) {
 	return msg, nil
 }
 
+// sizeMemoized is implemented by messages that can cache their own encoded
+// size. A message only accepts the memo (memoizeEncodedSize stores it) when
+// its contents are immutable by contract — in practice, when every embedded
+// block is frozen. Fault paths that tamper a block Invalidate its freeze
+// first, so a tampered message keeps recounting and can never serve a stale
+// size. DecodeFrom resets the memo.
+type sizeMemoized interface {
+	encodedSizeMemo() int     // 0 = not memoized
+	memoizeEncodedSize(n int) // no-op unless the message is immutable
+}
+
 // EncodedSize reports the encoded size of an envelope in bytes by summing
 // field widths through a counting encoder — no buffer is allocated and no
 // bytes are produced. The simulator uses it to model bandwidth
 // serialization delay; the edge and cloud stats counters use it for
 // coordination-byte accounting.
+//
+// Messages carrying frozen blocks memoize their body size on first use
+// (sizeMemoized), so the discrete-event simulator's per-message size charge
+// degenerates to a field read for the responses that dominate its traffic.
 func EncodedSize(env Envelope) int {
+	if mm, ok := env.Msg.(sizeMemoized); ok {
+		hdr := 2 + 4 + len(env.From) + 4 + len(env.To) // kind + both IDs
+		if n := mm.encodedSizeMemo(); n > 0 {
+			return hdr + n
+		}
+		e := Encoder{counting: true}
+		env.Msg.EncodeTo(&e)
+		mm.memoizeEncodedSize(e.n)
+		return hdr + e.n
+	}
 	e := Encoder{counting: true}
 	appendEnvelope(&e, env)
 	return e.n

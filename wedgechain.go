@@ -61,6 +61,9 @@ type NodeID = wire.NodeID
 // Block re-exports the log block type returned by reads.
 type Block = wire.Block
 
+// KV re-exports the key-version-value record returned by verified scans.
+type KV = wire.KV
+
 // Verdict re-exports the cloud's dispute ruling.
 type Verdict = wire.Verdict
 
