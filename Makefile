@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 fmt fmt-check vet ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,16 @@ bench-pr3:
 
 # PR-4 artifact: put hot path (P1, regression guard) + verified range
 # scans (R1, latency/row throughput vs range width vs shard count).
+# Not part of `ci`: bench-pr5 runs the same P1 binary, so chaining both
+# would measure P1 twice; BENCH_pr4.json stays the committed PR-4 record.
 bench-pr4:
 	$(GO) run ./cmd/wedge-bench -run P1,R1 -json BENCH_pr4.json
+
+# PR-5 artifact: put hot path (P1, regression guard) + read-evidence
+# pruning (E1, bytes/read and get throughput vs L0 window, pruned vs
+# full-window before/after).
+bench-pr5:
+	$(GO) run ./cmd/wedge-bench -run P1,E1 -json BENCH_pr5.json
 
 fmt:
 	gofmt -w .
@@ -60,4 +68,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-micro bench-json bench-pr4
+ci: fmt-check vet build test race bench bench-micro bench-json bench-pr5

@@ -176,9 +176,21 @@ func BenchmarkReadScan(b *testing.B) {
 
 // BenchmarkSecVIEDataset regenerates Section VI-E: dataset size sweep.
 func BenchmarkSecVIEDataset(b *testing.B) {
-	runExperiment(b, "E1", func(t *bench.Table, b *testing.B) {
+	runExperiment(b, "DS1", func(t *bench.Table, b *testing.B) {
 		b.ReportMetric(cell(t, 0, 1), "wedge_100K_ms")
 		b.ReportMetric(cell(t, len(t.Rows)-1, 1), "wedge_max_ms")
+	})
+}
+
+// BenchmarkEvidencePruning regenerates E1: read-evidence bytes and get
+// throughput vs uncompacted L0 window depth, pruned vs full window.
+func BenchmarkEvidencePruning(b *testing.B) {
+	runExperiment(b, "E1", func(t *bench.Table, b *testing.B) {
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last-1, 3), "deep_miss_pruned_B")
+		b.ReportMetric(cell(t, last, 3), "deep_miss_full_B")
+		b.ReportMetric(cell(t, last-1, 5), "deep_pruned_gets_per_s")
+		b.ReportMetric(cell(t, last, 5), "deep_full_gets_per_s")
 	})
 }
 

@@ -140,8 +140,30 @@ func main() {
 			return nil
 		})
 		if errOp != nil {
-			if op.Verdict != nil {
-				fmt.Printf("EDGE CONVICTED: %s\n", op.Verdict.Reason)
+			// Verification failures that accuse the edge (get and scan
+			// evidence defects) settle before the cloud's verdict arrives;
+			// wait briefly for it so the conviction is reported, not just
+			// "operation failed".
+			var disputed bool
+			var verdict *wire.Verdict
+			t.Do(func(now int64) []wire.Envelope {
+				disputed, verdict = op.DisputeFiled(), op.Verdict
+				return nil
+			})
+			verdictWait := time.Now().Add(5 * time.Second)
+			for disputed && verdict == nil && time.Now().Before(verdictWait) {
+				time.Sleep(10 * time.Millisecond)
+				t.Do(func(now int64) []wire.Envelope {
+					verdict = op.Verdict
+					return nil
+				})
+			}
+			if verdict != nil {
+				status := "NOT GUILTY"
+				if verdict.Guilty {
+					status = "EDGE CONVICTED"
+				}
+				fmt.Printf("%s (%s dispute, block %d): %s\n", status, args[0], verdict.BID, verdict.Reason)
 			}
 			log.Fatalf("operation failed: %v", errOp)
 		}

@@ -124,7 +124,12 @@ func (e *Edge) handleGet(now int64, from wire.NodeID, m *wire.GetRequest) []wire
 		src.Blocks = append(src.Blocks, e.blocks[bid])
 		src.Certs = append(src.Certs, e.certs[bid])
 	}
-	resp := mlsm.AssembleGet(m.Key, m.ReqID, src, e.idx)
+	// No pruning: the Edge-baseline is the paper-calibrated comparison
+	// arm, and its committed benchmark records price the pre-PR-5
+	// evidence shape (every L0 block in full). Pruning is a WedgeChain
+	// optimization; giving it to the baseline would silently shift the
+	// comparison.
+	resp, _ := mlsm.AssembleGet(m.Key, m.ReqID, src, e.idx, false)
 	resp.EdgeSig = wcrypto.SignMsg(e.key, resp)
 	return []wire.Envelope{{From: e.cfg.ID, To: from, Msg: resp}}
 }

@@ -350,7 +350,7 @@ func Fig7bEdgeLoc(scale Scale) *Table {
 // in-memory keys exceed this host, so we sweep 100K..10M (DESIGN.md §3).
 func SecVIEDataset(scale Scale) *Table {
 	t := &Table{
-		ID:     "E1",
+		ID:     "DS1",
 		Title:  "Put latency (ms) vs key-space size — paper: Wedge 15-16, Edge-baseline 88-95, Cloud-only 78-79 (flat)",
 		Header: []string{"Keys", "WedgeChain", "Cloud-only", "Edge-baseline"},
 	}
@@ -521,7 +521,8 @@ var Experiments = []struct {
 	{"F6", Fig6Phases, "Figure 6: Phase I vs Phase II commit rates"},
 	{"F7a", Fig7aCloudLoc, "Figure 7(a): latency vs cloud location"},
 	{"F7b", Fig7bEdgeLoc, "Figure 7(b): latency vs edge location"},
-	{"E1", SecVIEDataset, "Section VI-E: dataset size sweep"},
+	{"DS1", SecVIEDataset, "Section VI-E: dataset size sweep"},
+	{"E1", EvidencePruning, "Read evidence pruning: bytes/read and throughput vs L0 window, pruned vs full"},
 	{"S1", ShardScaling, "Shard scaling: put throughput vs edge count"},
 	{"R1", ReadScanBench, "Verified range scans: latency/row throughput vs range width vs shard count"},
 	{"P1", CryptoPipeline, "Crypto pipeline: wall-clock put hot path, serial vs pipelined"},

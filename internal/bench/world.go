@@ -73,6 +73,9 @@ type WorldCfg struct {
 	// meaning "unset") maps to data-free on. Set FullDataCert for the
 	// A1 ablation.
 	FullDataCert bool
+	// NoL0Prune disables exclusion-summary pruning of read evidence —
+	// the E1 experiment's "before" arm.
+	NoL0Prune bool
 	// Durable gives every edge a persistent store (real segment files,
 	// real fsyncs). A durable world must state its fsync discipline:
 	// SyncEvery is either SyncPerBlock or a positive group-commit window
@@ -279,6 +282,7 @@ func BuildWorld(cfg WorldCfg) *World {
 				LevelThresholds: cfg.LevelThresholds,
 				PageCap:         cfg.Batch,
 				FullDataCert:    cfg.FullDataCert,
+				NoL0Prune:       cfg.NoL0Prune,
 				SyncEvery:       syncEvery,
 			}
 			var en *edge.Node

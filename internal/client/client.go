@@ -14,6 +14,7 @@ import (
 	"errors"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/scan"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -118,6 +119,13 @@ type Op struct {
 	Verdict     *wire.Verdict
 }
 
+// DisputeFiled reports whether this operation accused its edge with the
+// cloud. The cloud's verdict arrives asynchronously and is attached to
+// Verdict — possibly after the operation already settled with an error,
+// which is why callers that want to report the conviction (wedge-client,
+// examples) poll for Verdict briefly instead of giving up at Done.
+func (op *Op) DisputeFiled() bool { return op.disputed }
+
 // Config parameterizes a client.
 type Config struct {
 	ID    wire.NodeID
@@ -154,11 +162,15 @@ type Core struct {
 	key wcrypto.KeyPair
 	reg *wcrypto.Registry
 
-	seq     uint64
-	reqID   uint64
-	bySeq   map[uint64]*Op
-	byReq   map[uint64]*Op
-	byBID   map[uint64][]*Op
+	seq   uint64
+	reqID uint64
+	// Per-op indexes: write ops by entry seq, read/get/scan ops by
+	// request id, Phase I ops by the block id whose proof they await.
+	// Monotonic keys in flat position-indexed rings (see keyRing) — the
+	// former maps never shrank and hashed on the hot path.
+	bySeq   keyRing[*Op]
+	byReq   keyRing[*Op]
+	byBID   keyRing[[]*Op]
 	accused []*Op        // ops with a filed dispute awaiting a verdict
 	gossip  *wire.Gossip // latest gossip for my edge
 
@@ -167,6 +179,11 @@ type Core struct {
 	// responses.
 	sessEpoch uint64
 	sessL0End uint64
+
+	// leafCache memoizes proven scan page leaves per (level root, page
+	// seq), so repeated scans over a stable index skip re-hashing pages
+	// that have not changed (see scan.LeafCache for why a hit is sound).
+	leafCache *scan.LeafCache
 
 	// OnDone, when set, fires once per op as it fully settles.
 	OnDone func(*Op)
@@ -195,12 +212,10 @@ type Stats struct {
 func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Core {
 	cfg.fill()
 	return &Core{
-		cfg:   cfg,
-		key:   key,
-		reg:   reg,
-		bySeq: make(map[uint64]*Op),
-		byReq: make(map[uint64]*Op),
-		byBID: make(map[uint64][]*Op),
+		cfg:       cfg,
+		key:       key,
+		reg:       reg,
+		leafCache: scan.NewLeafCache(),
 	}
 }
 
@@ -275,7 +290,7 @@ func (c *Core) addAt(now int64, payload []byte, pos uint64) (*Op, []wire.Envelop
 	}
 	e := c.makeEntry(now, nil, payload, pos)
 	op := &Op{Kind: KindAdd, Seq: e.Seq, Edge: c.cfg.Edge, Value: payload, StartedAt: now}
-	c.bySeq[e.Seq] = op
+	c.bySeq.set(e.Seq, op)
 	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.AddRequest{Entry: e, WantBlock: true}}}
 }
@@ -287,7 +302,7 @@ func (c *Core) Put(now int64, key, value []byte) (*Op, []wire.Envelope) {
 	}
 	e := c.makeEntry(now, key, value, 0)
 	op := &Op{Kind: KindPut, Seq: e.Seq, Edge: c.cfg.Edge, Key: key, Value: value, StartedAt: now}
-	c.bySeq[e.Seq] = op
+	c.bySeq.set(e.Seq, op)
 	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.PutRequest{Entry: e}}}
 }
@@ -310,7 +325,7 @@ func (c *Core) PutBatch(now int64, keys, values [][]byte) ([]*Op, []wire.Envelop
 		// len(keys) Ed25519 operations with one on both sides.
 		e := c.makeEntryUnsigned(now, keys[i], values[i], 0)
 		op := &Op{Kind: KindPut, Seq: e.Seq, Edge: c.cfg.Edge, Key: keys[i], Value: values[i], StartedAt: now}
-		c.bySeq[e.Seq] = op
+		c.bySeq.set(e.Seq, op)
 		c.pending++
 		ops = append(ops, op)
 		batch.Entries = append(batch.Entries, e)
@@ -326,7 +341,7 @@ func (c *Core) Read(now int64, bid uint64) (*Op, []wire.Envelope) {
 	}
 	c.reqID++
 	op := &Op{Kind: KindRead, ReqID: c.reqID, Edge: c.cfg.Edge, BID: bid, StartedAt: now}
-	c.byReq[c.reqID] = op
+	c.byReq.set(c.reqID, op)
 	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.ReadRequest{BID: bid, ReqID: c.reqID}}}
 }
@@ -338,7 +353,7 @@ func (c *Core) Get(now int64, key []byte) (*Op, []wire.Envelope) {
 	}
 	c.reqID++
 	op := &Op{Kind: KindGet, ReqID: c.reqID, Edge: c.cfg.Edge, Key: key, StartedAt: now}
-	c.byReq[c.reqID] = op
+	c.byReq.set(c.reqID, op)
 	c.pending++
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.GetRequest{Key: key, ReqID: c.reqID}}}
 }
@@ -363,7 +378,7 @@ func (c *Core) Scan(now int64, start, end []byte, limit int) (*Op, []wire.Envelo
 	}
 	c.reqID++
 	op.ReqID = c.reqID
-	c.byReq[c.reqID] = op
+	c.byReq.set(c.reqID, op)
 	c.pending++
 	req := &wire.ScanRequest{Start: start, End: end, Limit: uint32(limit), ReqID: c.reqID}
 	return op, []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: req}}
@@ -427,7 +442,7 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 // Tick files disputes for Phase I operations whose proof timed out.
 func (c *Core) Tick(now int64) []wire.Envelope {
 	var out []wire.Envelope
-	for _, ops := range c.byBID {
+	c.byBID.each(func(_ uint64, ops []*Op) {
 		for _, op := range ops {
 			if op.Done || op.disputed || op.Phase != core.PhaseI {
 				continue
@@ -437,7 +452,7 @@ func (c *Core) Tick(now int64) []wire.Envelope {
 			}
 			out = append(out, c.fileDispute(op)...)
 		}
-	}
+	})
 	return out
 }
 
@@ -448,9 +463,23 @@ func (c *Core) settle(op *Op, err error) {
 	op.Done = true
 	op.Err = err
 	c.pending--
+	// Settled ops leave the key-indexed rings so their bases can chase
+	// the live window (late duplicate responses then simply miss).
+	if op.Seq != 0 {
+		c.bySeq.delete(op.Seq)
+	}
+	if op.ReqID != 0 {
+		c.byReq.delete(op.ReqID)
+	}
 	if c.OnDone != nil {
 		c.OnDone(op)
 	}
+}
+
+// addByBID registers op as awaiting the proof of bid.
+func (c *Core) addByBID(bid uint64, op *Op) {
+	ops, _ := c.byBID.get(bid)
+	c.byBID.set(bid, append(ops, op))
 }
 
 func (c *Core) phaseI(now int64, op *Op, bid uint64, digest []byte) {
@@ -462,7 +491,7 @@ func (c *Core) phaseI(now int64, op *Op, bid uint64, digest []byte) {
 	if digest != nil {
 		op.BID = bid
 		op.digest = digest
-		c.byBID[bid] = append(c.byBID[bid], op)
+		c.addByBID(bid, op)
 	}
 	if c.OnPhaseI != nil {
 		c.OnPhaseI(op)
@@ -507,7 +536,7 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 		if e.Client != c.cfg.ID {
 			continue
 		}
-		op, ok := c.bySeq[e.Seq]
+		op, ok := c.bySeq.get(e.Seq)
 		if !ok || op.Kind != KindAdd || op.Phase >= core.PhaseI {
 			continue
 		}
@@ -545,7 +574,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 		if e.Client != c.cfg.ID {
 			continue
 		}
-		op, ok := c.bySeq[e.Seq]
+		op, ok := c.bySeq.get(e.Seq)
 		if !ok || op.Kind != KindPut || op.Phase >= core.PhaseI {
 			continue
 		}
@@ -576,7 +605,7 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 		}
 	}
 	var out []wire.Envelope
-	ops := c.byBID[p.BID]
+	ops, _ := c.byBID.get(p.BID)
 	remaining := ops[:0]
 	for _, op := range ops {
 		if op.Done {
@@ -586,7 +615,11 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 			if more := c.resolveProofDep(now, op, p); more != nil {
 				out = append(out, more...)
 			}
-			if !op.Done && op.Phase != core.PhaseII {
+			// Re-register only while the op still pends on THIS bid (a
+			// contradiction dispute keeps the pin for re-delivery); a
+			// resolved dependency must release the slot, or a Done op
+			// would pin the ring's base forever.
+			if _, still := op.pendingBIDs[p.BID]; still && !op.Done && op.Phase != core.PhaseII {
 				remaining = append(remaining, op)
 			}
 			continue
@@ -600,9 +633,10 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 		out = append(out, c.fileDispute(op)...)
 		remaining = append(remaining, op)
 	}
-	c.byBID[p.BID] = remaining
 	if len(remaining) == 0 {
-		delete(c.byBID, p.BID)
+		c.byBID.delete(p.BID)
+	} else {
+		c.byBID.set(p.BID, remaining)
 	}
 	return out
 }
@@ -629,14 +663,29 @@ func (c *Core) resolveProofDep(now int64, op *Op, p *wire.BlockProof) []wire.Env
 	return nil
 }
 
-// fileDispute packages the op's evidence and accuses the edge.
+// lowestPending returns the smallest uncertified block id a get or scan
+// still waits on (falling back to op.BID): the right block to dispute on
+// proof timeout, since the cloud either holds a contradicting certificate
+// for it or never saw it at all.
+func lowestPending(op *Op) uint64 {
+	bid, first := op.BID, true
+	for b := range op.pendingBIDs {
+		if first || b < bid {
+			bid, first = b, false
+		}
+	}
+	return bid
+}
+
+// fileDispute packages the op's evidence and accuses the edge. Get and
+// scan evidence delegates to the dedicated filers BEFORE any dispute
+// bookkeeping — they check op.disputed themselves, and marking the op
+// first would make the delegation a silent no-op (the bug that used to
+// swallow get/scan proof-timeout disputes entirely).
 func (c *Core) fileDispute(op *Op) []wire.Envelope {
 	if op.disputed {
 		return nil
 	}
-	op.disputed = true
-	c.accused = append(c.accused, op)
-	c.stats.Disputes++
 	var d *wire.Dispute
 	switch {
 	case op.addEvidence != nil:
@@ -652,20 +701,18 @@ func (c *Core) fileDispute(op *Op) []wire.Envelope {
 	case op.readEv != nil && !op.readEv.OK && c.gossip != nil:
 		d = core.BuildOmissionDispute(c.key, c.cfg.Edge, op.readEv, c.gossip)
 	case op.getEv != nil:
-		return c.fileGetDispute(op, op.BID)
+		// Dispute the lowest still-pending block (gets never set op.BID):
+		// the cloud either holds a contradicting certificate or never saw
+		// the block at all.
+		return c.fileGetDispute(op, lowestPending(op))
 	case op.scanEv != nil:
-		// Dispute the lowest still-pending block: the cloud either holds
-		// a contradicting certificate or never saw the block at all.
-		bid, first := op.BID, true
-		for b := range op.pendingBIDs {
-			if first || b < bid {
-				bid, first = b, false
-			}
-		}
-		return c.fileScanDispute(op, bid)
+		return c.fileScanDispute(op, lowestPending(op))
 	default:
 		return nil
 	}
+	op.disputed = true
+	c.accused = append(c.accused, op)
+	c.stats.Disputes++
 	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 }
 
@@ -699,6 +746,16 @@ func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 	remaining := c.accused[:0]
 	for _, op := range c.accused {
 		if op.Done {
+			// Structural-defect disputes (scan and get evidence defects)
+			// settle at filing time; attach the verdict anyway so callers
+			// can report WHY the operation failed, not just that it did.
+			// An op whose verdict has not arrived yet stays accused — a
+			// verdict for a different block must not purge it.
+			if op.BID == v.BID && op.Verdict == nil {
+				op.Verdict = v
+			} else if op.Verdict == nil {
+				remaining = append(remaining, op)
+			}
 			continue
 		}
 		if op.BID != v.BID {
@@ -720,21 +777,28 @@ func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 		// no outstanding operation can ever complete. Record the ban
 		// (future ops fail at launch) and fail everything in flight —
 		// this is how clients that were not party to the dispute learn
-		// of a conviction from the cloud's verdict broadcast.
+		// of a conviction from the cloud's verdict broadcast. Settled
+		// disputed ops still awaiting their own verdict get this one:
+		// their accusation stands against an edge now proven guilty.
 		c.banned = v
+		for _, op := range c.accused {
+			if op.Verdict == nil {
+				op.Verdict = v
+			}
+		}
 		c.accused = nil
-		for _, op := range c.bySeq {
+		c.bySeq.each(func(_ uint64, op *Op) {
 			if !op.Done {
 				op.Verdict = v
 				c.settle(op, ErrEdgeBanned)
 			}
-		}
-		for _, op := range c.byReq {
+		})
+		c.byReq.each(func(_ uint64, op *Op) {
 			if !op.Done {
 				op.Verdict = v
 				c.settle(op, ErrEdgeBanned)
 			}
-		}
+		})
 	}
 	return nil
 }

@@ -286,7 +286,7 @@ func TestVerifyGetResponseL0Value(t *testing.T) {
 	proof := f.signedProof(&blk)
 
 	resp := &wire.GetResponse{
-		ReqID: 1, Found: true, Value: []byte("v"), Ver: 1,
+		ReqID: 1, Key: []byte("k"), Found: true, Value: []byte("v"), Ver: 1,
 		Proof: wire.GetProof{L0Blocks: []wire.Block{blk}, L0Certs: []wire.BlockProof{*proof}},
 	}
 	resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
@@ -341,7 +341,7 @@ func TestVerifyGetResponseUncertifiedIsPhaseI(t *testing.T) {
 
 	op, _ := f.c.Get(10, []byte("k"))
 	resp := &wire.GetResponse{
-		ReqID: op.ReqID, Found: true, Value: []byte("v"), Ver: 1,
+		ReqID: op.ReqID, Key: []byte("k"), Found: true, Value: []byte("v"), Ver: 1,
 		Proof: wire.GetProof{L0Blocks: []wire.Block{blk}, L0Certs: []wire.BlockProof{{}}},
 	}
 	resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)

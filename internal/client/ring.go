@@ -1,0 +1,187 @@
+package client
+
+// keyRing maps monotonically assigned uint64 keys — entry sequence
+// numbers, request ids, block ids — to values, giving the client's former
+// bySeq/byReq/byBID maps the flat position-indexed treatment the edge's
+// reqRing and bid rings received in PRs 3-4: every lookup is an index
+// into a power-of-two slice, no hashing, no per-op map churn, and settled
+// operations actually leave the structure (the maps never shrank).
+//
+// Keys live in a window starting at base; the base chases the smallest
+// live key as entries are deleted. Unlike the edge's rings the base can
+// also move backward (rebase): a late-delivered read response may pin an
+// uncertified block whose id the window has already passed, and dropping
+// that registration would strand the operation without its dispute
+// timeout. Capacity is bounded: one stuck key (an op whose response
+// never arrives) must not make the ring grow with the live key SPAN, so
+// keys that would stretch the window past keyRingMaxCap live in a small
+// overflow map instead — the worst case degrades to exactly the old map
+// behavior, never beyond it.
+type keyRing[T any] struct {
+	base     uint64 // key of slots[head]
+	top      uint64 // one past the highest used key while live > 0
+	head     int    // ring index of base
+	live     int    // used slots
+	slots    []keySlot[T]
+	overflow map[uint64]T // keys outside the bounded window
+}
+
+type keySlot[T any] struct {
+	val  T
+	used bool
+}
+
+const (
+	keyRingMinCap = 64
+	// keyRingMaxCap bounds the windowed span (slots are a couple dozen
+	// bytes; 1<<16 keeps the worst-case ring around a megabyte).
+	keyRingMaxCap = 1 << 16
+)
+
+func (r *keyRing[T]) slot(off uint64) *keySlot[T] {
+	return &r.slots[(r.head+int(off))&(len(r.slots)-1)]
+}
+
+// len returns the number of live entries.
+func (r *keyRing[T]) len() int { return r.live + len(r.overflow) }
+
+// get returns the value stored at k.
+func (r *keyRing[T]) get(k uint64) (T, bool) {
+	if r.live > 0 && k >= r.base && k-r.base < uint64(len(r.slots)) {
+		if s := r.slot(k - r.base); s.used {
+			return s.val, true
+		}
+	}
+	if v, ok := r.overflow[k]; ok {
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// set stores v at k, growing or rebasing the window as needed; keys that
+// would stretch the window past its capacity bound go to the overflow
+// map.
+func (r *keyRing[T]) set(k uint64, v T) {
+	if _, ok := r.overflow[k]; ok {
+		r.overflow[k] = v // update in place; never duplicate a key
+		return
+	}
+	if len(r.slots) == 0 {
+		r.slots = make([]keySlot[T], keyRingMinCap)
+	}
+	switch {
+	case r.live == 0:
+		// Empty window: restart it wherever k lands.
+		r.base, r.top, r.head = k, k, 0
+	case k < r.base:
+		if r.top-k > keyRingMaxCap {
+			r.setOverflow(k, v)
+			return
+		}
+		r.rebase(k)
+	case k-r.base >= uint64(len(r.slots)):
+		if k-r.base+1 > keyRingMaxCap {
+			r.setOverflow(k, v)
+			return
+		}
+		r.grow(k - r.base + 1)
+	}
+	if k+1 > r.top {
+		r.top = k + 1
+	}
+	s := r.slot(k - r.base)
+	if !s.used {
+		r.live++
+	}
+	s.val = v
+	s.used = true
+}
+
+func (r *keyRing[T]) setOverflow(k uint64, v T) {
+	if r.overflow == nil {
+		r.overflow = make(map[uint64]T)
+	}
+	r.overflow[k] = v
+}
+
+// delete clears k and lets the base chase the remaining live prefix.
+func (r *keyRing[T]) delete(k uint64) {
+	if _, ok := r.overflow[k]; ok {
+		delete(r.overflow, k)
+		return
+	}
+	if r.live == 0 || k < r.base || k-r.base >= uint64(len(r.slots)) {
+		return
+	}
+	s := r.slot(k - r.base)
+	if !s.used {
+		return
+	}
+	*s = keySlot[T]{}
+	r.live--
+	if r.live == 0 {
+		return // next set restarts the window
+	}
+	for !r.slots[r.head].used && r.base < r.top {
+		r.slots[r.head] = keySlot[T]{}
+		r.head = (r.head + 1) & (len(r.slots) - 1)
+		r.base++
+	}
+}
+
+// each calls fn for every live entry — windowed entries in key order,
+// then any overflow entries (unordered; callers iterate for effect, not
+// order). The set is snapshotted first, so fn may get, set or delete
+// freely (the verdict ban path settles — and thereby deletes —
+// operations mid-iteration).
+func (r *keyRing[T]) each(fn func(k uint64, v T)) {
+	if r.len() == 0 {
+		return
+	}
+	type kv struct {
+		k uint64
+		v T
+	}
+	snap := make([]kv, 0, r.len())
+	if r.live > 0 {
+		for off := uint64(0); off < r.top-r.base && off < uint64(len(r.slots)); off++ {
+			if s := r.slot(off); s.used {
+				snap = append(snap, kv{r.base + off, s.val})
+			}
+		}
+	}
+	for k, v := range r.overflow {
+		snap = append(snap, kv{k, v})
+	}
+	for _, e := range snap {
+		fn(e.k, e.v)
+	}
+}
+
+// rebase moves the window start backward to k — the straggler case. The
+// freed slots behind the old base are unused by construction, so only
+// capacity needs checking.
+func (r *keyRing[T]) rebase(k uint64) {
+	if span := r.top - k; span > uint64(len(r.slots)) {
+		r.grow(span)
+	}
+	off := int(r.base - k)
+	r.head = (r.head - off) & (len(r.slots) - 1)
+	r.base = k
+}
+
+// grow resizes the ring to hold at least need keys, unwrapping the live
+// window to the front of the new slice.
+func (r *keyRing[T]) grow(need uint64) {
+	newCap := keyRingMinCap
+	for uint64(newCap) < need {
+		newCap <<= 1
+	}
+	slots := make([]keySlot[T], newCap)
+	for i := range r.slots {
+		slots[i] = r.slots[(r.head+i)&(len(r.slots)-1)]
+	}
+	r.slots = slots
+	r.head = 0
+}

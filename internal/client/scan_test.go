@@ -51,7 +51,7 @@ func (f *scanFixture) launchScan(t *testing.T, start, end []byte) (*Op, *wire.Sc
 
 // honestScanResponse assembles and signs the edge's answer to req.
 func (f *scanFixture) honestScanResponse(req *wire.ScanRequest) *wire.ScanResponse {
-	resp := scan.Assemble(req.Start, req.End, req.ReqID, mlsm.L0Source{}, f.idx)
+	resp, _ := scan.Assemble(req.Start, req.End, req.ReqID, mlsm.L0Source{}, f.idx, true)
 	resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
 	return resp
 }
@@ -165,7 +165,7 @@ func poisonedScan(t *testing.T, f *scanFixture) (op *Op, honest, poisoned *wire.
 	cert := wire.BlockProof{Edge: "edge-1", BID: 0, Digest: digest}
 	cert.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &cert)
 
-	honest = scan.Assemble(req.Start, req.End, req.ReqID, mlsm.L0Source{Blocks: []wire.Block{blk}, Certs: []wire.BlockProof{cert}}, f.idx)
+	honest, _ = scan.Assemble(req.Start, req.End, req.ReqID, mlsm.L0Source{Blocks: []wire.Block{blk}, Certs: []wire.BlockProof{cert}}, f.idx, true)
 	honest.EdgeSig = wcrypto.SignScanResponse(f.keys["edge-1"], honest, [][]byte{digest})
 
 	bad := *honest
@@ -221,7 +221,7 @@ func poisonedGet(t *testing.T, f *fixture) (op *Op, honest, poisoned *wire.GetRe
 	digest := wcrypto.BlockDigest(&blk)
 	cert := wire.BlockProof{Edge: "edge-1", BID: 0, Digest: digest}
 	cert.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &cert)
-	honest = mlsm.AssembleGet(req.Key, req.ReqID, mlsm.L0Source{Blocks: []wire.Block{blk}, Certs: []wire.BlockProof{cert}}, mlsm.NewIndex([]int{10}))
+	honest, _ = mlsm.AssembleGet(req.Key, req.ReqID, mlsm.L0Source{Blocks: []wire.Block{blk}, Certs: []wire.BlockProof{cert}}, mlsm.NewIndex([]int{10}), true)
 	honest.EdgeSig = wcrypto.SignGetResponse(f.keys["edge-1"], honest, [][]byte{digest})
 
 	bad := *honest
@@ -293,9 +293,9 @@ func TestGetRejectsDroppedLeadingL0Block(t *testing.T) {
 	b1, c1 := mkBlock(1, "other")
 	_, _ = b0, c0
 	// The edge serves only block 1, hiding block 0's write of "victim".
-	resp := mlsm.AssembleGet(req.Key, req.ReqID, mlsm.L0Source{
+	resp, _ := mlsm.AssembleGet(req.Key, req.ReqID, mlsm.L0Source{
 		Blocks: []wire.Block{b1}, Certs: []wire.BlockProof{c1},
-	}, mlsm.NewIndex([]int{10}))
+	}, mlsm.NewIndex([]int{10}), true)
 	resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
 	f.c.Receive(20, wire.Envelope{From: "edge-1", To: "c1", Msg: resp})
 	if !op.Done || !errors.Is(op.Err, ErrBadResponse) {

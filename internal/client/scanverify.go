@@ -30,7 +30,7 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 	if from != c.cfg.Edge {
 		return nil
 	}
-	op, ok := c.byReq[m.ReqID]
+	op, ok := c.byReq.get(m.ReqID)
 	if !ok || op.Done || op.Kind != KindScan {
 		return nil
 	}
@@ -56,6 +56,10 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 		Cloud:           c.cfg.Cloud,
 		Now:             now,
 		FreshnessWindow: c.cfg.FreshnessWindow,
+		// The session-owned leaf cache: pages proven against an unchanged
+		// level root skip re-hashing on repeated scans (misses — including
+		// any tampered page — are re-hashed and judged exactly as cold).
+		Cache: c.leafCache,
 	}, m)
 	if errors.Is(err, scan.ErrStale) {
 		err = ErrStale
@@ -116,9 +120,31 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 		c.OnPhaseI(op)
 	}
 	for bid := range res.Uncertified {
-		c.byBID[bid] = append(c.byBID[bid], op)
+		c.addByBID(bid, op)
 	}
 	return nil
+}
+
+// VerifyScanResponse runs the full client-side verification of a scan
+// response (signature, echoed range, completeness proof) without mutating
+// operation state — the scan counterpart of VerifyGetResponse, used by
+// benchmarks that measure verification cost directly.
+func (c *Core) VerifyScanResponse(now int64, start, end []byte, m *wire.ScanResponse) error {
+	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+		return err
+	}
+	if !sameBound(m.Start, start) || !sameBound(m.End, end) {
+		return fmt.Errorf("response covers a different range than requested")
+	}
+	_, err := scan.Verify(scan.Params{
+		Reg:             c.reg,
+		Edge:            c.cfg.Edge,
+		Cloud:           c.cfg.Cloud,
+		Now:             now,
+		FreshnessWindow: c.cfg.FreshnessWindow,
+		Cache:           c.leafCache,
+	}, m)
+	return err
 }
 
 // fileScanDispute accuses the edge with the signed scan response as

@@ -35,7 +35,7 @@ func newSessionFixture(t *testing.T) *sessionFixture {
 		global.CloudSig = wcrypto.SignMsg(f.keys["cloud"], &global)
 		path, _ := tree.Proof(0)
 		resp := &wire.GetResponse{
-			ReqID: 1, Found: true, Value: []byte("v"), Ver: ver,
+			ReqID: 1, Key: []byte("k"), Found: true, Value: []byte("v"), Ver: ver,
 			Proof: wire.GetProof{
 				Levels: []wire.LevelProof{{Level: 1, Page: pages[0], Index: 0, Width: 1, Path: path}},
 				Roots:  roots,
@@ -115,7 +115,7 @@ func TestSessionL0FrontierMonotonic(t *testing.T) {
 			blocks = append(blocks, b)
 			certs = append(certs, p)
 		}
-		resp := &wire.GetResponse{ReqID: 1, Proof: wire.GetProof{L0Blocks: blocks, L0Certs: certs}}
+		resp := &wire.GetResponse{ReqID: 1, Key: []byte("k"), Proof: wire.GetProof{L0Blocks: blocks, L0Certs: certs}}
 		resp.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], resp)
 		return resp
 	}

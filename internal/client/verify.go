@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"wedgechain/internal/core"
@@ -11,13 +12,21 @@ import (
 	"wedgechain/internal/wire"
 )
 
+// errL0Window marks get-verification failures rooted in the served L0
+// window — a non-contiguous window, a broken cert/digest binding, or a
+// pruned reference whose summary does not exclude the key. These defects
+// are cloud-provable (the response echoes the signed key, so the Judge
+// re-runs the same checks), which is what upgrades them from mere
+// rejection to a dispute.
+var errL0Window = errors.New("L0 window evidence defect")
+
 // handleReadResponse processes the three read cases of Section IV-D:
 // denial, Phase II read, Phase I read.
 func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadResponse, verified bool) []wire.Envelope {
 	if from != c.cfg.Edge {
 		return nil
 	}
-	op, ok := c.byReq[m.ReqID]
+	op, ok := c.byReq.get(m.ReqID)
 	if !ok || op.Done || op.Kind != KindRead {
 		return nil
 	}
@@ -95,7 +104,7 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 	if from != c.cfg.Edge {
 		return nil
 	}
-	op, ok := c.byReq[m.ReqID]
+	op, ok := c.byReq.get(m.ReqID)
 	if !ok || op.Done || op.Kind != KindGet {
 		return nil
 	}
@@ -106,6 +115,14 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		}
 	}
 	op.getEv = m
+	if !bytes.Equal(m.Key, op.Key) {
+		// A valid proof about a different key than requested is worthless
+		// — but not cloud-provable, since requests are unsigned and the
+		// cloud cannot know what was asked. Reject without a dispute.
+		c.stats.VerifyFailures++
+		c.settle(op, fmt.Errorf("%w: response answers a different key than requested", ErrBadResponse))
+		return nil
+	}
 	res, err := c.verifyGet(now, op.Key, m)
 	if err == ErrStale || err == ErrRegression {
 		staleErr := err
@@ -120,6 +137,17 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 	}
 	if err != nil {
 		c.stats.VerifyFailures++
+		if errors.Is(err, errL0Window) {
+			// Defective L0 window in an edge-signed response — a false or
+			// tampered exclusion summary, a broken digest binding, a
+			// non-contiguous window. The response echoes the signed key,
+			// so the cloud can re-run these exact checks: settle the
+			// operation and accuse the edge with the proof itself.
+			c.stats.LiesDetected++
+			out := c.fileGetDispute(op, 0)
+			c.settle(op, fmt.Errorf("%w: %v", ErrBadResponse, err))
+			return out
+		}
 		c.settle(op, fmt.Errorf("%w: %v", ErrBadResponse, err))
 		return nil
 	}
@@ -139,7 +167,7 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		c.OnPhaseI(op)
 	}
 	for bid := range res.uncertified {
-		c.byBID[bid] = append(c.byBID[bid], op)
+		c.addByBID(bid, op)
 	}
 	return nil
 }
@@ -152,6 +180,9 @@ func (c *Core) VerifyGetResponse(now int64, key []byte, m *wire.GetResponse) err
 	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
 		return err
 	}
+	if !bytes.Equal(m.Key, key) {
+		return fmt.Errorf("response answers a different key than requested")
+	}
 	_, err := c.verifyGet(now, key, m)
 	return err
 }
@@ -163,8 +194,12 @@ type getCheck struct {
 
 // verifyGet re-derives every claim in a get response:
 //
-//  1. L0 blocks belong to this edge, have consecutive ids, and each
-//     certificate (when present) is cloud-signed over the block's digest.
+//  1. The L0 window — full blocks and pruned exclusion references merged
+//     by id — is one consecutive run from the signed compaction frontier;
+//     full blocks belong to this edge and match their cloud-signed
+//     certificates; pruned references rebind to certified (or pinned)
+//     digests and their summaries exclude the key (mlsm.VerifyL0Window,
+//     the same checks the cloud's Judge re-runs on dispute evidence).
 //  2. The freshest L0 version of the key, if any, must be the returned
 //     value (deeper levels are older by construction).
 //  3. Otherwise the level roots must fold to the signed global root, the
@@ -175,47 +210,34 @@ type getCheck struct {
 func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, error) {
 	res := getCheck{uncertified: make(map[uint64][]byte)}
 	p := &m.Proof
-	if len(p.L0Certs) != len(p.L0Blocks) {
-		return res, fmt.Errorf("cert/block count mismatch")
-	}
 
 	var bestVer uint64
 	var bestVal []byte
-	var l0End uint64
-	for i := range p.L0Blocks {
-		blk := &p.L0Blocks[i]
-		if blk.Edge != c.cfg.Edge {
-			return res, fmt.Errorf("L0 block %d from wrong edge", blk.ID)
-		}
-		if blk.ID+1 > l0End {
-			l0End = blk.ID + 1
-		}
-		if i > 0 && blk.ID != p.L0Blocks[i-1].ID+1 {
-			return res, fmt.Errorf("L0 block ids not consecutive")
-		}
-		digest := wcrypto.RecomputedBlockDigest(blk)
-		cert := &p.L0Certs[i]
-		if len(cert.CloudSig) > 0 {
-			if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, cert, cert.CloudSig); err != nil {
-				return res, fmt.Errorf("L0 cert %d: %v", blk.ID, err)
+	win, err := mlsm.VerifyL0Window(mlsm.L0WindowParams{
+		Reg:   c.reg,
+		Edge:  c.cfg.Edge,
+		Cloud: c.cfg.Cloud,
+		Excludes: func(s *wire.BlockSummary) bool {
+			return s.ExcludesKey(key)
+		},
+		OnBlock: func(blk *wire.Block) {
+			for j := range blk.Entries {
+				e := &blk.Entries[j]
+				if len(e.Key) == 0 || !bytes.Equal(e.Key, key) {
+					continue
+				}
+				ver := blk.StartPos + uint64(j) + 1
+				if ver > bestVer {
+					bestVer, bestVal = ver, e.Value
+				}
 			}
-			if cert.Edge != c.cfg.Edge || cert.BID != blk.ID || !bytes.Equal(cert.Digest, digest) {
-				return res, fmt.Errorf("L0 cert %d does not match block", blk.ID)
-			}
-		} else {
-			res.uncertified[blk.ID] = digest
-		}
-		for j := range blk.Entries {
-			e := &blk.Entries[j]
-			if len(e.Key) == 0 || !bytes.Equal(e.Key, key) {
-				continue
-			}
-			ver := blk.StartPos + uint64(j) + 1
-			if ver > bestVer {
-				bestVer, bestVal = ver, e.Value
-			}
-		}
+		},
+	}, p.L0Blocks, p.L0Certs, p.L0Pruned, p.L0PrunedCerts)
+	if err != nil {
+		return res, fmt.Errorf("%w: %v", errL0Window, err)
 	}
+	res.uncertified = win.Uncertified
+	l0End := win.L0End
 
 	// Session consistency (Section V-D alternative): the snapshot must
 	// not regress behind what this session has already observed, ordered
@@ -252,8 +274,8 @@ func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, 
 		// No merged state exists yet, so nothing has ever been compacted:
 		// the L0 window must be the log itself, from block 0 — otherwise
 		// a dropped leading block could hide the key's only version.
-		if len(p.L0Blocks) > 0 && p.L0Blocks[0].ID != 0 {
-			return res, fmt.Errorf("no signed index state, yet L0 window starts at block %d", p.L0Blocks[0].ID)
+		if win.Slots > 0 && win.FirstID != 0 {
+			return res, fmt.Errorf("%w: no signed index state, yet L0 window starts at block %d", errL0Window, win.FirstID)
 		}
 		// Absence is then the only valid answer.
 		if m.Found {
@@ -278,9 +300,9 @@ func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, 
 	// served L0 window must start, so the edge cannot drop its oldest
 	// uncompacted blocks — which could hold the key's freshest version —
 	// and still claim completeness.
-	if len(p.L0Blocks) > 0 && p.L0Blocks[0].ID != p.Global.L0From {
-		return res, fmt.Errorf("L0 window starts at block %d, signed compaction frontier is %d",
-			p.L0Blocks[0].ID, p.Global.L0From)
+	if win.Slots > 0 && win.FirstID != p.Global.L0From {
+		return res, fmt.Errorf("%w: L0 window starts at block %d, signed compaction frontier is %d",
+			errL0Window, win.FirstID, p.Global.L0From)
 	}
 	if c.cfg.FreshnessWindow > 0 && now-p.Global.Ts > c.cfg.FreshnessWindow {
 		return res, ErrStale

@@ -216,9 +216,11 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 			return nil
 		}
 	}
-	if len(m.Body) > 0 && !bytes.Equal(wcrypto.Digest(m.Body), m.Digest) {
-		// Full-data mode: the shipped body must hash to the claimed
-		// digest; a mismatch is an immediately provable lie.
+	if len(m.Body) > 0 && !fullDataBodyMatches(m) {
+		// Full-data mode: the shipped body must decode to a block whose
+		// recomputed digest (which commits the derived key summary and
+		// entries hash) is the claimed one; a mismatch is an immediately
+		// provable lie.
 		v := wire.Verdict{
 			Edge: m.Edge, BID: m.BID, Kind: wire.DisputeAddLie, Guilty: true,
 			Reason: "certify body does not hash to claimed digest",
@@ -256,6 +258,21 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 		n.convict(v)
 		return append(n.broadcastVerdict(v), wire.Envelope{From: n.cfg.ID, To: m.Edge, Msg: &v})
 	}
+}
+
+// fullDataBodyMatches decodes a full-data certify body (the block's
+// canonical encoding) and checks that the block's recomputed digest is
+// the one the request claims. The digest is derived (summary + entries
+// hash), not a flat hash of the body bytes, so the check must go through
+// the block fields.
+func fullDataBodyMatches(m *wire.BlockCertify) bool {
+	var blk wire.Block
+	d := wire.NewDecoder(m.Body)
+	blk.DecodeFrom(d)
+	if d.Finish() != nil {
+		return false
+	}
+	return bytes.Equal(wcrypto.RecomputedBlockDigest(&blk), m.Digest)
 }
 
 // signedProof returns the cached signed proof for (edge, bid), signing it

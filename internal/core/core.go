@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"wedgechain/internal/mlsm"
 	"wedgechain/internal/scan"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
@@ -321,9 +322,29 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 			verdict.Reason = "dispute rejected: evidence not signed by edge"
 			return verdict
 		}
+		// Structural re-verification of the served L0 window with the
+		// same shared checks the client ran (mlsm.VerifyL0Window): union
+		// contiguity, cert/digest binding of full and pruned blocks, and
+		// exclusion soundness of every pruned reference against the key
+		// the response echoes under the edge's signature. Omission via a
+		// false or tampered exclusion summary is therefore the edge's own
+		// provable lie, exactly like a bad Merkle page on the scan path.
+		if err := judgeGetWindow(reg, self, d.Edge, resp); err != nil {
+			verdict.Guilty = true
+			verdict.Reason = fmt.Sprintf("get L0 window does not verify: %v", err)
+			return verdict
+		}
+		// The window holds up structurally; the accusation must then name
+		// a block whose promised content (or claimed pruned digest) the
+		// certified digest refutes.
 		for i := range resp.Proof.L0Blocks {
 			if resp.Proof.L0Blocks[i].ID == d.BID {
 				return judgeDigest(certs, verdict, &resp.Proof.L0Blocks[i])
+			}
+		}
+		for i := range resp.Proof.L0Pruned {
+			if resp.Proof.L0Pruned[i].ID == d.BID {
+				return judgeClaimedDigest(certs, verdict, resp.Proof.L0Pruned[i].Digest())
 			}
 		}
 		verdict.Reason = "dispute rejected: disputed block not in evidence"
@@ -350,10 +371,16 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 			return verdict
 		}
 		// The proof holds up structurally; the accusation must then name
-		// an L0 block whose promised content the certified digest refutes.
+		// an L0 block whose promised content (or claimed pruned digest)
+		// the certified digest refutes.
 		for i := range resp.Proof.L0Blocks {
 			if resp.Proof.L0Blocks[i].ID == d.BID {
 				return judgeDigest(certs, verdict, &resp.Proof.L0Blocks[i])
+			}
+		}
+		for i := range resp.Proof.L0Pruned {
+			if resp.Proof.L0Pruned[i].ID == d.BID {
+				return judgeClaimedDigest(certs, verdict, resp.Proof.L0Pruned[i].Digest())
 			}
 		}
 		verdict.Reason = "not guilty: scan proof verifies and disputed block not in evidence"
@@ -421,9 +448,49 @@ func gossipSigner(reg *wcrypto.Registry, g *wire.Gossip) wire.NodeID {
 	return "cloud"
 }
 
+// judgeGetWindow re-runs the L0-window checks of a get response on behalf
+// of the Judge: window contiguity, cert/digest binding (inner cloud
+// signatures verified against the adjudicating cloud's own identity), the
+// compaction-frontier pinning, and exclusion soundness of every pruned
+// reference against the echoed key. Freshness and the value derivation
+// are exempt — the former is time-relative, the latter is covered by the
+// digest-contradiction path.
+func judgeGetWindow(reg *wcrypto.Registry, self, edge wire.NodeID, resp *wire.GetResponse) error {
+	p := &resp.Proof
+	win, err := mlsm.VerifyL0Window(mlsm.L0WindowParams{
+		Reg:   reg,
+		Edge:  edge,
+		Cloud: self,
+		Excludes: func(s *wire.BlockSummary) bool {
+			return s.ExcludesKey(resp.Key)
+		},
+	}, p.L0Blocks, p.L0Certs, p.L0Pruned, p.L0PrunedCerts)
+	if err != nil {
+		return err
+	}
+	if len(p.Global.CloudSig) > 0 {
+		if err := wcrypto.VerifyMsg(reg, self, &p.Global, p.Global.CloudSig); err != nil {
+			return fmt.Errorf("global root: %v", err)
+		}
+		if win.Slots > 0 && win.FirstID != p.Global.L0From {
+			return fmt.Errorf("L0 window starts at block %d, signed compaction frontier is %d",
+				win.FirstID, p.Global.L0From)
+		}
+	} else if len(p.Roots) == 0 && len(p.Levels) == 0 && win.Slots > 0 && win.FirstID != 0 {
+		return fmt.Errorf("no signed index state, yet L0 window starts at block %d", win.FirstID)
+	}
+	return nil
+}
+
 // judgeDigest compares evidence block content against the certified digest.
 func judgeDigest(certs *CertTable, verdict wire.Verdict, blk *wire.Block) wire.Verdict {
-	got := wcrypto.RecomputedBlockDigest(blk)
+	return judgeClaimedDigest(certs, verdict, wcrypto.RecomputedBlockDigest(blk))
+}
+
+// judgeClaimedDigest compares a digest recomputed from evidence — a full
+// block's content or a pruned reference's claimed fields — against the
+// certified digest for (edge, bid).
+func judgeClaimedDigest(certs *CertTable, verdict wire.Verdict, got []byte) wire.Verdict {
 	certified, ok := certs.Lookup(verdict.Edge, verdict.BID)
 	if !ok {
 		verdict.Guilty = true

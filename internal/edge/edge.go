@@ -59,6 +59,10 @@ type Config struct {
 	// per (client, kind) responder instead of one shared block-ack
 	// signature. Only the P1 before/after benchmark sets it.
 	SerialCrypto bool
+	// NoL0Prune disables exclusion-summary pruning of read evidence:
+	// every get and scan re-ships the whole uncompacted L0 window in
+	// full, as before PR 5. Only the E1 before/after benchmark sets it.
+	NoL0Prune bool
 	// Fault, when non-nil, makes the node byzantine. See Fault.
 	Fault *Fault
 	// Logger receives operational events; nil disables logging.
@@ -204,6 +208,16 @@ func (n *Node) Stats() Stats { return n.stats }
 
 // L0From returns the first uncompacted block id.
 func (n *Node) L0From() uint64 { return n.l0From }
+
+// SetL0Threshold changes the L0 merge trigger at runtime — a bench/test
+// hook (the E1 evidence experiment compacts a preload with a normal
+// threshold, then raises it so a controlled uncompacted window can
+// accumulate). Must be called on the node's transport goroutine.
+func (n *Node) SetL0Threshold(v int) {
+	if v > 0 {
+		n.cfg.L0Threshold = v
+	}
+}
 
 func (n *Node) logf(msg string, args ...any) {
 	if n.cfg.Logger != nil {

@@ -128,8 +128,14 @@ func TestFullDataCertCarriesBody(t *testing.T) {
 			if len(m.Body) == 0 {
 				t.Fatal("full-data certify has no body")
 			}
-			if !bytes.Equal(wcrypto.Digest(m.Body), m.Digest) {
-				t.Fatal("body does not hash to digest")
+			var blk wire.Block
+			d := wire.NewDecoder(m.Body)
+			blk.DecodeFrom(d)
+			if err := d.Finish(); err != nil {
+				t.Fatalf("body does not decode: %v", err)
+			}
+			if !bytes.Equal(wcrypto.RecomputedBlockDigest(&blk), m.Digest) {
+				t.Fatal("body does not recompute to digest")
 			}
 			return
 		}

@@ -1,6 +1,11 @@
 package edge
 
-import "wedgechain/internal/wire"
+import (
+	"bytes"
+
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/wire"
+)
 
 // Fault makes an edge node byzantine. Each hook models one of the
 // malicious behaviours the paper's threat analysis considers (Section
@@ -52,6 +57,37 @@ type Fault struct {
 	// narrower proof. The boundary-coverage check catches the hidden
 	// tail.
 	ScanTruncate bool
+	// SummaryFalseExclude: get and scan responses prune every L0 block
+	// containing this key — omission via pruning — while shipping the
+	// honest, digest-bound summaries. The response then serves the stale
+	// (deeper-level or absent) answer. The summaries rebind to the
+	// certified digests, but they visibly cover the key, so the client's
+	// exclusion-soundness check refutes the prune inline and the signed
+	// response convicts through DisputeGetLie/DisputeScanLie.
+	SummaryFalseExclude []byte
+	// SummaryTamperKey: like SummaryFalseExclude, but the pruned
+	// summaries are doctored (recomputed without the victim entries) so
+	// the key genuinely appears excluded. The claimed digest recomputed
+	// from the tampered summary then matches nothing the cloud certified:
+	// for certified blocks the shipped certificate contradicts it inline;
+	// for uncertified ones the pinned digest is refuted by the later
+	// block proof. Either way the signed response convicts.
+	SummaryTamperKey []byte
+}
+
+// summaryFaultKey returns the key targeted by the summary-pruning faults
+// and whether the pruned summaries should be tampered.
+func (f *Fault) summaryFaultKey() (key []byte, tamper, on bool) {
+	if f == nil {
+		return nil, false, false
+	}
+	if len(f.SummaryFalseExclude) > 0 {
+		return f.SummaryFalseExclude, false, true
+	}
+	if len(f.SummaryTamperKey) > 0 {
+		return f.SummaryTamperKey, true, true
+	}
+	return nil, false, false
 }
 
 // maybeTamperAdd returns the block to embed in an add/put response for
@@ -70,6 +106,73 @@ func (f *Fault) maybeTamperRead(client wire.NodeID, blk wire.Block) wire.Block {
 		return blk
 	}
 	return tamperBlock(blk, client)
+}
+
+// splitSummaryVictims partitions an L0 source into the blocks containing
+// key (the victims the summary faults hide) and the rest, preserving
+// order and digest alignment.
+func splitSummaryVictims(src mlsm.L0Source, key []byte) (rest mlsm.L0Source, victims mlsm.L0Source) {
+	for i := range src.Blocks {
+		blk := &src.Blocks[i]
+		has := false
+		for j := range blk.Entries {
+			if bytes.Equal(blk.Entries[j].Key, key) && len(key) > 0 {
+				has = true
+				break
+			}
+		}
+		dst := &rest
+		if has {
+			dst = &victims
+		}
+		dst.Blocks = append(dst.Blocks, *blk)
+		dst.Certs = append(dst.Certs, src.Certs[i])
+		if src.Digests != nil {
+			dst.Digests = append(dst.Digests, src.Digests[i])
+		}
+	}
+	return rest, victims
+}
+
+// prunedVictims converts the victim blocks into pruned references: honest
+// (digest-bound, visibly covering the key) for the false-exclusion fault,
+// or doctored to exclude the key (and hence bound to no certified digest)
+// for the tamper fault.
+func prunedVictims(victims mlsm.L0Source, key []byte, tamper bool) ([]wire.PrunedBlock, []wire.BlockProof) {
+	var pruned []wire.PrunedBlock
+	for i := range victims.Blocks {
+		blk := &victims.Blocks[i]
+		pb := wire.PruneBlock(blk)
+		if tamper {
+			kept := make([]wire.Entry, 0, len(blk.Entries))
+			for j := range blk.Entries {
+				if !bytes.Equal(blk.Entries[j].Key, key) {
+					kept = append(kept, blk.Entries[j])
+				}
+			}
+			pb.Summary = wire.ComputeBlockSummary(kept)
+		}
+		pruned = append(pruned, pb)
+	}
+	return pruned, victims.Certs
+}
+
+// mergePruned splices extra pruned references (and their aligned certs)
+// into a proof's pruned window, keeping both slices id-ordered so the
+// union contiguity walk sees one consecutive run.
+func mergePruned(pruned *[]wire.PrunedBlock, certs *[]wire.BlockProof, extra []wire.PrunedBlock, extraCerts []wire.BlockProof) {
+	for i := range extra {
+		pos := len(*pruned)
+		for pos > 0 && (*pruned)[pos-1].ID > extra[i].ID {
+			pos--
+		}
+		*pruned = append(*pruned, wire.PrunedBlock{})
+		copy((*pruned)[pos+1:], (*pruned)[pos:])
+		(*pruned)[pos] = extra[i]
+		*certs = append(*certs, wire.BlockProof{})
+		copy((*certs)[pos+1:], (*certs)[pos:])
+		(*certs)[pos] = extraCerts[i]
+	}
 }
 
 // tamperBlock deep-copies blk and alters an entry that does not belong to

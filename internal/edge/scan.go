@@ -23,10 +23,16 @@ func (n *Node) handleScan(now int64, from wire.NodeID, m *wire.ScanRequest) []wi
 	}
 	resp, digests, tampered := n.buildScan(m)
 	// Phase I scans: register the caller for proof forwarding on every
-	// uncertified block it relied on.
+	// uncertified block it relied on — full blocks and pruned references
+	// alike (the client pins a digest for both and waits for the proof).
 	for i := range resp.Proof.L0Blocks {
 		if len(resp.Proof.L0Certs[i].CloudSig) == 0 {
 			n.readWaiters.add(resp.Proof.L0Blocks[i].ID, from)
+		}
+	}
+	for i := range resp.Proof.L0Pruned {
+		if len(resp.Proof.L0PrunedCerts[i].CloudSig) == 0 {
+			n.readWaiters.add(resp.Proof.L0Pruned[i].ID, from)
 		}
 	}
 	if tampered {
@@ -55,12 +61,21 @@ func (n *Node) AssembleScan(start, end []byte, reqID uint64) *wire.ScanResponse 
 }
 
 // buildScan assembles the unsigned scan response, the cut-time digests of
-// its L0 blocks, and whether a byzantine fault altered the evidence (in
-// which case the cached digests no longer bind and the caller must sign
-// generically).
+// the L0 blocks it kept in full, and whether a byzantine fault altered
+// the evidence (in which case the cached digests no longer bind and the
+// caller must sign generically).
 func (n *Node) buildScan(m *wire.ScanRequest) (*wire.ScanResponse, [][]byte, bool) {
-	src, digests := n.l0Window()
-	resp := scan.Assemble(m.Start, m.End, m.ReqID, src, n.idx)
+	src := n.l0Window()
+	if key, tamper, on := n.cfg.Fault.summaryFaultKey(); on {
+		// Summary-pruning attack on the scan path: hide the blocks
+		// holding key behind pruned references (see buildGet).
+		rest, victims := splitSummaryVictims(src, key)
+		resp, _ := scan.Assemble(m.Start, m.End, m.ReqID, rest, n.idx, !n.cfg.NoL0Prune)
+		pv, pvCerts := prunedVictims(victims, key, tamper)
+		mergePruned(&resp.Proof.L0Pruned, &resp.Proof.L0PrunedCerts, pv, pvCerts)
+		return resp, nil, true
+	}
+	resp, digests := scan.Assemble(m.Start, m.End, m.ReqID, src, n.idx, !n.cfg.NoL0Prune)
 	tampered := n.applyScanFault(resp)
 	return resp, digests, tampered
 }

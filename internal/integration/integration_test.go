@@ -39,6 +39,7 @@ type worldOpts struct {
 	gossip    int64
 	freshness int64
 	proofTO   int64
+	noPrune   bool // disable read-evidence pruning (E1 before/after shape)
 }
 
 func newWorld(t *testing.T, o worldOpts) *world {
@@ -73,6 +74,7 @@ func newWorld(t *testing.T, o worldOpts) *world {
 		L0Threshold:     o.l0Thresh,
 		LevelThresholds: []int{2, 4, 8},
 		PageCap:         4,
+		NoL0Prune:       o.noPrune,
 		Fault:           o.fault,
 	}, keys["edge-1"], reg)
 	mkClient := func(id wire.NodeID) *client.Core {

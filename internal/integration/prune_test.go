@@ -1,0 +1,203 @@
+package integration
+
+import (
+	"errors"
+	"testing"
+
+	"wedgechain/internal/client"
+	"wedgechain/internal/core"
+	"wedgechain/internal/edge"
+	"wedgechain/internal/wire"
+)
+
+// TestGetServesPrunedWindow drives the honest pruned read end to end in
+// the simulator: a deep uncompacted L0 window, gets and scans that only
+// touch a few of its blocks, answers still correct and Phase II — and the
+// edge demonstrably shipping pruned references instead of full blocks.
+func TestGetServesPrunedWindow(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100}) // window never compacts
+	model := w.preloadKeys(t, 12)                        // k00..k11 all stay in L0
+
+	// Every key still resolves correctly through the pruned window.
+	for k, v := range model {
+		op := w.get(w.c1, k)
+		w.settle(t, 2*s)
+		if op.Err != nil || !op.Found || string(op.GotValue) != v {
+			t.Fatalf("get %s through pruned window: %+v err=%v", k, op, op.Err)
+		}
+		if op.Phase != core.PhaseII {
+			t.Fatalf("get %s phase = %v", k, op.Phase)
+		}
+	}
+	// Absent key: verified absence through a fully pruned window.
+	op := w.get(w.c2, "zz-missing")
+	w.settle(t, 2*s)
+	if op.Err != nil || op.Found {
+		t.Fatalf("absent key: %+v err=%v", op, op.Err)
+	}
+
+	// The serve path actually prunes: a point get ships at most a couple
+	// of blocks in full out of the six-block window.
+	resp := w.edge.AssembleGet([]byte("k03"), 999)
+	if len(resp.Proof.L0Blocks)+len(resp.Proof.L0Pruned) < 6 {
+		t.Fatalf("window not fully accounted: %d full + %d pruned",
+			len(resp.Proof.L0Blocks), len(resp.Proof.L0Pruned))
+	}
+	if len(resp.Proof.L0Pruned) == 0 {
+		t.Fatal("no blocks pruned from a point get over a deep window")
+	}
+	if len(resp.Proof.L0Blocks) > 2 {
+		t.Fatalf("%d blocks shipped in full for a point get", len(resp.Proof.L0Blocks))
+	}
+
+	// Scans over a sub-range prune the disjoint blocks too.
+	sresp := w.edge.AssembleScan([]byte("k00"), []byte("k02"), 998)
+	if len(sresp.Proof.L0Pruned) == 0 {
+		t.Fatal("no blocks pruned from a narrow scan over a deep window")
+	}
+	sop := w.scan(w.c1, "k00", "k02", 0)
+	w.settle(t, 2*s)
+	if sop.Err != nil || len(sop.ScanKVs) != 2 {
+		t.Fatalf("narrow scan over pruned window: kvs=%v err=%v", sop.ScanKVs, sop.Err)
+	}
+}
+
+// convictGet runs one byzantine get scenario through the full simulator
+// loop and asserts detection and punishment.
+func convictGet(t *testing.T, fault *edge.Fault, key string, wantErr error) *client.Op {
+	t.Helper()
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, fault: fault})
+	w.preloadKeys(t, 6)
+	op := w.get(w.c1, key)
+	w.settle(t, 3*s)
+	if op.Err == nil || !errors.Is(op.Err, wantErr) {
+		t.Fatalf("byzantine get settled with %v, want %v", op.Err, wantErr)
+	}
+	if reason, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	} else {
+		t.Logf("convicted: %s", reason)
+	}
+	if w.c1.Stats().LiesDetected == 0 {
+		t.Fatal("lie not counted")
+	}
+	return op
+}
+
+// TestGetFalseExclusionConvicts: the edge hides the freshest version of
+// the key behind an honest summary that visibly covers it. The client's
+// exclusion-soundness check refutes the prune and the signed response
+// convicts at the cloud.
+func TestGetFalseExclusionConvicts(t *testing.T) {
+	op := convictGet(t, &edge.Fault{SummaryFalseExclude: []byte("k03")}, "k03", client.ErrBadResponse)
+	if op.Verdict == nil || !op.Verdict.Guilty {
+		t.Fatalf("verdict not attached to the disputing client's op: %+v", op.Verdict)
+	}
+}
+
+// TestGetTamperedSummaryConvicts: the edge doctors the pruned summary so
+// the key looks excluded; the claimed digest contradicts the certificate
+// shipped beside it.
+func TestGetTamperedSummaryConvicts(t *testing.T) {
+	convictGet(t, &edge.Fault{SummaryTamperKey: []byte("k03")}, "k03", client.ErrBadResponse)
+}
+
+// TestScanFalseExclusionConvicts / TestScanTamperedSummaryConvicts: the
+// same two lies on the scan path, over a range covering the hidden key.
+func TestScanFalseExclusionConvicts(t *testing.T) {
+	fault := &edge.Fault{SummaryFalseExclude: []byte("k03")}
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, fault: fault})
+	w.preloadKeys(t, 6)
+	op := w.scan(w.c1, "k01", "k05", 0)
+	w.settle(t, 3*s)
+	if op.Err == nil || !errors.Is(op.Err, client.ErrBadResponse) {
+		t.Fatalf("scan over false exclusion settled with %v", op.Err)
+	}
+	if _, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	}
+}
+
+func TestScanTamperedSummaryConvicts(t *testing.T) {
+	fault := &edge.Fault{SummaryTamperKey: []byte("k03")}
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, fault: fault})
+	w.preloadKeys(t, 6)
+	op := w.scan(w.c1, "k01", "k05", 0)
+	w.settle(t, 3*s)
+	if op.Err == nil || !errors.Is(op.Err, client.ErrBadResponse) {
+		t.Fatalf("scan over tampered summary settled with %v", op.Err)
+	}
+	if _, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	}
+}
+
+// TestGetTamperedUncertifiedSummaryConvictsLazily: the tampered summary
+// hides inside a not-yet-certified window position, so structural checks
+// pass and the get parks in Phase I with the claimed digest pinned; the
+// cloud's certificate then contradicts the pin and the dispute convicts
+// — lazy certification extended to pruned evidence.
+func TestGetTamperedUncertifiedSummaryConvictsLazily(t *testing.T) {
+	fault := &edge.Fault{SummaryTamperKey: []byte("k01")}
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, fault: fault})
+	// Two puts cut one block; the get is injected in the same breath so
+	// it reaches the edge before the certificate returns from the cloud.
+	w.put(w.c1, "k01", "v01")
+	w.put(w.c2, "k02", "v02")
+	op := w.get(w.c1, "k01")
+	w.settle(t, 3*s)
+	if op.Err == nil || !errors.Is(op.Err, client.ErrEdgeLied) {
+		t.Fatalf("lazily caught summary lie settled with %v, want ErrEdgeLied", op.Err)
+	}
+	if _, banned := w.cloud.Flagged("edge-1"); !banned {
+		t.Fatal("edge not convicted")
+	}
+	if op.Verdict == nil || !op.Verdict.Guilty {
+		t.Fatalf("verdict not delivered: %+v", op.Verdict)
+	}
+}
+
+// TestPrunedWindowPhaseI: an honest pruned reference to an uncertified
+// block parks the read in Phase I and completes Phase II when the proof
+// arrives — pruning must not skip the lazy-certification dependency.
+func TestPrunedWindowPhaseI(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100})
+	w.put(w.c1, "k01", "v01")
+	w.put(w.c2, "k02", "v02")
+	// The get races the certificate; the key "zz" is excluded by the
+	// fresh block's summary, so the window ships it pruned.
+	op := w.get(w.c1, "zz")
+	w.settle(t, 3*s)
+	if op.Err != nil || op.Found {
+		t.Fatalf("absent-key get over uncertified pruned window: %+v err=%v", op, op.Err)
+	}
+	if op.Phase != core.PhaseII {
+		t.Fatalf("pruned Phase I dependency never resolved: phase=%v", op.Phase)
+	}
+}
+
+// TestPrunedGetFullWindowAccounting cross-checks the evidence shrink the
+// E1 experiment measures: with a deep window, the pruned get response is
+// materially smaller than the unpruned one for an L0-miss key.
+func TestPrunedGetFullWindowAccounting(t *testing.T) {
+	w := newWorld(t, worldOpts{batch: 2, l0Thresh: 100})
+	w.preloadKeys(t, 12)
+	pruned := w.edge.AssembleGet([]byte("zz-miss"), 1)
+	prunedBytes := wire.EncodedSize(wire.Envelope{From: "edge-1", To: "c1", Msg: pruned})
+
+	w2 := newWorld(t, worldOpts{batch: 2, l0Thresh: 100, noPrune: true})
+	w2.preloadKeys(t, 12)
+	full := w2.edge.AssembleGet([]byte("zz-miss"), 1)
+	fullBytes := wire.EncodedSize(wire.Envelope{From: "edge-1", To: "c1", Msg: full})
+
+	if len(full.Proof.L0Pruned) != 0 {
+		t.Fatal("NoL0Prune edge still pruned")
+	}
+	if len(pruned.Proof.L0Blocks) != 0 {
+		t.Fatalf("L0-miss get still ships %d full blocks", len(pruned.Proof.L0Blocks))
+	}
+	if prunedBytes >= fullBytes {
+		t.Fatalf("pruned evidence (%d B) not smaller than full (%d B)", prunedBytes, fullBytes)
+	}
+	t.Logf("evidence bytes: pruned=%d full=%d (%.1fx)", prunedBytes, fullBytes, float64(fullBytes)/float64(prunedBytes))
+}

@@ -48,30 +48,67 @@ func (x *Index) InstallAll(pages []wire.Page, roots [][]byte, global wire.Signed
 	return nil
 }
 
-// L0Source supplies the uncompacted level-0 pages (log blocks) and their
-// certificates for get assembly. Certificates with an empty CloudSig mark
-// Phase I (uncertified) blocks.
+// L0Source supplies the uncompacted level-0 pages (log blocks), their
+// certificates, and optionally their cut-time digests for read assembly.
+// Certificates with an empty CloudSig mark Phase I (uncertified) blocks.
+// Digests, when non-nil, is aligned with Blocks; assembly returns the
+// digests of the blocks it kept in full so the edge can sign without
+// re-hashing.
 type L0Source struct {
-	Blocks []wire.Block
-	Certs  []wire.BlockProof
+	Blocks  []wire.Block
+	Certs   []wire.BlockProof
+	Digests [][]byte
+}
+
+// AppendL0 places one source block into a proof's L0 window: pruned to
+// its digest-committed key summary when prune is set and the summary
+// excludes the request, shipped in full otherwise. Returns whether the
+// block was kept in full.
+func AppendL0(blocks *[]wire.Block, certs *[]wire.BlockProof,
+	pruned *[]wire.PrunedBlock, prunedCerts *[]wire.BlockProof,
+	blk *wire.Block, cert wire.BlockProof, prune bool, excludes func(*wire.BlockSummary) bool) bool {
+	if prune {
+		pb := wire.PruneBlock(blk)
+		if excludes(&pb.Summary) {
+			*pruned = append(*pruned, pb)
+			*prunedCerts = append(*prunedCerts, cert)
+			return false
+		}
+	}
+	*blocks = append(*blocks, *blk)
+	*certs = append(*certs, cert)
+	return true
 }
 
 // AssembleGet builds the unsigned get response for key against the given
 // L0 snapshot and merged index — the proof-construction algorithm of
 // Section V-B shared by the WedgeChain edge and the Edge-baseline edge.
-func AssembleGet(key []byte, reqID uint64, l0 L0Source, idx *Index) *wire.GetResponse {
-	resp := &wire.GetResponse{ReqID: reqID}
+// With prune set, window blocks whose key summary excludes key ship as
+// pruned references instead of full blocks. The returned digests are the
+// cut-time digests (from l0.Digests) of the blocks kept in full, in
+// L0Blocks order — what the edge's size-independent signing needs; nil
+// when l0.Digests was nil.
+func AssembleGet(key []byte, reqID uint64, l0 L0Source, idx *Index, prune bool) (*wire.GetResponse, [][]byte) {
+	resp := &wire.GetResponse{ReqID: reqID, Key: key}
+	excludes := func(s *wire.BlockSummary) bool { return s.ExcludesKey(key) }
 
+	var fullDigests [][]byte
 	var bestVer uint64
 	var bestVal []byte
 	for bi := range l0.Blocks {
 		blk := &l0.Blocks[bi]
-		resp.Proof.L0Blocks = append(resp.Proof.L0Blocks, *blk)
 		var cert wire.BlockProof
 		if bi < len(l0.Certs) {
 			cert = l0.Certs[bi]
 		}
-		resp.Proof.L0Certs = append(resp.Proof.L0Certs, cert)
+		full := AppendL0(&resp.Proof.L0Blocks, &resp.Proof.L0Certs,
+			&resp.Proof.L0Pruned, &resp.Proof.L0PrunedCerts, blk, cert, prune, excludes)
+		if full && l0.Digests != nil {
+			fullDigests = append(fullDigests, l0.Digests[bi])
+		}
+		if !full {
+			continue // an excluded block cannot hold the key
+		}
 		for i := range blk.Entries {
 			e := &blk.Entries[i]
 			if len(e.Key) == 0 || !bytes.Equal(e.Key, key) {
@@ -89,7 +126,7 @@ func AssembleGet(key []byte, reqID uint64, l0 L0Source, idx *Index) *wire.GetRes
 		resp.Found = true
 		resp.Value = bestVal
 		resp.Ver = bestVer
-		return resp
+		return resp, fullDigests
 	}
 
 	hitLevel, pageIdx, kv, found := idx.Lookup(key)
@@ -121,5 +158,5 @@ func AssembleGet(key []byte, reqID uint64, l0 L0Source, idx *Index) *wire.GetRes
 		resp.Value = kv.Value
 		resp.Ver = kv.Ver
 	}
-	return resp
+	return resp, fullDigests
 }

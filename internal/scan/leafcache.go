@@ -1,0 +1,124 @@
+package scan
+
+import (
+	"bytes"
+
+	"wedgechain/internal/wire"
+)
+
+// leafCacheMaxPages bounds the cached pages per level; beyond it the
+// level's map is reset rather than evicted piecemeal (scans over indexes
+// this wide re-warm quickly, and the bound is about memory, not hit rate).
+const leafCacheMaxPages = 4096
+
+// LeafCache memoizes proven page leaves per level, keyed by (level root,
+// page seq), so repeated scans over a stable index skip re-hashing pages
+// that have not changed. A cache hit requires the shipped page to be
+// byte-equal to the page previously proven against the same root — the
+// equality check is what keeps cached verification sound: a page tampered
+// since it was proven compares unequal, misses, and is re-hashed into a
+// leaf the Merkle fold rejects, exactly as it would be without a cache.
+// A level's entries are invalidated wholesale whenever its root changes
+// (every merge that touches the level), so stale proofs can never be
+// served against a newer root.
+//
+// Not safe for concurrent use; each client core owns one.
+type LeafCache struct {
+	levels map[int]*leafCacheLevel
+}
+
+type leafCacheLevel struct {
+	root  []byte
+	pages map[uint64]leafCacheEntry // by page Seq
+}
+
+type leafCacheEntry struct {
+	page wire.Page // verified copy, compared against shipped pages
+	leaf []byte
+}
+
+// NewLeafCache returns an empty cache.
+func NewLeafCache() *LeafCache {
+	return &LeafCache{levels: make(map[int]*leafCacheLevel)}
+}
+
+// level returns lvl's entry map valid for root, resetting it when the
+// root changed since the entries were proven. Only insert — which runs
+// after a successful Merkle fold against root — calls it: re-keying on
+// lookup would let a garbage response carrying a bogus root wipe a
+// legitimately warm level before verification ever judged it.
+func (c *LeafCache) level(lvl int, root []byte) *leafCacheLevel {
+	lc := c.levels[lvl]
+	if lc == nil {
+		lc = &leafCacheLevel{pages: make(map[uint64]leafCacheEntry)}
+		c.levels[lvl] = lc
+	}
+	if !bytes.Equal(lc.root, root) {
+		lc.root = append(lc.root[:0], root...)
+		lc.pages = make(map[uint64]leafCacheEntry)
+	}
+	return lc
+}
+
+// lookup returns the memoized leaf for a shipped page, provided a
+// byte-equal page was previously proven against the same level root. A
+// root mismatch is a plain miss — it never mutates the cache.
+func (c *LeafCache) lookup(lvl int, root []byte, p *wire.Page) ([]byte, bool) {
+	lc := c.levels[lvl]
+	if lc == nil || !bytes.Equal(lc.root, root) {
+		return nil, false
+	}
+	ent, ok := lc.pages[p.Seq]
+	if !ok || !pagesEqual(&ent.page, p) {
+		return nil, false
+	}
+	return ent.leaf, true
+}
+
+// insert memoizes a page's leaf after the page was proven against root.
+// The page is deep-copied: cached content must not alias buffers the
+// transport or a later fault path may mutate.
+func (c *LeafCache) insert(lvl int, root []byte, p *wire.Page, leaf []byte) {
+	lc := c.level(lvl, root)
+	if len(lc.pages) >= leafCacheMaxPages {
+		lc.pages = make(map[uint64]leafCacheEntry)
+	}
+	lc.pages[p.Seq] = leafCacheEntry{page: copyPage(p), leaf: append([]byte(nil), leaf...)}
+}
+
+func copyPage(p *wire.Page) wire.Page {
+	cp := *p
+	cp.Lo = append([]byte(nil), p.Lo...)
+	cp.Hi = append([]byte(nil), p.Hi...)
+	cp.KVs = make([]wire.KV, len(p.KVs))
+	for i := range p.KVs {
+		cp.KVs[i] = wire.KV{
+			Key:   append([]byte(nil), p.KVs[i].Key...),
+			Value: append([]byte(nil), p.KVs[i].Value...),
+			Ver:   p.KVs[i].Ver,
+		}
+	}
+	return cp
+}
+
+// pagesEqual compares two pages field by field, preserving the nil/empty
+// bound distinction (nil means ±infinity).
+func pagesEqual(a, b *wire.Page) bool {
+	if a.Level != b.Level || a.Seq != b.Seq || a.Ts != b.Ts || len(a.KVs) != len(b.KVs) {
+		return false
+	}
+	if (a.Lo == nil) != (b.Lo == nil) || !bytes.Equal(a.Lo, b.Lo) {
+		return false
+	}
+	if (a.Hi == nil) != (b.Hi == nil) || !bytes.Equal(a.Hi, b.Hi) {
+		return false
+	}
+	for i := range a.KVs {
+		if a.KVs[i].Ver != b.KVs[i].Ver ||
+			!bytes.Equal(a.KVs[i].Key, b.KVs[i].Key) ||
+			!bytes.Equal(a.KVs[i].Value, b.KVs[i].Value) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package scan
+
+import (
+	"testing"
+
+	"wedgechain/internal/wire"
+)
+
+// cachedParams returns verification params sharing one leaf cache.
+func (f *fixture) cachedParams(c *LeafCache) Params {
+	p := f.params()
+	p.Cache = c
+	return p
+}
+
+// TestLeafCacheRepeatedScansAgree: repeated scans over a stable index
+// verify identically with a warm cache, and the cache actually gets hits
+// (pages proven once are served from memo).
+func TestLeafCacheRepeatedScansAgree(t *testing.T) {
+	f := newFixture(t)
+	cache := NewLeafCache()
+	var cold Result
+	for i := 0; i < 3; i++ {
+		resp := f.assemble(key(5), key(30))
+		res, err := Verify(f.cachedParams(cache), resp)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if i == 0 {
+			cold = res
+			continue
+		}
+		if !sameKVs(res.KVs, cold.KVs) {
+			t.Fatalf("round %d diverged from cold verification", i)
+		}
+	}
+	// A different range over the same root reuses overlapping pages.
+	if _, err := Verify(f.cachedParams(cache), f.assemble(key(10), key(40))); err != nil {
+		t.Fatalf("overlapping warm scan: %v", err)
+	}
+}
+
+// TestLeafCachePoisoningParity is the cache-poisoning parity test: every
+// adversarial mutation that cold verification rejects must be rejected
+// identically by a verifier whose cache was warmed by an honest scan of
+// the same range. A tampered page compares unequal to the proven copy,
+// misses the cache, is re-hashed, and fails the Merkle fold — the cache
+// can only ever skip work, never a check.
+func TestLeafCachePoisoningParity(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(resp *wire.ScanResponse)
+	}{
+		{"omit record from proven page", func(resp *wire.ScanResponse) {
+			p := &resp.Proof.Levels[0].Pages[1]
+			p.KVs = append([]wire.KV(nil), p.KVs[:1]...)
+		}},
+		{"tamper value in proven page", func(resp *wire.ScanResponse) {
+			p := &resp.Proof.Levels[0].Pages[0]
+			p.KVs = append([]wire.KV(nil), p.KVs...)
+			p.KVs[0].Value = []byte("evil")
+		}},
+		{"inject record into proven page", func(resp *wire.ScanResponse) {
+			p := &resp.Proof.Levels[0].Pages[1]
+			p.KVs = append(append([]wire.KV(nil), p.KVs...), wire.KV{Key: []byte("kxxxx"), Value: []byte("x"), Ver: 999})
+		}},
+		{"shift proven page bounds", func(resp *wire.ScanResponse) {
+			p := &resp.Proof.Levels[0].Pages[1]
+			p.Lo = append([]byte(nil), p.Lo...)
+			p.Lo[len(p.Lo)-1]++
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			f := newFixture(t)
+			cache := NewLeafCache()
+			// Warm the cache with the honest proof.
+			if _, err := Verify(f.cachedParams(cache), f.assemble(key(5), key(30))); err != nil {
+				t.Fatalf("warm-up failed: %v", err)
+			}
+			resp := f.assemble(key(5), key(30))
+			m.mutate(resp)
+			_, warmErr := Verify(f.cachedParams(cache), resp)
+			_, coldErr := Verify(f.params(), resp)
+			if coldErr == nil {
+				t.Fatal("cold verification accepted the mutation; test is vacuous")
+			}
+			if warmErr == nil {
+				t.Fatal("warm cache accepted a response cold verification rejects")
+			}
+		})
+	}
+}
+
+// TestLeafCacheNotWarmedByFailure: a response that fails verification
+// must not leave its pages in the cache (else a later honest-looking
+// response could skip re-proving them against a root they never matched).
+func TestLeafCacheNotWarmedByFailure(t *testing.T) {
+	f := newFixture(t)
+	cache := NewLeafCache()
+	bad := f.assemble(key(5), key(30))
+	// Corrupt the fold: Merkle never verifies, so nothing was proven.
+	bad.Proof.Levels[0].First++
+	if _, err := Verify(f.cachedParams(cache), bad); err == nil {
+		t.Fatal("corrupt proof accepted")
+	}
+	for lvl, lc := range cache.levels {
+		if len(lc.pages) != 0 {
+			t.Fatalf("level %d cache warmed by a failed verification: %d pages", lvl, len(lc.pages))
+		}
+	}
+}
+
+// TestLeafCacheInvalidatesOnRootChange: entries proven against one level
+// root must not satisfy lookups against another.
+func TestLeafCacheInvalidatesOnRootChange(t *testing.T) {
+	f := newFixture(t)
+	cache := NewLeafCache()
+	if _, err := Verify(f.cachedParams(cache), f.assemble(key(5), key(30))); err != nil {
+		t.Fatal(err)
+	}
+	page := f.idx.Pages(1)[1]
+	if _, ok := cache.lookup(1, f.idx.Roots()[0], &page); !ok {
+		t.Fatal("proven page not cached under its root")
+	}
+	otherRoot := append([]byte(nil), f.idx.Roots()[0]...)
+	otherRoot[0] ^= 1
+	if _, ok := cache.lookup(1, otherRoot, &page); ok {
+		t.Fatal("cache served a leaf against a different root")
+	}
+}

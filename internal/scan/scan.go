@@ -45,13 +45,26 @@ var ErrStale = errors.New("scan: snapshot outside freshness window")
 // protocol, run by the edge. For each non-empty level it includes every
 // page overlapping the range (the boundary pages included, since their
 // committed bounds prove completeness at both ends) under one Merkle
-// range proof.
-func Assemble(start, end []byte, reqID uint64, l0 mlsm.L0Source, idx *mlsm.Index) *wire.ScanResponse {
+// range proof. With prune set, window blocks whose digest-committed key
+// interval is disjoint from the range ship as pruned references instead
+// of full blocks. The returned digests are the cut-time digests (from
+// l0.Digests) of the blocks kept in full, in L0Blocks order; nil when
+// l0.Digests was nil.
+func Assemble(start, end []byte, reqID uint64, l0 mlsm.L0Source, idx *mlsm.Index, prune bool) (*wire.ScanResponse, [][]byte) {
 	resp := &wire.ScanResponse{ReqID: reqID, Start: start, End: end}
-	resp.Proof.L0Blocks = append([]wire.Block(nil), l0.Blocks...)
-	resp.Proof.L0Certs = append([]wire.BlockProof(nil), l0.Certs...)
-	for len(resp.Proof.L0Certs) < len(resp.Proof.L0Blocks) {
-		resp.Proof.L0Certs = append(resp.Proof.L0Certs, wire.BlockProof{})
+	excludes := func(s *wire.BlockSummary) bool { return s.ExcludesRange(start, end) }
+	var fullDigests [][]byte
+	for bi := range l0.Blocks {
+		blk := &l0.Blocks[bi]
+		var cert wire.BlockProof
+		if bi < len(l0.Certs) {
+			cert = l0.Certs[bi]
+		}
+		full := mlsm.AppendL0(&resp.Proof.L0Blocks, &resp.Proof.L0Certs,
+			&resp.Proof.L0Pruned, &resp.Proof.L0PrunedCerts, blk, cert, prune, excludes)
+		if full && l0.Digests != nil {
+			fullDigests = append(fullDigests, l0.Digests[bi])
+		}
 	}
 	for lvl := 1; lvl <= idx.Levels(); lvl++ {
 		a, b := idx.PageRange(lvl, start, end)
@@ -68,7 +81,7 @@ func Assemble(start, end []byte, reqID uint64, l0 mlsm.L0Source, idx *mlsm.Index
 		resp.Proof.Roots = idx.Roots()
 		resp.Proof.Global = g
 	}
-	return resp
+	return resp, fullDigests
 }
 
 // Params configures verification: whose evidence is being judged, against
@@ -82,6 +95,10 @@ type Params struct {
 	Cloud           wire.NodeID
 	Now             int64
 	FreshnessWindow int64
+	// Cache, when non-nil, memoizes proven page leaves so repeated scans
+	// over a stable index skip re-hashing unchanged pages. Clients own
+	// one per session; the adjudicating cloud verifies cold.
+	Cache *LeafCache
 }
 
 // Result is the outcome of a successful verification.
@@ -112,9 +129,6 @@ func Verify(p Params, m *wire.ScanResponse) (Result, error) {
 		return res, fmt.Errorf("empty key range")
 	}
 	pr := &m.Proof
-	if len(pr.L0Certs) != len(pr.L0Blocks) {
-		return res, fmt.Errorf("cert/block count mismatch")
-	}
 	inRange := func(k []byte) bool {
 		if start != nil && bytes.Compare(k, start) < 0 {
 			return false
@@ -125,38 +139,33 @@ func Verify(p Params, m *wire.ScanResponse) (Result, error) {
 		return true
 	}
 
+	// The L0 window: full blocks and pruned exclusion references, one
+	// consecutive run. Pruned references must rebind to a certified (or
+	// pinned) digest and their summaries must exclude the whole range —
+	// the shared window checks the cloud's Judge re-runs verbatim.
 	var cand []wire.KV
-	for i := range pr.L0Blocks {
-		blk := &pr.L0Blocks[i]
-		if blk.Edge != p.Edge {
-			return res, fmt.Errorf("L0 block %d from wrong edge", blk.ID)
-		}
-		if i > 0 && blk.ID != pr.L0Blocks[i-1].ID+1 {
-			return res, fmt.Errorf("L0 block ids not consecutive")
-		}
-		if blk.ID+1 > res.L0End {
-			res.L0End = blk.ID + 1
-		}
-		digest := wcrypto.RecomputedBlockDigest(blk)
-		cert := &pr.L0Certs[i]
-		if len(cert.CloudSig) > 0 {
-			if err := wcrypto.VerifyMsg(p.Reg, p.Cloud, cert, cert.CloudSig); err != nil {
-				return res, fmt.Errorf("L0 cert %d: %v", blk.ID, err)
+	win, err := mlsm.VerifyL0Window(mlsm.L0WindowParams{
+		Reg:   p.Reg,
+		Edge:  p.Edge,
+		Cloud: p.Cloud,
+		Excludes: func(s *wire.BlockSummary) bool {
+			return s.ExcludesRange(start, end)
+		},
+		OnBlock: func(blk *wire.Block) {
+			for j := range blk.Entries {
+				e := &blk.Entries[j]
+				if len(e.Key) == 0 || !inRange(e.Key) {
+					continue
+				}
+				cand = append(cand, wire.KV{Key: e.Key, Value: e.Value, Ver: blk.StartPos + uint64(j) + 1})
 			}
-			if cert.Edge != p.Edge || cert.BID != blk.ID || !bytes.Equal(cert.Digest, digest) {
-				return res, fmt.Errorf("L0 cert %d does not match block", blk.ID)
-			}
-		} else {
-			res.Uncertified[blk.ID] = digest
-		}
-		for j := range blk.Entries {
-			e := &blk.Entries[j]
-			if len(e.Key) == 0 || !inRange(e.Key) {
-				continue
-			}
-			cand = append(cand, wire.KV{Key: e.Key, Value: e.Value, Ver: blk.StartPos + uint64(j) + 1})
-		}
+		},
+	}, pr.L0Blocks, pr.L0Certs, pr.L0Pruned, pr.L0PrunedCerts)
+	if err != nil {
+		return res, err
 	}
+	res.Uncertified = win.Uncertified
+	res.L0End = win.L0End
 
 	if len(pr.Roots) == 0 && len(pr.Levels) == 0 && len(pr.Global.CloudSig) == 0 {
 		// No merged state exists yet, so nothing has ever been compacted:
@@ -165,8 +174,8 @@ func Verify(p Params, m *wire.ScanResponse) (Result, error) {
 		// presents the no-merged-state shape must replay its full
 		// certified history (consecutiveness plus per-block certificates
 		// pin it), which contains every compacted record anyway.
-		if len(pr.L0Blocks) > 0 && pr.L0Blocks[0].ID != 0 {
-			return res, fmt.Errorf("no signed index state, yet L0 window starts at block %d", pr.L0Blocks[0].ID)
+		if win.Slots > 0 && win.FirstID != 0 {
+			return res, fmt.Errorf("no signed index state, yet L0 window starts at block %d", win.FirstID)
 		}
 		res.KVs = mlsm.MergeNewest(cand)
 		return res, nil
@@ -188,9 +197,9 @@ func Verify(p Params, m *wire.ScanResponse) (Result, error) {
 	// blocks without the mismatch showing here. (An entirely empty window
 	// can still hide the newest blocks — that is the stale-snapshot
 	// attack, bounded by the freshness window and session watermarks.)
-	if len(pr.L0Blocks) > 0 && pr.L0Blocks[0].ID != pr.Global.L0From {
+	if win.Slots > 0 && win.FirstID != pr.Global.L0From {
 		return res, fmt.Errorf("L0 window starts at block %d, signed compaction frontier is %d",
-			pr.L0Blocks[0].ID, pr.Global.L0From)
+			win.FirstID, pr.Global.L0From)
 	}
 	res.Epoch = pr.Global.Epoch
 	if p.FreshnessWindow > 0 && p.Now-pr.Global.Ts > p.FreshnessWindow {
@@ -218,7 +227,7 @@ func Verify(p Params, m *wire.ScanResponse) (Result, error) {
 		if lp == nil {
 			return res, fmt.Errorf("level %d: missing proof", lvl)
 		}
-		kvs, err := verifyLevelRange(lvl, pr.Roots[lvl-1], lp, start, end, inRange)
+		kvs, err := verifyLevelRange(lvl, pr.Roots[lvl-1], lp, start, end, inRange, p.Cache)
 		if err != nil {
 			return res, err
 		}
@@ -236,19 +245,43 @@ func Verify(p Params, m *wire.ScanResponse) (Result, error) {
 // records. Page-internal invariants (sorted, in-bounds records) need no
 // re-check: the leaf hash commits the page bytes, and the trusted cloud
 // validated the invariants before signing the level root.
-func verifyLevelRange(lvl int, root []byte, lp *wire.LevelRangeProof, start, end []byte, inRange func([]byte) bool) ([]wire.KV, error) {
+//
+// With a cache, a shipped page that is byte-equal to a page previously
+// proven against the same level root reuses its memoized leaf instead of
+// re-hashing (equality is a memcmp, an order of magnitude cheaper than
+// SHA-256 over the page). A page that differs in any way — including the
+// tampered pages of omission attacks — misses the cache and is re-hashed,
+// so cached and cold verification accept and convict identically.
+func verifyLevelRange(lvl int, root []byte, lp *wire.LevelRangeProof, start, end []byte, inRange func([]byte) bool, cache *LeafCache) ([]wire.KV, error) {
 	if len(lp.Pages) == 0 {
 		return nil, fmt.Errorf("level %d: proof without pages", lvl)
 	}
 	leaves := make([][]byte, len(lp.Pages))
+	fresh := make([]bool, len(lp.Pages))
 	for i := range lp.Pages {
 		if int(lp.Pages[i].Level) != lvl {
 			return nil, fmt.Errorf("level %d: page from level %d", lvl, lp.Pages[i].Level)
+		}
+		if cache != nil {
+			if leaf, ok := cache.lookup(lvl, root, &lp.Pages[i]); ok {
+				leaves[i] = leaf
+				continue
+			}
+			fresh[i] = true
 		}
 		leaves[i] = mlsm.PageLeaf(&lp.Pages[i])
 	}
 	if err := merkle.VerifyRange(root, leaves, int(lp.First), int(lp.Width), lp.Left, lp.Right); err != nil {
 		return nil, fmt.Errorf("level %d: %v", lvl, err)
+	}
+	if cache != nil {
+		// Insert only pages the fold just proved against the root — a
+		// response that fails verification must never warm the cache.
+		for i := range lp.Pages {
+			if fresh[i] {
+				cache.insert(lvl, root, &lp.Pages[i], leaves[i])
+			}
+		}
 	}
 	for i := 1; i < len(lp.Pages); i++ {
 		hi, lo := lp.Pages[i-1].Hi, lp.Pages[i].Lo

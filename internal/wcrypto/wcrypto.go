@@ -154,26 +154,28 @@ func VerifyMsg(r *Registry, signer wire.NodeID, m Signable, sig []byte) error {
 	return err
 }
 
-// BlockDigest returns the digest of a block's canonical encoding, cached
-// on the block so digesting, persisting and certifying a freshly cut
-// block hash its bytes exactly once. Use it only on blocks the caller
-// owns (its own log, decoded wire input); when judging a block that
-// arrived by reference from another node, use RecomputedBlockDigest.
+// BlockDigest returns the block's digest — the hash of its digest
+// preimage, which commits the header fields, the key summary derived from
+// the entries, and the hash of the encoded entries (wire.Block.BodyDigest)
+// — cached on the block so digesting, persisting and certifying a freshly
+// cut block derive it exactly once. Use it only on blocks the caller owns
+// (its own log, decoded wire input); when judging a block that arrived by
+// reference from another node, use RecomputedBlockDigest.
 func BlockDigest(b *wire.Block) []byte {
 	if d := b.CachedDigest(); d != nil {
 		return d
 	}
-	d := Digest(b.Canonical())
+	d := b.BodyDigest()
 	b.SetCachedDigest(d)
 	return d
 }
 
-// RecomputedBlockDigest hashes a block's canonical encoding recomputed
-// from its fields, ignoring any cached bytes. Adjudication and
-// verification paths use it because in-process transports move blocks by
-// reference and a cache populated by the accused node proves nothing.
-// (The hash itself lives on wire.Block so signable bodies can embed it;
-// this wrapper keeps the one digest entry point callers already use.)
+// RecomputedBlockDigest recomputes a block's digest from its fields,
+// ignoring any cached bytes. Adjudication and verification paths use it
+// because in-process transports move blocks by reference and a cache
+// populated by the accused node proves nothing. (The hash itself lives on
+// wire.Block so signable bodies can embed it; this wrapper keeps the one
+// digest entry point callers already use.)
 func RecomputedBlockDigest(b *wire.Block) []byte {
 	return b.BodyDigest()
 }

@@ -125,18 +125,24 @@ func (lp *LevelProof) DecodeFrom(d *Decoder) {
 // GetProof is the complete authenticity evidence attached to a get
 // response, per Section V-B "Reading":
 //
-//   - every L0 page (block) with its Phase II certificate where available
-//     (missing certificates put the read in Phase I commit);
+//   - every L0 page (block) of the uncompacted window that might hold the
+//     key, with its Phase II certificate where available (missing
+//     certificates put the read in Phase I commit);
+//   - a pruned reference (digest-committed key summary, no entries) for
+//     every window block whose summary provably excludes the key, so the
+//     window stays contiguous without re-shipping irrelevant blocks;
 //   - for each level between L1 and the level that resolved the key, the
 //     single intersecting page with its Merkle audit path;
 //   - all level roots, so the client can recompute the global root;
 //   - the cloud-signed global root with its freshness timestamp.
 type GetProof struct {
-	L0Blocks []Block
-	L0Certs  []BlockProof // aligned with L0Blocks; empty Digest = uncertified
-	Levels   []LevelProof
-	Roots    [][]byte // level roots 1..n in order
-	Global   SignedRoot
+	L0Blocks      []Block
+	L0Certs       []BlockProof // aligned with L0Blocks; empty Digest = uncertified
+	L0Pruned      []PrunedBlock
+	L0PrunedCerts []BlockProof // aligned with L0Pruned; empty CloudSig = uncertified
+	Levels        []LevelProof
+	Roots         [][]byte // level roots 1..n in order
+	Global        SignedRoot
 }
 
 // EncodeTo appends the proof's canonical encoding.
@@ -149,6 +155,7 @@ func (gp *GetProof) EncodeTo(e *Encoder) {
 	for i := range gp.L0Certs {
 		gp.L0Certs[i].EncodeTo(e)
 	}
+	appendPrunedWindow(e, gp.L0Pruned, gp.L0PrunedCerts)
 	e.U32(uint32(len(gp.Levels)))
 	for i := range gp.Levels {
 		gp.Levels[i].EncodeTo(e)
@@ -161,18 +168,25 @@ func (gp *GetProof) EncodeTo(e *Encoder) {
 }
 
 // AppendSignable appends the proof's signable form, in which every L0
-// block is represented by its 32-byte digest instead of its body — the
-// same size-independent signing scheme the block acknowledgements use, so
-// the get path's signature cost no longer grows with the uncompacted L0
-// window. digests supplies per-block digests in L0Blocks order (the edge's
-// cut-time cache); nil recomputes each from the block fields, which is
-// what verifiers must do so a poisoned cache can never satisfy the check.
+// block — full or pruned — is represented by its 32-byte digest instead
+// of its body: the same size-independent signing scheme the block
+// acknowledgements use, so the get path's signature cost no longer grows
+// with the uncompacted L0 window. Full and pruned digests sit in separate
+// sections, which binds the chosen representation: converting a served
+// block into a pruned reference (or back) changes the signable body, so
+// nobody but the signing edge can re-shape its evidence. digests supplies
+// per-block digests in L0Blocks order (the edge's cut-time cache); nil
+// recomputes each from the block fields, which is what verifiers must do
+// so a poisoned cache can never satisfy the check. Pruned digests are
+// always recomputed from the shipped fields — they hash a ~hundred-byte
+// preimage, not the entries.
 func (gp *GetProof) AppendSignable(e *Encoder, digests [][]byte) {
 	appendL0Digests(e, gp.L0Blocks, digests)
 	e.U32(uint32(len(gp.L0Certs)))
 	for i := range gp.L0Certs {
 		gp.L0Certs[i].EncodeTo(e)
 	}
+	appendPrunedSignable(e, gp.L0Pruned, gp.L0PrunedCerts)
 	e.U32(uint32(len(gp.Levels)))
 	for i := range gp.Levels {
 		gp.Levels[i].EncodeTo(e)
@@ -188,15 +202,22 @@ func (gp *GetProof) AppendSignable(e *Encoder, digests [][]byte) {
 func (gp *GetProof) DecodeFrom(d *Decoder) {
 	gp.L0Blocks = decodeSlice(d, (*Block).DecodeFrom)
 	gp.L0Certs = decodeSlice(d, (*BlockProof).DecodeFrom)
+	gp.L0Pruned = decodeSlice(d, (*PrunedBlock).DecodeFrom)
+	gp.L0PrunedCerts = decodeSlice(d, (*BlockProof).DecodeFrom)
 	gp.Levels = decodeSlice(d, (*LevelProof).DecodeFrom)
 	gp.Roots = decodeBlobs(d)
 	gp.Global.DecodeFrom(d)
 }
 
 // GetResponse answers a GetRequest with the value (or a verifiable
-// non-existence statement) plus the full GetProof.
+// non-existence statement) plus the full GetProof. Key echoes the
+// requested key under the edge's signature, making the response
+// self-contained dispute evidence: the cloud can re-run the pruned-window
+// exclusion checks against the signed key without ever seeing the request
+// (the same role Start/End play on scan responses).
 type GetResponse struct {
 	ReqID   uint64
+	Key     []byte
 	Found   bool
 	Value   []byte
 	Ver     uint64
@@ -212,6 +233,7 @@ func (*GetResponse) MsgKind() Kind { return KindGetResponse }
 // EncodeTo implements Message.
 func (m *GetResponse) EncodeTo(e *Encoder) {
 	e.U64(m.ReqID)
+	e.Blob(m.Key)
 	e.Bool(m.Found)
 	e.Blob(m.Value)
 	e.U64(m.Ver)
@@ -234,6 +256,7 @@ func (m *GetResponse) AppendBody(e *Encoder) {
 // received, so a tampered body fails the signature check.
 func (m *GetResponse) AppendBodyWithDigests(e *Encoder, digests [][]byte) {
 	e.U64(m.ReqID)
+	e.Blob(m.Key)
 	e.Bool(m.Found)
 	e.Blob(m.Value)
 	e.U64(m.Ver)
@@ -243,6 +266,7 @@ func (m *GetResponse) AppendBodyWithDigests(e *Encoder, digests [][]byte) {
 // DecodeFrom implements Message.
 func (m *GetResponse) DecodeFrom(d *Decoder) {
 	m.ReqID = d.U64()
+	m.Key = d.Blob()
 	m.Found = d.Bool()
 	m.Value = d.Blob()
 	m.Ver = d.U64()

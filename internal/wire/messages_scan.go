@@ -85,19 +85,25 @@ func (lp *LevelRangeProof) DecodeFrom(d *Decoder) {
 
 // ScanProof is the complete evidence attached to a scan response:
 //
-//   - every uncompacted L0 page (block) with its Phase II certificate
-//     where available (missing certificates put the scan in Phase I);
+//   - every uncompacted L0 page (block) that might overlap the range,
+//     with its Phase II certificate where available (missing certificates
+//     put the scan in Phase I);
+//   - a pruned reference (digest-committed key summary, no entries) for
+//     every window block whose summary provably excludes the range, so
+//     the window stays contiguous without re-shipping irrelevant blocks;
 //   - for each non-empty level, one page-range proof covering every page
 //     that overlaps [Start, End), including the boundary pages whose
 //     committed bounds prove completeness at both ends;
 //   - all level roots, so the client can recompute the global root;
 //   - the cloud-signed global root with its freshness timestamp.
 type ScanProof struct {
-	L0Blocks []Block
-	L0Certs  []BlockProof // aligned with L0Blocks; empty CloudSig = uncertified
-	Levels   []LevelRangeProof
-	Roots    [][]byte // level roots 1..n in order
-	Global   SignedRoot
+	L0Blocks      []Block
+	L0Certs       []BlockProof // aligned with L0Blocks; empty CloudSig = uncertified
+	L0Pruned      []PrunedBlock
+	L0PrunedCerts []BlockProof // aligned with L0Pruned; empty CloudSig = uncertified
+	Levels        []LevelRangeProof
+	Roots         [][]byte // level roots 1..n in order
+	Global        SignedRoot
 }
 
 // EncodeTo appends the proof's canonical encoding.
@@ -110,6 +116,7 @@ func (sp *ScanProof) EncodeTo(e *Encoder) {
 	for i := range sp.L0Certs {
 		sp.L0Certs[i].EncodeTo(e)
 	}
+	appendPrunedWindow(e, sp.L0Pruned, sp.L0PrunedCerts)
 	e.U32(uint32(len(sp.Levels)))
 	for i := range sp.Levels {
 		sp.Levels[i].EncodeTo(e)
@@ -122,17 +129,21 @@ func (sp *ScanProof) EncodeTo(e *Encoder) {
 }
 
 // AppendSignable appends the proof's signable form, in which every L0
-// block is represented by its 32-byte digest instead of its body — the
-// same size-independent signing scheme the block acknowledgements use.
-// digests supplies the per-block digests in L0Blocks order (the edge's
-// cut-time cache); nil recomputes each from the block fields, which is
-// what verifiers must do so a poisoned cache can never satisfy the check.
+// block — full or pruned — is represented by its 32-byte digest instead
+// of its body: the same size-independent signing scheme the block
+// acknowledgements use. The full and pruned digest sections are distinct,
+// so the signature binds the representation, not just the content (see
+// GetProof.AppendSignable). digests supplies the per-block digests in
+// L0Blocks order (the edge's cut-time cache); nil recomputes each from
+// the block fields, which is what verifiers must do so a poisoned cache
+// can never satisfy the check.
 func (sp *ScanProof) AppendSignable(e *Encoder, digests [][]byte) {
 	appendL0Digests(e, sp.L0Blocks, digests)
 	e.U32(uint32(len(sp.L0Certs)))
 	for i := range sp.L0Certs {
 		sp.L0Certs[i].EncodeTo(e)
 	}
+	appendPrunedSignable(e, sp.L0Pruned, sp.L0PrunedCerts)
 	e.U32(uint32(len(sp.Levels)))
 	for i := range sp.Levels {
 		sp.Levels[i].EncodeTo(e)
@@ -157,10 +168,40 @@ func appendL0Digests(e *Encoder, blocks []Block, digests [][]byte) {
 	}
 }
 
+// appendPrunedWindow appends the wire encoding of a proof's pruned window
+// section (shared by GetProof and ScanProof).
+func appendPrunedWindow(e *Encoder, pruned []PrunedBlock, certs []BlockProof) {
+	e.U32(uint32(len(pruned)))
+	for i := range pruned {
+		pruned[i].EncodeTo(e)
+	}
+	e.U32(uint32(len(certs)))
+	for i := range certs {
+		certs[i].EncodeTo(e)
+	}
+}
+
+// appendPrunedSignable appends the signable form of a proof's pruned
+// window: each reference stood in by its recomputed claimed digest (the
+// preimage hash is a few dozen bytes — no caching needed), followed by
+// the aligned certificates.
+func appendPrunedSignable(e *Encoder, pruned []PrunedBlock, certs []BlockProof) {
+	e.U32(uint32(len(pruned)))
+	for i := range pruned {
+		e.Blob(pruned[i].Digest())
+	}
+	e.U32(uint32(len(certs)))
+	for i := range certs {
+		certs[i].EncodeTo(e)
+	}
+}
+
 // DecodeFrom reads the proof.
 func (sp *ScanProof) DecodeFrom(d *Decoder) {
 	sp.L0Blocks = decodeSlice(d, (*Block).DecodeFrom)
 	sp.L0Certs = decodeSlice(d, (*BlockProof).DecodeFrom)
+	sp.L0Pruned = decodeSlice(d, (*PrunedBlock).DecodeFrom)
+	sp.L0PrunedCerts = decodeSlice(d, (*BlockProof).DecodeFrom)
 	sp.Levels = decodeSlice(d, (*LevelRangeProof).DecodeFrom)
 	sp.Roots = decodeBlobs(d)
 	sp.Global.DecodeFrom(d)

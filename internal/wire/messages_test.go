@@ -36,6 +36,22 @@ func sampleBlock() Block {
 	return b
 }
 
+func samplePruned(id uint64) PrunedBlock {
+	return PrunedBlock{
+		Edge:        "edge-1",
+		ID:          id,
+		StartPos:    id * 100,
+		Ts:          888,
+		EntriesHash: randBytes(32),
+		Summary: BlockSummary{
+			Keys:   3,
+			MinKey: []byte("aaa"),
+			MaxKey: []byte("zzz"),
+			Fps:    []uint32{7, 9, 4000000000},
+		},
+	}
+}
+
 func samplePage(level uint32) Page {
 	p := Page{
 		Level: level,
@@ -71,10 +87,12 @@ func sampleMessages() []Message {
 		&PutResponse{BID: 13, Block: blk, EdgeSig: randBytes(64)},
 		&GetRequest{Key: []byte("k"), ReqID: 4},
 		&GetResponse{
-			ReqID: 4, Found: true, Value: randBytes(10), Ver: 2,
+			ReqID: 4, Key: []byte("k"), Found: true, Value: randBytes(10), Ver: 2,
 			Proof: GetProof{
-				L0Blocks: []Block{blk},
-				L0Certs:  []BlockProof{proof},
+				L0Blocks:      []Block{blk},
+				L0Certs:       []BlockProof{proof},
+				L0Pruned:      []PrunedBlock{samplePruned(13)},
+				L0PrunedCerts: []BlockProof{{}},
 				Levels: []LevelProof{{
 					Level: 1, Page: samplePage(1), Index: 2, Width: 4,
 					Path: [][]byte{randBytes(32), randBytes(32)},
@@ -122,8 +140,10 @@ func sampleMessages() []Message {
 		&ScanResponse{
 			ReqID: 11, Start: []byte("a"), End: nil,
 			Proof: ScanProof{
-				L0Blocks: []Block{blk},
-				L0Certs:  []BlockProof{proof},
+				L0Blocks:      []Block{blk},
+				L0Certs:       []BlockProof{proof},
+				L0Pruned:      []PrunedBlock{samplePruned(13), samplePruned(14)},
+				L0PrunedCerts: []BlockProof{proof, {}},
 				Levels: []LevelRangeProof{{
 					Level: 1, First: 2, Width: 9,
 					Pages: []Page{samplePage(1), samplePage(1)},

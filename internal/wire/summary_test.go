@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func keyedEntry(i int, key string) Entry {
+	return Entry{Client: "c1", Seq: uint64(i), Key: []byte(key), Value: []byte("v"), Sig: randBytes(64)}
+}
+
+func TestComputeBlockSummary(t *testing.T) {
+	entries := []Entry{
+		keyedEntry(1, "mango"),
+		{Client: "c1", Seq: 2, Value: []byte("pure log entry")}, // no key
+		keyedEntry(3, "apple"),
+		keyedEntry(4, "zebra"),
+		keyedEntry(5, "apple"), // duplicate key
+	}
+	s := ComputeBlockSummary(entries)
+	if s.Keys != 4 {
+		t.Fatalf("Keys = %d, want 4", s.Keys)
+	}
+	if string(s.MinKey) != "apple" || string(s.MaxKey) != "zebra" {
+		t.Fatalf("interval = [%q, %q]", s.MinKey, s.MaxKey)
+	}
+	if len(s.Fps) != 3 { // apple deduped
+		t.Fatalf("fps = %v", s.Fps)
+	}
+	for i := 1; i < len(s.Fps); i++ {
+		if s.Fps[i-1] >= s.Fps[i] {
+			t.Fatalf("fps not strictly sorted: %v", s.Fps)
+		}
+	}
+
+	// Exclusion: present keys never excluded; keys outside the interval
+	// and keys with absent fingerprints are.
+	for _, k := range []string{"apple", "mango", "zebra"} {
+		if s.ExcludesKey([]byte(k)) {
+			t.Fatalf("present key %q excluded", k)
+		}
+	}
+	if !s.ExcludesKey([]byte("aaaa")) || !s.ExcludesKey([]byte("zz")) {
+		t.Fatal("out-of-interval key not excluded")
+	}
+	if !s.ExcludesKey([]byte("mungo")) {
+		t.Fatal("in-interval absent-fingerprint key not excluded")
+	}
+
+	// Range exclusion uses the interval only.
+	if !s.ExcludesRange([]byte("zebraa"), nil) || !s.ExcludesRange(nil, []byte("appl")) {
+		t.Fatal("disjoint range not excluded")
+	}
+	if s.ExcludesRange([]byte("m"), []byte("n")) {
+		t.Fatal("overlapping range excluded")
+	}
+	if s.ExcludesRange(nil, nil) {
+		t.Fatal("infinite range excluded")
+	}
+}
+
+func TestKeylessBlockSummaryExcludesEverything(t *testing.T) {
+	s := ComputeBlockSummary([]Entry{{Client: "c1", Seq: 1, Value: []byte("log")}})
+	if !s.ExcludesKey([]byte("anything")) || !s.ExcludesRange(nil, nil) {
+		t.Fatal("keyless block should exclude every key and range")
+	}
+}
+
+// TestPrunedDigestMatchesBlockDigest pins the commitment split: the
+// digest recomputed from a pruned reference's fields equals the digest
+// recomputed from the full block — the identity pruning rests on.
+func TestPrunedDigestMatchesBlockDigest(t *testing.T) {
+	blk := sampleBlock()
+	pb := PruneBlock(&blk)
+	if !bytes.Equal(pb.Digest(), blk.BodyDigest()) {
+		t.Fatal("pruned digest != full block digest")
+	}
+
+	// Frozen and unfrozen derivations agree.
+	frozen := blk
+	frozen.Freeze()
+	pf := PruneBlock(&frozen)
+	if !bytes.Equal(pf.Digest(), blk.BodyDigest()) {
+		t.Fatal("frozen-cache pruned digest diverges")
+	}
+
+	// Any tampering of the pruned fields changes the claimed digest.
+	mutations := []func(*PrunedBlock){
+		func(p *PrunedBlock) { p.ID++ },
+		func(p *PrunedBlock) { p.StartPos++ },
+		func(p *PrunedBlock) { p.Ts++ },
+		func(p *PrunedBlock) { p.EntriesHash[0] ^= 1 },
+		func(p *PrunedBlock) { p.Summary.Keys++ },
+		func(p *PrunedBlock) { p.Summary.MinKey = []byte("earlier") },
+		func(p *PrunedBlock) { p.Summary.Fps = p.Summary.Fps[1:] },
+	}
+	for i, mut := range mutations {
+		cp := PruneBlock(&blk)
+		cp.EntriesHash = append([]byte(nil), cp.EntriesHash...)
+		cp.Summary.Fps = append([]uint32(nil), cp.Summary.Fps...)
+		mut(&cp)
+		if bytes.Equal(cp.Digest(), blk.BodyDigest()) {
+			t.Fatalf("mutation %d did not change the claimed digest", i)
+		}
+	}
+}
+
+// TestBlockDigestCommitsSummary pins that two blocks differing only in
+// entry KEYS produce different digests even when their entry count and
+// sizes agree — the summary is inside the preimage, so committing a
+// digest commits the summary.
+func TestBlockDigestCommitsSummary(t *testing.T) {
+	a := Block{Edge: "e", ID: 1, StartPos: 10, Ts: 5, Entries: []Entry{keyedEntry(1, "aaa")}}
+	b := Block{Edge: "e", ID: 1, StartPos: 10, Ts: 5, Entries: []Entry{keyedEntry(1, "bbb")}}
+	if bytes.Equal(a.BodyDigest(), b.BodyDigest()) {
+		t.Fatal("digest does not separate different keys")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 10; i++ {
+		entries = append(entries, keyedEntry(i, fmt.Sprintf("key-%03d", i*i)))
+	}
+	for _, s := range []BlockSummary{
+		ComputeBlockSummary(entries),
+		{}, // keyless
+	} {
+		var e Encoder
+		s.AppendTo(&e)
+		var got BlockSummary
+		d := NewDecoder(e.Bytes())
+		got.DecodeFrom(d)
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if got.Keys != s.Keys || !bytes.Equal(got.MinKey, s.MinKey) || !bytes.Equal(got.MaxKey, s.MaxKey) || len(got.Fps) != len(s.Fps) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+		}
+	}
+}

@@ -71,19 +71,21 @@ type Block struct {
 	Ts       int64 // edge timestamp at block cut
 	Entries  []Entry
 
-	// cache holds the block's canonical encoding and digest, populated
-	// only by an explicit Freeze — the block-cut path calls it exactly
-	// once, before the block is shared. Frozen blocks are immutable by
-	// contract; struct copies share the cache, and the rare code that
-	// mutates a frozen copy (fault injection) must call Invalidate
-	// first. Unfrozen blocks never cache, so the idiomatic
-	// copy-then-mutate pattern stays safe.
+	// cache holds the block's canonical encoding, digest, key summary
+	// and entries hash, populated only by an explicit Freeze — the
+	// block-cut path calls it exactly once, before the block is shared.
+	// Frozen blocks are immutable by contract; struct copies share the
+	// cache, and the rare code that mutates a frozen copy (fault
+	// injection) must call Invalidate first. Unfrozen blocks never
+	// cache, so the idiomatic copy-then-mutate pattern stays safe.
 	cache *blockCache
 }
 
 type blockCache struct {
-	canon  []byte
-	digest []byte
+	canon       []byte
+	digest      []byte
+	summary     BlockSummary
+	entriesHash []byte
 }
 
 // EncodeTo appends the block's canonical encoding, serving cached bytes
@@ -122,10 +124,12 @@ func (b *Block) DecodeFrom(d *Decoder) {
 	b.cache = nil
 }
 
-// Canonical returns the block's canonical encoding; the block digest is the
-// SHA-256 of these bytes (computed in internal/wcrypto to keep hashing in
-// one place). Frozen blocks return the cached encoding; unfrozen blocks
-// recompute on every call.
+// Canonical returns the block's canonical encoding — the wire and persist
+// format. The block digest is NOT the hash of these bytes: it hashes the
+// digest preimage (BodyDigest), which additionally commits the key summary
+// and splits out the entries hash so pruned references can rebind to it.
+// Frozen blocks return the cached encoding; unfrozen blocks recompute on
+// every call.
 func (b *Block) Canonical() []byte {
 	if b.cache != nil && b.cache.canon != nil {
 		return b.cache.canon
@@ -135,33 +139,78 @@ func (b *Block) Canonical() []byte {
 	return e.Bytes()
 }
 
-// Freeze computes and caches the block's canonical encoding. The caller
-// asserts the block will never be mutated again: the log calls it exactly
-// once when a block is cut (or restored), after which digest, persist,
-// certification and response encoding all reuse the same bytes.
+// Freeze computes and caches the block's canonical encoding, key
+// summary, entries hash and digest. The caller asserts the block will
+// never be mutated again: the log calls it exactly once when a block is
+// cut (or restored), after which digest, persist, certification,
+// response encoding and read pruning all reuse the same derivations —
+// BlockDigest finds the digest already cached and nothing on the cut
+// path hashes the entries twice.
 func (b *Block) Freeze() {
 	if b.cache != nil && b.cache.canon != nil {
 		return
 	}
 	var e Encoder
 	b.EncodeToUncached(&e)
-	b.cache = &blockCache{canon: e.Bytes()}
+	c := &blockCache{
+		canon:       e.Bytes(),
+		summary:     ComputeBlockSummary(b.Entries),
+		entriesHash: b.computeEntriesHash(),
+	}
+	pe := GetEncoder()
+	appendBlockDigestPreimage(pe, b.Edge, b.ID, b.StartPos, b.Ts, &c.summary, c.entriesHash)
+	sum := sha256.Sum256(pe.Bytes())
+	PutEncoder(pe)
+	c.digest = sum[:]
+	b.cache = c
 }
 
-// BodyDigest returns the SHA-256 digest of the block's canonical encoding
-// recomputed from its fields. It never consults the frozen cache: signable
-// bodies embed this digest, and a signature check must bind to the bytes
-// the verifier actually holds — in-process transports move blocks by
-// reference, so a cache populated by the sending node proves nothing.
-// Signers that already hold the cut-time digest avoid the recompute via
-// AppendBlockAckBody with the cached digest (the two agree for any block
-// whose cache is honest).
-func (b *Block) BodyDigest() []byte {
+// computeEntriesHash hashes the entries' canonical encoding (count plus
+// each entry) — the entries half of the block digest preimage.
+func (b *Block) computeEntriesHash() []byte {
 	e := GetEncoder()
-	b.EncodeToUncached(e)
+	e.U32(uint32(len(b.Entries)))
+	for i := range b.Entries {
+		b.Entries[i].EncodeTo(e)
+	}
 	sum := sha256.Sum256(e.Bytes())
 	PutEncoder(e)
 	return sum[:]
+}
+
+// BodyDigest returns the block's digest recomputed from its fields: the
+// SHA-256 of the digest preimage — header fields, the key summary derived
+// from the entries, and the hash of the encoded entries. Splitting the
+// preimage this way keeps the digest recomputable from a PrunedBlock's
+// fields alone, which is what lets read responses replace excluded blocks
+// with their summaries without weakening the digest's bite.
+//
+// It never consults the frozen cache: signable bodies embed this digest,
+// and a signature check must bind to the bytes the verifier actually
+// holds — in-process transports move blocks by reference, so a cache
+// populated by the sending node proves nothing. Signers that already hold
+// the cut-time digest avoid the recompute via AppendBlockAckBody with the
+// cached digest (the two agree for any block whose cache is honest).
+func (b *Block) BodyDigest() []byte {
+	s := ComputeBlockSummary(b.Entries)
+	eh := b.computeEntriesHash()
+	e := GetEncoder()
+	appendBlockDigestPreimage(e, b.Edge, b.ID, b.StartPos, b.Ts, &s, eh)
+	sum := sha256.Sum256(e.Bytes())
+	PutEncoder(e)
+	return sum[:]
+}
+
+// FrozenSummary returns the key summary and entries hash cached at
+// Freeze, or ok == false for an unfrozen block. The edge's serve paths
+// use it to price pruning decisions and pruned references at a lookup;
+// verification paths must derive from the entries instead (a cache that
+// travelled with the block proves nothing).
+func (b *Block) FrozenSummary() (s BlockSummary, entriesHash []byte, ok bool) {
+	if b.cache == nil || b.cache.entriesHash == nil {
+		return BlockSummary{}, nil, false
+	}
+	return b.cache.summary, b.cache.entriesHash, true
 }
 
 // CachedDigest returns the block's cached digest, or nil if none has been
