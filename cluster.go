@@ -20,6 +20,10 @@ const CloudID = NodeID("cloud")
 // EdgeID returns the identity of the i-th edge node (1-based).
 func EdgeID(i int) NodeID { return NodeID(fmt.Sprintf("edge-%d", i)) }
 
+// FollowerID returns the identity of the k-th follower replica (1-based)
+// of the i-th edge's chain.
+func FollowerID(i, k int) NodeID { return NodeID(fmt.Sprintf("edge-%d.r%d", i, k)) }
+
 // Cluster is an in-process WedgeChain deployment: one trusted cloud node,
 // one or more untrusted edge nodes, and any number of clients, connected
 // by the channel transport (optionally with injected WAN latency).
@@ -80,30 +84,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		edgeIDs = append(edgeIDs, id)
 	}
 
-	c.cloud = cloud.New(cloud.Config{
-		ID:          CloudID,
-		Levels:      len(cfg.LevelThresholds),
-		PageCap:     cfg.PageCap,
-		GossipEvery: cfg.GossipEvery.Nanoseconds(),
-		// Gossip recipients are added as clients join; the cloud config
-		// is static, so gossip goes to edges and clients pull via their
-		// edge. For direct gossip, clients are registered below.
-	}, ck, c.reg)
-	c.net.Add(c.cloud)
-
-	for _, id := range edgeIDs {
-		en := edge.New(edge.Config{
-			ID:              id,
-			Cloud:           CloudID,
-			BatchSize:       cfg.BatchSize,
-			FlushEvery:      cfg.FlushEvery.Nanoseconds(),
-			L0Threshold:     cfg.L0Threshold,
-			LevelThresholds: cfg.LevelThresholds,
-			PageCap:         cfg.PageCap,
-			Fault:           cfg.EdgeFaults[id],
-		}, c.keys[id], c.reg)
-		c.edges[id] = en
-		c.net.Add(en)
+	// Replica groups: each edge's chain gets ReplicasPerShard-1 follower
+	// nodes with their own identities and keys. The chain identity stays
+	// the initial leader's id; followers mirror its log and stand by for
+	// a cloud-signed promotion.
+	followers := make(map[NodeID][]NodeID)
+	if cfg.ReplicasPerShard > 1 {
+		for i := 1; i <= cfg.Edges; i++ {
+			lid := EdgeID(i)
+			for k := 1; k < cfg.ReplicasPerShard; k++ {
+				fid := FollowerID(i, k)
+				fk, err := wcrypto.GenerateKey(fid)
+				if err != nil {
+					return nil, err
+				}
+				c.keys[fid] = fk
+				c.reg.Register(fid, fk.Pub)
+				followers[lid] = append(followers[lid], fid)
+			}
+		}
 	}
 
 	// The shard map spans the first cfg.Shards edges. The cloud signs it
@@ -115,7 +114,75 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.shardMap = sm
 	c.wireMap = sm.Wire(1)
+	if cfg.ReplicasPerShard > 1 {
+		c.wireMap.Followers = make([][]NodeID, len(c.wireMap.Edges))
+		for i, e := range c.wireMap.Edges {
+			c.wireMap.Followers[i] = append([]NodeID(nil), followers[e]...)
+		}
+	}
 	c.wireMap.CloudSig = wcrypto.SignMsg(ck, c.wireMap)
+
+	c.cloud = cloud.New(cloud.Config{
+		ID:           CloudID,
+		Levels:       len(cfg.LevelThresholds),
+		PageCap:      cfg.PageCap,
+		GossipEvery:  cfg.GossipEvery.Nanoseconds(),
+		LeaseTimeout: cfg.LeaseTimeout.Nanoseconds(),
+		CertTimeout:  cfg.CertTimeout.Nanoseconds(),
+		// Gossip recipients are added as clients join; the cloud config
+		// is static, so gossip goes to edges and clients pull via their
+		// edge. For direct gossip, clients are registered below.
+	}, ck, c.reg)
+	if cfg.ReplicasPerShard > 1 {
+		// Declare the groups and hand over the signed map before the
+		// transport starts, so the failure detectors and map re-signing
+		// know every chain from the first tick.
+		for _, lid := range edgeIDs {
+			c.cloud.RegisterGroup(lid, lid, followers[lid])
+		}
+		c.cloud.InstallShardMap(c.wireMap)
+	}
+	c.net.Add(c.cloud)
+
+	// Heartbeat at a quarter of the lease so a live leader can never be
+	// mistaken for a dead one by scheduling jitter alone.
+	var heartbeatEvery int64
+	if cfg.ReplicasPerShard > 1 {
+		heartbeatEvery = (cfg.LeaseTimeout / 4).Nanoseconds()
+	}
+	for _, id := range edgeIDs {
+		en := edge.New(edge.Config{
+			ID:              id,
+			Cloud:           CloudID,
+			BatchSize:       cfg.BatchSize,
+			FlushEvery:      cfg.FlushEvery.Nanoseconds(),
+			L0Threshold:     cfg.L0Threshold,
+			LevelThresholds: cfg.LevelThresholds,
+			PageCap:         cfg.PageCap,
+			Fault:           cfg.EdgeFaults[id],
+			Followers:       followers[id],
+			HeartbeatEvery:  heartbeatEvery,
+		}, c.keys[id], c.reg)
+		c.edges[id] = en
+		c.net.Add(en)
+		for _, fid := range followers[id] {
+			fn := edge.New(edge.Config{
+				ID:              fid,
+				Chain:           id,
+				Follower:        true,
+				Cloud:           CloudID,
+				BatchSize:       cfg.BatchSize,
+				FlushEvery:      cfg.FlushEvery.Nanoseconds(),
+				L0Threshold:     cfg.L0Threshold,
+				LevelThresholds: cfg.LevelThresholds,
+				PageCap:         cfg.PageCap,
+				Fault:           cfg.EdgeFaults[fid],
+				HeartbeatEvery:  heartbeatEvery,
+			}, c.keys[fid], c.reg)
+			c.edges[fid] = fn
+			c.net.Add(fn)
+		}
+	}
 	return c, nil
 }
 
@@ -200,6 +267,55 @@ func (c *Cluster) EdgeStats(edgeID NodeID) (edge.Stats, error) {
 		return edge.Stats{}, fmt.Errorf("wedgechain: cluster closed")
 	}
 	return <-ch, nil
+}
+
+// KillEdge simulates a process crash of one node — leader or follower:
+// the node stops answering anything, including its heartbeats. In a
+// replicated cluster the cloud notices the silence (or the certification
+// stall) and transfers leadership to the best surviving follower; clients
+// re-route on the signed transfer without failing their in-flight
+// operations.
+func (c *Cluster) KillEdge(id NodeID) error {
+	c.mu.Lock()
+	en, ok := c.edges[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("wedgechain: unknown node %q", id)
+	}
+	if !c.net.Do(id, func(now int64) []wire.Envelope {
+		en.Kill()
+		return nil
+	}) {
+		return fmt.Errorf("wedgechain: cluster closed")
+	}
+	return nil
+}
+
+// ChainLeader reports which node the cloud currently recognizes as the
+// leader of chain (the chain id is the initial leader's id, e.g.
+// "edge-1"). Unreplicated chains lead themselves.
+func (c *Cluster) ChainLeader(chain NodeID) NodeID {
+	ch := make(chan NodeID, 1)
+	if !c.net.Do(CloudID, func(now int64) []wire.Envelope {
+		ch <- c.cloud.ChainLeader(chain)
+		return nil
+	}) {
+		return ""
+	}
+	return <-ch
+}
+
+// ChainEpoch reports the chain's current leadership epoch (0 until the
+// first transfer).
+func (c *Cluster) ChainEpoch(chain NodeID) uint64 {
+	ch := make(chan uint64, 1)
+	if !c.net.Do(CloudID, func(now int64) []wire.Envelope {
+		ch <- c.cloud.ChainEpoch(chain)
+		return nil
+	}) {
+		return 0
+	}
+	return <-ch
 }
 
 // NewClient creates an authenticated client session.

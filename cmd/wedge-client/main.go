@@ -7,7 +7,10 @@
 //
 //	wedge-client -id c1 -listen :9003 \
 //	  -peers cloud=localhost:9001,edge-1=localhost:9002 \
-//	  -edge edge-1 [-wait2] <op> [args]
+//	  -edge edge-1 [-chain edge-1] [-wait2] <op> [args]
+//
+// -chain names the chain identity when -edge is a promoted follower
+// serving another chain's log (see docs/RUNBOOK.md).
 //
 // Operations: add <payload> | read <bid> | put <key> <value> | get <key> |
 // scan <start> <end> [limit] ("-" = unbounded). Scans verify a Merkle
@@ -37,6 +40,7 @@ func main() {
 		listen  = flag.String("listen", ":9003", "listen address for responses")
 		peers   = flag.String("peers", "", "peer map: id=host:port,...")
 		edgeID  = flag.String("edge", "edge-1", "edge node owning this client's partition")
+		chain   = flag.String("chain", "", "chain identity the edge serves (defaults to -edge; set when -edge names a promoted follower)")
 		cloudID = flag.String("cloud", "cloud", "cloud node identity")
 		wait2   = flag.Bool("wait2", false, "also wait for Phase II certification")
 		timeout = flag.Duration("timeout", 30*time.Second, "operation timeout")
@@ -55,6 +59,7 @@ func main() {
 	cc := client.New(client.Config{
 		ID:    wire.NodeID(*id),
 		Edge:  wire.NodeID(*edgeID),
+		Chain: wire.NodeID(*chain),
 		Cloud: wire.NodeID(*cloudID),
 	}, key, reg)
 

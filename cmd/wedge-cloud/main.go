@@ -13,10 +13,12 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"wedgechain/cmd/internal/cli"
@@ -33,6 +35,11 @@ func main() {
 		levels  = flag.Int("levels", 3, "LSMerkle levels (excluding L0)")
 		pageCap = flag.Int("pagecap", 100, "records per merged page")
 		gossip  = flag.Duration("gossip", time.Second, "gossip period (0 disables)")
+
+		// Replica-group failover (see docs/RUNBOOK.md "Replication & failover").
+		groups = flag.String("groups", "", "replica groups: leader=f1,f2[;leader2=...] (chain id = initial leader id)")
+		lease  = flag.Duration("lease", time.Second, "leader lease: heartbeat silence beyond this transfers leadership")
+		certTO = flag.Duration("cert-timeout", 3*time.Second, "certification-stall bound before leadership transfer")
 	)
 	flag.Parse()
 
@@ -47,13 +54,18 @@ func main() {
 		gossipTo = append(gossipTo, p)
 	}
 	node := cloud.New(cloud.Config{
-		ID:          wire.NodeID(*id),
-		Levels:      *levels,
-		PageCap:     *pageCap,
-		GossipEvery: gossip.Nanoseconds(),
-		GossipTo:    gossipTo,
-		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		ID:           wire.NodeID(*id),
+		Levels:       *levels,
+		PageCap:      *pageCap,
+		GossipEvery:  gossip.Nanoseconds(),
+		GossipTo:     gossipTo,
+		LeaseTimeout: lease.Nanoseconds(),
+		CertTimeout:  certTO.Nanoseconds(),
+		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}, key, reg)
+	if err := registerGroups(node, *groups); err != nil {
+		log.Fatal(err)
+	}
 
 	t := transport.NewTCP(node, transport.TCPConfig{
 		Listen: *listen, Peers: peerMap,
@@ -65,4 +77,30 @@ func main() {
 	if err := t.Serve(ctx); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// registerGroups parses "leader=f1,f2[;leader2=...]" and declares each
+// replica group before the transport starts. The chain identity is the
+// initial leader's id, matching the façade's convention.
+func registerGroups(node *cloud.Node, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, g := range strings.Split(spec, ";") {
+		leader, rest, ok := strings.Cut(strings.TrimSpace(g), "=")
+		if !ok || leader == "" {
+			return fmt.Errorf("bad -groups entry %q (want leader=f1,f2)", g)
+		}
+		var fs []wire.NodeID
+		for _, f := range strings.Split(rest, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fs = append(fs, wire.NodeID(f))
+			}
+		}
+		if len(fs) == 0 {
+			return fmt.Errorf("bad -groups entry %q: no followers", g)
+		}
+		node.RegisterGroup(wire.NodeID(leader), wire.NodeID(leader), fs)
+	}
+	return nil
 }

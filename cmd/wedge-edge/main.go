@@ -31,9 +31,15 @@ func main() {
 		flush   = flag.Duration("flush", 100*time.Millisecond, "partial block flush interval")
 		l0      = flag.Int("l0", 10, "L0 blocks before compaction")
 		levels  = flag.String("levels", "10,100,1000", "level page thresholds")
-		evil    = flag.String("evil", "", "byzantine mode: tamper-add=<victim>|omit=<bid>|double-certify|drop-certify|false-exclude=<key>|tamper-summary=<key>")
+		evil    = flag.String("evil", "", "byzantine mode: tamper-add=<victim>|omit=<bid>|double-certify|drop-certify|false-exclude=<key>|tamper-summary=<key>|equivocate-repl|promote-stale=<bid>")
 		dataDir = flag.String("data", "", "directory for the durable log segment (empty = in-memory)")
 		syncWin = flag.Duration("group-commit", 0, "group-commit fsync window: blocks persisted within it share one fsync (0 = fsync per block)")
+
+		// Replica-group role (see docs/RUNBOOK.md "Replication & failover").
+		chain     = flag.String("chain", "", "chain identity this node serves (defaults to -id; set together with -follower)")
+		follower  = flag.Bool("follower", false, "start as a mirroring follower of -chain's leader instead of serving clients")
+		followers = flag.String("followers", "", "comma-separated follower ids this leader replicates cut blocks to")
+		heartbeat = flag.Duration("heartbeat", 0, "replica liveness heartbeat period (0 = 200ms default when part of a group)")
 	)
 	flag.Parse()
 
@@ -53,14 +59,22 @@ func main() {
 	}
 	cfg := edge.Config{
 		ID:              wire.NodeID(*id),
+		Chain:           wire.NodeID(*chain),
 		Cloud:           wire.NodeID(*cloudID),
 		BatchSize:       *batch,
 		FlushEvery:      flush.Nanoseconds(),
 		L0Threshold:     *l0,
 		LevelThresholds: thresholds,
 		SyncEvery:       syncWin.Nanoseconds(),
+		Follower:        *follower,
+		HeartbeatEvery:  heartbeat.Nanoseconds(),
 		Fault:           fault,
 		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	for _, f := range strings.Split(*followers, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			cfg.Followers = append(cfg.Followers, wire.NodeID(f))
+		}
 	}
 	var node *edge.Node
 	if *dataDir != "" {
@@ -85,7 +99,13 @@ func main() {
 	if fault != nil {
 		mode = "BYZANTINE(" + *evil + ")"
 	}
-	log.Printf("wedge-edge %s listening on %s (%s)", *id, *listen, mode)
+	role := "leader"
+	if *follower {
+		role = fmt.Sprintf("follower of chain %s", node.Chain())
+	} else if len(cfg.Followers) > 0 {
+		role = fmt.Sprintf("leader replicating to %d followers", len(cfg.Followers))
+	}
+	log.Printf("wedge-edge %s listening on %s (%s, %s)", *id, *listen, mode, role)
 	if err := t.Serve(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -113,6 +133,15 @@ func parseFault(s string) (*edge.Fault, error) {
 		f.SummaryFalseExclude = []byte(strings.TrimPrefix(s, "false-exclude="))
 	case strings.HasPrefix(s, "tamper-summary="):
 		f.SummaryTamperKey = []byte(strings.TrimPrefix(s, "tamper-summary="))
+	case s == "equivocate-repl":
+		f.EquivocateReplication = true
+	case strings.HasPrefix(s, "promote-stale="):
+		bid, err := strconv.ParseUint(strings.TrimPrefix(s, "promote-stale="), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -evil value %q: %v", s, err)
+		}
+		f.PromoteStale = true
+		f.PromoteStaleFrom = bid
 	default:
 		return nil, fmt.Errorf("bad -evil value %q", s)
 	}

@@ -5,6 +5,17 @@
 // scatter-gather spans every shard), and then shows the guarantee's
 // teeth: an edge that omits a row mid-range fails verification and is
 // convicted by the cloud.
+//
+// The conviction is reported as a cloud-signed dispute verdict: the
+// failed scan's error names the defect, and the verdict carries the
+// accused edge, the disputed block, and the judge's reason (printed
+// below via Cluster.VerdictsFor). The wedge-client binary surfaces the
+// same ruling on the command line — a disputed operation prints a line
+// like
+//
+//	EDGE CONVICTED (scan dispute, block 3): scan proof page contradicts certified digest
+//
+// before exiting, so detection is visible in scripted deployments too.
 package main
 
 import (
@@ -100,6 +111,11 @@ func demoOmissionConviction() {
 			log.Fatal("edge was not convicted")
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+	// The full signed verdict (what wedge-client prints as "EDGE
+	// CONVICTED (scan dispute, block N): reason").
+	for _, v := range cluster.VerdictsFor(evil) {
+		fmt.Printf("  verdict record: edge=%s block=%d guilty=%v reason=%q\n", v.Edge, v.BID, v.Guilty, v.Reason)
 	}
 	fmt.Println("  the omitted row could not be hidden: the signed proof convicted the edge")
 }

@@ -1,0 +1,87 @@
+package wedgechain
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A replicated façade cluster survives its leader being killed: the cloud
+// notices the heartbeat silence, promotes a follower, and the client's
+// in-flight and subsequent writes complete against the new leader with no
+// failed operations — the tentpole availability property, exercised over
+// the real concurrent transport (run under -race).
+func TestClusterFailoverKillLeader(t *testing.T) {
+	cluster, err := NewCluster(Config{
+		Edges:            1,
+		ReplicasPerShard: 3,
+		BatchSize:        4,
+		FlushEvery:       10 * time.Millisecond,
+		LeaseTimeout:     400 * time.Millisecond,
+		GossipEvery:      100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	c, err := cluster.NewClient("writer", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(i int) {
+		t.Helper()
+		r, err := c.Add([]byte(fmt.Sprintf("entry-%d", i)))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := r.WaitPhaseII(15 * time.Second); err != nil {
+			t.Fatalf("write %d phase-II: %v", i, err)
+		}
+	}
+
+	for i := 0; i < 8; i++ {
+		write(i)
+	}
+	if got := cluster.ChainLeader(EdgeID(1)); got != EdgeID(1) {
+		t.Fatalf("pre-kill leader = %q", got)
+	}
+
+	if err := cluster.KillEdge(EdgeID(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writes launched into the outage stall until the lease expires and a
+	// follower is promoted, then complete — none may fail.
+	for i := 8; i < 16; i++ {
+		write(i)
+	}
+
+	newLeader := cluster.ChainLeader(EdgeID(1))
+	if newLeader == EdgeID(1) {
+		t.Fatal("leadership did not transfer off the killed leader")
+	}
+	if epoch := cluster.ChainEpoch(EdgeID(1)); epoch == 0 {
+		t.Fatalf("chain epoch = %d, want > 0", epoch)
+	}
+	if c.HomeEdge() != newLeader {
+		t.Fatalf("client bound to %q, want %q", c.HomeEdge(), newLeader)
+	}
+	// An honest crash convicts no one.
+	if reason, banned := cluster.Punished(EdgeID(1)); banned {
+		t.Fatalf("crashed leader wrongly convicted: %s", reason)
+	}
+
+	// The promoted follower serves the pre-kill history it mirrored.
+	blk, phase, err := c.Read(0, 10*time.Second)
+	if err != nil {
+		t.Fatalf("read mirrored block: %v", err)
+	}
+	if phase != PhaseII {
+		t.Fatalf("mirrored read phase = %v, want phase-II", phase)
+	}
+	if len(blk.Entries) == 0 {
+		t.Fatal("mirrored block is empty")
+	}
+}

@@ -131,6 +131,13 @@ type Config struct {
 	ID    wire.NodeID
 	Edge  wire.NodeID
 	Cloud wire.NodeID
+	// Chain is the chain identity this session verifies against — the
+	// shard's initial leader, stamped into every block, certificate,
+	// gossip and signed root no matter which replica currently serves the
+	// chain. Edge is the node requests go to and may be rebound by a
+	// cloud-signed leadership transfer; Chain never changes. Defaults to
+	// Edge, which is always right for unreplicated deployments.
+	Chain wire.NodeID
 	// ProofTimeout is how long a Phase I operation waits for its block
 	// proof before filing a dispute with the cloud (ns).
 	ProofTimeout int64
@@ -148,6 +155,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Chain == "" {
+		c.Chain = c.Edge
+	}
 	if c.ProofTimeout <= 0 {
 		c.ProofTimeout = int64(10e9)
 	}
@@ -194,6 +204,12 @@ type Core struct {
 
 	onReserve Reservations
 
+	// Failover state: the highest leadership-transfer epoch applied and
+	// the demoted nodes this session used to talk to (their verdicts must
+	// still settle the disputes they answer, without banning the chain).
+	epoch   uint64
+	formers map[wire.NodeID]bool
+
 	pending int           // started ops not yet settled
 	banned  *wire.Verdict // guilty verdict against my edge, once known
 	stats   Stats
@@ -206,6 +222,7 @@ type Stats struct {
 	StaleRejected  uint64
 	Retries        uint64
 	VerifyFailures uint64
+	Failovers      uint64
 }
 
 // New constructs a client core.
@@ -225,8 +242,16 @@ func (c *Core) ID() wire.NodeID { return c.cfg.ID }
 // Stats returns a copy of the client's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
-// Edge returns the edge this core is bound to.
+// Edge returns the node this core currently sends requests to; a
+// leadership transfer rebinds it to the promoted replica.
 func (c *Core) Edge() wire.NodeID { return c.cfg.Edge }
+
+// Chain returns the chain identity this core verifies against. It never
+// changes over the session's lifetime.
+func (c *Core) Chain() wire.NodeID { return c.cfg.Chain }
+
+// Epoch returns the highest leadership epoch this core has applied.
+func (c *Core) Epoch() uint64 { return c.epoch }
 
 // Pending reports the number of started operations that have not yet
 // settled (reached Phase II, a verified result, or a terminal error).
@@ -424,6 +449,8 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return c.handleGossip(now, m)
 	case *wire.Verdict:
 		return c.handleVerdict(now, m)
+	case *wire.LeadershipTransfer:
+		return c.handleTransfer(now, env.From, m, env.Verified)
 	case *wire.ReserveResponse:
 		// A convicted edge's reservations are positions on a frozen
 		// chain; drop them.
@@ -516,7 +543,7 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 	if from != c.cfg.Edge {
 		return nil
 	}
-	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
+	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Chain {
 		c.stats.VerifyFailures++
 		return nil
 	}
@@ -547,6 +574,7 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 			continue
 		}
 		op.addEvidence = m
+		op.Edge = from // the node whose signature backs the evidence
 		c.phaseI(now, op, m.BID, digest)
 	}
 	return nil
@@ -556,7 +584,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 	if from != c.cfg.Edge {
 		return nil
 	}
-	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
+	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Chain {
 		c.stats.VerifyFailures++
 		return nil
 	}
@@ -584,6 +612,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 			continue
 		}
 		op.putEvidence = m
+		op.Edge = from
 		c.phaseI(now, op, m.BID, digest)
 	}
 	return nil
@@ -595,7 +624,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 // the cloud (the pool checks signatures against the envelope sender);
 // edge-forwarded proofs are verified inline.
 func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, verified bool) []wire.Envelope {
-	if p.Edge != c.cfg.Edge {
+	if p.Edge != c.cfg.Chain {
 		return nil
 	}
 	if !verified || from != c.cfg.Cloud {
@@ -677,11 +706,13 @@ func lowestPending(op *Op) uint64 {
 	return bid
 }
 
-// fileDispute packages the op's evidence and accuses the edge. Get and
-// scan evidence delegates to the dedicated filers BEFORE any dispute
-// bookkeeping — they check op.disputed themselves, and marking the op
-// first would make the delegation a silent no-op (the bug that used to
-// swallow get/scan proof-timeout disputes entirely).
+// fileDispute packages the op's evidence and accuses the node that
+// signed it — op.Edge, which may be a since-demoted leader rather than
+// the replica the session currently talks to. Get and scan evidence
+// delegates to the dedicated filers BEFORE any dispute bookkeeping —
+// they check op.disputed themselves, and marking the op first would make
+// the delegation a silent no-op (the bug that used to swallow get/scan
+// proof-timeout disputes entirely).
 func (c *Core) fileDispute(op *Op) []wire.Envelope {
 	if op.disputed {
 		return nil
@@ -689,17 +720,17 @@ func (c *Core) fileDispute(op *Op) []wire.Envelope {
 	var d *wire.Dispute
 	switch {
 	case op.addEvidence != nil:
-		d = core.BuildAddLieDispute(c.key, c.cfg.Edge, op.addEvidence)
+		d = core.BuildAddLieDispute(c.key, op.Edge, op.addEvidence)
 	case op.putEvidence != nil:
 		// Put evidence shares the add-lie shape: promised block content.
 		ar := &wire.AddResponse{BID: op.putEvidence.BID, Block: op.putEvidence.Block, EdgeSig: op.putEvidence.EdgeSig}
 		// A PutResponse signature covers the same body encoding as an
 		// AddResponse (BID + Block), so the evidence transfers.
-		d = core.BuildAddLieDispute(c.key, c.cfg.Edge, ar)
+		d = core.BuildAddLieDispute(c.key, op.Edge, ar)
 	case op.readEv != nil && op.readEv.OK:
-		d = core.BuildReadLieDispute(c.key, c.cfg.Edge, op.readEv)
+		d = core.BuildReadLieDispute(c.key, op.Edge, op.readEv)
 	case op.readEv != nil && !op.readEv.OK && c.gossip != nil:
-		d = core.BuildOmissionDispute(c.key, c.cfg.Edge, op.readEv, c.gossip)
+		d = core.BuildOmissionDispute(c.key, op.Edge, op.readEv, c.gossip)
 	case op.getEv != nil:
 		// Dispute the lowest still-pending block (gets never set op.BID):
 		// the cloud either holds a contradicting certificate or never saw
@@ -720,7 +751,7 @@ func (c *Core) fileGetDispute(op *Op, bid uint64) []wire.Envelope {
 	if op.disputed {
 		return nil
 	}
-	return c.accuse(op, bid, core.BuildGetLieDispute(c.key, c.cfg.Edge, bid, op.getEv))
+	return c.accuse(op, bid, core.BuildGetLieDispute(c.key, op.Edge, bid, op.getEv))
 }
 
 // accuse records op as disputed over bid and returns the accusation for
@@ -734,17 +765,24 @@ func (c *Core) accuse(op *Op, bid uint64, d *wire.Dispute) []wire.Envelope {
 	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 }
 
-// handleVerdict settles disputed operations.
+// handleVerdict settles disputed operations. Verdicts are node-scoped:
+// one may convict a since-demoted leader whose evidence this session
+// still holds, which settles those disputes without touching the chain's
+// current replica.
 func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, v, v.CloudSig); err != nil {
 		c.stats.VerifyFailures++
 		return nil
 	}
-	if v.Edge != c.cfg.Edge {
+	if v.Edge != c.cfg.Edge && !c.formers[v.Edge] {
 		return nil
 	}
 	remaining := c.accused[:0]
 	for _, op := range c.accused {
+		if op.Edge != v.Edge {
+			remaining = append(remaining, op)
+			continue
+		}
 		if op.Done {
 			// Structural-defect disputes (scan and get evidence defects)
 			// settle at filing time; attach the verdict anyway so callers
@@ -772,6 +810,12 @@ func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 		remaining = append(remaining, op)
 	}
 	c.accused = remaining
+	if v.Guilty && v.Edge != c.cfg.Edge {
+		// A former leader was convicted. The chain already failed over —
+		// its disputes are settled above, the promoted replica keeps
+		// serving, nothing is banned.
+		return nil
+	}
 	if v.Guilty {
 		// The edge is convicted: the cloud ignores it from here on, so
 		// no outstanding operation can ever complete. Record the ban
@@ -804,7 +848,7 @@ func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 }
 
 func (c *Core) handleGossip(now int64, g *wire.Gossip) []wire.Envelope {
-	if g.Edge != c.cfg.Edge {
+	if g.Edge != c.cfg.Chain {
 		return nil
 	}
 	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, g, g.CloudSig); err != nil {

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"wedgechain/internal/core"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Failover (client side): the cloud's signed LeadershipTransfer rebinds
+// the session from a demoted or dead leader to the promoted replica of
+// the same chain. Verification state carries over untouched — blocks,
+// certificates and gossip are chain-scoped, so everything the session
+// pinned under the old leader still binds under the new one. What needs
+// work is the in-flight window: requests parked on the old node would
+// otherwise wait out their proof timeout, so the client re-sends them.
+// The promoted leader's replay defence recognises writes that already
+// live in a mirrored block and re-acknowledges from that block, which
+// makes the re-send idempotent; reads, gets and scans are simply served
+// again from the new node's identical chain state.
+
+// handleTransfer applies a cloud-signed leadership transfer for this
+// session's chain: newer epochs rebind cfg.Edge to the promoted replica,
+// remember the demoted node (its conviction must settle old disputes
+// without freezing the chain), lift any ban recorded against it, and
+// re-send every unsettled operation to the new leader.
+func (c *Core) handleTransfer(now int64, from wire.NodeID, m *wire.LeadershipTransfer, verified bool) []wire.Envelope {
+	if m.Chain != c.cfg.Chain {
+		return nil
+	}
+	// The pool pre-verifies transfers against the envelope sender; trust
+	// that only when the sender is the cloud itself.
+	if !verified || from != c.cfg.Cloud {
+		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, m, m.CloudSig); err != nil {
+			c.stats.VerifyFailures++
+			return nil
+		}
+	}
+	if m.Epoch <= c.epoch {
+		return nil // stale or replayed transfer
+	}
+	c.epoch = m.Epoch
+	if m.NewLeader == c.cfg.Edge {
+		return nil
+	}
+	if c.formers == nil {
+		c.formers = make(map[wire.NodeID]bool)
+	}
+	c.formers[c.cfg.Edge] = true
+	delete(c.formers, m.NewLeader)
+	c.cfg.Edge = m.NewLeader
+	c.stats.Failovers++
+	// A ban against the demoted node no longer blocks the chain: the
+	// cloud vouched for the successor by signing the transfer.
+	if c.banned != nil && c.banned.Edge != c.cfg.Edge {
+		c.banned = nil
+	}
+	return c.rebind(now)
+}
+
+// rebind re-sends every unsettled operation to the (new) current edge.
+//
+//   - Writes are re-signed and re-submitted. If the entry already sits in
+//     a block the new leader inherited, the replay defence re-acks from
+//     that block (and re-attaches or re-subscribes its proof); otherwise
+//     the entry is appended fresh. Reserved positions from the old leader
+//     are not carried over: an AddAt whose reservation died with the old
+//     leader re-submits as a plain append.
+//   - Phase I ops get their proof clock restarted, so time lost to the
+//     outage does not count against the proof timeout.
+//   - Reads, gets and scans are re-requested under their original request
+//     id. A read that already holds Phase I evidence only harvests the
+//     certificate from the re-serve (see handleReadResponse); gets and
+//     scans re-verify the fresh response from scratch.
+//
+// Disputed ops are left alone — their accusation is already with the
+// cloud and the verdict, not the new leader, settles them.
+func (c *Core) rebind(now int64) []wire.Envelope {
+	var out []wire.Envelope
+	c.bySeq.each(func(_ uint64, op *Op) {
+		if op.Done || op.disputed {
+			return
+		}
+		if op.Phase == core.PhaseI {
+			op.PhaseIAt = now
+		}
+		e := wire.Entry{Client: c.cfg.ID, Seq: op.Seq, Key: op.Key, Value: op.Value, Ts: now}
+		e.Sig = wcrypto.SignMsg(c.key, &e)
+		var msg wire.Message
+		if op.Kind == KindPut {
+			msg = &wire.PutRequest{Entry: e}
+		} else {
+			msg = &wire.AddRequest{Entry: e, WantBlock: true}
+		}
+		out = append(out, wire.Envelope{From: c.cfg.ID, To: c.cfg.Edge, Msg: msg})
+	})
+	c.byReq.each(func(_ uint64, op *Op) {
+		if op.Done || op.disputed {
+			return
+		}
+		if op.Phase == core.PhaseI {
+			op.PhaseIAt = now
+		}
+		var msg wire.Message
+		switch op.Kind {
+		case KindRead:
+			msg = &wire.ReadRequest{BID: op.BID, ReqID: op.ReqID}
+		case KindGet:
+			msg = &wire.GetRequest{Key: op.Key, ReqID: op.ReqID}
+		case KindScan:
+			msg = &wire.ScanRequest{Start: op.ScanStart, End: op.ScanEnd, Limit: uint32(op.ScanLimit), ReqID: op.ReqID}
+		default:
+			return
+		}
+		out = append(out, wire.Envelope{From: c.cfg.ID, To: c.cfg.Edge, Msg: msg})
+	})
+	return out
+}

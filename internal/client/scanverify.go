@@ -41,6 +41,7 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 		}
 	}
 	op.scanEv = m
+	op.Edge = from // the node whose signature backs the evidence
 
 	if !sameBound(m.Start, op.ScanStart) || !sameBound(m.End, op.ScanEnd) {
 		// A valid proof of a different range than requested is worthless
@@ -52,7 +53,7 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 	}
 	res, err := scan.Verify(scan.Params{
 		Reg:             c.reg,
-		Edge:            c.cfg.Edge,
+		Edge:            c.cfg.Chain, // blocks, certs and roots carry the chain identity
 		Cloud:           c.cfg.Cloud,
 		Now:             now,
 		FreshnessWindow: c.cfg.FreshnessWindow,
@@ -138,7 +139,7 @@ func (c *Core) VerifyScanResponse(now int64, start, end []byte, m *wire.ScanResp
 	}
 	_, err := scan.Verify(scan.Params{
 		Reg:             c.reg,
-		Edge:            c.cfg.Edge,
+		Edge:            c.cfg.Chain,
 		Cloud:           c.cfg.Cloud,
 		Now:             now,
 		FreshnessWindow: c.cfg.FreshnessWindow,
@@ -154,5 +155,5 @@ func (c *Core) fileScanDispute(op *Op, bid uint64) []wire.Envelope {
 	if op.disputed || op.scanEv == nil {
 		return nil
 	}
-	return c.accuse(op, bid, core.BuildScanLieDispute(c.key, c.cfg.Edge, bid, op.scanEv))
+	return c.accuse(op, bid, core.BuildScanLieDispute(c.key, op.Edge, bid, op.scanEv))
 }

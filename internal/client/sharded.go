@@ -30,28 +30,34 @@ var _ core.Handler = (*Sharded)(nil)
 // Like Core, Sharded is not safe for concurrent use: drive it from a
 // single goroutine (the transport's node goroutine).
 type Sharded struct {
-	ring   *shard.Map
-	cores  []*Core // shard order
-	byEdge map[wire.NodeID]*Core
-	home   int
+	ring    *shard.Map
+	cores   []*Core               // shard order
+	byEdge  map[wire.NodeID]*Core // by serving node, grows as leaders change
+	byChain map[wire.NodeID]*Core // by chain identity, immutable
+	home    int
 }
 
 // NewSharded constructs a sharded client session over the edges in ring.
 // cfg.Edge is ignored; every other Config field applies to each per-shard
-// Core.
+// Core. The ring's edges at construction time are the per-shard chain
+// identities; leadership transfers may later rebind a core to a promoted
+// replica without changing its chain.
 func NewSharded(cfg Config, ring *shard.Map, key wcrypto.KeyPair, reg *wcrypto.Registry) *Sharded {
 	s := &Sharded{
-		ring:   ring,
-		cores:  make([]*Core, ring.Shards()),
-		byEdge: make(map[wire.NodeID]*Core, ring.Shards()),
-		home:   shard.Of([]byte(cfg.ID), ring.Shards()),
+		ring:    ring,
+		cores:   make([]*Core, ring.Shards()),
+		byEdge:  make(map[wire.NodeID]*Core, ring.Shards()),
+		byChain: make(map[wire.NodeID]*Core, ring.Shards()),
+		home:    shard.Of([]byte(cfg.ID), ring.Shards()),
 	}
 	for i, edge := range ring.Edges() {
 		c := cfg // copy
 		c.Edge = edge
+		c.Chain = edge
 		cc := New(c, key, reg)
 		s.cores[i] = cc
 		s.byEdge[edge] = cc
+		s.byChain[edge] = cc
 	}
 	return s
 }
@@ -227,9 +233,11 @@ func (s *Sharded) StatsByEdge() map[wire.NodeID]Stats {
 }
 
 // Receive demultiplexes a delivery to the core owning the shard it
-// concerns. Edge responses route by sender; cloud messages (proofs,
-// verdicts, gossip) carry the edge they concern. Anything else fans out
-// to every core, each of which filters by its own edge.
+// concerns. Edge responses route by sender; cloud proofs and gossip
+// carry the chain they concern; leadership transfers route by chain and
+// re-key the sender index to the promoted node. Verdicts are node-scoped
+// — the node may be a demoted leader no index remembers — so they fan
+// out, as does anything else, with each core filtering by its own state.
 func (s *Sharded) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	if c, ok := s.byEdge[env.From]; ok {
 		return c.Receive(now, env)
@@ -238,10 +246,16 @@ func (s *Sharded) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	switch m := env.Msg.(type) {
 	case *wire.BlockProof:
 		concerns = m.Edge
-	case *wire.Verdict:
-		concerns = m.Edge
 	case *wire.Gossip:
 		concerns = m.Edge
+	case *wire.LeadershipTransfer:
+		c, ok := s.byChain[m.Chain]
+		if !ok {
+			return nil
+		}
+		out := c.Receive(now, env)
+		s.byEdge[c.Edge()] = c // responses now arrive from the new leader
+		return out
 	default:
 		var out []wire.Envelope
 		for _, c := range s.cores {
@@ -249,7 +263,7 @@ func (s *Sharded) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		}
 		return out
 	}
-	if c, ok := s.byEdge[concerns]; ok {
+	if c, ok := s.byChain[concerns]; ok {
 		return c.Receive(now, env)
 	}
 	return nil

@@ -36,11 +36,26 @@ func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadRespo
 			return nil
 		}
 	}
+	if op.Phase >= core.PhaseI && op.readEv != nil {
+		// Re-serve of a read that already holds Phase I evidence (the
+		// failover rebind path): the original promise stays binding —
+		// only the embedded certificate is harvested, and handleProof
+		// judges it against the pinned digest exactly like a forwarded
+		// proof. The promise and the certificate may name different
+		// nodes (old leader promised, new leader serves), which is why
+		// the evidence is never overwritten here.
+		if m.OK && m.HasProof {
+			p := m.Proof
+			return c.handleProof(now, from, &p, false)
+		}
+		return nil
+	}
 	op.readEv = m
+	op.Edge = from // the node whose signature backs the evidence
 	if !m.OK {
 		return c.handleDenial(now, op, m)
 	}
-	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Edge {
+	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Chain {
 		c.stats.VerifyFailures++
 		c.settle(op, ErrBadResponse)
 		return nil
@@ -51,7 +66,7 @@ func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadRespo
 		// Phase II read: proof must be cloud-signed and match.
 		p := m.Proof
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, &p, p.CloudSig); err != nil ||
-			p.Edge != c.cfg.Edge || p.BID != m.BID || !bytes.Equal(p.Digest, digest) {
+			p.Edge != c.cfg.Chain || p.BID != m.BID || !bytes.Equal(p.Digest, digest) {
 			c.stats.VerifyFailures++
 			c.settle(op, ErrBadResponse)
 			return nil
@@ -85,7 +100,7 @@ func (c *Core) handleDenial(now int64, op *Op, m *wire.ReadResponse) []wire.Enve
 		op.disputed = true
 		c.accused = append(c.accused, op)
 		c.stats.Disputes++
-		d := core.BuildOmissionDispute(c.key, c.cfg.Edge, m, g)
+		d := core.BuildOmissionDispute(c.key, op.Edge, m, g)
 		return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 	}
 	// Denial predates the gossip: retry the read.
@@ -115,6 +130,7 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		}
 	}
 	op.getEv = m
+	op.Edge = from // the node whose signature backs the evidence
 	if !bytes.Equal(m.Key, op.Key) {
 		// A valid proof about a different key than requested is worthless
 		// — but not cloud-provable, since requests are unsigned and the
@@ -215,7 +231,7 @@ func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, 
 	var bestVal []byte
 	win, err := mlsm.VerifyL0Window(mlsm.L0WindowParams{
 		Reg:   c.reg,
-		Edge:  c.cfg.Edge,
+		Edge:  c.cfg.Chain, // blocks and certificates carry the chain identity
 		Cloud: c.cfg.Cloud,
 		Excludes: func(s *wire.BlockSummary) bool {
 			return s.ExcludesKey(key)
@@ -290,8 +306,8 @@ func (c *Core) verifyGet(now int64, key []byte, m *wire.GetResponse) (getCheck, 
 	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, &p.Global, p.Global.CloudSig); err != nil {
 		return res, fmt.Errorf("global root: %v", err)
 	}
-	if p.Global.Edge != c.cfg.Edge {
-		return res, fmt.Errorf("global root for wrong edge")
+	if p.Global.Edge != c.cfg.Chain {
+		return res, fmt.Errorf("global root for wrong chain")
 	}
 	if !bytes.Equal(mlsm.GlobalRoot(p.Roots), p.Global.Root) {
 		return res, fmt.Errorf("level roots do not fold to global root")

@@ -33,6 +33,15 @@ type Config struct {
 	GossipEvery int64
 	// GossipTo lists gossip recipients (clients, typically).
 	GossipTo []wire.NodeID
+	// LeaseTimeout is how long a replica-group leader may go without a
+	// heartbeat before the cloud declares it dead and signs a leadership
+	// transfer. Only chains registered via RegisterGroup are tracked.
+	LeaseTimeout int64
+	// CertTimeout bounds how long followers may mirror blocks the chain
+	// never certifies before the cloud treats the leader as stalled
+	// (crashed after replication, or deliberately starving Phase II) and
+	// fails over.
+	CertTimeout int64
 	// Logger receives operational events; nil disables logging.
 	Logger *slog.Logger
 }
@@ -43,6 +52,12 @@ func (c *Config) fill() {
 	}
 	if c.PageCap <= 0 {
 		c.PageCap = 100
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = int64(1e9)
+	}
+	if c.CertTimeout <= 0 {
+		c.CertTimeout = int64(3e9)
 	}
 }
 
@@ -68,6 +83,16 @@ type Node struct {
 	punish *core.Punishments
 	edges  map[wire.NodeID]*edgeState
 
+	// Replica-group failover state: chains maps a chain identity to its
+	// current leadership view; nodeChain maps every group member (leader
+	// and followers) back to its chain. Ungrouped chains appear in
+	// neither — for them node and chain coincide and no liveness is
+	// tracked (the legacy single-node shard).
+	chains    map[wire.NodeID]*chainState
+	nodeChain map[wire.NodeID]wire.NodeID
+	shardMap  *wire.ShardMap // current signed routing map, re-signed on transfer
+	mapChains []wire.NodeID  // per-shard chain identity (the map's original Edges)
+
 	lastGossip int64
 	stats      Stats
 }
@@ -87,18 +112,22 @@ type Stats struct {
 	GuiltyEdges   uint64
 	GossipsSent   uint64
 	BytesFromEdge uint64
+	Heartbeats    uint64
+	Transfers     uint64
 }
 
 // New constructs a cloud node.
 func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 	cfg.fill()
 	return &Node{
-		cfg:    cfg,
-		key:    key,
-		reg:    reg,
-		certs:  core.NewCertTable(),
-		punish: core.NewPunishments(),
-		edges:  make(map[wire.NodeID]*edgeState),
+		cfg:       cfg,
+		key:       key,
+		reg:       reg,
+		certs:     core.NewCertTable(),
+		punish:    core.NewPunishments(),
+		edges:     make(map[wire.NodeID]*edgeState),
+		chains:    make(map[wire.NodeID]*chainState),
+		nodeChain: make(map[wire.NodeID]wire.NodeID),
 	}
 }
 
@@ -164,6 +193,8 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return n.handleMerge(now, env.From, m, env.Verified)
 	case *wire.Dispute:
 		return n.handleDispute(now, env.From, m)
+	case *wire.ReplicaHeartbeat:
+		return n.handleHeartbeat(now, env.From, m, env.Verified)
 	case *wire.Ping:
 		return []wire.Envelope{{From: n.cfg.ID, To: env.From, Msg: &wire.Pong{Seq: m.Seq, Ts: m.Ts}}}
 	default:
@@ -176,13 +207,17 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 // continuing to gossip them would invite clients to keep trusting a
 // banned shard — while sibling shards' gossip continues undisturbed.
 func (n *Node) Tick(now int64) []wire.Envelope {
+	out := n.tickFailover(now)
 	if n.cfg.GossipEvery <= 0 || now-n.lastGossip < n.cfg.GossipEvery {
-		return nil
+		return out
 	}
 	n.lastGossip = now
-	var out []wire.Envelope
 	for edgeID := range n.edges {
-		if _, banned := n.punish.Banned(edgeID); banned {
+		// Skip chains whose CURRENT leader is banned: either the chain is
+		// dead (no promotable follower) or a transfer is about to land —
+		// but a chain that failed over to an honest node keeps gossiping,
+		// because verdicts are node-scoped while gossip is chain-scoped.
+		if _, banned := n.punish.Banned(n.leaderOf(edgeID)); banned {
 			continue
 		}
 		g := &wire.Gossip{
@@ -204,14 +239,17 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 // first digest reported for (edge, bid); flag the edge on any conflicting
 // report. Certification is data-free — this handler never sees the block.
 func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, verified bool) []wire.Envelope {
-	if from != m.Edge {
+	// m.Edge names the chain; only the chain's current leader may certify
+	// under it. For ungrouped chains leaderOf is the identity map, so the
+	// legacy from == m.Edge check is preserved exactly.
+	if from != n.leaderOf(m.Edge) {
 		return nil
 	}
-	if _, banned := n.punish.Banned(m.Edge); banned {
+	if _, banned := n.punish.Banned(from); banned {
 		return nil
 	}
 	if !verified {
-		if err := wcrypto.VerifyMsg(n.reg, m.Edge, m, m.EdgeSig); err != nil {
+		if err := wcrypto.VerifyMsg(n.reg, from, m, m.EdgeSig); err != nil {
 			n.logf("dropping certify with bad signature", "edge", from, "err", err)
 			return nil
 		}
@@ -222,7 +260,7 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 		// entries hash) is the claimed one; a mismatch is an immediately
 		// provable lie.
 		v := wire.Verdict{
-			Edge: m.Edge, BID: m.BID, Kind: wire.DisputeAddLie, Guilty: true,
+			Edge: from, BID: m.BID, Kind: wire.DisputeAddLie, Guilty: true,
 			Reason: "certify body does not hash to claimed digest",
 		}
 		v.CloudSig = wcrypto.SignMsg(n.key, &v)
@@ -239,16 +277,16 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 	case core.CertAccepted:
 		n.stats.Certifies++
 		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
-		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: proof}}
+		return n.proofFanout(m.Edge, from, proof)
 	case core.CertDuplicate:
 		// Re-delivery: the digest matched the certified one, so the
 		// cached proof is returned without spending another signature.
 		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
-		return []wire.Envelope{{From: n.cfg.ID, To: m.Edge, Msg: proof}}
+		return n.proofFanout(m.Edge, from, proof)
 	default: // CertConflict: equivocation caught red-handed.
 		n.stats.Conflicts++
 		v := wire.Verdict{
-			Edge:   m.Edge,
+			Edge:   from,
 			BID:    m.BID,
 			Kind:   wire.DisputeAddLie,
 			Guilty: true,
@@ -256,8 +294,27 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 		}
 		v.CloudSig = wcrypto.SignMsg(n.key, &v)
 		n.convict(v)
-		return append(n.broadcastVerdict(v), wire.Envelope{From: n.cfg.ID, To: m.Edge, Msg: &v})
+		return append(n.broadcastVerdict(v), wire.Envelope{From: n.cfg.ID, To: from, Msg: &v})
 	}
+}
+
+// proofFanout delivers a signed block proof to the certifying node and,
+// for replica groups, to every other group member — followers audit their
+// mirrored digests against it, and a broadcast straight from the cloud
+// stays robust when the leader dies right after certifying.
+func (n *Node) proofFanout(chain, from wire.NodeID, proof *wire.BlockProof) []wire.Envelope {
+	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: proof}}
+	if st, ok := n.chains[chain]; ok {
+		if st.leader != from {
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: st.leader, Msg: proof})
+		}
+		for _, f := range st.followers {
+			if f != from {
+				out = append(out, wire.Envelope{From: n.cfg.ID, To: f, Msg: proof})
+			}
+		}
+	}
+	return out
 }
 
 // fullDataBodyMatches decodes a full-data certify body (the block's
@@ -332,14 +389,17 @@ func (n *Node) VerdictsFor(edge wire.NodeID) []wire.Verdict {
 // still lets the client finish Phase II.
 func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wire.Envelope {
 	n.stats.Disputes++
-	v := core.Judge(n.reg, n.certs, n.cfg.ID, from, d)
+	// The accused is a node; certificates, scan artifacts and gossip are
+	// keyed by its chain. For ungrouped edges the two coincide and
+	// JudgeForChain degenerates to the legacy Judge.
+	v := core.JudgeForChain(n.reg, n.certs, n.cfg.ID, from, d, n.chainOf(d.Edge))
 	v.CloudSig = wcrypto.SignMsg(n.key, &v)
 	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
 	if v.Guilty {
 		n.convict(v)
 		out = append(out, n.broadcastVerdict(v, from)...)
 	}
-	if st, ok := n.edges[d.Edge]; ok {
+	if st, ok := n.edges[n.chainOf(d.Edge)]; ok {
 		if proof, ok := st.proofs[d.BID]; ok {
 			out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: proof})
 		}
@@ -359,14 +419,14 @@ func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest, ve
 		n.logf("merge rejected", "edge", from, "reason", reason)
 		return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: resp}}
 	}
-	if from != m.Edge {
+	if from != n.leaderOf(m.Edge) {
 		return nil
 	}
-	if _, banned := n.punish.Banned(m.Edge); banned {
+	if _, banned := n.punish.Banned(from); banned {
 		return nil
 	}
 	if !verified {
-		if err := wcrypto.VerifyMsg(n.reg, m.Edge, m, m.EdgeSig); err != nil {
+		if err := wcrypto.VerifyMsg(n.reg, from, m, m.EdgeSig); err != nil {
 			return reject("bad edge signature")
 		}
 	}
@@ -399,7 +459,7 @@ func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest, ve
 				// The edge shipped content contradicting its own
 				// certified digest: caught lying.
 				v := wire.Verdict{
-					Edge: m.Edge, BID: blk.ID, Kind: wire.DisputeAddLie, Guilty: true,
+					Edge: from, BID: blk.ID, Kind: wire.DisputeAddLie, Guilty: true,
 					Reason: fmt.Sprintf("merge shipped block %d contradicting certified digest", blk.ID),
 				}
 				v.CloudSig = wcrypto.SignMsg(n.key, &v)

@@ -271,6 +271,17 @@ func BuildOmissionDispute(key wcrypto.KeyPair, edge wire.NodeID, denial *wire.Re
 //   - omission: guilty when the edge's signed denial is timestamped at or
 //     after cloud gossip covering the denied block.
 func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *wire.Dispute) wire.Verdict {
+	return JudgeForChain(reg, certs, self, from, d, d.Edge)
+}
+
+// JudgeForChain adjudicates like Judge, but resolves certified state under
+// the given chain identity while the accused node d.Edge remains the
+// evidence signer. In a replica-group deployment blocks, certificates,
+// roots and gossip are keyed by the chain (the shard's stable identity),
+// yet the promise under judgment was signed by whichever node served it —
+// leader today, a promoted follower tomorrow. Legacy single-node shards
+// pass chain == d.Edge and behave exactly as before.
+func JudgeForChain(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *wire.Dispute, chain wire.NodeID) wire.Verdict {
 	verdict := wire.Verdict{Edge: d.Edge, BID: d.BID, Kind: d.Kind}
 	if err := wcrypto.VerifyMsg(reg, from, d, d.ClientSig); err != nil {
 		verdict.Reason = "dispute rejected: bad client signature"
@@ -296,7 +307,7 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 			verdict.Reason = "dispute rejected: evidence bid mismatch"
 			return verdict
 		}
-		return judgeDigest(certs, verdict, &resp.Block)
+		return judgeDigest(certs, chain, verdict, &resp.Block)
 	case wire.DisputeReadLie:
 		resp, ok := ev.(*wire.ReadResponse)
 		if !ok || !resp.OK {
@@ -311,7 +322,7 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 			verdict.Reason = "dispute rejected: evidence bid mismatch"
 			return verdict
 		}
-		return judgeDigest(certs, verdict, &resp.Block)
+		return judgeDigest(certs, chain, verdict, &resp.Block)
 	case wire.DisputeGetLie:
 		resp, ok := ev.(*wire.GetResponse)
 		if !ok {
@@ -329,7 +340,7 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 		// the response echoes under the edge's signature. Omission via a
 		// false or tampered exclusion summary is therefore the edge's own
 		// provable lie, exactly like a bad Merkle page on the scan path.
-		if err := judgeGetWindow(reg, self, d.Edge, resp); err != nil {
+		if err := judgeGetWindow(reg, self, chain, resp); err != nil {
 			verdict.Guilty = true
 			verdict.Reason = fmt.Sprintf("get L0 window does not verify: %v", err)
 			return verdict
@@ -339,12 +350,12 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 		// certified digest refutes.
 		for i := range resp.Proof.L0Blocks {
 			if resp.Proof.L0Blocks[i].ID == d.BID {
-				return judgeDigest(certs, verdict, &resp.Proof.L0Blocks[i])
+				return judgeDigest(certs, chain, verdict, &resp.Proof.L0Blocks[i])
 			}
 		}
 		for i := range resp.Proof.L0Pruned {
 			if resp.Proof.L0Pruned[i].ID == d.BID {
-				return judgeClaimedDigest(certs, verdict, resp.Proof.L0Pruned[i].Digest())
+				return judgeClaimedDigest(certs, chain, verdict, resp.Proof.L0Pruned[i].Digest())
 			}
 		}
 		verdict.Reason = "dispute rejected: disputed block not in evidence"
@@ -365,7 +376,7 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 		// boundary truncation, bad Merkle fold — is the edge's own lie.
 		// Freshness is exempt: staleness is time-relative, not provable
 		// after the fact (FreshnessWindow 0 disables the check).
-		if _, err := scan.Verify(scan.Params{Reg: reg, Edge: d.Edge, Cloud: self}, resp); err != nil {
+		if _, err := scan.Verify(scan.Params{Reg: reg, Edge: chain, Cloud: self}, resp); err != nil {
 			verdict.Guilty = true
 			verdict.Reason = fmt.Sprintf("scan proof does not verify: %v", err)
 			return verdict
@@ -375,12 +386,12 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 		// the certified digest refutes.
 		for i := range resp.Proof.L0Blocks {
 			if resp.Proof.L0Blocks[i].ID == d.BID {
-				return judgeDigest(certs, verdict, &resp.Proof.L0Blocks[i])
+				return judgeDigest(certs, chain, verdict, &resp.Proof.L0Blocks[i])
 			}
 		}
 		for i := range resp.Proof.L0Pruned {
 			if resp.Proof.L0Pruned[i].ID == d.BID {
-				return judgeClaimedDigest(certs, verdict, resp.Proof.L0Pruned[i].Digest())
+				return judgeClaimedDigest(certs, chain, verdict, resp.Proof.L0Pruned[i].Digest())
 			}
 		}
 		verdict.Reason = "not guilty: scan proof verifies and disputed block not in evidence"
@@ -411,7 +422,7 @@ func Judge(reg *wcrypto.Registry, certs *CertTable, self, from wire.NodeID, d *w
 			verdict.Reason = "dispute rejected: gossip not signed by cloud"
 			return verdict
 		}
-		if gossip.Edge != d.Edge {
+		if gossip.Edge != chain {
 			verdict.Reason = "dispute rejected: gossip is for another edge"
 			return verdict
 		}
@@ -483,15 +494,15 @@ func judgeGetWindow(reg *wcrypto.Registry, self, edge wire.NodeID, resp *wire.Ge
 }
 
 // judgeDigest compares evidence block content against the certified digest.
-func judgeDigest(certs *CertTable, verdict wire.Verdict, blk *wire.Block) wire.Verdict {
-	return judgeClaimedDigest(certs, verdict, wcrypto.RecomputedBlockDigest(blk))
+func judgeDigest(certs *CertTable, chain wire.NodeID, verdict wire.Verdict, blk *wire.Block) wire.Verdict {
+	return judgeClaimedDigest(certs, chain, verdict, wcrypto.RecomputedBlockDigest(blk))
 }
 
 // judgeClaimedDigest compares a digest recomputed from evidence — a full
 // block's content or a pruned reference's claimed fields — against the
-// certified digest for (edge, bid).
-func judgeClaimedDigest(certs *CertTable, verdict wire.Verdict, got []byte) wire.Verdict {
-	certified, ok := certs.Lookup(verdict.Edge, verdict.BID)
+// certified digest for (chain, bid).
+func judgeClaimedDigest(certs *CertTable, chain wire.NodeID, verdict wire.Verdict, got []byte) wire.Verdict {
+	certified, ok := certs.Lookup(chain, verdict.BID)
 	if !ok {
 		verdict.Guilty = true
 		verdict.Reason = fmt.Sprintf("block %d promised but never certified", verdict.BID)

@@ -13,6 +13,7 @@
 package edge
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 
@@ -28,9 +29,32 @@ var _ core.Handler = (*Node)(nil)
 
 // Config parameterizes an edge node.
 type Config struct {
-	// ID is the edge's identity; Cloud the trusted cloud's.
+	// ID is this node's identity; Cloud the trusted cloud's.
 	ID    wire.NodeID
 	Cloud wire.NodeID
+	// Chain is the shard's stable chain identity — the NodeID that blocks,
+	// certificates, gossip and signed roots are keyed by, surviving
+	// leadership transfers. Defaults to ID (the legacy single-node shard,
+	// where node and chain coincide). In a replica group every member
+	// shares the chain while keeping its own node identity and key.
+	Chain wire.NodeID
+	// Followers lists the replica nodes mirroring this node's log while it
+	// leads the chain: every cut block is replicated to them and every
+	// cloud merge response is forwarded.
+	Followers []wire.NodeID
+	// Follower starts the node as a mirroring follower of Leader: it
+	// installs replicated blocks, audits their digests against cloud
+	// certificates, heartbeats the cloud, and serves no client traffic
+	// until a signed LeadershipTransfer promotes it.
+	Follower bool
+	// Leader is the chain's current leader, meaningful only in follower
+	// mode; defaults to Chain (the initial leader's node id IS the chain).
+	Leader wire.NodeID
+	// HeartbeatEvery is the replica-liveness heartbeat period in
+	// nanoseconds. Defaults to 200ms when the node is part of a replica
+	// group (Follower set or Followers non-empty); 0 disables heartbeats
+	// (legacy ungrouped shards).
+	HeartbeatEvery int64
 	// BatchSize is the entries per block (the paper's batch size B).
 	BatchSize int
 	// FlushEvery force-cuts a partial block after this many idle
@@ -70,6 +94,15 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Chain == "" {
+		c.Chain = c.ID
+	}
+	if c.Follower && c.Leader == "" {
+		c.Leader = c.Chain
+	}
+	if c.HeartbeatEvery <= 0 && (c.Follower || len(c.Followers) > 0) {
+		c.HeartbeatEvery = int64(2e8)
+	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 100
 	}
@@ -117,6 +150,33 @@ type Node struct {
 	pendingAcks  []wire.Envelope
 	pendingSince int64
 
+	// Replica-group state. follower and leader track the node's current
+	// role under the chain's latest leadership epoch; killed simulates a
+	// crashed process (the node answers nothing).
+	follower bool
+	leader   wire.NodeID
+	epoch    uint64
+	killed   bool
+	lastHB   int64
+	// Follower-side mirroring: out-of-order replicated blocks and early
+	// certificates waiting for their block, plus the leader's replication
+	// signature per installed block — the convicting evidence if the
+	// mirrored digest ever contradicts the cloud's certificate.
+	pendingRepl  map[uint64]*wire.ReplicateBlock
+	pendingCerts map[uint64]wire.BlockProof
+	replSigs     map[uint64][]byte
+	// poisoned marks mirrored blocks whose digest a cloud certificate
+	// contradicted (the leader equivocated on the replication stream).
+	// Their honest content is unrecoverable here, so a promoted successor
+	// must never re-certify or vouch for them.
+	poisoned map[uint64]bool
+
+	// accused tracks block ids this follower has already filed a
+	// conviction dispute for. Certificates and replicated duplicates can
+	// be redelivered indefinitely (gossip, leader retries); re-filing on
+	// each redelivery would flood the cloud with identical evidence.
+	accused map[uint64]bool
+
 	// Stats counters exposed for benchmarks and tests.
 	stats Stats
 }
@@ -136,13 +196,23 @@ type Stats struct {
 // New constructs an in-memory edge node with the given key and registry.
 func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 	cfg.fill()
-	return &Node{
-		cfg: cfg,
-		key: key,
-		reg: reg,
-		log: wlog.New(cfg.ID, cfg.BatchSize),
-		idx: mlsm.NewIndex(cfg.LevelThresholds),
+	n := &Node{
+		cfg:      cfg,
+		key:      key,
+		reg:      reg,
+		log:      wlog.New(cfg.Chain, cfg.BatchSize),
+		idx:      mlsm.NewIndex(cfg.LevelThresholds),
+		follower: cfg.Follower,
+		leader:   cfg.ID,
 	}
+	if cfg.Follower {
+		n.leader = cfg.Leader
+		n.pendingRepl = make(map[uint64]*wire.ReplicateBlock)
+		n.pendingCerts = make(map[uint64]wire.BlockProof)
+		n.replSigs = make(map[uint64][]byte)
+		n.poisoned = make(map[uint64]bool)
+	}
+	return n
 }
 
 // NewPersistent constructs an edge node whose log is durably stored under
@@ -154,7 +224,7 @@ func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 // where the cloud is the index's authority.
 func NewPersistent(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry, dataDir string, durable bool) (*Node, int, error) {
 	n := New(cfg, key, reg)
-	log, store, blocks, _, err := wlog.Recover(dataDir, n.cfg.ID, n.cfg.BatchSize, reg, n.cfg.Cloud)
+	log, store, blocks, _, err := wlog.Recover(dataDir, n.cfg.Chain, n.cfg.BatchSize, reg, n.cfg.Cloud)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -230,6 +300,9 @@ func (n *Node) logf(msg string, args ...any) {
 // this node; handlers then skip only the signature re-check — every
 // structural check still runs here.
 func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	if n.killed {
+		return nil
+	}
 	switch m := env.Msg.(type) {
 	case *wire.AddRequest:
 		return n.handleWrite(now, env.From, m.Entry, false, env.Verified)
@@ -275,6 +348,10 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return n.handleProof(now, env.From, m, env.Verified)
 	case *wire.MergeResponse:
 		return n.handleMergeResponse(now, env.From, m, env.Verified)
+	case *wire.ReplicateBlock:
+		return n.handleReplicate(now, env.From, m, env.Verified)
+	case *wire.LeadershipTransfer:
+		return n.handleTransfer(now, env.From, m, env.Verified)
 	case *wire.Gossip:
 		// Gossip is client-facing; nothing for the edge to do.
 		return nil
@@ -289,6 +366,9 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 // whose sync window elapsed, and flush partial blocks that have waited
 // past FlushEvery.
 func (n *Node) Tick(now int64) []wire.Envelope {
+	if n.killed {
+		return nil
+	}
 	var out []wire.Envelope
 	if len(n.pendingAcks) > 0 && now-n.pendingSince >= n.cfg.SyncEvery {
 		out = append(out, n.flushPending()...)
@@ -298,6 +378,10 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 			out = append(out, n.emitBlock(now, blk)...)
 		}
 	}
+	if n.cfg.HeartbeatEvery > 0 && now-n.lastHB >= n.cfg.HeartbeatEvery {
+		n.lastHB = now
+		out = append(out, n.heartbeat(now))
+	}
 	return out
 }
 
@@ -306,7 +390,7 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 // timeout machinery owns retries, mirroring the paper's idempotence
 // discussion).
 func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, verified bool) []wire.Envelope {
-	if e.Client != from {
+	if n.follower || e.Client != from {
 		return nil
 	}
 	if !verified {
@@ -317,6 +401,13 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, ver
 	}
 	pos, err := n.log.Append(e, now)
 	if err != nil {
+		if errors.Is(err, wlog.ErrDuplicateEntry) {
+			// Post-failover resend (or a plain client retry): the entry is
+			// already in the log — committed by this node or inherited from
+			// the previous leader — so re-acknowledge from the block that
+			// holds it instead of leaving the client to time out.
+			return n.reackDuplicate(from, e, isPut)
+		}
 		n.logf("rejecting write", "client", from, "err", err)
 		return nil
 	}
@@ -336,6 +427,12 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, ver
 // the block, so nothing reaches a client or the cloud before durability.
 func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
 	n.stats.BlocksCut++
+	if f := n.cfg.Fault; f != nil && f.KillMidBatch && blk.ID >= f.KillAtBID {
+		// Crash fault: the block was cut but the node dies before
+		// persisting, acknowledging, replicating or certifying it.
+		n.killed = true
+		return nil
+	}
 	if n.store == nil || n.cfg.SyncEvery <= 0 {
 		if n.store != nil {
 			if err := n.store.AppendBlock(blk); err != nil {
@@ -448,9 +545,15 @@ func (n *Node) blockOutputs(now int64, blk *wire.Block) []wire.Envelope {
 		}
 	}
 
+	// Replica-group mirroring: every cut block streams to the followers,
+	// signed with the same size-independent block-ack body the client
+	// acknowledgements carry — so the stream doubles as convicting
+	// evidence if this leader ever equivocates.
+	out = append(out, n.replicate(blk, digest, sharedSig)...)
+
 	// Data-free certification: only the digest travels to the cloud.
 	if n.cfg.Fault == nil || !n.cfg.Fault.DropCertify {
-		cert := &wire.BlockCertify{Edge: n.cfg.ID, BID: blk.ID, Digest: digest}
+		cert := &wire.BlockCertify{Edge: n.cfg.Chain, BID: blk.ID, Digest: digest}
 		if n.cfg.FullDataCert {
 			cert.Body = blk.Canonical()
 		}
@@ -460,7 +563,7 @@ func (n *Node) blockOutputs(now int64, blk *wire.Block) []wire.Envelope {
 		out = append(out, env)
 		if n.cfg.Fault != nil && n.cfg.Fault.DoubleCertify {
 			// Equivocation at certify time: a second, conflicting digest.
-			forged := &wire.BlockCertify{Edge: n.cfg.ID, BID: blk.ID, Digest: wcrypto.Digest(digest)}
+			forged := &wire.BlockCertify{Edge: n.cfg.Chain, BID: blk.ID, Digest: wcrypto.Digest(digest)}
 			forged.EdgeSig = wcrypto.SignMsg(n.key, forged)
 			out = append(out, wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: forged})
 		}
@@ -479,6 +582,12 @@ func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 			n.logf("dropping block-proof with bad cloud signature", "err", err)
 			return nil
 		}
+	}
+	if n.follower {
+		// Follower path: the certificate audits the mirrored log instead of
+		// upgrading acknowledged blocks — a digest mismatch convicts the
+		// leader with its own replication stream.
+		return n.followerApplyCert(*p)
 	}
 	if err := n.log.SetCert(*p); err != nil {
 		n.logf("block-proof does not match local block", "bid", p.BID, "err", err)
@@ -523,6 +632,9 @@ func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 // (signed denial), Phase II read (block + proof), Phase I read (block, no
 // proof yet; the proof is forwarded when it arrives).
 func (n *Node) handleRead(now int64, from wire.NodeID, m *wire.ReadRequest) []wire.Envelope {
+	if n.follower {
+		return nil
+	}
 	n.stats.Reads++
 	resp := &wire.ReadResponse{ReqID: m.ReqID, BID: m.BID, Ts: now}
 	blk, err := n.log.Block(m.BID)
@@ -561,7 +673,7 @@ func (n *Node) handleRead(now int64, from wire.NodeID, m *wire.ReadRequest) []wi
 
 // handleReserve grants log positions for the idempotence extension.
 func (n *Node) handleReserve(now int64, from wire.NodeID, m *wire.ReserveRequest, verified bool) []wire.Envelope {
-	if m.Client != from {
+	if n.follower || m.Client != from {
 		return nil
 	}
 	if !verified {
@@ -580,7 +692,7 @@ func (n *Node) handleReserve(now int64, from wire.NodeID, m *wire.ReserveRequest
 // into its successor. The merge runs asynchronously at the cloud and does
 // not block reads or writes (Section V-B).
 func (n *Node) maybeStartMerge(now int64) []wire.Envelope {
-	if n.mergeBusy {
+	if n.mergeBusy || n.follower {
 		return nil
 	}
 	if n.cfg.Fault != nil && n.cfg.Fault.FreezeIndex {
@@ -590,7 +702,7 @@ func (n *Node) maybeStartMerge(now int64) []wire.Envelope {
 	certThrough, ok := n.log.CertifiedThrough()
 	if ok && certThrough+1 >= n.l0From+uint64(n.cfg.L0Threshold) {
 		req := &wire.MergeRequest{
-			Edge:      n.cfg.ID,
+			Edge:      n.cfg.Chain,
 			ReqID:     n.nextReqID(),
 			FromLevel: 0,
 			DstPages:  n.idx.Pages(1),
@@ -610,7 +722,7 @@ func (n *Node) maybeStartMerge(now int64) []wire.Envelope {
 			continue
 		}
 		req := &wire.MergeRequest{
-			Edge:      n.cfg.ID,
+			Edge:      n.cfg.Chain,
 			ReqID:     n.nextReqID(),
 			FromLevel: uint32(lvl),
 			SrcPages:  n.idx.Pages(lvl),
@@ -638,10 +750,14 @@ func (n *Node) nextReqID() uint64 {
 // handleMergeResponse installs the cloud's merged pages and roots, then
 // cascades to the next over-threshold level if any.
 func (n *Node) handleMergeResponse(now int64, from wire.NodeID, m *wire.MergeResponse, verified bool) []wire.Envelope {
-	if from != n.cfg.Cloud {
+	// Followers accept merge responses forwarded by their leader; the
+	// cloud's signature (always re-verified on the forwarded hop, since
+	// the pool checks it against the wrong sender) keeps the leader from
+	// forging an install.
+	if from != n.cfg.Cloud && !(n.follower && from == n.leader) {
 		return nil
 	}
-	if !verified {
+	if !verified || from != n.cfg.Cloud {
 		if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, m, m.CloudSig); err != nil {
 			n.logf("dropping merge response with bad signature", "err", err)
 			return nil
@@ -666,7 +782,16 @@ func (n *Node) handleMergeResponse(now int64, from wire.NodeID, m *wire.MergeRes
 		n.logf("clearing merged level failed", "err", err)
 		return nil
 	}
-	return n.maybeStartMerge(now)
+	var out []wire.Envelope
+	if !n.follower {
+		// Mirror the install: followers run the same path off the same
+		// cloud-signed response, so a promoted follower starts with the
+		// chain's current LSMerkle instead of an empty index.
+		for _, f := range n.cfg.Followers {
+			out = append(out, wire.Envelope{From: n.cfg.ID, To: f, Msg: m})
+		}
+	}
+	return append(out, n.maybeStartMerge(now)...)
 }
 
 // cloneProof copies a proof for independent delivery.

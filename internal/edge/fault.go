@@ -65,6 +65,28 @@ type Fault struct {
 	// exclusion-soundness check refutes the prune inline and the signed
 	// response convicts through DisputeGetLie/DisputeScanLie.
 	SummaryFalseExclude []byte
+	// KillMidBatch / KillAtBID: the node dies the instant it cuts block
+	// KillAtBID — the block exists in its log but is never persisted,
+	// acknowledged, replicated or certified, and the node answers nothing
+	// from then on. This is the crash-fault arm of the failover tests: a
+	// leader dying mid-batch with client writes in flight.
+	KillMidBatch bool
+	KillAtBID    uint64
+	// EquivocateReplication: the leader replicates tampered blocks to its
+	// followers while acknowledging and certifying the honest ones. Each
+	// tampered block still carries the leader's valid replication
+	// signature, so the follower's digest audit against the cloud
+	// certificate turns the replication stream itself into convicting
+	// evidence (the signed block contradicts the certified digest).
+	EquivocateReplication bool
+	// PromoteStale / PromoteStaleFrom: on promotion the new leader serves
+	// as if its mirrored log ended just before block PromoteStaleFrom —
+	// denying reads of the hidden tail and hiding it from the get/scan L0
+	// window. Chain-keyed gossip still advertises the certified frontier,
+	// so clients convict the promoted node through the standard omission
+	// and freshness machinery.
+	PromoteStale     bool
+	PromoteStaleFrom uint64
 	// SummaryTamperKey: like SummaryFalseExclude, but the pruned
 	// summaries are doctored (recomputed without the victim entries) so
 	// the key genuinely appears excluded. The claimed digest recomputed

@@ -16,6 +16,9 @@ import (
 // roots, and the signed global root, letting the client verify both the
 // value and its recency.
 func (n *Node) handleGet(now int64, from wire.NodeID, m *wire.GetRequest) []wire.Envelope {
+	if n.follower {
+		return nil
+	}
 	n.stats.Gets++
 	resp, digests, tampered := n.buildGet(m)
 	// Phase I gets: register the caller for proof forwarding on every

@@ -65,14 +65,30 @@ func TestEdgeRestartRecoversLog(t *testing.T) {
 	if string(resp.Block.Entries[0].Value) != "first" {
 		t.Fatalf("post-restart content = %q", resp.Block.Entries[0].Value)
 	}
-	// Replays of pre-crash entries stay rejected.
+	// Replays of pre-crash entries are not re-appended: they get a
+	// re-acknowledgement built from the block that already holds them.
 	write2 := func(seq uint64, val string) []wire.Envelope {
 		e := wire.Entry{Client: "c1", Seq: seq, Value: []byte(val)}
 		e.Sig = wcrypto.SignMsg(keys["c1"], &e)
 		return n2.Receive(4, wire.Envelope{From: "c1", To: "edge-1", Msg: &wire.AddRequest{Entry: e}})
 	}
-	if outs := write2(1, "replayed"); outs != nil {
-		t.Fatal("pre-crash entry replayed after restart")
+	reack := write2(1, "first")
+	if len(reack) == 0 {
+		t.Fatal("pre-crash replay got no re-acknowledgement")
+	}
+	if ack, ok := reack[0].Msg.(*wire.AddResponse); !ok || ack.BID != 0 {
+		t.Fatalf("replay re-ack = %T, want AddResponse for block 0", reack[0].Msg)
+	}
+	if n2.Log().NumBlocks() != 2 {
+		t.Fatalf("replay appended a block: %d blocks", n2.Log().NumBlocks())
+	}
+	// A reused seq carrying different content is a replay-defence
+	// violation, not a resend: rejected outright.
+	if outs := write2(1, "forged"); len(outs) != 0 {
+		t.Fatalf("different-content replay was answered: %v", outs)
+	}
+	if n2.Log().NumBlocks() != 2 {
+		t.Fatalf("different-content replay appended a block: %d blocks", n2.Log().NumBlocks())
 	}
 	// New writes continue with the right ids.
 	if outs := write2(3, "post-restart"); len(outs) == 0 {

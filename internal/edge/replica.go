@@ -1,0 +1,372 @@
+package edge
+
+import (
+	"bytes"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Replica groups: a shard's chain is served by one leader and mirrored by
+// followers. The leader streams every cut block to the followers signed
+// with the block-ack body (the same 44-byte promise the client
+// acknowledgements carry), the followers audit the stream against the
+// cloud's certificates, and the cloud's signed LeadershipTransfer promotes
+// the follower with the longest certified prefix when the leader crashes,
+// stalls certification, or is convicted. Nothing here adds trust: a
+// follower is just another untrusted edge node, kept honest by the same
+// lazy certification that polices the leader.
+
+// Kill simulates a process crash: the node stops answering anything.
+// Intended for failover tests and benchmarks; call on the node's
+// transport goroutine.
+func (n *Node) Kill() { n.killed = true }
+
+// Killed reports whether the node has been killed.
+func (n *Node) Killed() bool { return n.killed }
+
+// IsFollower reports whether the node is currently mirroring rather than
+// serving.
+func (n *Node) IsFollower() bool { return n.follower }
+
+// Leader returns the chain leader this node currently recognizes (itself,
+// when leading).
+func (n *Node) Leader() wire.NodeID { return n.leader }
+
+// Epoch returns the highest leadership epoch the node has adopted.
+func (n *Node) Epoch() uint64 { return n.epoch }
+
+// Chain returns the shard chain identity this node serves.
+func (n *Node) Chain() wire.NodeID { return n.cfg.Chain }
+
+// replicate builds the follower-bound mirror stream for a freshly cut
+// block. The signature binds the leader to the exact bytes it shipped:
+// honest leaders reuse the shared block-ack signature already computed for
+// the client acknowledgements, while the equivocation fault tampers the
+// block per follower and signs the tampered digest — still a valid
+// signature, which is the point: the stream itself becomes convicting
+// evidence once the cloud certificate contradicts it.
+func (n *Node) replicate(blk *wire.Block, digest, sharedSig []byte) []wire.Envelope {
+	if len(n.cfg.Followers) == 0 {
+		return nil
+	}
+	sendBlk := *blk
+	sig := sharedSig
+	if f := n.cfg.Fault; f != nil && f.EquivocateReplication {
+		sendBlk = tamperBlock(*blk, "")
+		digest = wcrypto.BlockDigest(&sendBlk)
+		sig = nil
+	}
+	if sig == nil {
+		sig = wcrypto.SignBlockAck(n.key, blk.ID, digest)
+	}
+	var out []wire.Envelope
+	for _, f := range n.cfg.Followers {
+		out = append(out, wire.Envelope{From: n.cfg.ID, To: f, Msg: &wire.ReplicateBlock{
+			Chain:     n.cfg.Chain,
+			Leader:    n.cfg.ID,
+			Block:     sendBlk,
+			LeaderSig: sig,
+		}})
+	}
+	return out
+}
+
+// heartbeat reports liveness and replication progress to the cloud:
+// Blocks is the local log frontier, Certified the length of the
+// contiguous certified prefix — the quantity the cloud maximizes when it
+// picks a promotion candidate.
+func (n *Node) heartbeat(now int64) wire.Envelope {
+	hb := &wire.ReplicaHeartbeat{
+		Node:   n.cfg.ID,
+		Chain:  n.cfg.Chain,
+		Blocks: n.log.NumBlocks(),
+		Ts:     now,
+	}
+	if ct, ok := n.log.CertifiedThrough(); ok {
+		hb.Certified = ct + 1
+	}
+	hb.Sig = wcrypto.SignMsg(n.key, hb)
+	return wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: hb}
+}
+
+// handleReplicate installs a leader-replicated block into the mirrored
+// log. Blocks may arrive out of order (stashed until their predecessor
+// lands); duplicates are compared by digest, and a divergent duplicate
+// that contradicts an existing cloud certificate convicts the leader on
+// the spot.
+func (n *Node) handleReplicate(now int64, from wire.NodeID, m *wire.ReplicateBlock, verified bool) []wire.Envelope {
+	if !n.follower || m.Chain != n.cfg.Chain || from != n.leader || m.Leader != from {
+		return nil
+	}
+	if m.Block.Edge != n.cfg.Chain {
+		return nil
+	}
+	if !verified {
+		if err := wcrypto.VerifyMsg(n.reg, m.Leader, m, m.LeaderSig); err != nil {
+			n.logf("dropping replicated block with bad leader signature", "bid", m.Block.ID, "err", err)
+			return nil
+		}
+	}
+	bid := m.Block.ID
+	next := n.log.NumBlocks()
+	if bid < next {
+		// Duplicate. Same digest: idempotent redelivery. Divergent digest
+		// with a certificate on file: the leader signed two different
+		// blocks under one id — equivocation, convicted with the copy that
+		// contradicts the certificate.
+		got := wcrypto.BlockDigest(&m.Block)
+		have, err := n.log.Digest(bid)
+		if err == nil && !bytes.Equal(got, have) {
+			if _, certified := n.log.Cert(bid); certified {
+				return n.convictLeader(bid, m.Block, m.LeaderSig,
+					"replicated duplicate contradicts certificate; convicting leader")
+			}
+			n.logf("divergent uncertified duplicate from leader", "bid", bid)
+		}
+		return nil
+	}
+	if bid > next {
+		cp := *m
+		n.pendingRepl[bid] = &cp
+		return nil
+	}
+	var out []wire.Envelope
+	for cur := m; cur != nil; {
+		out = append(out, n.installReplicated(cur)...)
+		cur = n.pendingRepl[n.log.NumBlocks()]
+		if cur != nil {
+			delete(n.pendingRepl, cur.Block.ID)
+		}
+	}
+	return out
+}
+
+// installReplicated mirrors one in-order replicated block, persists it
+// when the follower runs a durable store, and applies any certificate
+// that raced ahead of it.
+func (n *Node) installReplicated(m *wire.ReplicateBlock) []wire.Envelope {
+	bid := m.Block.ID
+	digest := wcrypto.BlockDigest(&m.Block)
+	if err := n.log.InstallBlock(&m.Block, digest); err != nil {
+		n.logf("mirror install failed", "bid", bid, "err", err)
+		return nil
+	}
+	n.replSigs[bid] = append([]byte(nil), m.LeaderSig...)
+	if n.store != nil {
+		blk, err := n.log.Block(bid)
+		if err == nil {
+			if perr := n.store.AppendBlock(blk); perr != nil {
+				n.logf("persisting mirrored block failed", "bid", bid, "err", perr)
+			}
+		}
+	}
+	if p, ok := n.pendingCerts[bid]; ok {
+		delete(n.pendingCerts, bid)
+		return n.followerApplyCert(p)
+	}
+	return nil
+}
+
+// followerApplyCert applies a cloud certificate to the mirrored log. A
+// certificate for a block not yet mirrored waits; a certificate whose
+// digest contradicts the mirrored block convicts the leader — the
+// replication stream the leader signed IS the lie.
+func (n *Node) followerApplyCert(p wire.BlockProof) []wire.Envelope {
+	if p.BID >= n.log.NumBlocks() {
+		n.pendingCerts[p.BID] = p
+		return nil
+	}
+	if err := n.log.SetCert(p); err != nil {
+		blk, berr := n.log.Block(p.BID)
+		sig := n.replSigs[p.BID]
+		if berr != nil || sig == nil {
+			n.logf("certificate contradicts mirror but evidence is missing", "bid", p.BID, "err", err)
+			return nil
+		}
+		if n.poisoned == nil {
+			n.poisoned = make(map[uint64]bool)
+		}
+		n.poisoned[p.BID] = true
+		return n.convictLeader(p.BID, *blk, sig,
+			"certificate contradicts replicated block; convicting leader")
+	}
+	n.stats.Certified++
+	if n.store != nil {
+		if err := n.store.AppendCert(&p); err != nil {
+			n.logf("persisting mirrored certificate failed", "bid", p.BID, "err", err)
+		}
+	}
+	return nil
+}
+
+// convictLeader packages a leader-signed replicated block that contradicts
+// the cloud's certificate as a standard add-response lie: the replication
+// signature covers exactly the block-ack body an AddResponse carries, so
+// the existing Judge convicts with zero new adjudication code. At most one
+// dispute is filed per block id — certificates and duplicates can be
+// redelivered indefinitely, and repeats carry no new evidence.
+func (n *Node) convictLeader(bid uint64, blk wire.Block, sig []byte, why string) []wire.Envelope {
+	if n.accused[bid] {
+		return nil
+	}
+	if n.accused == nil {
+		n.accused = make(map[uint64]bool)
+	}
+	n.accused[bid] = true
+	n.logf(why, "bid", bid)
+	resp := &wire.AddResponse{BID: bid, Block: blk, EdgeSig: sig}
+	d := core.BuildAddLieDispute(n.key, n.leader, resp)
+	return []wire.Envelope{{From: n.cfg.ID, To: n.cfg.Cloud, Msg: d}}
+}
+
+// handleTransfer adopts a cloud-signed leadership transfer. The promoted
+// node flips to serving mode, inherits the chain's mirrored log and
+// LSMerkle, re-certifies any uncertified tail, and (if faulty) starts
+// hiding the tail it was told to serve. Demoted or bystander replicas
+// re-point their mirror at the new leader.
+func (n *Node) handleTransfer(now int64, from wire.NodeID, m *wire.LeadershipTransfer, verified bool) []wire.Envelope {
+	if m.Chain != n.cfg.Chain || from != n.cfg.Cloud {
+		return nil
+	}
+	if !verified {
+		if err := wcrypto.VerifyMsg(n.reg, n.cfg.Cloud, m, m.CloudSig); err != nil {
+			n.logf("dropping transfer with bad cloud signature", "err", err)
+			return nil
+		}
+	}
+	if m.Epoch <= n.epoch {
+		return nil
+	}
+	n.epoch = m.Epoch
+	if m.NewLeader != n.cfg.ID {
+		n.follower = true
+		n.leader = m.NewLeader
+		n.cfg.Followers = nil
+		if n.pendingRepl == nil {
+			n.pendingRepl = make(map[uint64]*wire.ReplicateBlock)
+			n.pendingCerts = make(map[uint64]wire.BlockProof)
+			n.replSigs = make(map[uint64][]byte)
+			n.poisoned = make(map[uint64]bool)
+		}
+		n.logf("demoted to follower", "chain", n.cfg.Chain, "epoch", m.Epoch, "leader", m.NewLeader)
+		return nil
+	}
+
+	n.follower = false
+	n.leader = n.cfg.ID
+	n.cfg.Followers = nil
+	for _, f := range m.Followers {
+		if f != n.cfg.ID {
+			n.cfg.Followers = append(n.cfg.Followers, f)
+		}
+	}
+	// The mirrored history was acknowledged (and partly certified) under
+	// the previous leader: start the request ring at the log frontier and
+	// the waiter rings at the certified frontier, exactly like recovery.
+	n.reqs.advance(n.log.NextPos())
+	if ct, ok := n.log.CertifiedThrough(); ok {
+		n.blockClients.advanceTo(ct + 1)
+		n.readWaiters.advanceTo(ct + 1)
+	}
+	if f := n.cfg.Fault; f != nil && f.PromoteStale {
+		// Stale-serve fault: pretend the mirrored log ends just before
+		// PromoteStaleFrom. Reads of the tail are denied and the get/scan
+		// window hides it; chain-keyed gossip still advertises the real
+		// frontier, so clients convict through omission disputes.
+		if f.OmitBlocks == nil {
+			f.OmitBlocks = make(map[uint64]bool)
+		}
+		for bid := f.PromoteStaleFrom; bid < n.log.NumBlocks(); bid++ {
+			f.OmitBlocks[bid] = true
+		}
+		f.HideL0 = true
+		f.HideL0From = f.PromoteStaleFrom
+	}
+	n.logf("promoted to leader", "chain", n.cfg.Chain, "epoch", m.Epoch, "followers", len(n.cfg.Followers))
+	return n.certifyTail(now)
+}
+
+// certifyTail re-submits certification for every mirrored-but-uncertified
+// block — the cert-timeout failover case, where the dead leader cut and
+// replicated blocks it never (successfully) certified. First-writer-wins
+// at the cloud makes re-submission idempotent.
+func (n *Node) certifyTail(now int64) []wire.Envelope {
+	var out []wire.Envelope
+	start := uint64(0)
+	if ct, ok := n.log.CertifiedThrough(); ok {
+		start = ct + 1
+	}
+	for bid := start; bid < n.log.NumBlocks(); bid++ {
+		if _, ok := n.log.Cert(bid); ok {
+			continue
+		}
+		if n.poisoned[bid] {
+			// The cloud certified a digest this mirror contradicts; the
+			// honest content is lost to this node. Re-certifying would read
+			// as equivocation and convict the successor.
+			continue
+		}
+		if f := n.cfg.Fault; f != nil && f.PromoteStale && bid >= f.PromoteStaleFrom {
+			continue // a stale server does not certify what it hides
+		}
+		digest, err := n.log.Digest(bid)
+		if err != nil {
+			continue
+		}
+		cert := &wire.BlockCertify{Edge: n.cfg.Chain, BID: bid, Digest: digest}
+		cert.EdgeSig = wcrypto.SignMsg(n.key, cert)
+		env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: cert}
+		n.stats.BytesToCloud += uint64(wire.EncodedSize(env))
+		out = append(out, env)
+	}
+	return out
+}
+
+// reackDuplicate answers a write whose entry is already in the log — a
+// client retry, or a post-failover resend of an entry the new leader
+// inherited from the previous one. The acknowledgement is rebuilt from
+// the containing block; if the block is certified the proof rides along,
+// otherwise the client is registered for proof forwarding.
+func (n *Node) reackDuplicate(from wire.NodeID, e wire.Entry, isPut bool) []wire.Envelope {
+	pos, ok := n.log.SeenPos(e.Client, e.Seq)
+	if !ok {
+		return nil
+	}
+	// Replay defence: only a byte-identical resend earns a re-ack. The
+	// same (client, seq) carrying different content is a replayed
+	// sequence number — e.g. a fresh session reusing an identity — and
+	// is rejected exactly as Append rejected it before replica groups.
+	if stored, ok := n.log.EntryAt(pos); !ok ||
+		!bytes.Equal(stored.Key, e.Key) || !bytes.Equal(stored.Value, e.Value) {
+		n.logf("rejecting replayed (client, seq) with different content",
+			"client", e.Client, "seq", e.Seq)
+		return nil
+	}
+	blk, ok := n.log.BlockByPos(pos)
+	if !ok {
+		// Still buffered: re-register the responder so the eventual block
+		// cut acknowledges this retry.
+		n.reqs.set(pos, reqInfo{client: e.Client, isPut: isPut})
+		return nil
+	}
+	digest, err := n.log.Digest(blk.ID)
+	if err != nil {
+		return nil
+	}
+	sig := wcrypto.SignBlockAck(n.key, blk.ID, digest)
+	var msg wire.Message
+	if isPut {
+		msg = &wire.PutResponse{BID: blk.ID, Block: *blk, EdgeSig: sig}
+	} else {
+		msg = &wire.AddResponse{BID: blk.ID, Block: *blk, EdgeSig: sig}
+	}
+	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: msg}}
+	if cert, ok := n.log.Cert(blk.ID); ok {
+		out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: cloneProof(&cert)})
+	} else {
+		n.readWaiters.add(blk.ID, from)
+	}
+	return out
+}

@@ -45,10 +45,22 @@ func PreVerify(r *Registry, env wire.Envelope) bool {
 		return VerifyMsg(r, env.From, m, m.CloudSig) == nil
 	case *wire.MergeResponse:
 		return VerifyMsg(r, env.From, m, m.CloudSig) == nil
+	// Edge-to-cloud requests: signed by the sending node's key. The Edge
+	// field names the chain, which under a replica group differs from the
+	// node — the cloud's handler enforces that the sender currently leads
+	// that chain.
 	case *wire.BlockCertify:
-		return VerifyMsg(r, m.Edge, m, m.EdgeSig) == nil
+		return VerifyMsg(r, env.From, m, m.EdgeSig) == nil
 	case *wire.MergeRequest:
-		return VerifyMsg(r, m.Edge, m, m.EdgeSig) == nil
+		return VerifyMsg(r, env.From, m, m.EdgeSig) == nil
+	case *wire.ReplicateBlock:
+		return VerifyMsg(r, m.Leader, m, m.LeaderSig) == nil
+	case *wire.ReplicaHeartbeat:
+		return VerifyMsg(r, m.Node, m, m.Sig) == nil
+	case *wire.LeadershipTransfer:
+		// Signed by the cloud; when forwarded by a non-cloud sender the
+		// receiver re-verifies inline against its configured cloud.
+		return VerifyMsg(r, env.From, m, m.CloudSig) == nil
 	// Client-bound responses: the edge's signature is checked against the
 	// envelope sender; the client core additionally requires the sender
 	// to be its bound edge before trusting the flag.

@@ -1,0 +1,179 @@
+package wire
+
+// Messages of the replica-group extension: a shard's chain is served by a
+// small group of edge nodes — one leader, the rest followers mirroring the
+// leader's frozen-block log — and the trusted cloud arbitrates leadership.
+// The chain identity (the NodeID blocks, certificates, and gossip are keyed
+// by) stays stable across leader changes; only the serving node changes.
+
+// ReplicateBlock ships a frozen block from a shard leader to a follower.
+// LeaderSig signs the block-ack body (BID ‖ digest) — byte-for-byte the
+// same signable body as AddResponse/PutResponse — so replication is
+// Phase I evidence against the leader: a follower that later receives a
+// cloud certificate for the same BID with a different digest repackages
+// the replicated block and this signature as an AddResponse and files a
+// DisputeAddLie, convicting the equivocating leader through the existing
+// judge with no new adjudication code.
+type ReplicateBlock struct {
+	Chain     NodeID // chain (shard) identity the block belongs to
+	Leader    NodeID // serving node that cut and signed the block
+	Block     Block
+	LeaderSig []byte
+
+	encSize int // cached encoded size; see sizeMemoized
+}
+
+// MsgKind implements Message.
+func (*ReplicateBlock) MsgKind() Kind { return KindReplicateBlock }
+
+// EncodeTo implements Message.
+func (m *ReplicateBlock) EncodeTo(e *Encoder) {
+	e.ID(m.Chain)
+	e.ID(m.Leader)
+	m.Block.EncodeTo(e)
+	e.Blob(m.LeaderSig)
+}
+
+// AppendBody appends the signable body: the size-independent block-ack
+// body shared with AddResponse/PutResponse.
+func (m *ReplicateBlock) AppendBody(e *Encoder) {
+	AppendBlockAckBody(e, m.Block.ID, m.Block.BodyDigest())
+}
+
+// DecodeFrom implements Message.
+func (m *ReplicateBlock) DecodeFrom(d *Decoder) {
+	m.Chain = d.ID()
+	m.Leader = d.ID()
+	m.Block.DecodeFrom(d)
+	m.LeaderSig = d.Blob()
+	m.encSize = 0
+}
+
+// SignableBytes returns the bytes the leader signs.
+func (m *ReplicateBlock) SignableBytes() []byte {
+	var e Encoder
+	m.AppendBody(&e)
+	return e.Bytes()
+}
+
+func (m *ReplicateBlock) encodedSizeMemo() int { return m.encSize }
+
+func (m *ReplicateBlock) memoizeEncodedSize(n int) {
+	if m.Block.frozen() {
+		m.encSize = n
+	}
+}
+
+// ReplicaHeartbeat is a replica's periodic signed liveness and progress
+// report to the cloud: how much of the chain's log it holds (Blocks) and
+// how far its certified prefix extends (Certified, the count of leading
+// blocks with cloud certificates). The cloud uses leader heartbeats for
+// lease-based crash detection and follower heartbeats to pick the
+// promotion candidate with the longest certified prefix — safe precisely
+// because lazy trust makes the certified frontier the durable prefix.
+type ReplicaHeartbeat struct {
+	Node      NodeID // reporting replica
+	Chain     NodeID // chain it serves
+	Blocks    uint64 // frozen blocks held (mirrored or self-cut)
+	Certified uint64 // length of the certified prefix (blocks 0..Certified-1)
+	Ts        int64
+	Sig       []byte
+}
+
+// MsgKind implements Message.
+func (*ReplicaHeartbeat) MsgKind() Kind { return KindReplicaHeartbeat }
+
+// EncodeTo implements Message.
+func (m *ReplicaHeartbeat) EncodeTo(e *Encoder) {
+	m.AppendBody(e)
+	e.Blob(m.Sig)
+}
+
+func (m *ReplicaHeartbeat) AppendBody(e *Encoder) {
+	e.ID(m.Node)
+	e.ID(m.Chain)
+	e.U64(m.Blocks)
+	e.U64(m.Certified)
+	e.I64(m.Ts)
+}
+
+// DecodeFrom implements Message.
+func (m *ReplicaHeartbeat) DecodeFrom(d *Decoder) {
+	m.Node = d.ID()
+	m.Chain = d.ID()
+	m.Blocks = d.U64()
+	m.Certified = d.U64()
+	m.Ts = d.I64()
+	m.Sig = d.Blob()
+}
+
+// SignableBytes returns the bytes the replica signs.
+func (m *ReplicaHeartbeat) SignableBytes() []byte {
+	var e Encoder
+	m.AppendBody(&e)
+	return e.Bytes()
+}
+
+// LeadershipTransfer is the cloud's signed record that chain leadership
+// moved to a new node: the arbitration artifact of a failover. Epoch
+// strictly increases per chain, so every replica and client can order
+// transfers and ignore stale ones. Clients that verify CloudSig rebind
+// their session to NewLeader and resend in-flight operations; the old
+// leader's signed promises remain convicting evidence against it.
+type LeadershipTransfer struct {
+	Chain     NodeID // chain whose leadership changed
+	Epoch     uint64 // per-chain leadership epoch (initial leader is epoch 1)
+	Prev      NodeID // demoted node
+	NewLeader NodeID
+	Followers []NodeID // remaining followers under the new leader
+	Reason    string   // "crash", "conviction", "cert-timeout", ...
+	Ts        int64
+	CloudSig  []byte
+}
+
+// MsgKind implements Message.
+func (*LeadershipTransfer) MsgKind() Kind { return KindLeadershipTransfer }
+
+// EncodeTo implements Message.
+func (m *LeadershipTransfer) EncodeTo(e *Encoder) {
+	m.AppendBody(e)
+	e.Blob(m.CloudSig)
+}
+
+func (m *LeadershipTransfer) AppendBody(e *Encoder) {
+	e.ID(m.Chain)
+	e.U64(m.Epoch)
+	e.ID(m.Prev)
+	e.ID(m.NewLeader)
+	e.U32(uint32(len(m.Followers)))
+	for _, id := range m.Followers {
+		e.ID(id)
+	}
+	e.Str(m.Reason)
+	e.I64(m.Ts)
+}
+
+// DecodeFrom implements Message.
+func (m *LeadershipTransfer) DecodeFrom(d *Decoder) {
+	m.Chain = d.ID()
+	m.Epoch = d.U64()
+	m.Prev = d.ID()
+	m.NewLeader = d.ID()
+	n := d.Count()
+	if d.Err() == nil && n > 0 {
+		m.Followers = make([]NodeID, n)
+		for i := range m.Followers {
+			m.Followers[i] = d.ID()
+		}
+	}
+	m.Reason = d.Str()
+	m.Ts = d.I64()
+	m.CloudSig = d.Blob()
+}
+
+// SignableBytes returns the bytes the cloud signs.
+func (m *LeadershipTransfer) SignableBytes() []byte {
+	var e Encoder
+	m.AppendBody(&e)
+	return e.Bytes()
+}

@@ -1,16 +1,23 @@
 package wire
 
-// ShardMap is the cluster's authoritative keyspace partition: shard i of
-// len(Edges) is owned by Edges[i], and a key routes to the shard selected
+// ShardMap is the cluster's authoritative keyspace partition and replica
+// topology: shard i of len(Edges) is the chain whose current leader is
+// Edges[i], and Followers[i] (aligned with Edges, possibly empty) lists
+// the nodes mirroring that chain's log. A key routes to the shard selected
 // by the stable partitioner in internal/shard. The cloud signs the map so
 // clients can verify their routing table came from the trusted party
-// rather than from an edge steering traffic toward itself. Version is
-// carried for future reconfiguration support; today a cluster signs a
-// single version-1 map at assembly and clients do not compare versions.
+// rather than from an edge steering traffic toward itself.
+//
+// Version identifies the partition itself (shard count and chain
+// membership); Epoch counts leadership changes — the cloud re-signs the
+// map with a higher Epoch after every LeadershipTransfer, and receivers
+// ignore any map whose Epoch is not newer than the one they hold.
 type ShardMap struct {
-	Version  uint64
-	Edges    []NodeID
-	CloudSig []byte
+	Version   uint64
+	Epoch     uint64
+	Edges     []NodeID
+	Followers [][]NodeID // Followers[i] mirror the chain led by Edges[i]
+	CloudSig  []byte
 }
 
 // MsgKind implements Message.
@@ -24,20 +31,45 @@ func (m *ShardMap) EncodeTo(e *Encoder) {
 
 func (m *ShardMap) AppendBody(e *Encoder) {
 	e.U64(m.Version)
+	e.U64(m.Epoch)
 	e.U32(uint32(len(m.Edges)))
 	for _, id := range m.Edges {
 		e.ID(id)
+	}
+	e.U32(uint32(len(m.Followers)))
+	for _, fs := range m.Followers {
+		e.U32(uint32(len(fs)))
+		for _, id := range fs {
+			e.ID(id)
+		}
 	}
 }
 
 // DecodeFrom implements Message.
 func (m *ShardMap) DecodeFrom(d *Decoder) {
 	m.Version = d.U64()
+	m.Epoch = d.U64()
 	n := d.Count()
 	if d.Err() == nil && n > 0 {
 		m.Edges = make([]NodeID, n)
 		for i := range m.Edges {
 			m.Edges[i] = d.ID()
+		}
+	}
+	n = d.Count()
+	if d.Err() == nil && n > 0 {
+		m.Followers = make([][]NodeID, n)
+		for i := range m.Followers {
+			k := d.Count()
+			if d.Err() != nil {
+				return
+			}
+			if k > 0 {
+				m.Followers[i] = make([]NodeID, k)
+				for j := range m.Followers[i] {
+					m.Followers[i][j] = d.ID()
+				}
+			}
 		}
 	}
 	m.CloudSig = d.Blob()

@@ -135,7 +135,12 @@ func sampleMessages() []Message {
 		&PutBatch{Client: "client-a", Entries: []Entry{sampleEntry(5), sampleEntry(6)}, BatchSig: randBytes(64)},
 		&CloudPutBatch{Entries: []Entry{sampleEntry(7)}},
 		&EBPutBatch{Edge: "edge-2", Entries: []Entry{sampleEntry(8), sampleEntry(9)}},
-		&ShardMap{Version: 1, Edges: []NodeID{"edge-1", "edge-2", "edge-3"}, CloudSig: randBytes(64)},
+		&ShardMap{
+			Version: 1, Epoch: 4,
+			Edges:     []NodeID{"edge-1", "edge-2", "edge-3"},
+			Followers: [][]NodeID{{"edge-1.r1", "edge-1.r2"}, nil, {"edge-3.r1"}},
+			CloudSig:  randBytes(64),
+		},
 		&ScanRequest{Start: []byte("a"), End: []byte("m"), Limit: 50, ReqID: 11},
 		&ScanResponse{
 			ReqID: 11, Start: []byte("a"), End: nil,
@@ -154,6 +159,12 @@ func sampleMessages() []Message {
 				Global: global,
 			},
 			EdgeSig: randBytes(64),
+		},
+		&ReplicateBlock{Chain: "edge-1", Leader: "edge-1.r1", Block: blk, LeaderSig: randBytes(64)},
+		&ReplicaHeartbeat{Node: "edge-1.r2", Chain: "edge-1", Blocks: 14, Certified: 12, Ts: 321, Sig: randBytes(64)},
+		&LeadershipTransfer{
+			Chain: "edge-1", Epoch: 2, Prev: "edge-1", NewLeader: "edge-1.r1",
+			Followers: []NodeID{"edge-1.r2"}, Reason: "crash", Ts: 456, CloudSig: randBytes(64),
 		},
 	}
 }

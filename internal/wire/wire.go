@@ -64,6 +64,11 @@ const (
 	KindScanRequest
 	KindScanResponse
 
+	// Replica groups and cloud-arbitrated failover (appended).
+	KindReplicateBlock
+	KindReplicaHeartbeat
+	KindLeadershipTransfer
+
 	kindEnd // sentinel; keep last
 )
 
@@ -101,6 +106,10 @@ var kindNames = map[Kind]string{
 	KindShardMap:         "ShardMap",
 	KindScanRequest:      "ScanRequest",
 	KindScanResponse:     "ScanResponse",
+
+	KindReplicateBlock:     "ReplicateBlock",
+	KindReplicaHeartbeat:   "ReplicaHeartbeat",
+	KindLeadershipTransfer: "LeadershipTransfer",
 }
 
 // String returns the human-readable name of the kind.
@@ -198,6 +207,12 @@ func newMessage(k Kind) (Message, error) {
 		return &ScanRequest{}, nil
 	case KindScanResponse:
 		return &ScanResponse{}, nil
+	case KindReplicateBlock:
+		return &ReplicateBlock{}, nil
+	case KindReplicaHeartbeat:
+		return &ReplicaHeartbeat{}, nil
+	case KindLeadershipTransfer:
+		return &LeadershipTransfer{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
 	}

@@ -267,7 +267,7 @@ func (l *Log) restoreBlock(b wire.Block) error {
 	for i := range b.Entries {
 		e := &b.Entries[i]
 		if !IsNoop(e) {
-			l.markSeen(*e)
+			l.markSeen(*e, b.StartPos+uint64(i))
 		}
 	}
 	return nil

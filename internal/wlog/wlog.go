@@ -55,7 +55,12 @@ type Log struct {
 	certifiedEntries uint64 // total entries across certified blocks
 	certifiedBlocks  uint64
 
-	seen map[wire.NodeID]map[uint64]bool // client -> seq numbers accepted
+	// seen maps client -> seq -> absolute position + 1 (0 is unused so the
+	// zero value means "never accepted"). Recording the position — not just
+	// a boolean — lets a promoted leader answer a client's post-failover
+	// resend with the block that already holds the entry instead of a bare
+	// rejection.
+	seen map[wire.NodeID]map[uint64]uint64
 }
 
 // New returns an empty log for the given edge identity cutting blocks of
@@ -69,7 +74,7 @@ func New(edge wire.NodeID, batchSize int) *Log {
 		batchSize: batchSize,
 		digests:   make(map[uint64][]byte),
 		certs:     make(map[uint64]wire.BlockProof),
-		seen:      make(map[wire.NodeID]map[uint64]bool),
+		seen:      make(map[wire.NodeID]map[uint64]uint64),
 	}
 }
 
@@ -100,7 +105,7 @@ func (l *Log) CertifiedBlocks() uint64 { return l.certifiedBlocks }
 // free position. Duplicate (client, seq) pairs are rejected, implementing
 // the replay defence. The returned position is absolute.
 func (l *Log) Append(e wire.Entry, now int64) (pos uint64, err error) {
-	if s := l.seen[e.Client]; s != nil && s[e.Seq] {
+	if s := l.seen[e.Client]; s != nil && s[e.Seq] > 0 {
 		return 0, fmt.Errorf("%w: %s/%d", ErrDuplicateEntry, e.Client, e.Seq)
 	}
 	if e.Pos > 0 {
@@ -122,21 +127,84 @@ func (l *Log) Append(e wire.Entry, now int64) (pos uint64, err error) {
 		s.entry = e
 		s.filled = true
 		s.enqueuedAt = now
-		l.markSeen(e)
+		l.markSeen(e, p)
 		return p, nil
 	}
+	pos = l.bufStart + uint64(len(l.buf))
 	l.buf = append(l.buf, slot{entry: e, filled: true, enqueuedAt: now})
-	l.markSeen(e)
-	return l.bufStart + uint64(len(l.buf)-1), nil
+	l.markSeen(e, pos)
+	return pos, nil
 }
 
-func (l *Log) markSeen(e wire.Entry) {
+func (l *Log) markSeen(e wire.Entry, pos uint64) {
 	s := l.seen[e.Client]
 	if s == nil {
-		s = make(map[uint64]bool)
+		s = make(map[uint64]uint64)
 		l.seen[e.Client] = s
 	}
-	s[e.Seq] = true
+	s[e.Seq] = pos + 1
+}
+
+// SeenPos reports the absolute position at which (client, seq) was
+// accepted, if it ever was — the lookup behind duplicate re-acking.
+func (l *Log) SeenPos(client wire.NodeID, seq uint64) (uint64, bool) {
+	p := l.seen[client][seq]
+	if p == 0 {
+		return 0, false
+	}
+	return p - 1, true
+}
+
+// BlockByPos returns the cut block containing absolute position pos, or
+// false when pos is still buffered (or was never assigned).
+func (l *Log) BlockByPos(pos uint64) (*wire.Block, bool) {
+	if pos >= l.bufStart {
+		return nil, false
+	}
+	// Blocks are contiguous and ordered by StartPos; binary search for the
+	// last block whose StartPos <= pos.
+	lo, hi := 0, len(l.blocks)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if l.blocks[mid].StartPos <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if len(l.blocks) == 0 || l.blocks[lo].StartPos > pos {
+		return nil, false
+	}
+	return &l.blocks[lo], true
+}
+
+// InstallBlock mirrors a block cut elsewhere — the follower half of
+// replica-group log replication. The block must be the next one (dense
+// ids from the leader's replication stream); its digest must be the
+// caller-verified recomputation over the received content. The installed
+// copy is frozen and its entries are marked seen, so a promoted leader
+// dedups client resends of entries it inherited.
+func (l *Log) InstallBlock(blk *wire.Block, digest []byte) error {
+	if blk.ID != uint64(len(l.blocks)) {
+		return fmt.Errorf("%w: install %d, next is %d", ErrNoSuchBlock, blk.ID, len(l.blocks))
+	}
+	if len(l.buf) > 0 {
+		return fmt.Errorf("wlog: install into a log with buffered entries")
+	}
+	cp := *blk
+	cp.Entries = append([]wire.Entry(nil), blk.Entries...)
+	cp.Invalidate()
+	cp.Freeze()
+	l.blocks = append(l.blocks, cp)
+	l.digests[cp.ID] = append([]byte(nil), digest...)
+	for i := range cp.Entries {
+		e := &cp.Entries[i]
+		if !IsNoop(e) {
+			l.markSeen(*e, cp.StartPos+uint64(i))
+		}
+	}
+	l.bufStart = cp.StartPos + uint64(len(cp.Entries))
+	return nil
 }
 
 // Reserve grants count consecutive absolute positions to client, expiring
@@ -147,6 +215,27 @@ func (l *Log) Reserve(client wire.NodeID, count int, deadline int64) uint64 {
 		l.buf = append(l.buf, slot{reserved: true, reservedBy: client, deadline: deadline})
 	}
 	return start
+}
+
+// EntryAt returns the accepted entry at absolute position pos, whether
+// it already sits in a cut block or is still buffered.
+func (l *Log) EntryAt(pos uint64) (wire.Entry, bool) {
+	if pos >= l.bufStart {
+		i := pos - l.bufStart
+		if i >= uint64(len(l.buf)) || !l.buf[i].filled {
+			return wire.Entry{}, false
+		}
+		return l.buf[i].entry, true
+	}
+	blk, ok := l.BlockByPos(pos)
+	if !ok {
+		return wire.Entry{}, false
+	}
+	i := pos - blk.StartPos
+	if i >= uint64(len(blk.Entries)) {
+		return wire.Entry{}, false
+	}
+	return blk.Entries[i], true
 }
 
 // noopEntry fills an expired reservation so position arithmetic stays

@@ -83,6 +83,24 @@ type Config struct {
 	// lazy-certification pipeline, so a convicted shard never disturbs
 	// its siblings. 0 or 1 keeps the paper's single-partition deployment.
 	Shards int
+	// ReplicasPerShard sizes each edge's replica group: one leader plus
+	// ReplicasPerShard-1 followers named "edge-N.r1", "edge-N.r2", …
+	// (FollowerID). Followers mirror the leader's frozen-block log and
+	// audit it against the cloud's certificates; the cloud tracks
+	// liveness through signed heartbeats and — on leader crash,
+	// certification stall, or conviction — signs a leadership transfer
+	// promoting the follower with the longest certified prefix, so the
+	// shard keeps serving without an outage. 0 or 1 keeps unreplicated
+	// shards. Follower faults inject through EdgeFaults keyed by the
+	// follower id.
+	ReplicasPerShard int
+	// LeaseTimeout is how long the cloud tolerates leader-heartbeat
+	// silence before transferring leadership (default 1s; replicated
+	// shards only).
+	LeaseTimeout time.Duration
+	// CertTimeout is how long a replicated-but-uncertified backlog may
+	// stall before the cloud transfers leadership (default 3s).
+	CertTimeout time.Duration
 	// BatchSize is the entries per block (default 100).
 	BatchSize int
 	// FlushEvery force-cuts partial blocks after this idle duration
@@ -123,6 +141,12 @@ func (c *Config) fill() {
 	}
 	if c.Edges < c.Shards {
 		c.Edges = c.Shards
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = time.Second
+	}
+	if c.CertTimeout <= 0 {
+		c.CertTimeout = 3 * time.Second
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 100
