@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 fmt fmt-check vet doc-check ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 chaos fmt fmt-check vet doc-check ci
 
 build:
 	$(GO) build ./...
@@ -62,9 +62,24 @@ bench-pr5:
 # PR-6 artifact: put hot path (P1, regression guard) + replica-group
 # availability (AV1, wall-clock throughput through a killed-leader
 # transition, plus a stale-serving promoted follower convicted end to
-# end).
+# end). Not part of `ci`: bench-pr7 runs the same P1 binary, so chaining
+# both would measure P1 twice; BENCH_pr6.json stays the committed PR-6
+# record.
 bench-pr6:
 	$(GO) run ./cmd/wedge-bench -run P1,AV1 -json BENCH_pr6.json
+
+# PR-7 artifact: put hot path (P1, regression guard) + chaos soak (CH1,
+# wall-clock healing under seeded drop/dup/delay and a mid-run leader
+# partition; asserts no certified write lost and no honest conviction).
+bench-pr7:
+	$(GO) run ./cmd/wedge-bench -run P1,CH1 -json BENCH_pr7.json
+
+# Long chaos soak: several seeds, long schedules, double partition
+# windows, full invariant audit per seed. Deterministic — a failing seed
+# reproduces with `go test -run 'ChaosSoak/seed-N' ./internal/integration`
+# under WEDGE_CHAOS_SOAK=1.
+chaos:
+	WEDGE_CHAOS_SOAK=1 $(GO) test -v -run 'TestChaosSoak' -timeout 20m ./internal/integration/
 
 fmt:
 	gofmt -w .
@@ -94,4 +109,4 @@ doc-check:
 	fi; \
 	echo "doc-check: all packages documented"
 
-ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr6
+ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr7

@@ -172,6 +172,24 @@ func (c *Client) Pending() (map[NodeID]int, error) {
 	return <-ch, nil
 }
 
+// ClientStats re-exports the per-shard protocol counters (verifications,
+// retries, transport re-sends, failovers, …).
+type ClientStats = client.Stats
+
+// Stats returns this client's protocol counters per shard edge. Chaos
+// harnesses read Resends to confirm the retry machinery absorbed the
+// injected faults.
+func (c *Client) Stats() (map[NodeID]ClientStats, error) {
+	ch := make(chan map[NodeID]ClientStats, 1)
+	if err := c.do(func(now int64) []wire.Envelope {
+		ch <- c.session.StatsByEdge()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return <-ch, nil
+}
+
 // do runs fn on the client's transport goroutine.
 func (c *Client) do(fn func(now int64) []wire.Envelope) error {
 	if !c.cluster.net.Do(c.id, fn) {

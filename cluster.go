@@ -47,6 +47,9 @@ type Cluster struct {
 
 // NewCluster assembles and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fill()
 	c := &Cluster{
 		cfg:     cfg,
@@ -58,6 +61,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.net = transport.NewLocal(transport.LocalConfig{
 		TickEvery: 5 * time.Millisecond,
 		Latency:   cfg.Latency,
+		Fault:     cfg.Chaos,
 		// Pre-verify signatures in parallel in front of every node so
 		// the single-threaded state machines spend their time on
 		// protocol work, not Ed25519.
@@ -149,9 +153,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	var heartbeatEvery int64
 	if cfg.ReplicasPerShard > 1 {
 		heartbeatEvery = (cfg.LeaseTimeout / 4).Nanoseconds()
+		if cfg.HeartbeatEvery > 0 {
+			heartbeatEvery = cfg.HeartbeatEvery.Nanoseconds()
+		}
 	}
 	for _, id := range edgeIDs {
-		en := edge.New(edge.Config{
+		ecfg := edge.Config{
 			ID:              id,
 			Cloud:           CloudID,
 			BatchSize:       cfg.BatchSize,
@@ -162,11 +169,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Fault:           cfg.EdgeFaults[id],
 			Followers:       followers[id],
 			HeartbeatEvery:  heartbeatEvery,
-		}, c.keys[id], c.reg)
+			MaxUncertified:  cfg.MaxUncertified,
+		}
+		if err := ecfg.Validate(); err != nil {
+			return nil, err
+		}
+		en := edge.New(ecfg, c.keys[id], c.reg)
 		c.edges[id] = en
 		c.net.Add(en)
 		for _, fid := range followers[id] {
-			fn := edge.New(edge.Config{
+			fcfg := edge.Config{
 				ID:              fid,
 				Chain:           id,
 				Follower:        true,
@@ -178,7 +190,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				PageCap:         cfg.PageCap,
 				Fault:           cfg.EdgeFaults[fid],
 				HeartbeatEvery:  heartbeatEvery,
-			}, c.keys[fid], c.reg)
+				MaxUncertified:  cfg.MaxUncertified,
+			}
+			if err := fcfg.Validate(); err != nil {
+				return nil, err
+			}
+			fn := edge.New(fcfg, c.keys[fid], c.reg)
 			c.edges[fid] = fn
 			c.net.Add(fn)
 		}
@@ -291,6 +308,49 @@ func (c *Cluster) KillEdge(id NodeID) error {
 	return nil
 }
 
+// RestartEdge revives a killed node as a blank follower — the simulated
+// process restart that lost its in-memory state. The node heartbeats, the
+// cloud re-admits it with a signed GroupJoin naming the current leader,
+// and certified catch-up rebuilds its mirror; once caught up it is again
+// a promotion candidate.
+func (c *Cluster) RestartEdge(id NodeID) error {
+	c.mu.Lock()
+	en, ok := c.edges[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("wedgechain: unknown node %q", id)
+	}
+	if !c.net.Do(id, func(now int64) []wire.Envelope {
+		en.Restart(now)
+		return nil
+	}) {
+		return fmt.Errorf("wedgechain: cluster closed")
+	}
+	return nil
+}
+
+// ReplicaFrontier reports a node's local block frontier and contiguous
+// certified prefix — served blocks on a leader, mirrored blocks on a
+// follower. Chaos harnesses poll it to observe catch-up convergence.
+func (c *Cluster) ReplicaFrontier(id NodeID) (blocks, certified uint64, err error) {
+	c.mu.Lock()
+	en, ok := c.edges[id]
+	c.mu.Unlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("wedgechain: unknown node %q", id)
+	}
+	type frontier struct{ blocks, certified uint64 }
+	ch := make(chan frontier, 1)
+	if !c.net.Do(id, func(now int64) []wire.Envelope {
+		ch <- frontier{en.LogBlocks(), en.CertifiedBlocks()}
+		return nil
+	}) {
+		return 0, 0, fmt.Errorf("wedgechain: cluster closed")
+	}
+	f := <-ch
+	return f.blocks, f.certified, nil
+}
+
 // ChainLeader reports which node the cloud currently recognizes as the
 // leader of chain (the chain id is the initial leader's id, e.g.
 // "edge-1"). Unreplicated chains lead themselves.
@@ -376,6 +436,8 @@ func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
 		ProofTimeout:    c.cfg.ProofTimeout.Nanoseconds(),
 		FreshnessWindow: c.cfg.FreshnessWindow.Nanoseconds(),
 		Session:         c.cfg.SessionConsistency,
+		RetryEvery:      c.cfg.RetryEvery.Nanoseconds(),
+		MaxAttempts:     c.cfg.MaxAttempts,
 	}, ring, k, c.reg)
 	cl := newClient(c, id, session)
 	for _, core := range session.Cores() {

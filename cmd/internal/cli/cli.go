@@ -9,9 +9,12 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"strings"
+	"time"
 
+	"wedgechain/internal/faultnet"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -59,4 +62,43 @@ func ParseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// ChaosFlags is the shared chaos-injection flag set: every wedge binary
+// that owns a transport can subject its *outbound* frames to a seeded
+// fault schedule, so a multi-process demo cluster degrades exactly like
+// the in-process chaos tests (see docs/RUNBOOK.md "Chaos recipes").
+type ChaosFlags struct {
+	Seed     *int64
+	Drop     *float64
+	Dup      *float64
+	DelayMax *time.Duration
+}
+
+// RegisterChaos installs the chaos flags on the default flag set.
+func RegisterChaos() *ChaosFlags {
+	return &ChaosFlags{
+		Seed:     flag.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule"),
+		Drop:     flag.Float64("chaos-drop", 0, "probability an outbound frame is dropped"),
+		Dup:      flag.Float64("chaos-dup", 0, "probability an outbound frame is duplicated"),
+		DelayMax: flag.Duration("chaos-delay-max", 0, "max extra latency injected per outbound frame"),
+	}
+}
+
+// Net builds the fault injector the flags describe, or nil when no fault
+// rate is set (the common, chaos-free case).
+func (c *ChaosFlags) Net() (*faultnet.Net, error) {
+	if *c.Drop == 0 && *c.Dup == 0 && *c.DelayMax == 0 {
+		return nil, nil
+	}
+	if *c.Drop < 0 || *c.Drop > 1 || *c.Dup < 0 || *c.Dup > 1 || *c.DelayMax < 0 {
+		return nil, fmt.Errorf("chaos flags out of range: drop=%v dup=%v delay-max=%v", *c.Drop, *c.Dup, *c.DelayMax)
+	}
+	n := faultnet.New(*c.Seed)
+	n.Add(faultnet.Rule{Faults: faultnet.LinkFaults{
+		Drop:     *c.Drop,
+		Dup:      *c.Dup,
+		DelayMax: c.DelayMax.Nanoseconds(),
+	}})
+	return n, nil
 }

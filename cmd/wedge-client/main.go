@@ -44,6 +44,13 @@ func main() {
 		cloudID = flag.String("cloud", "cloud", "cloud node identity")
 		wait2   = flag.Bool("wait2", false, "also wait for Phase II certification")
 		timeout = flag.Duration("timeout", 30*time.Second, "operation timeout")
+
+		// Transport retry (see docs/RUNBOOK.md "Chaos recipes"): re-send
+		// unacknowledged ops with backoff+jitter instead of hanging; after
+		// -max-attempts total sends the op fails with a typed unavailable
+		// error.
+		retryEvery  = flag.Duration("retry-every", 0, "re-send an unacknowledged op after this long (0 disables retry)")
+		maxAttempts = flag.Int("max-attempts", 0, "total sends per op when -retry-every is set (0 = default 4)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -57,10 +64,12 @@ func main() {
 	}
 	key, reg := cli.Registry(wire.NodeID(*id), peerMap)
 	cc := client.New(client.Config{
-		ID:    wire.NodeID(*id),
-		Edge:  wire.NodeID(*edgeID),
-		Chain: wire.NodeID(*chain),
-		Cloud: wire.NodeID(*cloudID),
+		ID:          wire.NodeID(*id),
+		Edge:        wire.NodeID(*edgeID),
+		Chain:       wire.NodeID(*chain),
+		Cloud:       wire.NodeID(*cloudID),
+		RetryEvery:  retryEvery.Nanoseconds(),
+		MaxAttempts: *maxAttempts,
 	}, key, reg)
 
 	t := transport.NewTCP(cc, transport.TCPConfig{Listen: *listen, Peers: peerMap})

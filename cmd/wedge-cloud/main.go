@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"wedgechain/cmd/internal/cli"
@@ -40,6 +41,9 @@ func main() {
 		groups = flag.String("groups", "", "replica groups: leader=f1,f2[;leader2=...] (chain id = initial leader id)")
 		lease  = flag.Duration("lease", time.Second, "leader lease: heartbeat silence beyond this transfers leadership")
 		certTO = flag.Duration("cert-timeout", 3*time.Second, "certification-stall bound before leadership transfer")
+
+		// Outbound chaos injection (see docs/RUNBOOK.md "Chaos recipes").
+		chaos = cli.RegisterChaos()
 	)
 	flag.Parse()
 
@@ -53,7 +57,7 @@ func main() {
 	for p := range peerMap {
 		gossipTo = append(gossipTo, p)
 	}
-	node := cloud.New(cloud.Config{
+	ccfg := cloud.Config{
 		ID:           wire.NodeID(*id),
 		Levels:       *levels,
 		PageCap:      *pageCap,
@@ -62,21 +66,32 @@ func main() {
 		LeaseTimeout: lease.Nanoseconds(),
 		CertTimeout:  certTO.Nanoseconds(),
 		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
-	}, key, reg)
+	}
+	if err := ccfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	node := cloud.New(ccfg, key, reg)
 	if err := registerGroups(node, *groups); err != nil {
 		log.Fatal(err)
 	}
 
+	faultNet, err := chaos.Net()
+	if err != nil {
+		log.Fatal(err)
+	}
 	t := transport.NewTCP(node, transport.TCPConfig{
-		Listen: *listen, Peers: peerMap,
+		Listen: *listen, Peers: peerMap, Fault: faultNet,
 		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
 	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("wedge-cloud %s listening on %s", *id, *listen)
 	if err := t.Serve(ctx); err != nil {
 		log.Fatal(err)
 	}
+	// Graceful shutdown (SIGINT/SIGTERM): accepted conns are closed by
+	// Serve's exit path; an exit status of 0 marks an orderly stop.
+	log.Printf("wedge-cloud %s: graceful shutdown (conns closed)", *id)
 }
 
 // registerGroups parses "leader=f1,f2[;leader2=...]" and declares each

@@ -13,6 +13,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"wedgechain/cmd/internal/cli"
@@ -40,6 +41,12 @@ func main() {
 		follower  = flag.Bool("follower", false, "start as a mirroring follower of -chain's leader instead of serving clients")
 		followers = flag.String("followers", "", "comma-separated follower ids this leader replicates cut blocks to")
 		heartbeat = flag.Duration("heartbeat", 0, "replica liveness heartbeat period (0 = 200ms default when part of a group)")
+
+		// Robustness knobs (see docs/RUNBOOK.md "Chaos recipes").
+		maxUncert = flag.Int("max-uncertified", 0, "shed writes while more than this many blocks await certification (0 = no cap)")
+		certRetry = flag.Duration("cert-retry", 0, "re-submit certification after the frontier stalls this long (0 = 1s default in groups, negative disables)")
+		catchUp   = flag.Duration("catchup-every", 0, "follower gap-driven catch-up period (0 = 500ms default in groups, negative disables)")
+		chaos     = cli.RegisterChaos()
 	)
 	flag.Parse()
 
@@ -68,6 +75,9 @@ func main() {
 		SyncEvery:       syncWin.Nanoseconds(),
 		Follower:        *follower,
 		HeartbeatEvery:  heartbeat.Nanoseconds(),
+		MaxUncertified:  *maxUncert,
+		CertRetryEvery:  certRetry.Nanoseconds(),
+		CatchUpEvery:    catchUp.Nanoseconds(),
 		Fault:           fault,
 		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
@@ -76,6 +86,9 @@ func main() {
 			cfg.Followers = append(cfg.Followers, wire.NodeID(f))
 		}
 	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	var node *edge.Node
 	if *dataDir != "" {
 		var recovered int
@@ -83,17 +96,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer node.CloseStore()
 		log.Printf("recovered %d blocks from %s", recovered, *dataDir)
 	} else {
 		node = edge.New(cfg, key, reg)
 	}
 
+	faultNet, err := chaos.Net()
+	if err != nil {
+		log.Fatal(err)
+	}
 	t := transport.NewTCP(node, transport.TCPConfig{
-		Listen: *listen, Peers: peerMap,
+		Listen: *listen, Peers: peerMap, Fault: faultNet,
 		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
 	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	mode := "honest"
 	if fault != nil {
@@ -107,8 +123,17 @@ func main() {
 	}
 	log.Printf("wedge-edge %s listening on %s (%s, %s)", *id, *listen, mode, role)
 	if err := t.Serve(ctx); err != nil {
+		node.CloseStore()
 		log.Fatal(err)
 	}
+	// Graceful shutdown (SIGINT/SIGTERM): Serve has closed the accepted
+	// conns; flush the group-commit wlog buffer so every block the node
+	// holds is durable, then exit 0 — an orderly restart, distinguishable
+	// in the logs (and by exit status) from a chaos kill.
+	if err := node.CloseStore(); err != nil {
+		log.Fatalf("wedge-edge %s: flushing durable log on shutdown: %v", *id, err)
+	}
+	log.Printf("wedge-edge %s: graceful shutdown (wlog flushed, conns closed)", *id)
 }
 
 func parseFault(s string) (*edge.Fault, error) {

@@ -27,8 +27,10 @@ var (
 	// ErrStale reports a get whose global root timestamp fell outside
 	// the freshness window.
 	ErrStale = errors.New("client: response outside freshness window")
-	// ErrUnavailable reports a read denied by the edge with no gossip
-	// contradicting the denial.
+	// ErrUnavailable reports an operation the edge would not or could
+	// not serve: a read denied with no gossip contradicting the denial,
+	// or (with Config.RetryEvery) an op still unacknowledged after
+	// MaxAttempts jittered re-sends — the load-shed/partition case.
 	ErrUnavailable = errors.New("client: block not available")
 	// ErrEdgeLied reports an operation whose evidence contradicts the
 	// certified state; a dispute was filed.
@@ -117,6 +119,11 @@ type Op struct {
 	disputed    bool
 	retries     int
 	Verdict     *wire.Verdict
+
+	// Transport-retry state (Config.RetryEvery): sends so far and the
+	// deadline for the next re-send.
+	attempts   int
+	nextResend int64
 }
 
 // DisputeFiled reports whether this operation accused its edge with the
@@ -152,6 +159,16 @@ type Config struct {
 	// MaxRetries bounds automatic retries of stale gets and
 	// gossip-contradicted read denials.
 	MaxRetries int
+	// RetryEvery enables transparent re-send of operations the edge never
+	// acknowledged: an op still short of Phase I after RetryEvery ns is
+	// re-sent with exponential backoff and jitter (see retry.go), and
+	// after MaxAttempts total sends settles with ErrUnavailable. 0
+	// disables — the legacy behaviour, where an unanswered op waits out
+	// the proof timeout.
+	RetryEvery int64
+	// MaxAttempts bounds total sends per op when RetryEvery > 0
+	// (default 4, counting the initial send).
+	MaxAttempts int
 }
 
 func (c *Config) fill() {
@@ -163,6 +180,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 2
+	}
+	if c.RetryEvery > 0 && c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
 	}
 }
 
@@ -223,6 +243,10 @@ type Stats struct {
 	Retries        uint64
 	VerifyFailures uint64
 	Failovers      uint64
+	// Resends counts transport-level retry re-sends (Config.RetryEvery);
+	// Retries above counts verification-driven retries (stale gets,
+	// contradicted denials) — different layers, kept separate.
+	Resends uint64
 }
 
 // New constructs a client core.
@@ -466,7 +490,8 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	}
 }
 
-// Tick files disputes for Phase I operations whose proof timed out.
+// Tick files disputes for Phase I operations whose proof timed out, and
+// runs the transport-retry pass for ops the edge never acknowledged.
 func (c *Core) Tick(now int64) []wire.Envelope {
 	var out []wire.Envelope
 	c.byBID.each(func(_ uint64, ops []*Op) {
@@ -480,6 +505,9 @@ func (c *Core) Tick(now int64) []wire.Envelope {
 			out = append(out, c.fileDispute(op)...)
 		}
 	})
+	if c.cfg.RetryEvery > 0 && c.banned == nil {
+		out = append(out, c.tickRetry(now)...)
+	}
 	return out
 }
 

@@ -76,42 +76,24 @@ func (c *Core) handleTransfer(now int64, from wire.NodeID, m *wire.LeadershipTra
 // cloud and the verdict, not the new leader, settles them.
 func (c *Core) rebind(now int64) []wire.Envelope {
 	var out []wire.Envelope
-	c.bySeq.each(func(_ uint64, op *Op) {
+	resend := func(_ uint64, op *Op) {
 		if op.Done || op.disputed {
 			return
 		}
 		if op.Phase == core.PhaseI {
 			op.PhaseIAt = now
 		}
-		e := wire.Entry{Client: c.cfg.ID, Seq: op.Seq, Key: op.Key, Value: op.Value, Ts: now}
-		e.Sig = wcrypto.SignMsg(c.key, &e)
-		var msg wire.Message
-		if op.Kind == KindPut {
-			msg = &wire.PutRequest{Entry: e}
-		} else {
-			msg = &wire.AddRequest{Entry: e, WantBlock: true}
+		if c.cfg.RetryEvery > 0 {
+			// New edge, fresh retry budget: the old attempts were spent
+			// against a leader that no longer serves.
+			op.attempts = 1
+			op.nextResend = now + c.retryDelay(op, 1)
 		}
-		out = append(out, wire.Envelope{From: c.cfg.ID, To: c.cfg.Edge, Msg: msg})
-	})
-	c.byReq.each(func(_ uint64, op *Op) {
-		if op.Done || op.disputed {
-			return
+		if env, ok := c.resendOp(now, op); ok {
+			out = append(out, env)
 		}
-		if op.Phase == core.PhaseI {
-			op.PhaseIAt = now
-		}
-		var msg wire.Message
-		switch op.Kind {
-		case KindRead:
-			msg = &wire.ReadRequest{BID: op.BID, ReqID: op.ReqID}
-		case KindGet:
-			msg = &wire.GetRequest{Key: op.Key, ReqID: op.ReqID}
-		case KindScan:
-			msg = &wire.ScanRequest{Start: op.ScanStart, End: op.ScanEnd, Limit: uint32(op.ScanLimit), ReqID: op.ReqID}
-		default:
-			return
-		}
-		out = append(out, wire.Envelope{From: c.cfg.ID, To: c.cfg.Edge, Msg: msg})
-	})
+	}
+	c.bySeq.each(resend)
+	c.byReq.each(resend)
 	return out
 }

@@ -1,0 +1,118 @@
+package client
+
+import (
+	"wedgechain/internal/core"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Retry: bounded, jittered re-sends of operations the edge never answered.
+// Under a lossy or partitioned network a request (or its response) frame
+// can simply vanish; without retry the op hangs until the proof timeout
+// and surfaces as a dispute against an innocent edge. With RetryEvery set,
+// an op that has not reached Phase I by its deadline is re-signed and
+// re-sent with exponential backoff plus deterministic jitter, up to
+// MaxAttempts sends in total; exhaustion settles the op with
+// ErrUnavailable — a typed, bounded failure the application can act on.
+// Phase I ops are NOT retried here: they hold a signed acknowledgement,
+// and the proof-timeout dispute machinery is their escalation path.
+//
+// Re-sends are idempotent end to end: the edge's replay defence re-acks a
+// write whose entry already sits in the log byte-identically, and reads
+// re-serve under their original request id.
+
+// tickRetry runs the retry pass: collect due ops first, then settle or
+// re-send — settling mutates the rings being iterated.
+func (c *Core) tickRetry(now int64) []wire.Envelope {
+	var due []*Op
+	collect := func(_ uint64, op *Op) {
+		if op.Done || op.disputed || op.Phase != core.PhaseNone {
+			return
+		}
+		if op.nextResend == 0 {
+			// First sight of this op: its initial send at StartedAt was
+			// attempt one; arm the first deadline.
+			op.attempts = 1
+			op.nextResend = op.StartedAt + c.retryDelay(op, 1)
+		}
+		if now >= op.nextResend {
+			due = append(due, op)
+		}
+	}
+	c.bySeq.each(collect)
+	c.byReq.each(collect)
+	var out []wire.Envelope
+	for _, op := range due {
+		if op.attempts >= c.cfg.MaxAttempts {
+			c.settle(op, ErrUnavailable)
+			continue
+		}
+		op.attempts++
+		op.nextResend = now + c.retryDelay(op, op.attempts)
+		if env, ok := c.resendOp(now, op); ok {
+			c.stats.Resends++
+			out = append(out, env)
+		}
+	}
+	return out
+}
+
+// retryDelay is the wait before attempt+1: RetryEvery doubled per prior
+// attempt (capped at 32x) plus deterministic jitter in [0, base/2), so a
+// fleet of clients cut off by the same partition does not thunder back in
+// lockstep — while the same run under the same seed stays reproducible.
+func (c *Core) retryDelay(op *Op, attempt int) int64 {
+	base := c.cfg.RetryEvery
+	for i := 1; i < attempt && i < 6; i++ {
+		base <<= 1
+	}
+	key := op.Seq
+	if key == 0 {
+		key = op.ReqID
+	}
+	return base + retryJitter(key, uint64(attempt), base/2)
+}
+
+// retryJitter hashes (op key, attempt) through a splitmix64 finalizer to a
+// value in [0, span) — random-looking across ops and attempts, identical
+// across runs.
+func retryJitter(key, attempt uint64, span int64) int64 {
+	if span <= 0 {
+		return 0
+	}
+	x := key*0x9e3779b97f4a7c15 + attempt*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x % uint64(span))
+}
+
+// resendOp rebuilds the wire request for an unsettled op and aims it at
+// the current edge. Writes are re-signed with a fresh timestamp (the seq
+// is what the replay defence keys on); reads keep their original request
+// id so a late first response and the re-serve settle the same op. Shared
+// by the retry pass and post-failover rebind.
+func (c *Core) resendOp(now int64, op *Op) (wire.Envelope, bool) {
+	var msg wire.Message
+	switch op.Kind {
+	case KindAdd, KindPut:
+		e := wire.Entry{Client: c.cfg.ID, Seq: op.Seq, Key: op.Key, Value: op.Value, Ts: now}
+		e.Sig = wcrypto.SignMsg(c.key, &e)
+		if op.Kind == KindPut {
+			msg = &wire.PutRequest{Entry: e}
+		} else {
+			msg = &wire.AddRequest{Entry: e, WantBlock: true}
+		}
+	case KindRead:
+		msg = &wire.ReadRequest{BID: op.BID, ReqID: op.ReqID}
+	case KindGet:
+		msg = &wire.GetRequest{Key: op.Key, ReqID: op.ReqID}
+	case KindScan:
+		msg = &wire.ScanRequest{Start: op.ScanStart, End: op.ScanEnd, Limit: uint32(op.ScanLimit), ReqID: op.ReqID}
+	default:
+		return wire.Envelope{}, false
+	}
+	return wire.Envelope{From: c.cfg.ID, To: c.cfg.Edge, Msg: msg}, true
+}

@@ -61,6 +61,21 @@ func (c *Config) fill() {
 	}
 }
 
+// Validate rejects configurations that would silently misbehave at
+// runtime. Called by the façade before construction; direct users of the
+// package may call it too. fill() still papers over zero values with
+// defaults — Validate only flags combinations no default can repair.
+func (c *Config) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("cloud: config requires an ID")
+	}
+	if c.GossipEvery < 0 || c.LeaseTimeout < 0 || c.CertTimeout < 0 {
+		return fmt.Errorf("cloud: negative interval (GossipEvery %d, LeaseTimeout %d, CertTimeout %d)",
+			c.GossipEvery, c.LeaseTimeout, c.CertTimeout)
+	}
+	return nil
+}
+
 // edgeState is the cloud's bookkeeping for one edge node: certified
 // digests (held in the shared CertTable), block proofs for re-delivery,
 // and per-level Merkle leaf tables mirroring the edge's index structure
@@ -114,6 +129,9 @@ type Stats struct {
 	BytesFromEdge uint64
 	Heartbeats    uint64
 	Transfers     uint64
+	// Rejoins counts ex-members re-admitted to their replica group after
+	// a restart or demotion (certified catch-up brings them current).
+	Rejoins uint64
 }
 
 // New constructs a cloud node.
@@ -195,6 +213,8 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return n.handleDispute(now, env.From, m)
 	case *wire.ReplicaHeartbeat:
 		return n.handleHeartbeat(now, env.From, m, env.Verified)
+	case *wire.FrontierRequest:
+		return n.handleFrontier(now, env.From, m)
 	case *wire.Ping:
 		return []wire.Envelope{{From: n.cfg.ID, To: env.From, Msg: &wire.Pong{Seq: m.Seq, Ts: m.Ts}}}
 	default:

@@ -22,6 +22,7 @@ type memberState struct {
 	lastHB    int64
 	blocks    uint64 // log frontier the member last reported
 	certified uint64 // contiguous certified prefix the member last reported
+	lastJoin  int64  // last GroupJoin sent for this member (re-send rate limit)
 }
 
 // chainState is the cloud's leadership view of one replicated chain.
@@ -150,7 +151,66 @@ func (n *Node) handleHeartbeat(now int64, from wire.NodeID, m *wire.ReplicaHeart
 			st.staleNow = 0
 		}
 	}
-	return nil
+	return n.maybeRejoin(now, from, m.Chain, st, mem, m)
+}
+
+// maybeRejoin re-admits a heartbeating ex-member (a restarted node, or a
+// demoted ex-leader that was dropped from the follower set at transfer)
+// and nudges restarted in-group followers that lost their in-memory view.
+// The cloud signs a GroupJoin naming the current leader and epoch and
+// sends it to BOTH sides: the node learns whom to mirror, the leader adds
+// it back to the replication fan-out. While the member's reported frontier
+// trails the chain's certified prefix the join is re-sent (rate-limited by
+// the lease), healing lost admissions under chaos.
+func (n *Node) maybeRejoin(now int64, from wire.NodeID, chain wire.NodeID, st *chainState, mem *memberState, m *wire.ReplicaHeartbeat) []wire.Envelope {
+	if st.dead || from == st.leader {
+		return nil
+	}
+	if _, banned := n.punish.Banned(from); banned {
+		return nil
+	}
+	inGroup := false
+	for _, f := range st.followers {
+		if f == from {
+			inGroup = true
+			break
+		}
+	}
+	var out []wire.Envelope
+	if !inGroup {
+		st.followers = append(st.followers, from)
+		n.stats.Rejoins++
+		n.logf("re-admitting ex-member as follower", "chain", chain, "node", from, "epoch", st.epoch)
+		out = append(out, n.resignShardMap(st)...)
+	} else if m.Blocks >= n.certs.Blocks(chain) || now-mem.lastJoin < n.cfg.LeaseTimeout {
+		// In the group and current (or recently nudged): nothing to heal.
+		return nil
+	}
+	mem.lastJoin = now
+	join := &wire.GroupJoin{Chain: chain, Node: from, Leader: st.leader, Epoch: st.epoch, Ts: now}
+	join.CloudSig = wcrypto.SignMsg(n.key, join)
+	out = append(out,
+		wire.Envelope{From: n.cfg.ID, To: from, Msg: join},
+		wire.Envelope{From: n.cfg.ID, To: st.leader, Msg: join})
+	return out
+}
+
+// handleFrontier answers a single-chain frontier query with the same
+// signed Gossip statement periodic gossip emits. A rejoining node asks it
+// to learn how far certified history extends before (and while) mirroring
+// the chain back through certified catch-up.
+func (n *Node) handleFrontier(now int64, from wire.NodeID, m *wire.FrontierRequest) []wire.Envelope {
+	if _, banned := n.punish.Banned(n.leaderOf(m.Chain)); banned {
+		return nil
+	}
+	g := &wire.Gossip{
+		Edge:    m.Chain,
+		Ts:      now,
+		LogSize: n.certs.Entries(m.Chain),
+		Blocks:  n.certs.Blocks(m.Chain),
+	}
+	g.CloudSig = wcrypto.SignMsg(n.key, g)
+	return []wire.Envelope{{From: n.cfg.ID, To: from, Msg: g}}
 }
 
 // tickFailover runs the per-chain failure detectors: conviction of the

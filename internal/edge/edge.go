@@ -55,6 +55,23 @@ type Config struct {
 	// group (Follower set or Followers non-empty); 0 disables heartbeats
 	// (legacy ungrouped shards).
 	HeartbeatEvery int64
+	// CertRetryEvery re-submits certification for the uncertified backlog
+	// when the certified frontier has not advanced for this many
+	// nanoseconds — lost BlockCertify or BlockProof frames heal instead
+	// of wedging Phase II (the cloud answers duplicates with the cached
+	// proof, so retries are idempotent). Defaults to 1s for replica-group
+	// members; 0 keeps the default, negative disables.
+	CertRetryEvery int64
+	// CatchUpEvery is how often a follower with a detected replication
+	// gap (stashed out-of-order blocks or early certificates) asks its
+	// leader for the missing run. Defaults to 500ms for replica-group
+	// members; 0 keeps the default, negative disables.
+	CatchUpEvery int64
+	// MaxUncertified sheds client writes while more than this many cut
+	// blocks await certification — explicit backpressure instead of an
+	// unbounded uncertified backlog when the cloud link degrades. 0
+	// disables shedding.
+	MaxUncertified int
 	// BatchSize is the entries per block (the paper's batch size B).
 	BatchSize int
 	// FlushEvery force-cuts a partial block after this many idle
@@ -103,6 +120,19 @@ func (c *Config) fill() {
 	if c.HeartbeatEvery <= 0 && (c.Follower || len(c.Followers) > 0) {
 		c.HeartbeatEvery = int64(2e8)
 	}
+	grouped := c.Follower || len(c.Followers) > 0
+	if c.CertRetryEvery == 0 && grouped {
+		c.CertRetryEvery = int64(1e9)
+	}
+	if c.CertRetryEvery < 0 {
+		c.CertRetryEvery = 0
+	}
+	if c.CatchUpEvery == 0 && grouped {
+		c.CatchUpEvery = int64(5e8)
+	}
+	if c.CatchUpEvery < 0 {
+		c.CatchUpEvery = 0
+	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 100
 	}
@@ -118,6 +148,39 @@ func (c *Config) fill() {
 	if c.ReserveTTL <= 0 {
 		c.ReserveTTL = int64(5e9)
 	}
+}
+
+// Validate rejects configurations that would misbehave silently at
+// runtime. It checks the raw (pre-fill) values, so explicit nonsense
+// fails loudly while zero values keep their documented defaults.
+func (c *Config) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("edge: config: ID must be set")
+	}
+	if c.Follower && c.ID == c.Chain && c.Chain != "" {
+		return fmt.Errorf("edge: config: follower %q cannot follow its own chain identity", c.ID)
+	}
+	for _, f := range c.Followers {
+		if f == c.ID {
+			return fmt.Errorf("edge: config: node %q lists itself as a follower", c.ID)
+		}
+	}
+	if c.Follower && len(c.Followers) > 0 {
+		return fmt.Errorf("edge: config: a follower cannot have followers of its own")
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("edge: config: BatchSize must be >= 0, got %d", c.BatchSize)
+	}
+	if c.FlushEvery < 0 {
+		return fmt.Errorf("edge: config: FlushEvery must be >= 0, got %d", c.FlushEvery)
+	}
+	if c.HeartbeatEvery < 0 {
+		return fmt.Errorf("edge: config: HeartbeatEvery must be >= 0, got %d", c.HeartbeatEvery)
+	}
+	if c.MaxUncertified < 0 {
+		return fmt.Errorf("edge: config: MaxUncertified must be >= 0, got %d", c.MaxUncertified)
+	}
+	return nil
 }
 
 // reqInfo remembers which client submitted the entry at a log position and
@@ -177,6 +240,15 @@ type Node struct {
 	// each redelivery would flood the cloud with identical evidence.
 	accused map[uint64]bool
 
+	// Self-healing timers. certStallSince tracks how long the certified
+	// frontier (lastCertFrontier) has been stuck with an uncertified
+	// backlog — the leader's stall-gated cert retry trigger. lastCatchUp
+	// rate-limits a follower's gap-driven catch-up requests.
+	lastCertFrontier uint64
+	certStallSince   int64
+	lastCatchUp      int64
+	lastShedLog      int64
+
 	// Stats counters exposed for benchmarks and tests.
 	stats Stats
 }
@@ -191,6 +263,15 @@ type Stats struct {
 	Scans        uint64
 	Merges       uint64
 	BytesToCloud uint64
+	// Robustness counters: writes shed by the MaxUncertified
+	// backpressure cap, stall-gated certification retries, and catch-up
+	// requests issued while recovering a replication gap.
+	Shed        uint64
+	CertRetries uint64
+	CatchUps    uint64
+	// Truncated counts blocks discarded from the uncertified tail on
+	// demotion — divergent or abandoned history replaced by catch-up.
+	Truncated uint64
 }
 
 // New constructs an in-memory edge node with the given key and registry.
@@ -352,9 +433,17 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return n.handleReplicate(now, env.From, m, env.Verified)
 	case *wire.LeadershipTransfer:
 		return n.handleTransfer(now, env.From, m, env.Verified)
+	case *wire.CatchUpRequest:
+		return n.handleCatchUpRequest(now, env.From, m, env.Verified)
+	case *wire.CatchUpBlocks:
+		return n.handleCatchUpBlocks(now, env.From, m)
+	case *wire.GroupJoin:
+		return n.handleGroupJoin(now, env.From, m, env.Verified)
 	case *wire.Gossip:
-		// Gossip is client-facing; nothing for the edge to do.
-		return nil
+		// Client-facing freshness gossip; a follower additionally reads
+		// it as a trusted statement of the chain's certified frontier and
+		// starts catching up when its mirror has fallen behind.
+		return n.handleGossip(now, env.From, m, env.Verified)
 	case *wire.Ping:
 		return []wire.Envelope{{From: n.cfg.ID, To: env.From, Msg: &wire.Pong{Seq: m.Seq, Ts: m.Ts}}}
 	default:
@@ -382,6 +471,43 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 		n.lastHB = now
 		out = append(out, n.heartbeat(now))
 	}
+	out = append(out, n.tickHealing(now)...)
+	return out
+}
+
+// tickHealing runs the self-healing timers: the leader's stall-gated
+// certification retry and the follower's gap-driven catch-up.
+func (n *Node) tickHealing(now int64) []wire.Envelope {
+	var out []wire.Envelope
+	if !n.follower && n.cfg.CertRetryEvery > 0 &&
+		(n.cfg.Fault == nil || !n.cfg.Fault.DropCertify) {
+		var frontier uint64
+		if ct, ok := n.log.CertifiedThrough(); ok {
+			frontier = ct + 1
+		}
+		if frontier >= n.log.NumBlocks() || frontier != n.lastCertFrontier {
+			// No backlog, or the frontier moved: (re)arm the stall timer.
+			n.lastCertFrontier = frontier
+			n.certStallSince = now
+		} else if now-n.certStallSince >= n.cfg.CertRetryEvery {
+			// The backlog is stuck: the certify request or its proof was
+			// lost. Re-submit the whole uncertified tail — the cloud
+			// answers already-certified digests with the cached proof, so
+			// duplicates heal lost proofs instead of causing conflicts.
+			n.certStallSince = now
+			if retry := n.certifyTail(now); len(retry) > 0 {
+				n.stats.CertRetries++
+				n.logf("certification stalled; retrying uncertified tail",
+					"frontier", frontier, "blocks", n.log.NumBlocks())
+				out = append(out, retry...)
+			}
+		}
+	}
+	if n.follower && n.leader != "" && n.cfg.CatchUpEvery > 0 &&
+		(len(n.pendingRepl) > 0 || len(n.pendingCerts) > 0) &&
+		now-n.lastCatchUp >= n.cfg.CatchUpEvery {
+		out = append(out, n.requestCatchUp(now, n.log.NumBlocks()))
+	}
 	return out
 }
 
@@ -392,6 +518,26 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, verified bool) []wire.Envelope {
 	if n.follower || e.Client != from {
 		return nil
+	}
+	if n.cfg.MaxUncertified > 0 {
+		var frontier uint64
+		if ct, ok := n.log.CertifiedThrough(); ok {
+			frontier = ct + 1
+		}
+		if n.log.NumBlocks()-frontier >= uint64(n.cfg.MaxUncertified) {
+			// Backpressure: the uncertified backlog says the cloud link is
+			// degraded. Shedding (not buffering) keeps the Phase I promise
+			// honest — nothing is acknowledged that certification cannot
+			// chase — and the client's retry/ErrUnavailable machinery turns
+			// the silence into a typed, bounded failure.
+			n.stats.Shed++
+			if now-n.lastShedLog >= int64(1e9) {
+				n.lastShedLog = now
+				n.logf("shedding writes: uncertified backlog at cap",
+					"backlog", n.log.NumBlocks()-frontier, "cap", n.cfg.MaxUncertified, "shed", n.stats.Shed)
+			}
+			return nil
+		}
 	}
 	if !verified {
 		if err := wcrypto.VerifyMsg(n.reg, e.Client, &e, e.Sig); err != nil {

@@ -95,6 +95,13 @@ type Fault struct {
 	// for uncertified ones the pinned digest is refuted by the later
 	// block proof. Either way the signed response convicts.
 	SummaryTamperKey []byte
+	// TamperCatchUp: catch-up responses ship altered block content,
+	// signed over the tampered digest so the per-item transfer signature
+	// verifies — the lying-sync-peer attack. For certified blocks the
+	// certificate riding in the same item contradicts the content and the
+	// receiver convicts on the spot; for uncertified ones the eventual
+	// cloud certificate refutes the installed mirror and convicts then.
+	TamperCatchUp bool
 }
 
 // summaryFaultKey returns the key targeted by the summary-pruning faults

@@ -40,6 +40,18 @@ func (n *Node) Epoch() uint64 { return n.epoch }
 // Chain returns the shard chain identity this node serves.
 func (n *Node) Chain() wire.NodeID { return n.cfg.Chain }
 
+// LogBlocks reports the node's local block frontier — served blocks on a
+// leader, mirrored blocks on a follower (tests and harnesses).
+func (n *Node) LogBlocks() uint64 { return n.log.NumBlocks() }
+
+// CertifiedBlocks reports the length of the contiguous certified prefix.
+func (n *Node) CertifiedBlocks() uint64 {
+	if ct, ok := n.log.CertifiedThrough(); ok {
+		return ct + 1
+	}
+	return 0
+}
+
 // replicate builds the follower-bound mirror stream for a freshly cut
 // block. The signature binds the leader to the exact bytes it shipped:
 // honest leaders reuse the shared block-ack signature already computed for
@@ -241,17 +253,8 @@ func (n *Node) handleTransfer(now int64, from wire.NodeID, m *wire.LeadershipTra
 	}
 	n.epoch = m.Epoch
 	if m.NewLeader != n.cfg.ID {
-		n.follower = true
-		n.leader = m.NewLeader
-		n.cfg.Followers = nil
-		if n.pendingRepl == nil {
-			n.pendingRepl = make(map[uint64]*wire.ReplicateBlock)
-			n.pendingCerts = make(map[uint64]wire.BlockProof)
-			n.replSigs = make(map[uint64][]byte)
-			n.poisoned = make(map[uint64]bool)
-		}
 		n.logf("demoted to follower", "chain", n.cfg.Chain, "epoch", m.Epoch, "leader", m.NewLeader)
-		return nil
+		return n.demote(now, m.NewLeader)
 	}
 
 	n.follower = false

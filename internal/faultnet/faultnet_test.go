@@ -1,0 +1,145 @@
+package faultnet
+
+import (
+	"testing"
+)
+
+func TestNoRulesPassesThrough(t *testing.T) {
+	n := New(1)
+	for i := 0; i < 100; i++ {
+		act := n.Apply(int64(i), "a", "b")
+		if act.Drop || len(act.Delays) != 1 || act.Delays[0] != 0 {
+			t.Fatalf("clean link perturbed: %+v", act)
+		}
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	n := New(42)
+	n.Add(Rule{Faults: LinkFaults{Drop: 0.3}})
+	drops := 0
+	const N = 10000
+	for i := 0; i < N; i++ {
+		if n.Apply(0, "a", "b").Drop {
+			drops++
+		}
+	}
+	if drops < N*25/100 || drops > N*35/100 {
+		t.Fatalf("drop rate %d/%d far from 0.3", drops, N)
+	}
+	if s := n.Snapshot(); s.Drops != uint64(drops) || s.Frames != N {
+		t.Fatalf("stats mismatch: %+v vs drops=%d", s, drops)
+	}
+}
+
+func TestDeterminismPerLink(t *testing.T) {
+	// The same seed must yield the same per-link schedule even when the
+	// interleaving across links differs.
+	run := func(interleave bool) []Action {
+		n := New(7)
+		n.Add(Rule{Faults: LinkFaults{Drop: 0.2, Dup: 0.2, DelayMin: 1, DelayMax: 1000}})
+		var out []Action
+		for i := 0; i < 200; i++ {
+			if interleave {
+				n.Apply(int64(i), "x", "y") // foreign link traffic
+			}
+			out = append(out, n.Apply(int64(i), "a", "b"))
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i].Drop != b[i].Drop || len(a[i].Delays) != len(b[i].Delays) {
+			t.Fatalf("frame %d: schedule diverged %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Delays {
+			if a[i].Delays[j] != b[i].Delays[j] {
+				t.Fatalf("frame %d delay %d: %d vs %d", i, j, a[i].Delays[j], b[i].Delays[j])
+			}
+		}
+	}
+}
+
+func TestWildcardAndWindowMatching(t *testing.T) {
+	n := New(1)
+	n.Add(Rule{From: "a", FromT: 100, ToT: 200, Faults: LinkFaults{Drop: 1}})
+	if !n.Apply(150, "a", "b").Drop {
+		t.Fatal("in-window frame from a not dropped")
+	}
+	if !n.Apply(150, "a", "c").Drop {
+		t.Fatal("wildcard To did not match")
+	}
+	if n.Apply(99, "a", "b").Drop {
+		t.Fatal("pre-window frame dropped")
+	}
+	if n.Apply(200, "a", "b").Drop {
+		t.Fatal("post-window frame dropped (window is half-open)")
+	}
+	if n.Apply(150, "b", "a").Drop {
+		t.Fatal("reverse direction dropped")
+	}
+}
+
+func TestDupAddsDelivery(t *testing.T) {
+	n := New(3)
+	n.Add(Rule{Faults: LinkFaults{Dup: 1}})
+	act := n.Apply(0, "a", "b")
+	if act.Drop || len(act.Delays) != 2 {
+		t.Fatalf("dup=1 should deliver twice: %+v", act)
+	}
+}
+
+func TestDelayRange(t *testing.T) {
+	n := New(5)
+	n.Add(Rule{Faults: LinkFaults{DelayMin: 10, DelayMax: 20}})
+	varied := false
+	for i := 0; i < 100; i++ {
+		act := n.Apply(0, "a", "b")
+		d := act.Delays[0]
+		if d < 10 || d >= 20 {
+			t.Fatalf("delay %d outside [10,20)", d)
+		}
+		if d != 10 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("delays never varied")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(9)
+	n.Partition("a", "b", 0, 0)
+	if !n.Apply(0, "a", "b").Drop || !n.Apply(0, "b", "a").Drop {
+		t.Fatal("partition not bidirectional")
+	}
+	if n.Apply(0, "a", "c").Drop {
+		t.Fatal("partition leaked to third node")
+	}
+	n.Heal("a")
+	if n.Apply(0, "a", "b").Drop || n.Apply(0, "b", "a").Drop {
+		t.Fatal("heal did not lift partition")
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	n := New(11)
+	n.Add(Rule{From: "a", To: "b", Faults: LinkFaults{}}) // explicit clean link
+	n.Add(Rule{Faults: LinkFaults{Drop: 1}})              // drop everything else
+	if n.Apply(0, "a", "b").Drop {
+		t.Fatal("specific clean rule shadowed by later drop-all")
+	}
+	if !n.Apply(0, "a", "c").Drop {
+		t.Fatal("drop-all rule not applied to unmatched link")
+	}
+}
+
+func TestClear(t *testing.T) {
+	n := New(13)
+	n.Add(Rule{Faults: LinkFaults{Drop: 1}})
+	n.Clear()
+	if n.Apply(0, "a", "b").Drop {
+		t.Fatal("cleared rule still active")
+	}
+}

@@ -1,0 +1,166 @@
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"wedgechain/internal/client"
+	"wedgechain/internal/core"
+	"wedgechain/internal/faultnet"
+	"wedgechain/internal/wire"
+)
+
+// Chaos soak: the replicated cluster runs under a seeded fault schedule —
+// background drop/duplicate/delay on every link plus scheduled partitions
+// that force leadership transfers and rejoins — while clients keep
+// writing. Two invariants must hold at the end, with the faults cleared
+// and the dust settled:
+//
+//  1. No acked-then-certified write is lost: every operation the client
+//     saw reach Phase II reads back as a certified block containing its
+//     payload.
+//  2. No honest node is convicted: drops, delays, duplicates and
+//     partitions are indistinguishable from a slow network, and the
+//     dispute machinery must never turn slowness into a guilty verdict.
+//
+// The schedule is a pure function of the seed, so a failure reproduces
+// from the seed alone.
+
+// chaosWrite pairs a write op with the payload it carried.
+type chaosWrite struct {
+	op      *client.Op
+	payload []byte
+}
+
+// chaosRun drives rounds of paired writes (BatchSize 2 — one block per
+// round) through the fault schedule seeded by seed, then verifies the
+// two invariants.
+func chaosRun(t *testing.T, seed int64, rounds int) {
+	t.Helper()
+	fn := faultnet.New(seed)
+	// Partitions always precede the background noise rule (Partition
+	// prepends; first match wins). The first window cuts the initial
+	// leader off the cloud mid-run (lease expiry, transfer, later
+	// rejoin); the second cuts whoever "edge-1.r1" is by then — usually
+	// the promoted leader, forcing a second transfer and a second rejoin.
+	fn.Partition("edge-1", "cloud", 1*s, 2200*ms)
+	if rounds > 12 {
+		fn.Partition("edge-1.r1", "cloud", 6*s, 7*s)
+	}
+	fn.Add(faultnet.Rule{Faults: faultnet.LinkFaults{
+		Drop:     0.05,
+		Dup:      0.08,
+		DelayMax: 20 * ms,
+	}})
+
+	w := newRWorld(t, rworldOpts{
+		fault:      fn,
+		retryEvery: 150 * ms,
+		gossip:     200 * ms,
+	})
+
+	// Warm the chain so block 0 certifies before the first partition.
+	var writes []chaosWrite
+	add := func(c *client.Core, payload string) {
+		writes = append(writes, chaosWrite{op: w.add(c, payload), payload: []byte(payload)})
+	}
+	add(w.c1, "warm-0")
+	add(w.c2, "warm-1")
+	w.settle(t, 500*ms)
+
+	for i := 0; i < rounds; i++ {
+		add(w.c1, fmt.Sprintf("chaos-%d-a", i))
+		add(w.c2, fmt.Sprintf("chaos-%d-b", i))
+		w.settle(t, 400*ms)
+	}
+
+	// Lift the faults and drain: retries flush, the proof timeout settles
+	// stragglers, rejoined nodes finish catch-up.
+	fn.Clear()
+	w.settle(t, 5*s)
+
+	// The schedule must actually have bitten, or the run proves nothing.
+	if st := fn.Snapshot(); st.Drops == 0 || st.Dups == 0 {
+		t.Fatalf("fault schedule injected nothing: %v", st)
+	}
+	if got := w.cloud.Stats().Transfers; got == 0 {
+		t.Fatal("chaos never forced a leadership transfer")
+	}
+	if got := w.cloud.Stats().Rejoins; got == 0 {
+		t.Fatal("no node ever rejoined after the partitions")
+	}
+
+	// Invariant 2: no honest conviction — the group is all honest nodes.
+	for _, id := range []wire.NodeID{"edge-1", "edge-1.r1", "edge-1.r2"} {
+		if _, banned := w.cloud.Flagged(id); banned {
+			t.Fatalf("honest node %s convicted under chaos", id)
+		}
+	}
+	for i, rec := range writes {
+		if rec.op.Verdict != nil && rec.op.Verdict.Guilty {
+			t.Fatalf("write %d drew a guilty verdict against %s under chaos", i, rec.op.Verdict.Edge)
+		}
+	}
+
+	// Invariant 1: every certified write reads back. Issue all the reads,
+	// drain once, then check block contents.
+	type check struct {
+		rec  chaosWrite
+		read *client.Op
+	}
+	var checks []check
+	certified := 0
+	for _, rec := range writes {
+		if rec.op.Phase != core.PhaseII {
+			continue // never certified from this client's view — see below
+		}
+		certified++
+		checks = append(checks, check{rec: rec, read: w.read(w.c1, rec.op.BID)})
+	}
+	w.settle(t, 5*s)
+	if certified == 0 {
+		t.Fatal("no write certified — chaos run exercised nothing")
+	}
+	for _, c := range checks {
+		if c.read.Err != nil || c.read.Phase != core.PhaseII || c.read.Block == nil {
+			t.Fatalf("certified write %q lost: read bid=%d phase=%v err=%v",
+				c.rec.payload, c.rec.op.BID, c.read.Phase, c.read.Err)
+		}
+		found := false
+		for _, e := range c.read.Block.Entries {
+			if bytes.Equal(e.Value, c.rec.payload) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("certified write %q missing from its block %d", c.rec.payload, c.rec.op.BID)
+		}
+	}
+	t.Logf("chaos seed=%d rounds=%d: %d/%d writes certified, %v, transfers=%d rejoins=%d",
+		seed, rounds, certified, len(writes), fn.Snapshot(),
+		w.cloud.Stats().Transfers, w.cloud.Stats().Rejoins)
+}
+
+// TestChaosSmoke is the CI arm: one fixed seed, a short schedule, both
+// invariants. Deterministic — a failure reproduces with `go test -run
+// ChaosSmoke ./internal/integration/`.
+func TestChaosSmoke(t *testing.T) {
+	chaosRun(t, 42, 8)
+}
+
+// TestChaosSoak is the long arm: several seeds, longer schedules, double
+// partition windows. Gated behind WEDGE_CHAOS_SOAK=1 (see `make chaos`).
+func TestChaosSoak(t *testing.T) {
+	if os.Getenv("WEDGE_CHAOS_SOAK") == "" {
+		t.Skip("set WEDGE_CHAOS_SOAK=1 (or run `make chaos`) for the long soak")
+	}
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			chaosRun(t, seed, 40)
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"wedgechain/internal/cloud"
 	"wedgechain/internal/core"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/faultnet"
 	"wedgechain/internal/sim"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
@@ -30,6 +31,8 @@ type rworldOpts struct {
 	proofTO     int64
 	lease       int64
 	certTO      int64
+	fault       *faultnet.Net // chaos schedules applied to every sim frame
+	retryEvery  int64         // client transport-retry period (0 = off)
 }
 
 func newRWorld(t *testing.T, o rworldOpts) *rworld {
@@ -92,12 +95,14 @@ func newRWorld(t *testing.T, o rworldOpts) *rworld {
 			Edge:         "edge-1",
 			Cloud:        "cloud",
 			ProofTimeout: o.proofTO,
+			RetryEvery:   o.retryEvery,
 		}, keys[id], reg)
 	}
 	w.c1, w.c2 = mkClient("c1"), mkClient("c2")
 	w.sim = sim.New(sim.Config{
 		TickEvery:   5 * ms,
 		DefaultLink: sim.Link{Latency: 1 * ms},
+		Fault:       o.fault,
 	})
 	w.sim.Add(cl)
 	w.sim.Add(w.leader)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/faultnet"
 	"wedgechain/internal/wire"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	Cost CostFn
 	// MaxEvents aborts runaway simulations; 0 defaults to 200M events.
 	MaxEvents uint64
+	// Fault injects deterministic link faults (drop/delay/duplicate/
+	// partition) between distinct nodes; nil disables. Self-sends are
+	// never perturbed.
+	Fault *faultnet.Net
 }
 
 type eventKind uint8
@@ -205,6 +210,18 @@ func (s *Sim) send(t int64, env wire.Envelope) {
 	}
 	st.nextFree = start + tx
 	arrive := start + tx + cfg.Latency
+	if s.cfg.Fault != nil {
+		// The frame already paid its bandwidth share; the injector only
+		// decides existence and extra latency per delivery.
+		act := s.cfg.Fault.Apply(t, env.From, env.To)
+		if act.Drop {
+			return
+		}
+		for _, d := range act.Delays {
+			s.push(&event{at: arrive + d, kind: evDeliver, node: env.To, env: env})
+		}
+		return
+	}
 	s.push(&event{at: arrive, kind: evDeliver, node: env.To, env: env})
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/faultnet"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -33,6 +34,10 @@ type LocalConfig struct {
 	// means GOMAXPROCS.
 	Registry      *wcrypto.Registry
 	VerifyWorkers int
+	// Fault injects deterministic link faults (drop/delay/duplicate/
+	// partition) between distinct nodes; nil disables. Self-sends are
+	// never perturbed. Fault time is wall-clock nanoseconds.
+	Fault *faultnet.Net
 }
 
 type localMsg struct {
@@ -115,7 +120,8 @@ func (l *Local) run(n *localNode) {
 	}
 }
 
-// route delivers envelopes, applying the configured latency.
+// route delivers envelopes, applying the configured latency and any
+// injected link faults.
 func (l *Local) route(envs []wire.Envelope) {
 	for _, env := range envs {
 		env := env
@@ -123,16 +129,30 @@ func (l *Local) route(envs []wire.Envelope) {
 		if l.cfg.Latency != nil {
 			delay = l.cfg.Latency(env.From, env.To)
 		}
-		if delay <= 0 {
-			l.deliver(env)
+		if l.cfg.Fault != nil && env.From != env.To {
+			act := l.cfg.Fault.Apply(time.Now().UnixNano(), env.From, env.To)
+			if act.Drop {
+				continue
+			}
+			for _, extra := range act.Delays {
+				l.deliverAfter(env, delay+time.Duration(extra))
+			}
 			continue
 		}
-		l.timers.Add(1)
-		time.AfterFunc(delay, func() {
-			defer l.timers.Done()
-			l.deliver(env)
-		})
+		l.deliverAfter(env, delay)
 	}
+}
+
+func (l *Local) deliverAfter(env wire.Envelope, delay time.Duration) {
+	if delay <= 0 {
+		l.deliver(env)
+		return
+	}
+	l.timers.Add(1)
+	time.AfterFunc(delay, func() {
+		defer l.timers.Done()
+		l.deliver(env)
+	})
 }
 
 func (l *Local) deliver(env wire.Envelope) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/faultnet"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -41,6 +42,10 @@ type TCPConfig struct {
 	// workers means GOMAXPROCS.
 	Registry      *wcrypto.Registry
 	VerifyWorkers int
+	// Fault injects deterministic link faults (drop/delay/duplicate/
+	// partition) on this endpoint's outbound frames; nil disables.
+	// Fault time is wall-clock nanoseconds.
+	Fault *faultnet.Net
 }
 
 // TCP serves one handler over real sockets: inbound frames are decoded and
@@ -301,6 +306,27 @@ func (t *TCP) sendAll(envs []wire.Envelope) {
 // dispute machinery owns recovery, mirroring the paper's asynchronous
 // network assumption).
 func (t *TCP) send(env wire.Envelope) {
+	if t.cfg.Fault != nil && env.From != env.To {
+		act := t.cfg.Fault.Apply(time.Now().UnixNano(), env.From, env.To)
+		if act.Drop {
+			return
+		}
+		for _, extra := range act.Delays {
+			if extra <= 0 {
+				t.enqueue(env)
+				continue
+			}
+			env := env
+			time.AfterFunc(time.Duration(extra), func() { t.enqueue(env) })
+		}
+		return
+	}
+	t.enqueue(env)
+}
+
+// enqueue hands the envelope to env.To's writer lane, creating the lane
+// on first use.
+func (t *TCP) enqueue(env wire.Envelope) {
 	t.connMu.Lock()
 	w := t.writers[env.To]
 	if w == nil {

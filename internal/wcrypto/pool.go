@@ -61,6 +61,12 @@ func PreVerify(r *Registry, env wire.Envelope) bool {
 		// Signed by the cloud; when forwarded by a non-cloud sender the
 		// receiver re-verifies inline against its configured cloud.
 		return VerifyMsg(r, env.From, m, m.CloudSig) == nil
+	case *wire.CatchUpRequest:
+		return VerifyMsg(r, m.Node, m, m.Sig) == nil
+	case *wire.GroupJoin:
+		// Signed by the cloud, sent by the cloud; the edge additionally
+		// requires the sender to be its configured cloud.
+		return VerifyMsg(r, env.From, m, m.CloudSig) == nil
 	// Client-bound responses: the edge's signature is checked against the
 	// envelope sender; the client core additionally requires the sender
 	// to be its bound edge before trusting the flag.

@@ -166,6 +166,16 @@ func sampleMessages() []Message {
 			Chain: "edge-1", Epoch: 2, Prev: "edge-1", NewLeader: "edge-1.r1",
 			Followers: []NodeID{"edge-1.r2"}, Reason: "crash", Ts: 456, CloudSig: randBytes(64),
 		},
+		&CatchUpRequest{Chain: "edge-1", Node: "edge-1.r2", From: 7, Ts: 99, Sig: randBytes(64)},
+		&CatchUpBlocks{
+			Chain: "edge-1", Leader: "edge-1.r1", From: 7, Through: 9,
+			Items: []CatchUpItem{
+				{Block: blk, ServerSig: randBytes(64), HasCert: true, Cert: proof},
+				{Block: blk, ServerSig: randBytes(64)},
+			},
+		},
+		&GroupJoin{Chain: "edge-1", Node: "edge-1.r2", Leader: "edge-1.r1", Epoch: 3, Ts: 17, CloudSig: randBytes(64)},
+		&FrontierRequest{Chain: "edge-1"},
 	}
 }
 

@@ -69,6 +69,12 @@ const (
 	KindReplicaHeartbeat
 	KindLeadershipTransfer
 
+	// Chaos recovery and certified catch-up (appended).
+	KindCatchUpRequest
+	KindCatchUpBlocks
+	KindGroupJoin
+	KindFrontierRequest
+
 	kindEnd // sentinel; keep last
 )
 
@@ -110,6 +116,11 @@ var kindNames = map[Kind]string{
 	KindReplicateBlock:     "ReplicateBlock",
 	KindReplicaHeartbeat:   "ReplicaHeartbeat",
 	KindLeadershipTransfer: "LeadershipTransfer",
+
+	KindCatchUpRequest:  "CatchUpRequest",
+	KindCatchUpBlocks:   "CatchUpBlocks",
+	KindGroupJoin:       "GroupJoin",
+	KindFrontierRequest: "FrontierRequest",
 }
 
 // String returns the human-readable name of the kind.
@@ -213,6 +224,14 @@ func newMessage(k Kind) (Message, error) {
 		return &ReplicaHeartbeat{}, nil
 	case KindLeadershipTransfer:
 		return &LeadershipTransfer{}, nil
+	case KindCatchUpRequest:
+		return &CatchUpRequest{}, nil
+	case KindCatchUpBlocks:
+		return &CatchUpBlocks{}, nil
+	case KindGroupJoin:
+		return &GroupJoin{}, nil
+	case KindFrontierRequest:
+		return &FrontierRequest{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
 	}

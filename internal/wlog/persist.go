@@ -164,6 +164,42 @@ func (s *Store) Sync() error {
 // assert N batched blocks share one.
 func (s *Store) Syncs() uint64 { return s.syncs }
 
+// ResetTo rewrites the segment to exactly the blocks and certificates l
+// currently holds. A demoted ex-leader truncates its in-memory log to
+// the certified prefix (Log.TruncateUncertified) before re-mirroring the
+// new leader's history; the durable segment must shrink with it, because
+// recovery requires strictly sequential block ids and would reject the
+// refetched blocks re-appended after the old records. The rewrite is
+// flushed (and fsynced on durable stores) before returning.
+func (s *Store) ResetTo(l *Log) error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.w.Reset(s.f)
+	s.dirty = false
+	for bid := uint64(0); bid < l.NumBlocks(); bid++ {
+		blk, err := l.Block(bid)
+		if err != nil {
+			return err
+		}
+		if err := s.append(recBlock, blk.Canonical(), false); err != nil {
+			return err
+		}
+		if p, ok := l.Cert(bid); ok {
+			if err := s.AppendCertBuffered(&p); err != nil {
+				return err
+			}
+		}
+	}
+	return s.Sync()
+}
+
 // Recover replays the segment into a fresh Log, verifying digests and
 // certificate signatures against the registry (the cloud's identity is
 // taken from each certificate's signer field recorded at write time).

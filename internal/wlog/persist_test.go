@@ -224,3 +224,69 @@ func TestRecoverRejectsUnknownRecordKind(t *testing.T) {
 		t.Fatalf("unknown kind: err = %v", err)
 	}
 }
+
+func TestResetToShrinksSegment(t *testing.T) {
+	keys, reg := persistKeys(t)
+	dir := t.TempDir()
+	buildSegment(t, dir, keys, 5, 2)
+
+	l, st, _, _, err := Recover(dir, "edge-1", 10, reg, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demotion path: drop the uncertified tail, rewrite the segment.
+	if removed := l.TruncateUncertified(); removed != 3 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if err := st.ResetTo(l); err != nil {
+		t.Fatal(err)
+	}
+	// The node then re-mirrors the divergent history under new block ids
+	// 2.. — appends after the reset must recover cleanly.
+	e := wire.Entry{Client: "c1", Seq: 100, Value: []byte("new history")}
+	e.Sig = wcrypto.SignMsg(keys["c1"], &e)
+	nb := wire.Block{Edge: "edge-1", ID: 2, StartPos: 2, Entries: []wire.Entry{e}}
+	if err := st.AppendBlock(&nb); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, st2, blocks, certs, err := Recover(dir, "edge-1", 10, reg, "cloud")
+	if err != nil {
+		t.Fatalf("recovery after reset: %v", err)
+	}
+	defer st2.Close()
+	if blocks != 3 || certs != 2 {
+		t.Fatalf("recovered %d blocks / %d certs, want 3/2", blocks, certs)
+	}
+	got, err := l2.Block(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Canonical(), nb.Canonical()) {
+		t.Fatal("post-reset block corrupted")
+	}
+	if l2.CertifiedBlocks() != 2 {
+		t.Fatalf("certified = %d", l2.CertifiedBlocks())
+	}
+}
+
+func TestResetToEmptyLog(t *testing.T) {
+	keys, reg := persistKeys(t)
+	dir := t.TempDir()
+	buildSegment(t, dir, keys, 3, 0)
+	l, st, _, _, err := Recover(dir, "edge-1", 10, reg, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.TruncateUncertified()
+	if err := st.ResetTo(l); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if info, err := os.Stat(filepath.Join(dir, "wedgelog.seg")); err != nil || info.Size() != 0 {
+		t.Fatalf("segment not emptied: %v %d", err, info.Size())
+	}
+}

@@ -356,3 +356,57 @@ func (l *Log) CertifiedThrough() (uint64, bool) {
 	}
 	return last, found
 }
+
+// unmarkSeen forgets (client, seq) if it still maps to position pos —
+// the inverse of markSeen, used when truncation removes the entry.
+func (l *Log) unmarkSeen(e *wire.Entry, pos uint64) {
+	if IsNoop(e) {
+		return
+	}
+	if s := l.seen[e.Client]; s != nil && s[e.Seq] == pos+1 {
+		delete(s, e.Seq)
+	}
+}
+
+// TruncateUncertified discards everything beyond the contiguous certified
+// prefix: buffered (uncut) entries, uncertified blocks, and any certified
+// blocks stranded above the first gap. A demoted ex-leader calls it
+// before rejoining as a follower — blocks the cloud never certified are
+// not part of the durable truth, and the new leader's history may
+// diverge from them, so mirroring must restart from the certified
+// frontier (stranded certified blocks are refetched with their
+// certificates via catch-up). Returns the number of blocks removed.
+func (l *Log) TruncateUncertified() int {
+	var keep uint64
+	if ct, ok := l.CertifiedThrough(); ok {
+		keep = ct + 1
+	}
+	for i := range l.buf {
+		s := &l.buf[i]
+		if s.filled {
+			l.unmarkSeen(&s.entry, l.bufStart+uint64(i))
+		}
+	}
+	l.buf = nil
+	removed := len(l.blocks) - int(keep)
+	for bid := keep; bid < uint64(len(l.blocks)); bid++ {
+		blk := &l.blocks[bid]
+		for i := range blk.Entries {
+			l.unmarkSeen(&blk.Entries[i], blk.StartPos+uint64(i))
+		}
+		if _, ok := l.certs[bid]; ok {
+			l.certifiedBlocks--
+			l.certifiedEntries -= uint64(len(blk.Entries))
+			delete(l.certs, bid)
+		}
+		delete(l.digests, bid)
+	}
+	l.blocks = l.blocks[:keep]
+	if keep == 0 {
+		l.bufStart = 0
+	} else {
+		last := &l.blocks[keep-1]
+		l.bufStart = last.StartPos + uint64(len(last.Entries))
+	}
+	return removed
+}

@@ -255,3 +255,96 @@ func TestBlockLookupErrors(t *testing.T) {
 		t.Fatalf("Digest(0) err = %v", err)
 	}
 }
+
+func certify(t *testing.T, l *Log, bid uint64) {
+	t.Helper()
+	d, err := l.Digest(bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetCert(wire.BlockProof{Edge: l.Edge(), BID: bid, Digest: d}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateUncertified(t *testing.T) {
+	l := New("edge-1", 2)
+	for i := uint64(1); i <= 8; i++ {
+		if _, err := l.Append(entry("c", i), 0); err != nil {
+			t.Fatal(err)
+		}
+		l.TryCut(0, false)
+	}
+	l.Append(entry("c", 9), 0) // buffered, uncut
+	// Certify 0, 1 and 3 — block 2 is the gap, so 3 is stranded above
+	// the contiguous prefix and must go too.
+	certify(t, l, 0)
+	certify(t, l, 1)
+	certify(t, l, 3)
+
+	removed := l.TruncateUncertified()
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if l.NumBlocks() != 2 || l.BufferLen() != 0 || l.NextPos() != 4 {
+		t.Fatalf("after truncate: blocks=%d buf=%d next=%d", l.NumBlocks(), l.BufferLen(), l.NextPos())
+	}
+	if l.CertifiedBlocks() != 2 || l.CertifiedEntries() != 4 {
+		t.Fatalf("certified counts = %d/%d", l.CertifiedBlocks(), l.CertifiedEntries())
+	}
+	if _, ok := l.Cert(3); ok {
+		t.Fatal("stranded cert survived truncation")
+	}
+	if _, err := l.Digest(2); !errors.Is(err, ErrNoSuchBlock) {
+		t.Fatalf("digest 2 survived: %v", err)
+	}
+	// Entries in kept blocks stay replay-protected…
+	if _, err := l.Append(entry("c", 1), 0); !errors.Is(err, ErrDuplicateEntry) {
+		t.Fatalf("kept entry replayable: %v", err)
+	}
+	// …while truncated entries (cut and buffered) become acceptable again.
+	for _, seq := range []uint64{5, 9} {
+		if _, err := l.Append(entry("c", seq), 0); err != nil {
+			t.Fatalf("truncated seq %d still refused: %v", seq, err)
+		}
+	}
+}
+
+func TestTruncateUncertifiedMirrorRestartable(t *testing.T) {
+	// After truncation a follower must be able to InstallBlock the
+	// refetched history: next id and positions line up.
+	l := New("edge-1", 2)
+	for i := uint64(1); i <= 4; i++ {
+		l.Append(entry("c", i), 0)
+	}
+	l.TryCut(0, false)
+	l.TryCut(0, false)
+	certify(t, l, 0)
+	d1, _ := l.Digest(1)
+	blk1, _ := l.Block(1)
+	refetch := *blk1
+	refetch.Entries = append([]wire.Entry(nil), blk1.Entries...)
+
+	if removed := l.TruncateUncertified(); removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if err := l.InstallBlock(&refetch, d1); err != nil {
+		t.Fatalf("refetched install: %v", err)
+	}
+	if l.NumBlocks() != 2 || l.NextPos() != 4 {
+		t.Fatalf("after reinstall: blocks=%d next=%d", l.NumBlocks(), l.NextPos())
+	}
+}
+
+func TestTruncateUncertifiedNothingCertified(t *testing.T) {
+	l := New("edge-1", 2)
+	l.Append(entry("c", 1), 0)
+	l.Append(entry("c", 2), 0)
+	l.TryCut(0, false)
+	if removed := l.TruncateUncertified(); removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if l.NumBlocks() != 0 || l.NextPos() != 0 {
+		t.Fatalf("log not empty: blocks=%d next=%d", l.NumBlocks(), l.NextPos())
+	}
+}

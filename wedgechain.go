@@ -34,10 +34,12 @@
 package wedgechain
 
 import (
+	"fmt"
 	"time"
 
 	"wedgechain/internal/core"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/faultnet"
 	"wedgechain/internal/wire"
 )
 
@@ -54,6 +56,24 @@ const (
 // Fault re-exports the byzantine fault-injection hooks of the edge node,
 // letting applications and examples demonstrate detection and punishment.
 type Fault = edge.Fault
+
+// ChaosNet re-exports the deterministic chaos network: seeded, per-link
+// fault schedules (drop, delay, duplicate, partition) applied to every
+// frame the cluster transport carries. Build one with NewChaos, add rules
+// or partitions, and pass it as Config.Chaos.
+type ChaosNet = faultnet.Net
+
+// ChaosRule re-exports one chaos schedule entry: a (from, to, window)
+// match plus the link fault rates to apply.
+type ChaosRule = faultnet.Rule
+
+// LinkFaults re-exports the per-link fault rates (drop and duplicate
+// probabilities, delay bounds) a ChaosRule applies.
+type LinkFaults = faultnet.LinkFaults
+
+// NewChaos constructs a chaos network whose schedules derive entirely
+// from seed — the same seed replays the same faults.
+func NewChaos(seed int64) *ChaosNet { return faultnet.New(seed) }
 
 // NodeID re-exports node identities.
 type NodeID = wire.NodeID
@@ -101,6 +121,10 @@ type Config struct {
 	// CertTimeout is how long a replicated-but-uncertified backlog may
 	// stall before the cloud transfers leadership (default 3s).
 	CertTimeout time.Duration
+	// HeartbeatEvery overrides the replica heartbeat period (default
+	// LeaseTimeout/4; replicated shards only). Must stay shorter than
+	// LeaseTimeout or a live leader would look dead to the cloud.
+	HeartbeatEvery time.Duration
 	// BatchSize is the entries per block (default 100).
 	BatchSize int
 	// FlushEvery force-cuts partial blocks after this idle duration
@@ -127,9 +151,28 @@ type Config struct {
 	// snapshot they observed and reject any get served from an older
 	// one, yielding monotonic reads.
 	SessionConsistency bool
+	// RetryEvery enables client transport retries: an operation the edge
+	// never acknowledged is re-sent with exponential backoff and jitter,
+	// and settles with an unavailable error after MaxAttempts total
+	// sends. 0 disables — unanswered ops then wait out the proof timeout.
+	RetryEvery time.Duration
+	// MaxAttempts bounds total sends per operation when RetryEvery > 0
+	// (default 4, counting the initial send).
+	MaxAttempts int
+	// MaxUncertified caps a leader's uncertified block backlog: past the
+	// cap new writes are shed (not acknowledged) until certification
+	// catches up, turning a degraded cloud link into bounded
+	// backpressure instead of an unbounded Phase II promise. 0 disables.
+	MaxUncertified int
 	// Latency injects one-way delay between any two nodes; nil = none.
 	// Use it to emulate WAN topologies in-process.
 	Latency func(from, to NodeID) time.Duration
+	// Chaos, when set, subjects every frame the in-process transport
+	// carries to the chaos network's seeded fault schedules — drops,
+	// delays, duplicates and partitions per link. Combine with
+	// RetryEvery, MaxUncertified and replicated shards to exercise the
+	// healing paths; see internal/integration/chaos_test.go.
+	Chaos *ChaosNet
 	// EdgeFaults makes selected edges byzantine (for demonstrations and
 	// tests of the detect-and-punish machinery).
 	EdgeFaults map[NodeID]*Fault
@@ -175,4 +218,47 @@ func (c *Config) fill() {
 	if c.ProofTimeout <= 0 {
 		c.ProofTimeout = 10 * time.Second
 	}
+}
+
+// Validate rejects configurations fill() cannot repair — combinations
+// that would construct a cluster which silently misbehaves. NewCluster
+// calls it before applying defaults.
+func (c *Config) Validate() error {
+	if c.ReplicasPerShard < 0 {
+		return fmt.Errorf("wedgechain: ReplicasPerShard must be >= 0, got %d", c.ReplicasPerShard)
+	}
+	if c.ReplicasPerShard > 1 && c.CertTimeout < 0 {
+		return fmt.Errorf("wedgechain: replicated shards require a certification-stall timeout; CertTimeout %v disables the detector that replaces a leader which replicates but never certifies", c.CertTimeout)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"LeaseTimeout", c.LeaseTimeout},
+		{"CertTimeout", c.CertTimeout},
+		{"HeartbeatEvery", c.HeartbeatEvery},
+		{"FlushEvery", c.FlushEvery},
+		{"GossipEvery", c.GossipEvery},
+		{"ProofTimeout", c.ProofTimeout},
+		{"FreshnessWindow", c.FreshnessWindow},
+		{"RetryEvery", c.RetryEvery},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("wedgechain: %s must not be negative, got %v", d.name, d.v)
+		}
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("wedgechain: MaxAttempts must be >= 0, got %d", c.MaxAttempts)
+	}
+	if c.MaxUncertified < 0 {
+		return fmt.Errorf("wedgechain: MaxUncertified must be >= 0, got %d", c.MaxUncertified)
+	}
+	lease := c.LeaseTimeout
+	if lease <= 0 {
+		lease = time.Second
+	}
+	if c.HeartbeatEvery > 0 && c.HeartbeatEvery >= lease {
+		return fmt.Errorf("wedgechain: HeartbeatEvery (%v) must be shorter than LeaseTimeout (%v) — a live leader would miss its lease on schedule alone", c.HeartbeatEvery, lease)
+	}
+	return nil
 }
