@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 chaos fmt fmt-check vet doc-check ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 chaos fmt fmt-check vet doc-check ci
 
 build:
 	$(GO) build ./...
@@ -71,8 +71,17 @@ bench-pr6:
 # PR-7 artifact: put hot path (P1, regression guard) + chaos soak (CH1,
 # wall-clock healing under seeded drop/dup/delay and a mid-run leader
 # partition; asserts no certified write lost and no honest conviction).
+# Not part of `ci`: bench-pr8 runs the same P1 binary, so chaining both
+# would measure P1 twice; BENCH_pr7.json stays the committed PR-7 record.
 bench-pr7:
 	$(GO) run ./cmd/wedge-bench -run P1,CH1 -json BENCH_pr7.json
+
+# PR-8 artifact: put hot path (P1, regression guard) + front door (C1,
+# wall-clock session multiplexing at flat goroutine count, admission-
+# control shedding with zero lost certified writes, and the light
+# client's sampled-verification CPU savings).
+bench-pr8:
+	$(GO) run ./cmd/wedge-bench -run P1,C1 -json BENCH_pr8.json
 
 # Long chaos soak: several seeds, long schedules, double partition
 # windows, full invariant audit per seed. Deterministic — a failing seed
@@ -109,4 +118,4 @@ doc-check:
 	fi; \
 	echo "doc-check: all packages documented"
 
-ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr7
+ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr8

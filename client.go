@@ -19,6 +19,7 @@ var (
 	ErrEdgeBanned  = client.ErrEdgeBanned
 	ErrStale       = client.ErrStale
 	ErrUnavailable = client.ErrUnavailable
+	ErrOverloaded  = client.ErrOverloaded
 )
 
 // Receipt tracks a write through its two commitments. It is returned once

@@ -2,6 +2,7 @@ package wedgechain
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -378,6 +379,52 @@ func (c *Cluster) ChainEpoch(chain NodeID) uint64 {
 	return <-ch
 }
 
+// SessionHub groups many client sessions behind one transport node: every
+// attached session shares the hub's single goroutine and inbox instead of
+// owning its own, so a front door can multiplex thousands of sessions at a
+// flat goroutine count. Build one with NewSessionHub and attach sessions
+// by passing it in ClientOptions. The synchronous Client API is unchanged
+// — per-session work is serialized on the hub goroutine, trading a shared
+// lane for the per-session goroutine.
+type SessionHub struct {
+	hub *transport.Hub
+}
+
+// Sessions returns the number of sessions attached to the hub.
+func (h *SessionHub) Sessions() int { return h.hub.Len() }
+
+// NewSessionHub registers a named session hub with the cluster transport.
+func (c *Cluster) NewSessionHub(name string) (*SessionHub, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("wedgechain: cluster closed")
+	}
+	h := transport.NewHub(NodeID(name))
+	c.net.Add(h)
+	return &SessionHub{hub: h}, nil
+}
+
+// ClientOptions tunes a session created by NewClientWith beyond the
+// cluster-level defaults.
+type ClientOptions struct {
+	// Hub attaches the session to a shared SessionHub instead of giving
+	// it a dedicated transport goroutine. Nil keeps the one-goroutine-
+	// per-client default.
+	Hub *SessionHub
+	// Light switches this session into light verification even when the
+	// cluster's LightVerify default is off.
+	Light bool
+	// Sample overrides the light-mode audit denominator (1 in Sample
+	// responses fully verified; 1 audits everything). 0 inherits the
+	// cluster's VerifySample (or 16).
+	Sample int
+	// Seed fixes the light-mode sampling seed. 0 derives one from the
+	// session name, so distinct sessions audit distinct request subsets
+	// while any single run stays reproducible.
+	Seed uint64
+}
+
 // NewClient creates an authenticated client session.
 //
 // With Shards <= 1 the session binds to edgeID's partition exactly as in
@@ -387,6 +434,13 @@ func (c *Cluster) ChainEpoch(chain NodeID) uint64 {
 // log API bound to the session's home shard. A non-empty edgeID must name
 // an existing edge in either mode.
 func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
+	return c.NewClientWith(name, edgeID, ClientOptions{})
+}
+
+// NewClientWith creates a client session with explicit options: hub
+// multiplexing and/or light verification. NewClient is the zero-options
+// shorthand.
+func (c *Cluster) NewClientWith(name string, edgeID NodeID, opts ClientOptions) (*Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -430,6 +484,20 @@ func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
 	c.keys[id] = k
 	c.reg.Register(id, k.Pub)
 
+	light := opts.Light || c.cfg.LightVerify
+	sample := opts.Sample
+	if sample <= 0 {
+		sample = c.cfg.VerifySample
+	}
+	seed := opts.Seed
+	if light && seed == 0 {
+		// Deterministic per-name seed: each session audits its own
+		// request subset, and re-running the same program replays the
+		// same audits.
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		seed = h.Sum64()
+	}
 	session := client.NewSharded(client.Config{
 		ID:              id,
 		Cloud:           CloudID,
@@ -438,6 +506,9 @@ func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
 		Session:         c.cfg.SessionConsistency,
 		RetryEvery:      c.cfg.RetryEvery.Nanoseconds(),
 		MaxAttempts:     c.cfg.MaxAttempts,
+		Light:           light,
+		SampleEvery:     sample,
+		SampleSeed:      seed,
 	}, ring, k, c.reg)
 	cl := newClient(c, id, session)
 	for _, core := range session.Cores() {
@@ -446,7 +517,14 @@ func (c *Cluster) NewClient(name string, edgeID NodeID) (*Client, error) {
 		core.OnDone = cl.onDone
 	}
 	c.clients[id] = cl
-	c.net.Add(&clientHandler{cl})
+	if opts.Hub != nil {
+		if !c.net.AddSession(opts.Hub.hub.ID(), &clientHandler{cl}) {
+			delete(c.clients, id)
+			return nil, fmt.Errorf("wedgechain: session hub %q is not registered with this cluster", opts.Hub.hub.ID())
+		}
+	} else {
+		c.net.Add(&clientHandler{cl})
+	}
 	c.net.Do(CloudID, func(now int64) []wire.Envelope {
 		c.cloud.AddGossipTarget(id)
 		// Replay existing convictions to the new session: the verdict

@@ -31,6 +31,7 @@ import (
 	"wedgechain/internal/client"
 	"wedgechain/internal/core"
 	"wedgechain/internal/transport"
+	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
 
@@ -51,11 +52,29 @@ func main() {
 		// error.
 		retryEvery  = flag.Duration("retry-every", 0, "re-send an unacknowledged op after this long (0 disables retry)")
 		maxAttempts = flag.Int("max-attempts", 0, "total sends per op when -retry-every is set (0 = default 4)")
+
+		// Front door (see docs/RUNBOOK.md "Front door"): frame-scheduler
+		// sizing, session multiplexing, and light verification.
+		schedLanes  = flag.Int("sched-lanes", 0, "writer lanes in the shared frame scheduler (0 = default 4)")
+		maxInflight = flag.Int("max-inflight", 0, "max frames queued per writer lane before shedding (0 = default 4096)")
+		sessions    = flag.Int("sessions-per-conn", 1, "run a get from this many sessions multiplexed over one connection (session ids <id>.s2.. must appear in every node's -peers, mapped to this client's address)")
+		lightMode   = flag.Bool("light", false, "light verification: trust the gossiped certified frontier and fully verify only a sample of responses")
+		sampleRate  = flag.String("sample", "1/16", `light-mode audit rate: "1/N" or "N" fully verifies one in N responses`)
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		log.Fatal("missing operation: add|read|put|get|scan")
+	}
+	sampleEvery, err := cli.ParseSample(*sampleRate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *sessions < 1 {
+		log.Fatal("-sessions-per-conn must be >= 1")
+	}
+	if *sessions > 1 && args[0] != "get" {
+		log.Fatal("-sessions-per-conn > 1 supports only get: other operations sign as the session identity, which must be provisioned at the edge")
 	}
 
 	peerMap, err := cli.ParsePeers(*peers)
@@ -63,16 +82,37 @@ func main() {
 		log.Fatal(err)
 	}
 	key, reg := cli.Registry(wire.NodeID(*id), peerMap)
-	cc := client.New(client.Config{
+	ccfg := client.Config{
 		ID:          wire.NodeID(*id),
 		Edge:        wire.NodeID(*edgeID),
 		Chain:       wire.NodeID(*chain),
 		Cloud:       wire.NodeID(*cloudID),
 		RetryEvery:  retryEvery.Nanoseconds(),
 		MaxAttempts: *maxAttempts,
-	}, key, reg)
+		Light:       *lightMode,
+		SampleEvery: sampleEvery,
+	}
+	cc := client.New(ccfg, key, reg)
 
-	t := transport.NewTCP(cc, transport.TCPConfig{Listen: *listen, Peers: peerMap})
+	t := transport.NewTCP(cc, transport.TCPConfig{
+		Listen: *listen, Peers: peerMap,
+		Lanes: *schedLanes, LaneDepth: *maxInflight,
+	})
+
+	// Extra sessions share the primary's socket: the transport routes
+	// inbound frames to them by envelope address, and every remote node
+	// dials them at this client's address, so N sessions ride one
+	// connection end to end.
+	extras := make([]*client.Core, 0, *sessions-1)
+	for i := 2; i <= *sessions; i++ {
+		scfg := ccfg
+		scfg.ID = wire.NodeID(fmt.Sprintf("%s.s%d", *id, i))
+		skey := wcrypto.DeterministicKey(scfg.ID)
+		reg.Register(scfg.ID, skey.Pub)
+		sc := client.New(scfg, skey, reg)
+		t.AddSession(sc)
+		extras = append(extras, sc)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go func() {
@@ -142,6 +182,17 @@ func main() {
 		log.Fatalf("unknown operation %q", args[0])
 	}
 
+	// Launch the same get from every extra multiplexed session.
+	extraOps := make([]*client.Op, len(extras))
+	for i, sc := range extras {
+		i, sc := i, sc
+		t.DoSession(sc.ID(), func(now int64) []wire.Envelope {
+			var envs []wire.Envelope
+			extraOps[i], envs = sc.Get(now, []byte(args[1]))
+			return envs
+		})
+	}
+
 	// Poll the op under the transport mutex until it reaches the desired
 	// state.
 	deadline := time.Now().Add(*timeout)
@@ -192,6 +243,32 @@ func main() {
 			log.Fatal("operation timed out")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Wait for the extra sessions' gets — all multiplexed over the same
+	// connection as the primary — before reporting.
+	for waiting := len(extras) > 0; waiting; {
+		done := 0
+		for i, sc := range extras {
+			i := i
+			t.DoSession(sc.ID(), func(now int64) []wire.Envelope {
+				if op := extraOps[i]; op != nil && op.Done {
+					if op.Err != nil {
+						log.Fatalf("session %s: %v", sc.ID(), op.Err)
+					}
+					done++
+				}
+				return nil
+			})
+		}
+		if done == len(extras) {
+			fmt.Printf("%d sessions settled over one multiplexed connection\n", len(extras)+1)
+			waiting = false
+		} else if time.Now().After(deadline) {
+			log.Fatal("multiplexed sessions timed out")
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 
 	t.Do(func(now int64) []wire.Envelope {

@@ -42,6 +42,9 @@ func main() {
 		lease  = flag.Duration("lease", time.Second, "leader lease: heartbeat silence beyond this transfers leadership")
 		certTO = flag.Duration("cert-timeout", 3*time.Second, "certification-stall bound before leadership transfer")
 
+		schedLanes  = flag.Int("sched-lanes", 0, "writer lanes in the shared frame scheduler (0 = default 4)")
+		maxInflight = flag.Int("max-inflight", 0, "max frames queued per writer lane before shedding (0 = default 4096)")
+
 		// Outbound chaos injection (see docs/RUNBOOK.md "Chaos recipes").
 		chaos = cli.RegisterChaos()
 	)
@@ -81,6 +84,7 @@ func main() {
 	}
 	t := transport.NewTCP(node, transport.TCPConfig{
 		Listen: *listen, Peers: peerMap, Fault: faultNet,
+		Lanes: *schedLanes, LaneDepth: *maxInflight,
 		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

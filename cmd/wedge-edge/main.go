@@ -44,9 +44,15 @@ func main() {
 
 		// Robustness knobs (see docs/RUNBOOK.md "Chaos recipes").
 		maxUncert = flag.Int("max-uncertified", 0, "shed writes while more than this many blocks await certification (0 = no cap)")
-		certRetry = flag.Duration("cert-retry", 0, "re-submit certification after the frontier stalls this long (0 = 1s default in groups, negative disables)")
-		catchUp   = flag.Duration("catchup-every", 0, "follower gap-driven catch-up period (0 = 500ms default in groups, negative disables)")
-		chaos     = cli.RegisterChaos()
+
+		// Frame scheduler (see docs/RUNBOOK.md "Front door"): outbound
+		// frames share a bounded pool of writer lanes instead of one
+		// goroutine per peer.
+		schedLanes  = flag.Int("sched-lanes", 0, "writer lanes in the shared frame scheduler (0 = default 4)")
+		maxInflight = flag.Int("max-inflight", 0, "max frames queued per writer lane before shedding (0 = default 4096)")
+		certRetry   = flag.Duration("cert-retry", 0, "re-submit certification after the frontier stalls this long (0 = 1s default in groups, negative disables)")
+		catchUp     = flag.Duration("catchup-every", 0, "follower gap-driven catch-up period (0 = 500ms default in groups, negative disables)")
+		chaos       = cli.RegisterChaos()
 	)
 	flag.Parse()
 
@@ -107,6 +113,7 @@ func main() {
 	}
 	t := transport.NewTCP(node, transport.TCPConfig{
 		Listen: *listen, Peers: peerMap, Fault: faultNet,
+		Lanes: *schedLanes, LaneDepth: *maxInflight,
 		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

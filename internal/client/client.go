@@ -45,6 +45,12 @@ var (
 	// ErrRegression reports a get served from a snapshot older than one
 	// this session has already observed (session consistency violation).
 	ErrRegression = errors.New("client: response regressed behind session state")
+	// ErrOverloaded reports a write the edge explicitly shed under
+	// admission control (uncertified backlog at cap), with a signed
+	// retry-after hint. The retry machinery paces re-sends by the hint;
+	// exhaustion surfaces this instead of ErrUnavailable so callers can
+	// tell "come back later" from "gone".
+	ErrOverloaded = errors.New("client: edge overloaded; retry later")
 )
 
 // Kind identifies an operation type.
@@ -121,9 +127,12 @@ type Op struct {
 	Verdict     *wire.Verdict
 
 	// Transport-retry state (Config.RetryEvery): sends so far and the
-	// deadline for the next re-send.
+	// deadline for the next re-send. overloaded marks an op the edge
+	// explicitly shed (signed Overloaded), so exhaustion settles with
+	// ErrOverloaded instead of ErrUnavailable.
 	attempts   int
 	nextResend int64
+	overloaded bool
 }
 
 // DisputeFiled reports whether this operation accused its edge with the
@@ -169,6 +178,21 @@ type Config struct {
 	// MaxAttempts bounds total sends per op when RetryEvery > 0
 	// (default 4, counting the initial send).
 	MaxAttempts int
+	// Light enables the sampling light-client mode: once a cloud-signed
+	// gossiped frontier is held, only a seeded 1-in-SampleEvery sample of
+	// get responses is fully structurally verified; the rest are accepted
+	// on the edge's signature alone and settle immediately. A sampled
+	// defect escalates through the ordinary dispute path, so the edge's
+	// expected conviction guarantee is unchanged — it merely cannot
+	// predict which response will be audited. Until the first gossip
+	// arrives every response is fully verified.
+	Light bool
+	// SampleEvery is the light-mode sampling denominator (default 16 —
+	// roughly 1/16 of responses audited). 1 forces every response to be
+	// audited (used by conviction tests).
+	SampleEvery int
+	// SampleSeed seeds the deterministic per-request sampling decision.
+	SampleSeed uint64
 }
 
 func (c *Config) fill() {
@@ -183,6 +207,9 @@ func (c *Config) fill() {
 	}
 	if c.RetryEvery > 0 && c.MaxAttempts <= 0 {
 		c.MaxAttempts = 4
+	}
+	if c.Light && c.SampleEvery <= 0 {
+		c.SampleEvery = 16
 	}
 }
 
@@ -247,6 +274,15 @@ type Stats struct {
 	// Retries above counts verification-driven retries (stale gets,
 	// contradicted denials) — different layers, kept separate.
 	Resends uint64
+	// Overloads counts signed Overloaded shed signals accepted from the
+	// edge (admission control).
+	Overloads uint64
+	// Light-client accounting: get responses fully structurally verified
+	// vs accepted on the sampling fast path, and the wall-clock cost of
+	// the full verifications — the C1 experiment's CPU-reduction metric.
+	FullVerifies uint64
+	SampledSkips uint64
+	VerifyNanos  uint64
 }
 
 // New constructs a client core.
@@ -471,6 +507,8 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return c.handleScanResponse(now, env.From, m, env.Verified)
 	case *wire.Gossip:
 		return c.handleGossip(now, m)
+	case *wire.Overloaded:
+		return c.handleOverloaded(now, env.From, m, env.Verified)
 	case *wire.Verdict:
 		return c.handleVerdict(now, m)
 	case *wire.LeadershipTransfer:

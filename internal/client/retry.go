@@ -44,7 +44,13 @@ func (c *Core) tickRetry(now int64) []wire.Envelope {
 	var out []wire.Envelope
 	for _, op := range due {
 		if op.attempts >= c.cfg.MaxAttempts {
-			c.settle(op, ErrUnavailable)
+			// An op the edge explicitly shed fails as "overloaded, come
+			// back later"; silence stays the generic unavailable.
+			if op.overloaded {
+				c.settle(op, ErrOverloaded)
+			} else {
+				c.settle(op, ErrUnavailable)
+			}
 			continue
 		}
 		op.attempts++
@@ -87,6 +93,63 @@ func retryJitter(key, attempt uint64, span int64) int64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return int64(x % uint64(span))
+}
+
+// handleOverloaded applies an edge's signed admission signal. The edge
+// sheds writes while its uncertified backlog is at cap and — instead of
+// silent loss — names the triggering operation (Seq/ReqID echo) and hints
+// when certification progress should reopen admission. The signal is
+// edge-scoped: every still-unacknowledged op at this edge is backing up
+// behind the same backlog, so all of them are marked overloaded and have
+// their next re-send pushed past the hint (plus jitter). Marked ops that
+// exhaust their retries settle with ErrOverloaded; ops the edge accepts
+// on a later re-send proceed normally.
+func (c *Core) handleOverloaded(now int64, from wire.NodeID, m *wire.Overloaded, verified bool) []wire.Envelope {
+	if from != c.cfg.Edge || c.banned != nil {
+		return nil
+	}
+	if !verified {
+		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
+			c.stats.VerifyFailures++
+			return nil
+		}
+	}
+	c.stats.Overloads++
+	hint := m.RetryAfter
+	if hint <= 0 {
+		hint = c.cfg.RetryEvery
+	}
+	// Collect first: settling mutates the rings being iterated.
+	var hit []*Op
+	collect := func(_ uint64, op *Op) {
+		if op.Done || op.disputed || op.Phase != core.PhaseNone {
+			return
+		}
+		hit = append(hit, op)
+	}
+	c.bySeq.each(collect)
+	c.byReq.each(collect)
+	for _, op := range hit {
+		op.overloaded = true
+		if c.cfg.RetryEvery <= 0 {
+			// No retry machinery: the shed is terminal for this op —
+			// surface the typed failure now instead of hanging forever.
+			c.settle(op, ErrOverloaded)
+			continue
+		}
+		if op.attempts == 0 {
+			op.attempts = 1
+		}
+		key := op.Seq
+		if key == 0 {
+			key = op.ReqID
+		}
+		next := now + hint + retryJitter(key, uint64(op.attempts), hint/2)
+		if next > op.nextResend {
+			op.nextResend = next
+		}
+	}
+	return nil
 }
 
 // resendOp rebuilds the wire request for an unsettled op and aims it at

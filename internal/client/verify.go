@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"wedgechain/internal/core"
 	"wedgechain/internal/merkle"
@@ -139,7 +140,30 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		c.settle(op, fmt.Errorf("%w: response answers a different key than requested", ErrBadResponse))
 		return nil
 	}
+	if c.cfg.Light && c.gossip != nil && !c.sampleHit(m.ReqID) {
+		// Light-client fast path: the edge's signature on the response has
+		// been checked (inline or by the verify pool) and a cloud-signed
+		// gossiped frontier vouches that certification is chasing this
+		// edge's log, so the structural proof verification — the dominant
+		// client CPU cost — is skipped for all but a seeded sample of
+		// responses. The edge cannot tell which request will be audited,
+		// so any lie it serves is caught with probability 1/SampleEvery
+		// per response and convicts exactly as a full client's would: the
+		// expected-conviction guarantee of lazy trust is unchanged, only
+		// amortized. Session watermarks do not advance here — only fully
+		// verified responses may move them.
+		c.stats.SampledSkips++
+		op.Found = m.Found
+		op.GotValue = m.Value
+		op.GotVer = m.Ver
+		c.phaseI(now, op, 0, nil)
+		c.phaseII(now, op)
+		return nil
+	}
+	verifyStart := time.Now()
 	res, err := c.verifyGet(now, op.Key, m)
+	c.stats.FullVerifies++
+	c.stats.VerifyNanos += uint64(time.Since(verifyStart))
 	if err == ErrStale || err == ErrRegression {
 		staleErr := err
 		c.stats.StaleRejected++
@@ -186,6 +210,18 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		c.addByBID(bid, op)
 	}
 	return nil
+}
+
+// sampleHit decides whether a light-mode response is audited: a
+// splitmix64 hash of (seed, request id) picks 1 in SampleEvery requests —
+// deterministic per seed, so runs reproduce, yet unpredictable to the
+// edge, which never learns the seed. SampleEvery <= 1 audits everything
+// (how conviction tests force the sample to hit).
+func (c *Core) sampleHit(reqID uint64) bool {
+	if c.cfg.SampleEvery <= 1 {
+		return true
+	}
+	return retryJitter(c.cfg.SampleSeed^reqID, 0x5bf03635, int64(c.cfg.SampleEvery)) == 0
 }
 
 // VerifyGetResponse runs the full client-side verification of a get

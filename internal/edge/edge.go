@@ -249,6 +249,12 @@ type Node struct {
 	lastCatchUp      int64
 	lastShedLog      int64
 
+	// lastOverload rate-limits the signed Overloaded shed signal per
+	// client: a shed batch triggers one signature, not one per entry.
+	// Keyed by registered client identity, so growth is bounded by the
+	// registry; cleared wholesale if it ever exceeds overloadMapCap.
+	lastOverload map[wire.NodeID]int64
+
 	// Stats counters exposed for benchmarks and tests.
 	stats Stats
 }
@@ -269,6 +275,10 @@ type Stats struct {
 	Shed        uint64
 	CertRetries uint64
 	CatchUps    uint64
+	// ShedSignals counts signed Overloaded messages sent to clients —
+	// at most one per client per retry-after window, however many
+	// entries were shed behind it.
+	ShedSignals uint64
 	// Truncated counts blocks discarded from the uncertified tail on
 	// demotion — divergent or abandoned history replaced by catch-up.
 	Truncated uint64
@@ -536,7 +546,7 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, ver
 				n.logf("shedding writes: uncertified backlog at cap",
 					"backlog", n.log.NumBlocks()-frontier, "cap", n.cfg.MaxUncertified, "shed", n.stats.Shed)
 			}
-			return nil
+			return n.shedSignal(now, from, e.Seq, n.log.NumBlocks()-frontier)
 		}
 	}
 	if !verified {
@@ -565,6 +575,38 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, ver
 		return nil
 	}
 	return n.emitBlock(now, blk)
+}
+
+// overloadMapCap bounds the per-client shed rate-limit map; exceeding it
+// clears the map wholesale (the cost is one extra signal per client).
+const overloadMapCap = 4096
+
+// shedSignal turns a silent write drop into an explicit, signed admission
+// signal: the client learns which operation was shed (Seq echo), how deep
+// the uncertified backlog is, and when certification progress should
+// reopen admission, and paces its retries by the hint instead of probing
+// blind. At most one signal is signed per client per retry-after window —
+// a shed 1000-entry batch costs one signature — and the client applies the
+// backoff to every write it has in flight here, so per-entry signals would
+// be redundant.
+func (n *Node) shedSignal(now int64, client wire.NodeID, seq, backlog uint64) []wire.Envelope {
+	hint := n.cfg.CertRetryEvery
+	if hint <= 0 {
+		hint = int64(1e8)
+	}
+	if n.lastOverload == nil {
+		n.lastOverload = make(map[wire.NodeID]int64)
+	} else if len(n.lastOverload) > overloadMapCap {
+		n.lastOverload = make(map[wire.NodeID]int64)
+	}
+	if last, ok := n.lastOverload[client]; ok && now-last < hint {
+		return nil
+	}
+	n.lastOverload[client] = now
+	n.stats.ShedSignals++
+	m := &wire.Overloaded{Seq: seq, RetryAfter: hint, Backlog: backlog}
+	m.EdgeSig = wcrypto.SignMsg(n.key, m)
+	return []wire.Envelope{{From: n.cfg.ID, To: client, Msg: m}}
 }
 
 // emitBlock persists a freshly cut block and produces its Phase I

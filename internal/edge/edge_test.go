@@ -324,3 +324,39 @@ func TestPutBatchCutsAlignedBlock(t *testing.T) {
 		t.Fatalf("blocks = %d", f.node.Log().NumBlocks())
 	}
 }
+
+func TestShedEmitsSignedOverloadSignal(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 1, MaxUncertified: 1})
+	// One write cuts one block; with nothing certified the backlog sits
+	// at the cap and the next write must be shed.
+	f.add(t, 1, "c1", 1, "a")
+
+	out := f.add(t, 2, "c1", 2, "b")
+	if kindsOf(out)[wire.KindOverloaded] != 1 {
+		t.Fatalf("shed write answered with %v, want one Overloaded", kindsOf(out))
+	}
+	m := out[0].Msg.(*wire.Overloaded)
+	if m.Seq != 2 || m.Backlog != 1 || m.RetryAfter <= 0 {
+		t.Fatalf("signal = %+v", m)
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "edge-1", m, m.EdgeSig); err != nil {
+		t.Fatalf("overload signal unsigned: %v", err)
+	}
+
+	// Within the retry-after window the same client is rate-limited: a
+	// shed burst costs one signature, not one per entry.
+	if out := f.add(t, 3, "c1", 3, "c"); out != nil {
+		t.Fatalf("second shed in window produced %v, want silence", kindsOf(out))
+	}
+	// A different client gets its own signal.
+	if out := f.add(t, 4, "c2", 1, "d"); kindsOf(out)[wire.KindOverloaded] != 1 {
+		t.Fatalf("second client got %v, want its own Overloaded", kindsOf(out))
+	}
+	// After the window elapses the first client is signalled again.
+	if out := f.add(t, 2+m.RetryAfter, "c1", 4, "e"); kindsOf(out)[wire.KindOverloaded] != 1 {
+		t.Fatalf("post-window shed got %v, want a fresh Overloaded", kindsOf(out))
+	}
+	if got := f.node.Stats().ShedSignals; got != 3 {
+		t.Fatalf("ShedSignals = %d, want 3", got)
+	}
+}

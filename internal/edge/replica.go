@@ -140,6 +140,15 @@ func (n *Node) handleReplicate(now int64, from wire.NodeID, m *wire.ReplicateBlo
 		return nil
 	}
 	if bid > next {
+		if bid >= next+pendingWindow {
+			// Beyond the stash window: drop it. The gap itself (or the
+			// cloud's gossiped frontier) drives certified catch-up, which
+			// refetches the run verified — stashing arbitrarily far ahead
+			// would just let a fast or hostile leader grow the map without
+			// bound.
+			return nil
+		}
+		n.evictStash()
 		cp := *m
 		n.pendingRepl[bid] = &cp
 		return nil
@@ -187,6 +196,10 @@ func (n *Node) installReplicated(m *wire.ReplicateBlock) []wire.Envelope {
 // replication stream the leader signed IS the lie.
 func (n *Node) followerApplyCert(p wire.BlockProof) []wire.Envelope {
 	if p.BID >= n.log.NumBlocks() {
+		if p.BID >= n.log.NumBlocks()+pendingWindow {
+			return nil // beyond the stash window; catch-up rides the certs in
+		}
+		n.evictStash()
 		n.pendingCerts[p.BID] = p
 		return nil
 	}
@@ -205,12 +218,43 @@ func (n *Node) followerApplyCert(p wire.BlockProof) []wire.Envelope {
 			"certificate contradicts replicated block; convicting leader")
 	}
 	n.stats.Certified++
+	// The replication signature's evidentiary job is done: the cert
+	// matched the mirrored digest, and a future divergent duplicate
+	// carries its own convicting signature. Dropping it keeps replSigs
+	// bounded by the uncertified tail instead of growing per block
+	// forever.
+	delete(n.replSigs, p.BID)
 	if n.store != nil {
 		if err := n.store.AppendCert(&p); err != nil {
 			n.logf("persisting mirrored certificate failed", "bid", p.BID, "err", err)
 		}
 	}
 	return nil
+}
+
+// pendingWindow bounds how far above the mirrored tip a follower stashes
+// out-of-order replicated blocks and early certificates. Anything further
+// ahead is dropped and refetched through certified catch-up — the same
+// base-chasing discipline the bidRing applies to blockClients/readWaiters,
+// so a fast (or hostile) leader can never grow the stash maps without
+// bound.
+const pendingWindow = 1024
+
+// evictStash drops stash entries the mirrored log has outgrown: a bid
+// below the tip was installed (live or via catch-up) and its stashed copy
+// or certificate can never be needed again.
+func (n *Node) evictStash() {
+	next := n.log.NumBlocks()
+	for bid := range n.pendingRepl {
+		if bid < next {
+			delete(n.pendingRepl, bid)
+		}
+	}
+	for bid := range n.pendingCerts {
+		if bid < next {
+			delete(n.pendingCerts, bid)
+		}
+	}
 }
 
 // convictLeader packages a leader-signed replicated block that contradicts

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"sync"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/wire"
+)
+
+// Hub multiplexes many handlers onto one transport node: it is itself a
+// core.Handler whose Receive routes each envelope to the attached session
+// with the matching identity and whose Tick drives every session. Added
+// to a Local (with the member identities aliased via AddSession) it gives
+// K client sessions one node goroutine instead of K — the in-process
+// analogue of TCP's session multiplexing, and what lets the front-door
+// experiment hold tens of thousands of sessions at a flat goroutine
+// count.
+type Hub struct {
+	id wire.NodeID
+
+	mu       sync.RWMutex
+	sessions map[wire.NodeID]core.Handler
+	order    []core.Handler
+}
+
+// NewHub creates an empty hub with its own node identity.
+func NewHub(id wire.NodeID) *Hub {
+	return &Hub{id: id, sessions: make(map[wire.NodeID]core.Handler)}
+}
+
+// Attach adds a session. Safe while the hub is live: routing state is
+// lock-protected, and the session's handler is only ever entered from the
+// hub's single goroutine afterwards.
+func (h *Hub) Attach(s core.Handler) {
+	h.mu.Lock()
+	if _, dup := h.sessions[s.ID()]; !dup {
+		h.order = append(h.order, s)
+	}
+	h.sessions[s.ID()] = s
+	h.mu.Unlock()
+}
+
+// Len returns the number of attached sessions.
+func (h *Hub) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.order)
+}
+
+// ID implements core.Handler.
+func (h *Hub) ID() wire.NodeID { return h.id }
+
+// Receive implements core.Handler: route to the addressed session.
+func (h *Hub) Receive(now int64, env wire.Envelope) []wire.Envelope {
+	h.mu.RLock()
+	s := h.sessions[env.To]
+	h.mu.RUnlock()
+	if s == nil {
+		return nil
+	}
+	return s.Receive(now, env)
+}
+
+// Tick implements core.Handler: drive every session.
+func (h *Hub) Tick(now int64) []wire.Envelope {
+	h.mu.RLock()
+	sess := h.order
+	h.mu.RUnlock()
+	var out []wire.Envelope
+	for _, s := range sess {
+		out = append(out, s.Tick(now)...)
+	}
+	return out
+}

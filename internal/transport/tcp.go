@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wedgechain/internal/core"
@@ -23,7 +25,9 @@ const maxFrame = 64 << 20
 type TCPConfig struct {
 	// Listen is the local address to accept peer connections on.
 	Listen string
-	// Peers maps node identities to dialable addresses.
+	// Peers maps node identities to dialable addresses. Multiple
+	// identities may share one address (a multiplexed endpoint hosting
+	// many sessions); their frames share one outbound connection.
 	Peers map[wire.NodeID]string
 	// TickEvery drives Handler.Tick; 0 defaults to 50ms.
 	TickEvery time.Duration
@@ -33,6 +37,15 @@ type TCPConfig struct {
 	// A peer that stops reading fails its writes and is redialed on the
 	// next message instead of wedging the sender.
 	WriteTimeout time.Duration
+	// Lanes is the number of shared writer goroutines draining outbound
+	// frames; 0 defaults to 4. Peers hash to a lane by address, so one
+	// peer's frames stay FIFO and peers sharing an address share a
+	// connection. More lanes reduce cross-peer head-of-line blocking
+	// (a stalled dial or write delays only its own lane).
+	Lanes int
+	// LaneDepth is each lane's frame queue capacity; 0 defaults to 4096.
+	// A full lane drops the frame (counted in Stats.LaneDrops).
+	LaneDepth int
 	// Registry and VerifyWorkers enable a parallel signature
 	// verification stage between the socket readers and the handler:
 	// frames from any number of connections are pre-verified in
@@ -48,23 +61,52 @@ type TCPConfig struct {
 	Fault *faultnet.Net
 }
 
-// TCP serves one handler over real sockets: inbound frames are decoded and
-// delivered under a per-node mutex (preserving single-threaded handler
-// semantics); outputs are handed to one writer goroutine per peer, so a
-// slow or dead peer can only ever stall (and eventually drop) its own
-// traffic — never the handler, the verify pool, or other peers.
+// Stats counts an endpoint's frame-level events. All counters are
+// cumulative since creation.
+type Stats struct {
+	// FramesSent counts frames successfully written to a peer socket.
+	FramesSent uint64
+	// LaneDrops counts frames dropped because their writer lane's queue
+	// was full (a slow or dead peer backing up its lane).
+	LaneDrops uint64
+	// NoAddrDrops counts frames dropped for lack of a peer address.
+	NoAddrDrops uint64
+	// Redials counts outbound connection (re)establishments.
+	Redials uint64
+}
+
+// TCP serves one or more handlers ("sessions") over real sockets. Inbound
+// frames are routed by Envelope.To to the session with that identity and
+// delivered under a per-session mutex (preserving single-threaded handler
+// semantics). Outbound frames are drained by a small fixed pool of writer
+// lanes — not one goroutine per peer — so the goroutine count stays flat
+// no matter how many peers or sessions the endpoint serves. Peers hash to
+// lanes by address: one peer's frames stay FIFO, and a slow or dead peer
+// can stall only its own lane (bounded by DialTimeout/WriteTimeout), never
+// the handlers, the verify pool, or other lanes.
 type TCP struct {
 	cfg    TCPConfig
-	h      core.Handler
 	verify *wcrypto.VerifyPool // nil = verify inline in the handler
-	stopc  chan struct{}       // closed when Serve exits; stops writers
+	stopc  chan struct{}       // closed when Serve exits; stops lanes
 	stop1  sync.Once
 
-	mu sync.Mutex // serializes handler access
+	// sessions routes inbound frames by destination identity. primary is
+	// the handler NewTCP was created with (the Do target).
+	sessMu   sync.RWMutex
+	sessions map[wire.NodeID]*tcpSession
+	primary  *tcpSession
 
-	connMu  sync.Mutex
-	writers map[wire.NodeID]*peerWriter
-	peers   map[wire.NodeID]string
+	connMu     sync.Mutex
+	peers      map[wire.NodeID]string
+	dropLogged map[wire.NodeID]struct{} // peers whose lane drop was logged
+
+	lanes    []*writeLane
+	laneOnce sync.Once // lanes start on first outbound frame
+
+	stFramesSent atomic.Uint64
+	stLaneDrops  atomic.Uint64
+	stNoAddr     atomic.Uint64
+	stRedials    atomic.Uint64
 
 	lisMu sync.Mutex
 	lis   net.Listener
@@ -76,19 +118,32 @@ type TCP struct {
 	accepted map[net.Conn]struct{}
 }
 
-// peerWriter is one peer's outbound lane: a bounded queue drained by a
-// dedicated goroutine. A full queue drops the message — the protocol's
-// timeout and dispute machinery owns recovery, mirroring the paper's
-// asynchronous network assumption.
-type peerWriter struct {
-	out chan wire.Envelope
+// tcpSession is one handler hosted on the endpoint, with the mutex that
+// serializes its Receive/Tick access.
+type tcpSession struct {
+	mu sync.Mutex
+	h  core.Handler
+}
+
+// writeLane is one shared outbound worker: a bounded queue of addressed
+// frames drained by a dedicated goroutine that owns the connections to
+// every peer hashed onto it. A full queue drops the frame — the
+// protocol's timeout and dispute machinery owns recovery, mirroring the
+// paper's asynchronous network assumption.
+type writeLane struct {
+	ch chan laneItem
+}
+
+type laneItem struct {
+	to  wire.NodeID
+	env wire.Envelope
 }
 
 // peerConn is one outbound connection plus a liveness flag maintained by a
 // read-side monitor. Outbound connections are write-only in this protocol
 // (responses travel over the peer's own dial), so a returning Read means
 // the peer closed or reset the connection — most importantly, that the
-// peer's process died or restarted. The writer consults the flag before
+// peer's process died or restarted. The lane consults the flag before
 // each frame: writing into a socket the kernel already knows is dead
 // "succeeds" locally and loses the frame without ever surfacing an error.
 type peerConn struct {
@@ -137,21 +192,63 @@ func NewTCP(h core.Handler, cfg TCPConfig) *TCP {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 4
+	}
+	if cfg.LaneDepth <= 0 {
+		cfg.LaneDepth = 4096
+	}
 	peers := make(map[wire.NodeID]string, len(cfg.Peers))
 	for id, addr := range cfg.Peers {
 		peers[id] = addr
 	}
+	prim := &tcpSession{h: h}
 	t := &TCP{
-		cfg: cfg, h: h,
-		stopc:    make(chan struct{}),
-		writers:  make(map[wire.NodeID]*peerWriter),
-		peers:    peers,
-		accepted: make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		stopc:      make(chan struct{}),
+		sessions:   map[wire.NodeID]*tcpSession{h.ID(): prim},
+		primary:    prim,
+		peers:      peers,
+		dropLogged: make(map[wire.NodeID]struct{}),
+		lanes:      make([]*writeLane, cfg.Lanes),
+		accepted:   make(map[net.Conn]struct{}),
+	}
+	for i := range t.lanes {
+		t.lanes[i] = &writeLane{ch: make(chan laneItem, cfg.LaneDepth)}
 	}
 	if cfg.Registry != nil && cfg.VerifyWorkers != 0 {
 		t.verify = wcrypto.NewVerifyPool(cfg.Registry, cfg.VerifyWorkers, 0, t.deliverVerified)
 	}
 	return t
+}
+
+// AddSession hosts another handler on this endpoint. Inbound frames are
+// routed by Envelope.To, so any number of client sessions share one
+// listener, one verify pool, and the fixed writer-lane pool instead of a
+// transport (and its goroutines) each. Sessions must be added before
+// traffic for their identity arrives; frames for unknown identities are
+// dropped as misrouted.
+func (t *TCP) AddSession(h core.Handler) {
+	t.sessMu.Lock()
+	t.sessions[h.ID()] = &tcpSession{h: h}
+	t.sessMu.Unlock()
+}
+
+func (t *TCP) session(id wire.NodeID) *tcpSession {
+	t.sessMu.RLock()
+	s := t.sessions[id]
+	t.sessMu.RUnlock()
+	return s
+}
+
+// Stats returns a snapshot of the endpoint's frame counters.
+func (t *TCP) Stats() Stats {
+	return Stats{
+		FramesSent:  t.stFramesSent.Load(),
+		LaneDrops:   t.stLaneDrops.Load(),
+		NoAddrDrops: t.stNoAddr.Load(),
+		Redials:     t.stRedials.Load(),
+	}
 }
 
 // Addr returns the bound listen address, or nil before Listen succeeded.
@@ -164,8 +261,9 @@ func (t *TCP) Addr() net.Addr {
 	return t.lis.Addr()
 }
 
-// SetPeer binds or replaces a peer's dialable address at runtime. An
-// existing writer picks the new address up on its next dial.
+// SetPeer binds or replaces a peer's dialable address at runtime. Lanes
+// resolve the address on every dial, so an existing peer picks the new
+// address up on its next (re)connect.
 func (t *TCP) SetPeer(id wire.NodeID, addr string) {
 	t.connMu.Lock()
 	defer t.connMu.Unlock()
@@ -190,9 +288,9 @@ func (t *TCP) Listen() error {
 }
 
 // Serve listens and processes frames until ctx is done. On exit the
-// verification pool (if any) is drained and stopped and the per-peer
-// writer goroutines are released; frames still in flight are dropped,
-// which shutdown makes moot.
+// verification pool (if any) is drained and stopped and the writer lanes
+// are released; frames still in flight are dropped, which shutdown makes
+// moot.
 func (t *TCP) Serve(ctx context.Context) error {
 	defer t.stop1.Do(func() { close(t.stopc) })
 	defer func() {
@@ -224,10 +322,19 @@ func (t *TCP) Serve(ctx context.Context) error {
 			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				t.mu.Lock()
-				outs := t.h.Tick(time.Now().UnixNano())
-				t.mu.Unlock()
-				t.sendAll(outs)
+				now := time.Now().UnixNano()
+				t.sessMu.RLock()
+				sess := make([]*tcpSession, 0, len(t.sessions))
+				for _, s := range t.sessions {
+					sess = append(sess, s)
+				}
+				t.sessMu.RUnlock()
+				for _, s := range sess {
+					s.mu.Lock()
+					outs := s.h.Tick(now)
+					s.mu.Unlock()
+					t.sendAll(outs)
+				}
 			}
 		}
 	}()
@@ -258,18 +365,37 @@ func (t *TCP) Deliver(env wire.Envelope) {
 }
 
 func (t *TCP) deliverVerified(env wire.Envelope) {
-	t.mu.Lock()
-	outs := t.h.Receive(time.Now().UnixNano(), env)
-	t.mu.Unlock()
+	s := t.session(env.To)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	outs := s.h.Receive(time.Now().UnixNano(), env)
+	s.mu.Unlock()
 	t.sendAll(outs)
 }
 
-// Do runs fn under the handler mutex and routes its outputs — the hook
-// synchronous clients use to start operations.
+// Do runs fn under the primary session's mutex and routes its outputs —
+// the hook synchronous clients use to start operations.
 func (t *TCP) Do(fn func(now int64) []wire.Envelope) {
-	t.mu.Lock()
+	t.doOn(t.primary, fn)
+}
+
+// DoSession runs fn under the named session's mutex and routes its
+// outputs; it reports whether the session exists.
+func (t *TCP) DoSession(id wire.NodeID, fn func(now int64) []wire.Envelope) bool {
+	s := t.session(id)
+	if s == nil {
+		return false
+	}
+	t.doOn(s, fn)
+	return true
+}
+
+func (t *TCP) doOn(s *tcpSession, fn func(now int64) []wire.Envelope) {
+	s.mu.Lock()
 	outs := fn(time.Now().UnixNano())
-	t.mu.Unlock()
+	s.mu.Unlock()
 	t.sendAll(outs)
 }
 
@@ -285,7 +411,7 @@ func (t *TCP) read(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if env.To != t.h.ID() {
+		if t.session(env.To) == nil {
 			continue // misrouted
 		}
 		t.Deliver(env)
@@ -301,8 +427,8 @@ func (t *TCP) sendAll(envs []wire.Envelope) {
 	}
 }
 
-// send hands the envelope to env.To's writer lane without ever blocking
-// the caller: a full lane drops the message (the protocol's timeout and
+// send hands the envelope to its writer lane without ever blocking the
+// caller: a full lane drops the message (the protocol's timeout and
 // dispute machinery owns recovery, mirroring the paper's asynchronous
 // network assumption).
 func (t *TCP) send(env wire.Envelope) {
@@ -324,37 +450,59 @@ func (t *TCP) send(env wire.Envelope) {
 	t.enqueue(env)
 }
 
-// enqueue hands the envelope to env.To's writer lane, creating the lane
-// on first use.
+// enqueue routes the envelope to the lane owning its peer's address. The
+// lane is chosen by address, not identity, so every frame for one peer
+// stays FIFO through one lane, and multiplexed identities sharing an
+// address share the lane's single connection to it.
 func (t *TCP) enqueue(env wire.Envelope) {
 	t.connMu.Lock()
-	w := t.writers[env.To]
-	if w == nil {
-		if _, known := t.peers[env.To]; !known {
-			t.connMu.Unlock()
-			return // no address for this peer
-		}
-		w = &peerWriter{out: make(chan wire.Envelope, 1024)}
-		t.writers[env.To] = w
-		go t.writeLoop(env.To, w)
-	}
+	addr, known := t.peers[env.To]
 	t.connMu.Unlock()
+	if !known {
+		t.stNoAddr.Add(1)
+		return // no address for this peer
+	}
+	t.laneOnce.Do(t.startLanes)
+	ln := t.lanes[laneOf(addr, len(t.lanes))]
 	select {
-	case w.out <- env:
+	case ln.ch <- laneItem{to: env.To, env: env}:
 	default: // lane full: peer is slow or dead; drop
+		t.stLaneDrops.Add(1)
+		t.connMu.Lock()
+		if _, logged := t.dropLogged[env.To]; !logged {
+			t.dropLogged[env.To] = struct{}{}
+			log.Printf("transport: writer lane full; dropping frame(s) to %s (further drops to this peer counted in Stats.LaneDrops, not logged)", env.To)
+		}
+		t.connMu.Unlock()
 	}
 }
 
-// writeLoop owns the single outbound connection to one peer: it dials on
-// demand (re-reading the peer address, so SetPeer takes effect), writes
-// each frame under WriteTimeout, and drops frames while the peer is
+func (t *TCP) startLanes() {
+	for _, ln := range t.lanes {
+		go t.laneLoop(ln)
+	}
+}
+
+// laneOf hashes a peer address onto a lane (FNV-1a).
+func laneOf(addr string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint32(addr[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// laneLoop drains one lane's queue, owning the outbound connections (one
+// per distinct address) of every peer hashed onto the lane. It dials on
+// demand (re-resolving the peer address, so SetPeer takes effect), writes
+// each frame under WriteTimeout, and drops frames while a peer is
 // unreachable.
 //
 // Two mechanisms keep a peer restart (same identity, same address) from
 // losing the first frame addressed to the new incarnation:
 //
 //   - the read-side monitor (peerConn) marks the cached connection dead
-//     as soon as the old incarnation's close reaches us, so the writer
+//     as soon as the old incarnation's close reaches us, so the lane
 //     redials BEFORE writing — a write into a kernel-dead socket would
 //     "succeed" locally and lose the frame without any error;
 //   - a write that does fail (detection raced the write) is retried
@@ -362,42 +510,47 @@ func (t *TCP) enqueue(env wire.Envelope) {
 //
 // One retry is enough: a second failure means the peer is down, and the
 // protocol's timeout and dispute machinery owns recovery from there.
-func (t *TCP) writeLoop(to wire.NodeID, w *peerWriter) {
-	var conn *peerConn
+func (t *TCP) laneLoop(ln *writeLane) {
+	conns := make(map[string]*peerConn) // by dialed address
 	defer func() {
-		if conn != nil {
-			conn.Close()
+		for _, c := range conns {
+			c.Close()
 		}
 	}()
 	for {
-		var env wire.Envelope
+		var it laneItem
 		select {
 		case <-t.stopc:
 			return
-		case env = <-w.out:
+		case it = <-ln.ch:
 		}
 		for attempt := 0; attempt < 2; attempt++ {
+			t.connMu.Lock()
+			addr := t.peers[it.to]
+			t.connMu.Unlock()
+			conn := conns[addr]
 			if conn != nil && conn.isDead() {
 				conn.Close()
+				delete(conns, addr)
 				conn = nil
 			}
 			if conn == nil {
-				t.connMu.Lock()
-				addr := t.peers[to]
-				t.connMu.Unlock()
 				c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 				if err != nil {
 					break // unreachable: drop this frame
 				}
 				conn = newPeerConn(c)
+				conns[addr] = conn
+				t.stRedials.Add(1)
 			}
 			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-			if err := WriteFrame(conn, env); err == nil {
+			if err := WriteFrame(conn, it.env); err == nil {
+				t.stFramesSent.Add(1)
 				break
 			}
 			// The connection died under us; redial once and resend.
 			conn.Close()
-			conn = nil
+			delete(conns, addr)
 		}
 	}
 }

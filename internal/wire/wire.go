@@ -75,6 +75,9 @@ const (
 	KindGroupJoin
 	KindFrontierRequest
 
+	// Front-door admission control (appended).
+	KindOverloaded
+
 	kindEnd // sentinel; keep last
 )
 
@@ -121,6 +124,8 @@ var kindNames = map[Kind]string{
 	KindCatchUpBlocks:   "CatchUpBlocks",
 	KindGroupJoin:       "GroupJoin",
 	KindFrontierRequest: "FrontierRequest",
+
+	KindOverloaded: "Overloaded",
 }
 
 // String returns the human-readable name of the kind.
@@ -232,6 +237,8 @@ func newMessage(k Kind) (Message, error) {
 		return &GroupJoin{}, nil
 	case KindFrontierRequest:
 		return &FrontierRequest{}, nil
+	case KindOverloaded:
+		return &Overloaded{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
 	}

@@ -162,8 +162,23 @@ type Config struct {
 	// MaxUncertified caps a leader's uncertified block backlog: past the
 	// cap new writes are shed (not acknowledged) until certification
 	// catches up, turning a degraded cloud link into bounded
-	// backpressure instead of an unbounded Phase II promise. 0 disables.
+	// backpressure instead of an unbounded Phase II promise. Shed writes
+	// are answered with a signed overload signal carrying a retry-after
+	// hint; clients pace their re-sends by it and surface ErrOverloaded
+	// if the edge never reopens. 0 disables.
 	MaxUncertified int
+	// LightVerify switches client sessions into light mode by default:
+	// a get response is accepted on the edge's signature plus the
+	// cloud-signed gossiped frontier, and only a seeded random sample of
+	// responses (1 in VerifySample) pays for full structural proof
+	// verification. A sampled lie convicts exactly as in full mode — the
+	// lazy-trust guarantee is amortized, not weakened. Per-session
+	// overrides go through NewClientWith.
+	LightVerify bool
+	// VerifySample is light mode's audit-rate denominator (default 16;
+	// 1 audits every response). Ignored unless LightVerify or a
+	// per-session Light option is set.
+	VerifySample int
 	// Latency injects one-way delay between any two nodes; nil = none.
 	// Use it to emulate WAN topologies in-process.
 	Latency func(from, to NodeID) time.Duration
@@ -218,6 +233,9 @@ func (c *Config) fill() {
 	if c.ProofTimeout <= 0 {
 		c.ProofTimeout = 10 * time.Second
 	}
+	if c.LightVerify && c.VerifySample <= 0 {
+		c.VerifySample = 16
+	}
 }
 
 // Validate rejects configurations fill() cannot repair — combinations
@@ -252,6 +270,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxUncertified < 0 {
 		return fmt.Errorf("wedgechain: MaxUncertified must be >= 0, got %d", c.MaxUncertified)
+	}
+	if c.VerifySample < 0 {
+		return fmt.Errorf("wedgechain: VerifySample must be >= 0, got %d", c.VerifySample)
 	}
 	lease := c.LeaseTimeout
 	if lease <= 0 {
