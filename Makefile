@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 chaos fmt fmt-check vet doc-check ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 metrics-smoke chaos fmt fmt-check vet doc-check ci
 
 build:
 	$(GO) build ./...
@@ -71,7 +71,7 @@ bench-pr6:
 # PR-7 artifact: put hot path (P1, regression guard) + chaos soak (CH1,
 # wall-clock healing under seeded drop/dup/delay and a mid-run leader
 # partition; asserts no certified write lost and no honest conviction).
-# Not part of `ci`: bench-pr8 runs the same P1 binary, so chaining both
+# Not part of `ci`: bench-pr9 runs the same P1 binary, so chaining both
 # would measure P1 twice; BENCH_pr7.json stays the committed PR-7 record.
 bench-pr7:
 	$(GO) run ./cmd/wedge-bench -run P1,CH1 -json BENCH_pr7.json
@@ -82,6 +82,19 @@ bench-pr7:
 # client's sampled-verification CPU savings).
 bench-pr8:
 	$(GO) run ./cmd/wedge-bench -run P1,C1 -json BENCH_pr8.json
+
+# PR-9 artifact: put hot path (P1, regression guard) + observability
+# (OB1: instrumentation overhead on the put hot path with the registry
+# on vs off, and end-to-end trust-lag p50/p99 on a live cluster, clean
+# vs seeded chaos — the headline wedge_trust_lag_seconds series).
+bench-pr9:
+	$(GO) run ./cmd/wedge-bench -run P1,OB1 -json BENCH_pr9.json
+
+# Live-deployment telemetry check: boot a TCP cloud + edge pair with
+# -metrics-addr, push a certified write, scrape both /metrics endpoints
+# for the required series, and pull a short pprof CPU profile.
+metrics-smoke:
+	sh scripts/metrics-smoke.sh
 
 # Long chaos soak: several seeds, long schedules, double partition
 # windows, full invariant audit per seed. Deterministic — a failing seed
@@ -118,4 +131,4 @@ doc-check:
 	fi; \
 	echo "doc-check: all packages documented"
 
-ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr8
+ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr9 metrics-smoke

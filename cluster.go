@@ -9,6 +9,7 @@ import (
 	"wedgechain/internal/client"
 	"wedgechain/internal/cloud"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/obs"
 	"wedgechain/internal/shard"
 	"wedgechain/internal/transport"
 	"wedgechain/internal/wcrypto"
@@ -69,6 +70,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Registry:      c.reg,
 		VerifyWorkers: -1, // negative = GOMAXPROCS, sized by the pool
 	})
+	// The chaos net shapes every link of the shared in-process transport,
+	// so its counters carry the cluster-wide label rather than a node's.
+	cfg.Chaos.AttachMetrics(cfg.Metrics, "cluster")
 
 	ck, err := wcrypto.GenerateKey(CloudID)
 	if err != nil {
@@ -134,6 +138,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		GossipEvery:  cfg.GossipEvery.Nanoseconds(),
 		LeaseTimeout: cfg.LeaseTimeout.Nanoseconds(),
 		CertTimeout:  cfg.CertTimeout.Nanoseconds(),
+		Metrics:      cfg.Metrics,
 		// Gossip recipients are added as clients join; the cloud config
 		// is static, so gossip goes to edges and clients pull via their
 		// edge. For direct gossip, clients are registered below.
@@ -171,6 +176,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Followers:       followers[id],
 			HeartbeatEvery:  heartbeatEvery,
 			MaxUncertified:  cfg.MaxUncertified,
+			Metrics:         cfg.Metrics,
 		}
 		if err := ecfg.Validate(); err != nil {
 			return nil, err
@@ -192,6 +198,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				Fault:           cfg.EdgeFaults[fid],
 				HeartbeatEvery:  heartbeatEvery,
 				MaxUncertified:  cfg.MaxUncertified,
+				Metrics:         cfg.Metrics,
 			}
 			if err := fcfg.Validate(); err != nil {
 				return nil, err
@@ -259,6 +266,11 @@ func (c *Cluster) VerdictsFor(edgeID NodeID) []Verdict {
 	}
 	return <-ch
 }
+
+// Metrics returns the registry holding every node's wedge_* series —
+// pass it to obs.StartServer to scrape the cluster, or read quantiles
+// (e.g. the wedge_trust_lag_seconds histogram) directly. Always non-nil.
+func (c *Cluster) Metrics() *obs.Registry { return c.cfg.Metrics }
 
 // Shards returns the cluster's shard count.
 func (c *Cluster) Shards() int { return c.shardMap.Shards() }
@@ -509,6 +521,7 @@ func (c *Cluster) NewClientWith(name string, edgeID NodeID, opts ClientOptions) 
 		Light:           light,
 		SampleEvery:     sample,
 		SampleSeed:      seed,
+		Metrics:         c.cfg.Metrics,
 	}, ring, k, c.reg)
 	cl := newClient(c, id, session)
 	for _, core := range session.Cores() {

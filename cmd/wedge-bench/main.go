@@ -21,16 +21,18 @@ import (
 	"time"
 
 	"wedgechain/internal/bench"
+	"wedgechain/internal/obs"
 )
 
 // jsonResult is one experiment's machine-readable output.
 type jsonResult struct {
-	ID          string     `json:"id"`
-	Title       string     `json:"title"`
-	Header      []string   `json:"header"`
-	Rows        [][]string `json:"rows"`
-	Notes       []string   `json:"notes,omitempty"`
-	WallSeconds float64    `json:"wall_seconds"`
+	ID          string             `json:"id"`
+	Title       string             `json:"title"`
+	Header      []string           `json:"header"`
+	Rows        [][]string         `json:"rows"`
+	Notes       []string           `json:"notes,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	WallSeconds float64            `json:"wall_seconds"`
 }
 
 // jsonReport is the top-level -json document, a stable schema suitable
@@ -45,12 +47,24 @@ type jsonReport struct {
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment id(s), comma-separated (see -list), or 'all'")
-		quick    = flag.Bool("quick", false, "reduced rounds for a fast pass")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		jsonPath = flag.String("json", "", "write machine-readable results to this file ('-' = stdout)")
+		run         = flag.String("run", "all", "experiment id(s), comma-separated (see -list), or 'all'")
+		quick       = flag.Bool("quick", false, "reduced rounds for a fast pass")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath    = flag.String("json", "", "write machine-readable results to this file ('-' = stdout)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof while experiments run (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bench.LiveMetrics = obs.Default()
+		ms, err := obs.StartServer(*metricsAddr, bench.LiveMetrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "wedge-bench metrics on http://%s/metrics (pprof at /debug/pprof/)\n", ms.Addr)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments {
@@ -85,7 +99,7 @@ func main() {
 		fmt.Fprintf(tablesOut, "  [%s completed in %.1fs wall time]\n", id, wall)
 		report.Results = append(report.Results, jsonResult{
 			ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
-			Notes: t.Notes, WallSeconds: wall,
+			Notes: t.Notes, Metrics: t.Metrics, WallSeconds: wall,
 		})
 	}
 

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +23,8 @@ import (
 
 	"wedgechain/cmd/internal/cli"
 	"wedgechain/internal/cloud"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/obs/olog"
 	"wedgechain/internal/transport"
 	"wedgechain/internal/wire"
 )
@@ -44,6 +45,7 @@ func main() {
 
 		schedLanes  = flag.Int("sched-lanes", 0, "writer lanes in the shared frame scheduler (0 = default 4)")
 		maxInflight = flag.Int("max-inflight", 0, "max frames queued per writer lane before shedding (0 = default 4096)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 
 		// Outbound chaos injection (see docs/RUNBOOK.md "Chaos recipes").
 		chaos = cli.RegisterChaos()
@@ -60,6 +62,8 @@ func main() {
 	for p := range peerMap {
 		gossipTo = append(gossipTo, p)
 	}
+	logger := olog.New(os.Stderr, olog.LevelInfo)
+	metrics := obs.Default()
 	ccfg := cloud.Config{
 		ID:           wire.NodeID(*id),
 		Levels:       *levels,
@@ -68,7 +72,8 @@ func main() {
 		GossipTo:     gossipTo,
 		LeaseTimeout: lease.Nanoseconds(),
 		CertTimeout:  certTO.Nanoseconds(),
-		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Logger:       logger,
+		Metrics:      metrics,
 	}
 	if err := ccfg.Validate(); err != nil {
 		log.Fatal(err)
@@ -82,13 +87,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	faultNet.AttachMetrics(metrics, *id)
 	t := transport.NewTCP(node, transport.TCPConfig{
 		Listen: *listen, Peers: peerMap, Fault: faultNet,
 		Lanes: *schedLanes, LaneDepth: *maxInflight,
 		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
+		Obs: metrics, Log: logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *metricsAddr != "" {
+		ms, err := obs.StartServer(*metricsAddr, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		log.Printf("wedge-cloud %s metrics on http://%s/metrics (pprof at /debug/pprof/)", *id, ms.Addr)
+	}
 	log.Printf("wedge-cloud %s listening on %s", *id, *listen)
 	if err := t.Serve(ctx); err != nil {
 		log.Fatal(err)

@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -18,6 +17,8 @@ import (
 
 	"wedgechain/cmd/internal/cli"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/obs/olog"
 	"wedgechain/internal/transport"
 	"wedgechain/internal/wire"
 )
@@ -52,6 +53,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "max frames queued per writer lane before shedding (0 = default 4096)")
 		certRetry   = flag.Duration("cert-retry", 0, "re-submit certification after the frontier stalls this long (0 = 1s default in groups, negative disables)")
 		catchUp     = flag.Duration("catchup-every", 0, "follower gap-driven catch-up period (0 = 500ms default in groups, negative disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 		chaos       = cli.RegisterChaos()
 	)
 	flag.Parse()
@@ -70,6 +72,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	logger := olog.New(os.Stderr, olog.LevelInfo)
+	metrics := obs.Default()
 	cfg := edge.Config{
 		ID:              wire.NodeID(*id),
 		Chain:           wire.NodeID(*chain),
@@ -85,7 +89,8 @@ func main() {
 		CertRetryEvery:  certRetry.Nanoseconds(),
 		CatchUpEvery:    catchUp.Nanoseconds(),
 		Fault:           fault,
-		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Logger:          logger,
+		Metrics:         metrics,
 	}
 	for _, f := range strings.Split(*followers, ",") {
 		if f = strings.TrimSpace(f); f != "" {
@@ -111,13 +116,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	faultNet.AttachMetrics(metrics, *id)
 	t := transport.NewTCP(node, transport.TCPConfig{
 		Listen: *listen, Peers: peerMap, Fault: faultNet,
 		Lanes: *schedLanes, LaneDepth: *maxInflight,
 		Registry: reg, VerifyWorkers: -1, // negative = GOMAXPROCS
+		Obs: metrics, Log: logger,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *metricsAddr != "" {
+		ms, err := obs.StartServer(*metricsAddr, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		log.Printf("wedge-edge %s metrics on http://%s/metrics (pprof at /debug/pprof/)", *id, ms.Addr)
+	}
 	mode := "honest"
 	if fault != nil {
 		mode = "BYZANTINE(" + *evil + ")"

@@ -531,6 +531,7 @@ var Experiments = []struct {
 	{"AV1", AvailabilityFailover, "Availability: 3-replica shard through killed-leader / convicted-follower transitions"},
 	{"CH1", ChaosSoak, "Chaos soak: seeded drop/dup/delay + leader partition, healing cost and invariants"},
 	{"C1", FrontDoor, "Front door: session multiplexing, admission control, light-client sampling"},
+	{"OB1", Observability, "Observability: instrumentation overhead on the put hot path, trust-lag p50/p99 clean vs chaos"},
 	{"A1", AblationDataFree, "Ablation: data-free certification"},
 	{"A2", AblationGossip, "Ablation: gossip period vs omission detection"},
 	{"A3", AblationBaselineIndex, "Ablation: Edge-baseline index policy"},

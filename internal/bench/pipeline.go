@@ -8,6 +8,7 @@ import (
 
 	"wedgechain/internal/cloud"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/obs"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 	"wedgechain/internal/workload"
@@ -51,7 +52,7 @@ func CryptoPipeline(scale Scale) *Table {
 
 	var base float64
 	for _, pipelined := range []bool{false, true} {
-		r := runPipeline(w, total, pipelined)
+		r := runPipeline(w, total, pipelined, nil)
 		if !pipelined {
 			base = r.throughput
 		}
@@ -166,16 +167,19 @@ type pipelineResult struct {
 }
 
 // runPipeline drives one configuration over the workload and reports
-// measured throughput and put-to-Phase-I latency percentiles.
-func runPipeline(w *pipelineWorkload, total int, pipelined bool) pipelineResult {
+// measured throughput and put-to-Phase-I latency percentiles. A non-nil
+// metrics registry turns on the nodes' timing histograms — the OB1
+// instrumentation-overhead experiment's "on" arm; P1 passes nil.
+func runPipeline(w *pipelineWorkload, total int, pipelined bool, metrics *obs.Registry) pipelineResult {
 	en := edge.New(edge.Config{
 		ID:           "edge-1",
 		Cloud:        "cloud",
 		BatchSize:    pipeBatch,
 		L0Threshold:  1 << 30, // no compaction: isolate the write path
 		SerialCrypto: !pipelined,
+		Metrics:      metrics,
 	}, w.edgeKey, w.reg)
-	cn := cloud.New(cloud.Config{ID: "cloud"}, w.cloudKey, w.reg)
+	cn := cloud.New(cloud.Config{ID: "cloud", Metrics: metrics}, w.cloudKey, w.reg)
 
 	batches := w.serial
 	if pipelined {

@@ -14,6 +14,9 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics carries registry-derived scalars (e.g. trust-lag quantiles)
+	// into the -json artifact alongside the printable rows.
+	Metrics map[string]float64
 }
 
 // Print renders the table in aligned plain text.

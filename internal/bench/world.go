@@ -10,6 +10,7 @@ import (
 	"wedgechain/internal/client"
 	"wedgechain/internal/cloud"
 	"wedgechain/internal/edge"
+	"wedgechain/internal/obs"
 	"wedgechain/internal/shard"
 	"wedgechain/internal/sim"
 	"wedgechain/internal/wcrypto"
@@ -86,9 +87,23 @@ type WorldCfg struct {
 	// DataDir roots the durable stores; empty uses a fresh temp dir.
 	DataDir string
 	Seed    int64
+	// Metrics threads an observability registry into every node of the
+	// world (WedgeChain systems only). Nil falls back to LiveMetrics;
+	// nil again keeps the timing histograms off — the default for the
+	// virtual-time experiments, whose clocks are simulated anyway.
+	Metrics *obs.Registry
 }
 
+// LiveMetrics is the registry worlds fall back to when WorldCfg.Metrics
+// is nil. wedge-bench sets it when -metrics-addr is given, so a running
+// experiment's nodes are scrapeable without every call site threading a
+// registry.
+var LiveMetrics *obs.Registry
+
 func (c *WorldCfg) fill() {
+	if c.Metrics == nil {
+		c.Metrics = LiveMetrics
+	}
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
@@ -236,6 +251,7 @@ func BuildWorld(cfg WorldCfg) *World {
 			s := client.NewSharded(client.Config{
 				ID: cid, Cloud: cloudID,
 				FreshnessWindow: cfg.Freshness,
+				Metrics:         cfg.Metrics,
 			}, ring, keys[cid], reg)
 			w.WedgeSessions = append(w.WedgeSessions, s)
 			w.WedgeClients = append(w.WedgeClients, s.Cores()...)
@@ -255,6 +271,7 @@ func BuildWorld(cfg WorldCfg) *World {
 			PageCap:     cfg.Batch,
 			GossipEvery: cfg.Gossip,
 			GossipTo:    gossipTo,
+			Metrics:     cfg.Metrics,
 		}, keys[cloudID], reg)
 		var syncEvery int64
 		var dataDir string
@@ -284,6 +301,7 @@ func BuildWorld(cfg WorldCfg) *World {
 				FullDataCert:    cfg.FullDataCert,
 				NoL0Prune:       cfg.NoL0Prune,
 				SyncEvery:       syncEvery,
+				Metrics:         cfg.Metrics,
 			}
 			var en *edge.Node
 			if cfg.Durable {

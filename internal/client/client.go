@@ -14,6 +14,7 @@ import (
 	"errors"
 
 	"wedgechain/internal/core"
+	"wedgechain/internal/obs"
 	"wedgechain/internal/scan"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
@@ -193,6 +194,11 @@ type Config struct {
 	SampleEvery int
 	// SampleSeed seeds the deterministic per-request sampling decision.
 	SampleSeed uint64
+	// Metrics, when set, is the registry this core's counters and
+	// op-tracing histograms (trust lag, ack latency, verify CPU) register
+	// into. The counters behind Stats() are atomic either way; a nil
+	// registry only disables the histograms.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -259,7 +265,7 @@ type Core struct {
 
 	pending int           // started ops not yet settled
 	banned  *wire.Verdict // guilty verdict against my edge, once known
-	stats   Stats
+	m       *metrics
 }
 
 // Stats are client counters.
@@ -293,14 +299,30 @@ func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Core {
 		key:       key,
 		reg:       reg,
 		leafCache: scan.NewLeafCache(),
+		m:         newMetrics(cfg.Metrics, string(cfg.ID), string(cfg.Chain)),
 	}
 }
 
 // ID returns the client identity.
 func (c *Core) ID() wire.NodeID { return c.cfg.ID }
 
-// Stats returns a copy of the client's counters.
-func (c *Core) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the client's counters. Every field is an
+// atomic load, so polling mid-run from another goroutine is race-free.
+func (c *Core) Stats() Stats {
+	return Stats{
+		Disputes:       c.m.disputes.Value(),
+		LiesDetected:   c.m.liesDetected.Value(),
+		StaleRejected:  c.m.staleRejected.Value(),
+		Retries:        c.m.retries.Value(),
+		VerifyFailures: c.m.verifyFailures.Value(),
+		Failovers:      c.m.failovers.Value(),
+		Resends:        c.m.resends.Value(),
+		Overloads:      c.m.overloads.Value(),
+		FullVerifies:   c.m.fullVerifies.Value(),
+		SampledSkips:   c.m.sampledSkips.Value(),
+		VerifyNanos:    c.m.verifyNanos.Value(),
+	}
+}
 
 // Edge returns the node this core currently sends requests to; a
 // leadership transfer rebinds it to the promoted replica.
@@ -581,6 +603,7 @@ func (c *Core) phaseI(now int64, op *Op, bid uint64, digest []byte) {
 	}
 	op.Phase = core.PhaseI
 	op.PhaseIAt = now
+	c.m.markPhaseI(op)
 	if digest != nil {
 		op.BID = bid
 		op.digest = digest
@@ -597,6 +620,7 @@ func (c *Core) phaseII(now int64, op *Op) {
 	}
 	op.Phase = core.PhaseII
 	op.PhaseIIAt = now
+	c.m.markPhaseII(op)
 	if c.OnPhaseII != nil {
 		c.OnPhaseII(op)
 	}
@@ -610,7 +634,7 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 		return nil
 	}
 	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Chain {
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		return nil
 	}
 	// One hash serves both checks: the recomputed digest is the signable
@@ -620,7 +644,7 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 	digest := wcrypto.RecomputedBlockDigest(&m.Block)
 	if !verified {
 		if err := wcrypto.VerifyBlockAck(c.reg, c.cfg.Edge, m.BID, digest, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -635,7 +659,7 @@ func (c *Core) handleAddResponse(now int64, from wire.NodeID, m *wire.AddRespons
 		}
 		if !bytes.Equal(e.Value, op.Value) {
 			// The block misrepresents my entry: reject outright.
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			c.settle(op, ErrBadResponse)
 			continue
 		}
@@ -651,7 +675,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 		return nil
 	}
 	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Chain {
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		return nil
 	}
 	// As in handleAddResponse: the recomputed digest doubles as the
@@ -659,7 +683,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 	digest := wcrypto.RecomputedBlockDigest(&m.Block)
 	if !verified {
 		if err := wcrypto.VerifyBlockAck(c.reg, c.cfg.Edge, m.BID, digest, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -673,7 +697,7 @@ func (c *Core) handlePutResponse(now int64, from wire.NodeID, m *wire.PutRespons
 			continue
 		}
 		if !bytes.Equal(e.Value, op.Value) || !bytes.Equal(e.Key, op.Key) {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			c.settle(op, ErrBadResponse)
 			continue
 		}
@@ -695,7 +719,7 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 	}
 	if !verified || from != c.cfg.Cloud {
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, p, p.CloudSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -724,7 +748,7 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 			continue
 		}
 		// The certified block differs from what I was promised/served.
-		c.stats.LiesDetected++
+		c.m.liesDetected.Inc()
 		out = append(out, c.fileDispute(op)...)
 		remaining = append(remaining, op)
 	}
@@ -745,7 +769,7 @@ func (c *Core) resolveProofDep(now int64, op *Op, p *wire.BlockProof) []wire.Env
 		return nil
 	}
 	if !bytes.Equal(want, p.Digest) {
-		c.stats.LiesDetected++
+		c.m.liesDetected.Inc()
 		if op.Kind == KindScan {
 			return c.fileScanDispute(op, p.BID)
 		}
@@ -809,7 +833,7 @@ func (c *Core) fileDispute(op *Op) []wire.Envelope {
 	}
 	op.disputed = true
 	c.accused = append(c.accused, op)
-	c.stats.Disputes++
+	c.m.disputes.Inc()
 	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 }
 
@@ -827,7 +851,7 @@ func (c *Core) accuse(op *Op, bid uint64, d *wire.Dispute) []wire.Envelope {
 	op.disputed = true
 	op.BID = bid
 	c.accused = append(c.accused, op)
-	c.stats.Disputes++
+	c.m.disputes.Inc()
 	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 }
 
@@ -837,7 +861,7 @@ func (c *Core) accuse(op *Op, bid uint64, d *wire.Dispute) []wire.Envelope {
 // current replica.
 func (c *Core) handleVerdict(now int64, v *wire.Verdict) []wire.Envelope {
 	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, v, v.CloudSig); err != nil {
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		return nil
 	}
 	if v.Edge != c.cfg.Edge && !c.formers[v.Edge] {
@@ -918,7 +942,7 @@ func (c *Core) handleGossip(now int64, g *wire.Gossip) []wire.Envelope {
 		return nil
 	}
 	if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, g, g.CloudSig); err != nil {
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		return nil
 	}
 	if c.gossip == nil || g.Ts > c.gossip.Ts {

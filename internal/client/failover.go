@@ -31,7 +31,7 @@ func (c *Core) handleTransfer(now int64, from wire.NodeID, m *wire.LeadershipTra
 	// that only when the sender is the cloud itself.
 	if !verified || from != c.cfg.Cloud {
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, m, m.CloudSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -48,7 +48,7 @@ func (c *Core) handleTransfer(now int64, from wire.NodeID, m *wire.LeadershipTra
 	c.formers[c.cfg.Edge] = true
 	delete(c.formers, m.NewLeader)
 	c.cfg.Edge = m.NewLeader
-	c.stats.Failovers++
+	c.m.failovers.Inc()
 	// A ban against the demoted node no longer blocks the chain: the
 	// cloud vouched for the successor by signing the transfer.
 	if c.banned != nil && c.banned.Edge != c.cfg.Edge {

@@ -56,7 +56,7 @@ func (c *Core) tickRetry(now int64) []wire.Envelope {
 		op.attempts++
 		op.nextResend = now + c.retryDelay(op, op.attempts)
 		if env, ok := c.resendOp(now, op); ok {
-			c.stats.Resends++
+			c.m.resends.Inc()
 			out = append(out, env)
 		}
 	}
@@ -110,11 +110,11 @@ func (c *Core) handleOverloaded(now int64, from wire.NodeID, m *wire.Overloaded,
 	}
 	if !verified {
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
-	c.stats.Overloads++
+	c.m.overloads.Inc()
 	hint := m.RetryAfter
 	if hint <= 0 {
 		hint = c.cfg.RetryEvery

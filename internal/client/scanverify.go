@@ -36,7 +36,7 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 	}
 	if !verified {
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -47,7 +47,7 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 		// A valid proof of a different range than requested is worthless
 		// — but not cloud-provable, since requests are unsigned and the
 		// cloud cannot know what was asked. Reject without a dispute.
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		c.settle(op, fmt.Errorf("%w: response covers a different range than requested", ErrBadResponse))
 		return nil
 	}
@@ -74,21 +74,21 @@ func (c *Core) handleScanResponse(now int64, from wire.NodeID, m *wire.ScanRespo
 	}
 	if err == ErrStale || err == ErrRegression {
 		staleErr := err
-		c.stats.StaleRejected++
+		c.m.staleRejected.Inc()
 		if op.retries >= c.cfg.MaxRetries {
 			c.settle(op, staleErr)
 			return nil
 		}
 		op.retries++
-		c.stats.Retries++
+		c.m.retries.Inc()
 		req := &wire.ScanRequest{Start: op.ScanStart, End: op.ScanEnd, Limit: uint32(op.ScanLimit), ReqID: op.ReqID}
 		return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: req}}
 	}
 	if err != nil {
 		// Structural defect in an edge-signed completeness proof: settle
 		// the operation and accuse the edge with the proof itself.
-		c.stats.VerifyFailures++
-		c.stats.LiesDetected++
+		c.m.verifyFailures.Inc()
+		c.m.liesDetected.Inc()
 		out := c.fileScanDispute(op, 0)
 		c.settle(op, fmt.Errorf("%w: %v", ErrBadResponse, err))
 		return out

@@ -33,7 +33,7 @@ func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadRespo
 	}
 	if !verified {
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -57,7 +57,7 @@ func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadRespo
 		return c.handleDenial(now, op, m)
 	}
 	if m.Block.ID != m.BID || m.Block.Edge != c.cfg.Chain {
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		c.settle(op, ErrBadResponse)
 		return nil
 	}
@@ -68,7 +68,7 @@ func (c *Core) handleReadResponse(now int64, from wire.NodeID, m *wire.ReadRespo
 		p := m.Proof
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, &p, p.CloudSig); err != nil ||
 			p.Edge != c.cfg.Chain || p.BID != m.BID || !bytes.Equal(p.Digest, digest) {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			c.settle(op, ErrBadResponse)
 			return nil
 		}
@@ -94,13 +94,13 @@ func (c *Core) handleDenial(now int64, op *Op, m *wire.ReadResponse) []wire.Enve
 	}
 	if m.Ts >= g.Ts {
 		// Provable omission.
-		c.stats.LiesDetected++
+		c.m.liesDetected.Inc()
 		if op.disputed {
 			return nil
 		}
 		op.disputed = true
 		c.accused = append(c.accused, op)
-		c.stats.Disputes++
+		c.m.disputes.Inc()
 		d := core.BuildOmissionDispute(c.key, op.Edge, m, g)
 		return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Cloud, Msg: d}}
 	}
@@ -110,7 +110,7 @@ func (c *Core) handleDenial(now int64, op *Op, m *wire.ReadResponse) []wire.Enve
 		return nil
 	}
 	op.retries++
-	c.stats.Retries++
+	c.m.retries.Inc()
 	return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.ReadRequest{BID: op.BID, ReqID: op.ReqID}}}
 }
 
@@ -126,7 +126,7 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 	}
 	if !verified {
 		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Edge, m, m.EdgeSig); err != nil {
-			c.stats.VerifyFailures++
+			c.m.verifyFailures.Inc()
 			return nil
 		}
 	}
@@ -136,7 +136,7 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		// A valid proof about a different key than requested is worthless
 		// — but not cloud-provable, since requests are unsigned and the
 		// cloud cannot know what was asked. Reject without a dispute.
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		c.settle(op, fmt.Errorf("%w: response answers a different key than requested", ErrBadResponse))
 		return nil
 	}
@@ -152,38 +152,49 @@ func (c *Core) handleGetResponse(now int64, from wire.NodeID, m *wire.GetRespons
 		// expected-conviction guarantee of lazy trust is unchanged, only
 		// amortized. Session watermarks do not advance here — only fully
 		// verified responses may move them.
-		c.stats.SampledSkips++
+		var t0 time.Time
+		if c.m.enabled {
+			t0 = time.Now()
+		}
+		c.m.sampledSkips.Inc()
 		op.Found = m.Found
 		op.GotValue = m.Value
 		op.GotVer = m.Ver
 		c.phaseI(now, op, 0, nil)
 		c.phaseII(now, op)
+		if c.m.enabled {
+			c.m.verifyLight.Observe(time.Since(t0).Seconds())
+		}
 		return nil
 	}
 	verifyStart := time.Now()
 	res, err := c.verifyGet(now, op.Key, m)
-	c.stats.FullVerifies++
-	c.stats.VerifyNanos += uint64(time.Since(verifyStart))
+	verifyDur := time.Since(verifyStart)
+	c.m.fullVerifies.Inc()
+	c.m.verifyNanos.Add(uint64(verifyDur))
+	if c.m.enabled {
+		c.m.verifyFull.Observe(verifyDur.Seconds())
+	}
 	if err == ErrStale || err == ErrRegression {
 		staleErr := err
-		c.stats.StaleRejected++
+		c.m.staleRejected.Inc()
 		if op.retries >= c.cfg.MaxRetries {
 			c.settle(op, staleErr)
 			return nil
 		}
 		op.retries++
-		c.stats.Retries++
+		c.m.retries.Inc()
 		return []wire.Envelope{{From: c.cfg.ID, To: c.cfg.Edge, Msg: &wire.GetRequest{Key: op.Key, ReqID: op.ReqID}}}
 	}
 	if err != nil {
-		c.stats.VerifyFailures++
+		c.m.verifyFailures.Inc()
 		if errors.Is(err, errL0Window) {
 			// Defective L0 window in an edge-signed response — a false or
 			// tampered exclusion summary, a broken digest binding, a
 			// non-contiguous window. The response echoes the signed key,
 			// so the cloud can re-run these exact checks: settle the
 			// operation and accuse the edge with the proof itself.
-			c.stats.LiesDetected++
+			c.m.liesDetected.Inc()
 			out := c.fileGetDispute(op, 0)
 			c.settle(op, fmt.Errorf("%w: %v", ErrBadResponse, err))
 			return out

@@ -12,11 +12,13 @@ package cloud
 import (
 	"bytes"
 	"fmt"
-	"log/slog"
+	"time"
 
 	"wedgechain/internal/core"
 	"wedgechain/internal/merkle"
 	"wedgechain/internal/mlsm"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/obs/olog"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -43,7 +45,11 @@ type Config struct {
 	// fails over.
 	CertTimeout int64
 	// Logger receives operational events; nil disables logging.
-	Logger *slog.Logger
+	Logger *olog.Logger
+	// Metrics, when non-nil, is the registry this node's series live in.
+	// Setting it also enables the certification-latency histogram;
+	// counters back Stats() either way.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -109,10 +115,12 @@ type Node struct {
 	mapChains []wire.NodeID  // per-shard chain identity (the map's original Edges)
 
 	lastGossip int64
-	stats      Stats
+	m          *metrics
 }
 
-// Stats are operational counters.
+// Stats is a point-in-time snapshot of the node's operational
+// counters, read atomically from the metrics registry — safe to call
+// from any goroutine while the node runs.
 type Stats struct {
 	Certifies uint64
 	// ProofSigns counts Ed25519 signatures spent on block proofs. The
@@ -146,6 +154,7 @@ func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 		edges:     make(map[wire.NodeID]*edgeState),
 		chains:    make(map[wire.NodeID]*chainState),
 		nodeChain: make(map[wire.NodeID]wire.NodeID),
+		m:         newMetrics(cfg.Metrics, string(cfg.ID)),
 	}
 }
 
@@ -158,8 +167,24 @@ func (n *Node) Certs() *core.CertTable { return n.certs }
 // Punishments exposes the punishment registry.
 func (n *Node) Punishments() *core.Punishments { return n.punish }
 
-// Stats returns a copy of the node's counters.
-func (n *Node) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the node's counters. Each field is an
+// atomic load, so polling mid-run from another goroutine is race-free.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Certifies:     n.m.certifies.Value(),
+		ProofSigns:    n.m.proofSigns.Value(),
+		Conflicts:     n.m.conflicts.Value(),
+		Merges:        n.m.merges.Value(),
+		MergeRejects:  n.m.mergeRejects.Value(),
+		Disputes:      n.m.disputesGuilty.Value() + n.m.disputesNotGuilty.Value(),
+		GuiltyEdges:   n.m.guiltyEdges.Value(),
+		GossipsSent:   n.m.gossipsSent.Value(),
+		BytesFromEdge: n.m.bytesFromEdge.Value(),
+		Heartbeats:    n.m.heartbeats.Value(),
+		Transfers:     n.m.transfers.Value(),
+		Rejoins:       n.m.rejoins.Value(),
+	}
+}
 
 // Flagged reports whether edge has been convicted, with the first reason.
 func (n *Node) Flagged(edge wire.NodeID) (string, bool) {
@@ -205,9 +230,15 @@ func (n *Node) edge(id wire.NodeID) *edgeState {
 func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	switch m := env.Msg.(type) {
 	case *wire.BlockCertify:
-		return n.handleCertify(now, env.From, m, env.Verified)
+		if !n.m.enabled {
+			return n.handleCertify(now, env.From, m, env.Verified)
+		}
+		t0 := time.Now()
+		out := n.handleCertify(now, env.From, m, env.Verified)
+		n.m.certify.Observe(time.Since(t0).Seconds())
+		return out
 	case *wire.MergeRequest:
-		n.stats.BytesFromEdge += uint64(wire.EncodedSize(env))
+		n.m.bytesFromEdge.Add(uint64(wire.EncodedSize(env)))
 		return n.handleMerge(now, env.From, m, env.Verified)
 	case *wire.Dispute:
 		return n.handleDispute(now, env.From, m)
@@ -249,7 +280,7 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 		g.CloudSig = wcrypto.SignMsg(n.key, g)
 		for _, to := range n.cfg.GossipTo {
 			out = append(out, wire.Envelope{From: n.cfg.ID, To: to, Msg: g})
-			n.stats.GossipsSent++
+			n.m.gossipsSent.Inc()
 		}
 	}
 	return out
@@ -295,16 +326,17 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 	// block-level omission detection the Blocks counter suffices.
 	switch n.certs.Certify(m.Edge, m.BID, m.Digest, 0) {
 	case core.CertAccepted:
-		n.stats.Certifies++
+		n.m.certifies.Inc()
 		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
 		return n.proofFanout(m.Edge, from, proof)
 	case core.CertDuplicate:
 		// Re-delivery: the digest matched the certified one, so the
 		// cached proof is returned without spending another signature.
+		n.m.proofCacheHits.Inc()
 		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
 		return n.proofFanout(m.Edge, from, proof)
 	default: // CertConflict: equivocation caught red-handed.
-		n.stats.Conflicts++
+		n.m.conflicts.Inc()
 		v := wire.Verdict{
 			Edge:   from,
 			BID:    m.BID,
@@ -362,14 +394,14 @@ func (n *Node) signedProof(st *edgeState, edge wire.NodeID, bid uint64, digest [
 	}
 	p := &wire.BlockProof{Edge: edge, BID: bid, Digest: digest}
 	p.CloudSig = wcrypto.SignMsg(n.key, p)
-	n.stats.ProofSigns++
+	n.m.proofSigns.Inc()
 	st.proofs[bid] = p
 	return p
 }
 
 func (n *Node) convict(v wire.Verdict) {
 	if _, already := n.punish.Banned(v.Edge); !already {
-		n.stats.GuiltyEdges++
+		n.m.guiltyEdges.Inc()
 	}
 	n.punish.Punish(v)
 	n.logf("edge punished", "edge", v.Edge, "reason", v.Reason)
@@ -408,11 +440,15 @@ func (n *Node) VerdictsFor(edge wire.NodeID) []wire.Verdict {
 // disputed block it is attached, so an honest edge's slow certification
 // still lets the client finish Phase II.
 func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wire.Envelope {
-	n.stats.Disputes++
 	// The accused is a node; certificates, scan artifacts and gossip are
 	// keyed by its chain. For ungrouped edges the two coincide and
 	// JudgeForChain degenerates to the legacy Judge.
 	v := core.JudgeForChain(n.reg, n.certs, n.cfg.ID, from, d, n.chainOf(d.Edge))
+	if v.Guilty {
+		n.m.disputesGuilty.Inc()
+	} else {
+		n.m.disputesNotGuilty.Inc()
+	}
 	v.CloudSig = wcrypto.SignMsg(n.key, &v)
 	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
 	if v.Guilty {
@@ -433,7 +469,7 @@ func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wir
 // root with a freshness timestamp.
 func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest, verified bool) []wire.Envelope {
 	reject := func(reason string) []wire.Envelope {
-		n.stats.MergeRejects++
+		n.m.mergeRejects.Inc()
 		resp := &wire.MergeResponse{Edge: m.Edge, ReqID: m.ReqID, OK: false, Reason: reason, FromLevel: m.FromLevel}
 		resp.CloudSig = wcrypto.SignMsg(n.key, resp)
 		n.logf("merge rejected", "edge", from, "reason", reason)
@@ -536,7 +572,7 @@ func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest, ve
 	}
 	global.CloudSig = wcrypto.SignMsg(n.key, &global)
 
-	n.stats.Merges++
+	n.m.merges.Inc()
 	resp := &wire.MergeResponse{
 		Edge:       m.Edge,
 		ReqID:      m.ReqID,

@@ -133,7 +133,7 @@ func (n *Node) handleHeartbeat(now int64, from wire.NodeID, m *wire.ReplicaHeart
 			return nil
 		}
 	}
-	n.stats.Heartbeats++
+	n.m.heartbeats.Inc()
 	mem := st.members[from]
 	if mem == nil {
 		mem = &memberState{}
@@ -179,7 +179,7 @@ func (n *Node) maybeRejoin(now int64, from wire.NodeID, chain wire.NodeID, st *c
 	var out []wire.Envelope
 	if !inGroup {
 		st.followers = append(st.followers, from)
-		n.stats.Rejoins++
+		n.m.rejoins.Inc()
 		n.logf("re-admitting ex-member as follower", "chain", chain, "node", from, "epoch", st.epoch)
 		out = append(out, n.resignShardMap(st)...)
 	} else if m.Blocks >= n.certs.Blocks(chain) || now-mem.lastJoin < n.cfg.LeaseTimeout {
@@ -287,7 +287,7 @@ func (n *Node) transfer(now int64, chain wire.NodeID, st *chainState, reason str
 	st.followers = remaining
 	st.leaseBase = now
 	st.staleNow = 0
-	n.stats.Transfers++
+	n.m.transfers.Inc()
 	n.logf("leadership transfer", "chain", chain, "epoch", st.epoch, "prev", prev, "new", cand, "reason", reason)
 
 	t := &wire.LeadershipTransfer{

@@ -32,7 +32,7 @@ const catchUpRun = 16
 // own rate limiting via lastCatchUp.
 func (n *Node) requestCatchUp(now int64, from uint64) wire.Envelope {
 	n.lastCatchUp = now
-	n.stats.CatchUps++
+	n.m.catchUps.Inc()
 	req := &wire.CatchUpRequest{
 		Chain: n.cfg.Chain,
 		Node:  n.cfg.ID,
@@ -277,7 +277,7 @@ func (n *Node) demote(now int64, leader wire.NodeID) []wire.Envelope {
 	}
 	n.pendingRepl = make(map[uint64]*wire.ReplicateBlock)
 	if removed := n.log.TruncateUncertified(); removed > 0 {
-		n.stats.Truncated += uint64(removed)
+		n.m.truncated.Add(uint64(removed))
 		n.logf("truncated uncertified tail on demotion",
 			"removed", removed, "keep", n.log.NumBlocks())
 		if n.store != nil {

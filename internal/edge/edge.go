@@ -15,10 +15,12 @@ package edge
 import (
 	"errors"
 	"fmt"
-	"log/slog"
+	"time"
 
 	"wedgechain/internal/core"
 	"wedgechain/internal/mlsm"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/obs/olog"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 	"wedgechain/internal/wlog"
@@ -107,7 +109,12 @@ type Config struct {
 	// Fault, when non-nil, makes the node byzantine. See Fault.
 	Fault *Fault
 	// Logger receives operational events; nil disables logging.
-	Logger *slog.Logger
+	Logger *olog.Logger
+	// Metrics, when non-nil, is the registry this node's series live in
+	// (shared by a process or a sim world). Setting it also enables the
+	// timing histograms — serve latency, trust lag, block sizes — that
+	// the counters-only default skips. Counters back Stats() either way.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -255,11 +262,14 @@ type Node struct {
 	// registry; cleared wholesale if it ever exceeds overloadMapCap.
 	lastOverload map[wire.NodeID]int64
 
-	// Stats counters exposed for benchmarks and tests.
-	stats Stats
+	// m holds the registry-backed counters and histograms; Stats() is a
+	// snapshot of its counters.
+	m *metrics
 }
 
-// Stats are operational counters.
+// Stats is a point-in-time snapshot of the node's operational
+// counters, read atomically from the metrics registry — safe to call
+// from any goroutine while the node runs.
 type Stats struct {
 	Writes       uint64
 	BlocksCut    uint64
@@ -295,6 +305,7 @@ func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 		idx:      mlsm.NewIndex(cfg.LevelThresholds),
 		follower: cfg.Follower,
 		leader:   cfg.ID,
+		m:        newMetrics(cfg.Metrics, string(cfg.ID)),
 	}
 	if cfg.Follower {
 		n.leader = cfg.Leader
@@ -364,8 +375,26 @@ func (n *Node) Log() *wlog.Log { return n.log }
 // Index exposes the LSMerkle index for tests and local measurement.
 func (n *Node) Index() *mlsm.Index { return n.idx }
 
-// Stats returns a copy of the node's counters.
-func (n *Node) Stats() Stats { return n.stats }
+// Stats returns a consistent-enough snapshot of the node's counters.
+// Each field is an atomic load, so polling mid-run from another
+// goroutine (benches, scrapers) is race-free.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Writes:       n.m.writes.Value(),
+		BlocksCut:    n.m.blocksCut.Value(),
+		Certified:    n.m.certified.Value(),
+		Reads:        n.m.reads.Value(),
+		Gets:         n.m.gets.Value(),
+		Scans:        n.m.scans.Value(),
+		Merges:       n.m.merges.Value(),
+		BytesToCloud: n.m.bytesToCloud.Value(),
+		Shed:         n.m.shed.Value(),
+		CertRetries:  n.m.certRetries.Value(),
+		CatchUps:     n.m.catchUps.Value(),
+		ShedSignals:  n.m.shedSignals.Value(),
+		Truncated:    n.m.truncated.Value(),
+	}
+}
 
 // L0From returns the first uncompacted block id.
 func (n *Node) L0From() uint64 { return n.l0From }
@@ -428,11 +457,29 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		}
 		return out
 	case *wire.ReadRequest:
-		return n.handleRead(now, env.From, m)
+		if !n.m.enabled {
+			return n.handleRead(now, env.From, m)
+		}
+		t0 := time.Now()
+		out := n.handleRead(now, env.From, m)
+		n.m.serveRead.Observe(time.Since(t0).Seconds())
+		return out
 	case *wire.GetRequest:
-		return n.handleGet(now, env.From, m)
+		if !n.m.enabled {
+			return n.handleGet(now, env.From, m)
+		}
+		t0 := time.Now()
+		out := n.handleGet(now, env.From, m)
+		n.m.serveGet.Observe(time.Since(t0).Seconds())
+		return out
 	case *wire.ScanRequest:
-		return n.handleScan(now, env.From, m)
+		if !n.m.enabled {
+			return n.handleScan(now, env.From, m)
+		}
+		t0 := time.Now()
+		out := n.handleScan(now, env.From, m)
+		n.m.serveScan.Observe(time.Since(t0).Seconds())
+		return out
 	case *wire.ReserveRequest:
 		return n.handleReserve(now, env.From, m, env.Verified)
 	case *wire.BlockProof:
@@ -506,7 +553,7 @@ func (n *Node) tickHealing(now int64) []wire.Envelope {
 			// duplicates heal lost proofs instead of causing conflicts.
 			n.certStallSince = now
 			if retry := n.certifyTail(now); len(retry) > 0 {
-				n.stats.CertRetries++
+				n.m.certRetries.Inc()
 				n.logf("certification stalled; retrying uncertified tail",
 					"frontier", frontier, "blocks", n.log.NumBlocks())
 				out = append(out, retry...)
@@ -540,11 +587,11 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, ver
 			// honest — nothing is acknowledged that certification cannot
 			// chase — and the client's retry/ErrUnavailable machinery turns
 			// the silence into a typed, bounded failure.
-			n.stats.Shed++
+			n.m.shed.Inc()
 			if now-n.lastShedLog >= int64(1e9) {
 				n.lastShedLog = now
 				n.logf("shedding writes: uncertified backlog at cap",
-					"backlog", n.log.NumBlocks()-frontier, "cap", n.cfg.MaxUncertified, "shed", n.stats.Shed)
+					"backlog", n.log.NumBlocks()-frontier, "cap", n.cfg.MaxUncertified, "shed", n.m.shed.Value())
 			}
 			return n.shedSignal(now, from, e.Seq, n.log.NumBlocks()-frontier)
 		}
@@ -567,7 +614,7 @@ func (n *Node) handleWrite(now int64, from wire.NodeID, e wire.Entry, isPut, ver
 		n.logf("rejecting write", "client", from, "err", err)
 		return nil
 	}
-	n.stats.Writes++
+	n.m.writes.Inc()
 	n.lastArrival = now
 	n.reqs.set(pos, reqInfo{client: e.Client, isPut: isPut})
 	blk := n.log.TryCut(now, false)
@@ -603,7 +650,7 @@ func (n *Node) shedSignal(now int64, client wire.NodeID, seq, backlog uint64) []
 		return nil
 	}
 	n.lastOverload[client] = now
-	n.stats.ShedSignals++
+	n.m.shedSignals.Inc()
 	m := &wire.Overloaded{Seq: seq, RetryAfter: hint, Backlog: backlog}
 	m.EdgeSig = wcrypto.SignMsg(n.key, m)
 	return []wire.Envelope{{From: n.cfg.ID, To: client, Msg: m}}
@@ -614,7 +661,8 @@ func (n *Node) shedSignal(now int64, client wire.NodeID, seq, backlog uint64) []
 // (SyncEvery > 0) the outputs are withheld until the shared fsync covers
 // the block, so nothing reaches a client or the cloud before durability.
 func (n *Node) emitBlock(now int64, blk *wire.Block) []wire.Envelope {
-	n.stats.BlocksCut++
+	n.m.blocksCut.Inc()
+	n.m.markCut(blk.ID, now, len(blk.Entries))
 	if f := n.cfg.Fault; f != nil && f.KillMidBatch && blk.ID >= f.KillAtBID {
 		// Crash fault: the block was cut but the node dies before
 		// persisting, acknowledging, replicating or certifying it.
@@ -747,7 +795,7 @@ func (n *Node) blockOutputs(now int64, blk *wire.Block) []wire.Envelope {
 		}
 		cert.EdgeSig = wcrypto.SignMsg(n.key, cert)
 		env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: cert}
-		n.stats.BytesToCloud += uint64(wire.EncodedSize(env))
+		n.m.bytesToCloud.Add(uint64(wire.EncodedSize(env)))
 		out = append(out, env)
 		if n.cfg.Fault != nil && n.cfg.Fault.DoubleCertify {
 			// Equivocation at certify time: a second, conflicting digest.
@@ -794,7 +842,8 @@ func (n *Node) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 			n.logf("persisting certificate failed", "bid", p.BID, "err", err)
 		}
 	}
-	n.stats.Certified++
+	n.m.certified.Inc()
+	n.m.markCertified(p.BID, now)
 	var out []wire.Envelope
 	fwd := func(to wire.NodeID) {
 		out = append(out, wire.Envelope{From: n.cfg.ID, To: to, Msg: cloneProof(p)})
@@ -823,7 +872,7 @@ func (n *Node) handleRead(now int64, from wire.NodeID, m *wire.ReadRequest) []wi
 	if n.follower {
 		return nil
 	}
-	n.stats.Reads++
+	n.m.reads.Inc()
 	resp := &wire.ReadResponse{ReqID: m.ReqID, BID: m.BID, Ts: now}
 	blk, err := n.log.Block(m.BID)
 	omit := n.cfg.Fault != nil && n.cfg.Fault.OmitBlocks[m.BID]
@@ -924,9 +973,9 @@ func (n *Node) maybeStartMerge(now int64) []wire.Envelope {
 func (n *Node) sendMerge(req *wire.MergeRequest) []wire.Envelope {
 	req.EdgeSig = wcrypto.SignMsg(n.key, req)
 	n.mergeBusy = true
-	n.stats.Merges++
+	n.m.merges.Inc()
 	env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: req}
-	n.stats.BytesToCloud += uint64(wire.EncodedSize(env))
+	n.m.bytesToCloud.Add(uint64(wire.EncodedSize(env)))
 	return []wire.Envelope{env}
 }
 

@@ -19,7 +19,7 @@ func (n *Node) handleGet(now int64, from wire.NodeID, m *wire.GetRequest) []wire
 	if n.follower {
 		return nil
 	}
-	n.stats.Gets++
+	n.m.gets.Inc()
 	resp, digests, tampered := n.buildGet(m)
 	// Phase I gets: register the caller for proof forwarding on every
 	// uncertified block it relied on — full blocks and pruned references

@@ -74,6 +74,7 @@ func (n *Node) replicate(blk *wire.Block, digest, sharedSig []byte) []wire.Envel
 		sig = wcrypto.SignBlockAck(n.key, blk.ID, digest)
 	}
 	var out []wire.Envelope
+	n.m.replicated.Add(uint64(len(n.cfg.Followers)))
 	for _, f := range n.cfg.Followers {
 		out = append(out, wire.Envelope{From: n.cfg.ID, To: f, Msg: &wire.ReplicateBlock{
 			Chain:     n.cfg.Chain,
@@ -217,7 +218,7 @@ func (n *Node) followerApplyCert(p wire.BlockProof) []wire.Envelope {
 		return n.convictLeader(p.BID, *blk, sig,
 			"certificate contradicts replicated block; convicting leader")
 	}
-	n.stats.Certified++
+	n.m.certified.Inc()
 	// The replication signature's evidentiary job is done: the cert
 	// matched the mirrored digest, and a future divergent duplicate
 	// carries its own convicting signature. Dropping it keeps replSigs
@@ -365,7 +366,7 @@ func (n *Node) certifyTail(now int64) []wire.Envelope {
 		cert := &wire.BlockCertify{Edge: n.cfg.Chain, BID: bid, Digest: digest}
 		cert.EdgeSig = wcrypto.SignMsg(n.key, cert)
 		env := wire.Envelope{From: n.cfg.ID, To: n.cfg.Cloud, Msg: cert}
-		n.stats.BytesToCloud += uint64(wire.EncodedSize(env))
+		n.m.bytesToCloud.Add(uint64(wire.EncodedSize(env)))
 		out = append(out, env)
 	}
 	return out

@@ -18,7 +18,7 @@ func (n *Node) handleScan(now int64, from wire.NodeID, m *wire.ScanRequest) []wi
 	if n.follower {
 		return nil
 	}
-	n.stats.Scans++
+	n.m.scans.Inc()
 	if m.Start != nil && m.End != nil && bytes.Compare(m.Start, m.End) >= 0 {
 		// Nothing to prove about an empty range; honest clients never send
 		// one (the client core rejects it before signing anything).

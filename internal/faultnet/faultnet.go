@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"wedgechain/internal/obs"
 	"wedgechain/internal/wire"
 )
 
@@ -85,6 +86,13 @@ type Net struct {
 	rules []Rule
 	links map[linkKey]*splitmix
 	stats Stats
+
+	// Registry mirrors of the counters (see AttachMetrics); nil-safe
+	// no-ops until attached.
+	mFrames *obs.Counter
+	mDrops  *obs.Counter
+	mDups   *obs.Counter
+	mSlowed *obs.Counter
 }
 
 type linkKey struct{ from, to wire.NodeID }
@@ -139,6 +147,22 @@ func (n *Net) Clear() {
 	n.rules = nil
 }
 
+// AttachMetrics mirrors the fault counters into reg as
+// wedge_faultnet_*_total series labeled {node} — node names the
+// endpoint whose egress this Net shapes. Counts injected before the
+// attach are not replayed; attach before traffic for exact totals.
+func (n *Net) AttachMetrics(reg *obs.Registry, node string) {
+	if n == nil || reg == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mFrames = reg.CounterVec("wedge_faultnet_frames_total", "frames consulted by the fault injector", "node").With(node)
+	n.mDrops = reg.CounterVec("wedge_faultnet_drops_total", "frames dropped by injected faults", "node").With(node)
+	n.mDups = reg.CounterVec("wedge_faultnet_dups_total", "extra deliveries injected", "node").With(node)
+	n.mSlowed = reg.CounterVec("wedge_faultnet_slowed_total", "deliveries given a non-zero extra delay", "node").With(node)
+}
+
 // Snapshot returns a copy of the fault counters.
 func (n *Net) Snapshot() Stats {
 	n.mu.Lock()
@@ -159,6 +183,7 @@ func (n *Net) Apply(now int64, from, to wire.NodeID) Action {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats.Frames++
+	n.mFrames.Inc()
 	var rule *Rule
 	for i := range n.rules {
 		if n.rules[i].matches(now, from, to) {
@@ -173,11 +198,13 @@ func (n *Net) Apply(now int64, from, to wire.NodeID) Action {
 	f := rule.Faults
 	if f.Drop > 0 && rng.float() < f.Drop {
 		n.stats.Drops++
+		n.mDrops.Inc()
 		return Action{Drop: true}
 	}
 	act := Action{Delays: []int64{n.delay(rng, f)}}
 	if f.Dup > 0 && rng.float() < f.Dup {
 		n.stats.Dups++
+		n.mDups.Inc()
 		act.Delays = append(act.Delays, n.delay(rng, f))
 	}
 	return act
@@ -187,12 +214,14 @@ func (n *Net) delay(rng *splitmix, f LinkFaults) int64 {
 	if f.DelayMax <= f.DelayMin {
 		if f.DelayMin > 0 {
 			n.stats.Slowed++
+			n.mSlowed.Inc()
 		}
 		return f.DelayMin
 	}
 	d := f.DelayMin + int64(rng.next()%uint64(f.DelayMax-f.DelayMin))
 	if d > 0 {
 		n.stats.Slowed++
+		n.mSlowed.Inc()
 	}
 	return d
 }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteProm encodes every family in the registry in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE headers,
+// families in name order, children in label-value order, histograms as
+// cumulative _bucket{le=...} series plus _sum and _count. Output is
+// deterministic for a fixed set of values. Nil-safe: a nil registry
+// encodes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ch := range f.sortedChildren() {
+			base := labelString(f.labelNames, ch.values, "")
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, base, ch.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, base, fmtFloat(ch.g.Value()))
+			case kindHistogram:
+				cs, count, sum := ch.h.snapshot()
+				var cum uint64
+				for i, bound := range f.buckets {
+					cum += cs[i]
+					le := labelString(f.labelNames, ch.values, fmtFloat(bound))
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, le, cum)
+				}
+				inf := labelString(f.labelNames, ch.values, "+Inf")
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, inf, count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, base, fmtFloat(sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, base, count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Sample is one flattened series value from a registry snapshot.
+// Histograms flatten to quantile pseudo-series (_p50/_p99), _sum and
+// _count rather than raw buckets — the shape bench artifacts want.
+type Sample struct {
+	Name   string // series name including any quantile suffix
+	Labels string // rendered {k="v",...} or ""
+	Value  float64
+}
+
+// Samples returns a deterministic flat snapshot of every series,
+// ordered by (name, labels). Counters and gauges yield one sample;
+// histograms yield name_p50, name_p99, name_sum and name_count.
+func (r *Registry) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for _, f := range r.sortedFamilies() {
+		for _, ch := range f.sortedChildren() {
+			ls := labelString(f.labelNames, ch.values, "")
+			switch f.kind {
+			case kindCounter:
+				out = append(out, Sample{f.name, ls, float64(ch.c.Value())})
+			case kindGauge:
+				out = append(out, Sample{f.name, ls, ch.g.Value()})
+			case kindHistogram:
+				out = append(out,
+					Sample{f.name + "_p50", ls, ch.h.Quantile(0.50)},
+					Sample{f.name + "_p99", ls, ch.h.Quantile(0.99)},
+					Sample{f.name + "_sum", ls, ch.h.Sum()},
+					Sample{f.name + "_count", ls, float64(ch.h.Count())})
+			}
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile of a histogram family, merging the
+// bucket counts of every child (all children share the family's bucket
+// bounds). Returns 0 when the family is unknown, not a histogram, or
+// empty. The cross-node trust-lag p99 is Quantile("wedge_trust_lag_seconds", 0.99).
+func (r *Registry) Quantile(name string, q float64) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != kindHistogram {
+		return 0
+	}
+	merged := make([]uint64, len(f.buckets)+1)
+	var total uint64
+	for _, ch := range f.sortedChildren() {
+		cs, count, _ := ch.h.snapshot()
+		for i, c := range cs {
+			merged[i] += c
+		}
+		total += count
+	}
+	return bucketQuantile(f.buckets, merged, total, q)
+}
+
+// CounterValue sums the named counter family across all children.
+// Returns 0 for unknown names — callers snapshotting optional series
+// need not care whether the layer registered them.
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != kindCounter {
+		return 0
+	}
+	var total uint64
+	for _, ch := range f.sortedChildren() {
+		total += ch.c.Value()
+	}
+	return total
+}
+
+// fmtFloat renders floats the way Prometheus clients do: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Returns "" with no labels at all.
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

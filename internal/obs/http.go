@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics        Prometheus text exposition
+//	/healthz        200 "ok" liveness probe
+//	/debug/pprof/*  the standard runtime profiles
+//
+// pprof handlers are mounted explicitly on a private mux — importing
+// net/http/pprof for its side effect would silently pollute
+// http.DefaultServeMux for every binary linking this package.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics listener started by StartServer.
+type Server struct {
+	// Addr is the bound address — useful when the requested address
+	// used port 0.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartServer binds addr (host:port; port 0 picks a free port) and
+// serves Handler(r) until Close. Binaries call this when -metrics-addr
+// is set; the listener is opt-in and failure to bind is returned, not
+// fatal, so the caller decides severity.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Close shuts the listener down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wedge_widgets_total", "widgets")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Same name returns the same handle.
+	if c2 := r.Counter("wedge_widgets_total", "widgets"); c2 != c {
+		t.Fatalf("re-registration returned a different handle")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("wedge_queue_depth", "depth")
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge = %g, want 6.5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to a bound counts in that bound's bucket, one ulp above spills
+// to the next, and anything beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wedge_test_seconds", "t", []float64{1, 2, 4})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(1)   // bucket le=1 (boundary is inclusive)
+	h.Observe(1.5) // bucket le=2
+	h.Observe(2)   // bucket le=2
+	h.Observe(4)   // bucket le=4
+	h.Observe(4.1) // +Inf
+	h.Observe(100) // +Inf
+	cs, count, sum := h.snapshot()
+	want := []uint64{2, 2, 1, 2}
+	for i, w := range want {
+		if cs[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, cs[i], w, cs)
+		}
+	}
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 4 + 4.1 + 100; math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wedge_q_seconds", "t", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in (1,2]
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 1 || p50 > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", p50)
+	}
+	// Tail samples report the largest finite bound.
+	h2 := r.Histogram("wedge_q2_seconds", "t", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow p99 = %g, want 2 (largest finite bound)", got)
+	}
+}
+
+// TestHistogramConcurrentObserve exercises the lock-free hot path under
+// -race and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wedge_conc_seconds", "t", ExpBuckets(1e-6, 2, 20))
+	c := r.Counter("wedge_conc_total", "t")
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per+i) * 1e-6)
+				c.Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*per)
+	}
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	cs, _, _ := h.snapshot()
+	var total uint64
+	for _, v := range cs {
+		total += v
+	}
+	if total != goroutines*per {
+		t.Fatalf("bucket sum = %d, want %d", total, goroutines*per)
+	}
+}
+
+// TestWritePromGolden pins the exact exposition bytes for a small
+// registry — the contract scrapers parse.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wedge_acks_total", "edge acks").Add(3)
+	v := r.CounterVec("wedge_disputes_total", "disputes by verdict", "verdict")
+	v.With("guilty").Add(2)
+	v.With("not_guilty") // zero-valued series still encodes
+	r.Gauge("wedge_frontier", "certified frontier").Set(7)
+	h := r.Histogram("wedge_lag_seconds", "trust lag", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP wedge_acks_total edge acks
+# TYPE wedge_acks_total counter
+wedge_acks_total 3
+# HELP wedge_disputes_total disputes by verdict
+# TYPE wedge_disputes_total counter
+wedge_disputes_total{verdict="guilty"} 2
+wedge_disputes_total{verdict="not_guilty"} 0
+# HELP wedge_frontier certified frontier
+# TYPE wedge_frontier gauge
+wedge_frontier 7
+# HELP wedge_lag_seconds trust lag
+# TYPE wedge_lag_seconds histogram
+wedge_lag_seconds_bucket{le="0.5"} 1
+wedge_lag_seconds_bucket{le="2"} 2
+wedge_lag_seconds_bucket{le="+Inf"} 3
+wedge_lag_seconds_sum 10.25
+wedge_lag_seconds_count 3
+`
+	if b.String() != want {
+		t.Fatalf("encoding mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestSamplesDeterministic: two snapshots of the same registry are
+// byte-identical, and ordering does not depend on registration order.
+func TestSamplesDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n, "c")
+		}
+		r.HistogramVec("wedge_lag_seconds", "h", []float64{1, 2}, "node").
+			With("edge-1").Observe(1.5)
+		return r
+	}
+	a := build([]string{"wedge_a_total", "wedge_b_total"})
+	b := build([]string{"wedge_b_total", "wedge_a_total"})
+	fa, fb := fmt.Sprint(a.Samples()), fmt.Sprint(b.Samples())
+	if fa != fb {
+		t.Fatalf("snapshot depends on registration order:\n%s\n%s", fa, fb)
+	}
+	if fa2 := fmt.Sprint(a.Samples()); fa2 != fa {
+		t.Fatalf("snapshot not stable across calls:\n%s\n%s", fa, fa2)
+	}
+}
+
+func TestRegistryQuantileMergesChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("wedge_lag_seconds", "h", []float64{1, 2, 4}, "node")
+	for i := 0; i < 99; i++ {
+		v.With("edge-1").Observe(0.5)
+	}
+	v.With("edge-2").Observe(3)
+	p99 := r.Quantile("wedge_lag_seconds", 0.999)
+	if p99 <= 2 || p99 > 4 {
+		t.Fatalf("merged p99.9 = %g, want within (2,4]", p99)
+	}
+	if got := r.Quantile("wedge_nope_seconds", 0.5); got != 0 {
+		t.Fatalf("unknown family quantile = %g, want 0", got)
+	}
+}
+
+func TestCounterValueSumsChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("wedge_drops_total", "d", "node")
+	v.With("a").Add(2)
+	v.With("b").Add(3)
+	if got := r.CounterValue("wedge_drops_total"); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	if got := r.CounterValue("wedge_absent_total"); got != 0 {
+		t.Fatalf("absent CounterValue = %d, want 0", got)
+	}
+}
+
+// TestNilSafety: a nil registry and nil handles must be silently inert
+// — that is the disabled-metrics mode every layer relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("wedge_x_total", "x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter retained a value")
+	}
+	g := r.Gauge("wedge_g", "g")
+	g.Set(1)
+	g.Add(1)
+	h := r.Histogram("wedge_h_seconds", "h", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram retained samples")
+	}
+	cv := r.CounterVec("wedge_cv_total", "cv", "l")
+	cv.With("a").Inc()
+	hv := r.HistogramVec("wedge_hv_seconds", "hv", nil, "l")
+	hv.With("a").Observe(1)
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples() != nil || r.Quantile("wedge_h_seconds", 0.5) != 0 {
+		t.Fatal("nil registry produced samples")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		fn   func()
+		want string
+	}{
+		{func() { r.Counter("acks_total", "x") }, "prefixed wedge_"},
+		{func() { r.Counter("wedge_acks", "x") }, "_total"},
+		{func() { r.Histogram("wedge_lag", "x", nil) }, "unit"},
+		{func() { r.Counter("wedge_Acks_total", "x") }, "invalid character"},
+		{func() { r.Counter("wedge_ok_total", "x"); r.Gauge("wedge_ok_total", "x") }, "re-registered"},
+		{func() {
+			r.CounterVec("wedge_lab_total", "x", "a")
+			r.CounterVec("wedge_lab_total", "x", "b")
+		}, "labels"},
+		{func() { r.CounterVec("wedge_arity_total", "x", "a").With("v1", "v2") }, "label values"},
+	}
+	for i, tc := range cases {
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+				if !strings.Contains(fmt.Sprint(rec), tc.want) {
+					t.Fatalf("case %d: panic %q does not mention %q", i, rec, tc.want)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// TestHTTPHandler covers /metrics, /healthz and the pprof index via a
+// real listener (the full end-to-end scrape against a live wedge-edge
+// lives in internal/integration).
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wedge_acks_total", "acks").Add(9)
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "wedge_acks_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// BenchmarkHistogramObserve guards the zero-allocation hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("wedge_bench_seconds", "b", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(1e-3) }); n != 0 {
+		b.Fatalf("Observe allocates %v times per call", n)
+	}
+}
+
+// BenchmarkCounterInc guards the counter hot path.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("wedge_bench_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,140 @@
+// Package olog is a tiny leveled key=value logger for WedgeChain's
+// runtime log lines (transport drop warnings, failover and catch-up
+// events). It exists so RUNBOOK log walkthroughs have one stable,
+// grep-friendly format — level=warn msg="..." k=v ... — without
+// pulling a logging dependency, and so tests stay quiet by default: a
+// nil *Logger is valid and silent, which is what every library-level
+// default uses.
+package olog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// The levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Logger writes leveled key=value lines. Safe for concurrent use. A
+// nil *Logger is valid: every method no-ops, so library code logs
+// unconditionally through whatever handle it was configured with and
+// tests (which configure none) stay quiet.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	stamp bool
+}
+
+// New returns a logger writing lines at or above lv to w. Binaries
+// pass os.Stderr; tests that want output pass a buffer.
+func New(w io.Writer, lv Level) *Logger {
+	l := &Logger{w: w, stamp: true}
+	l.level.Store(int32(lv))
+	return l
+}
+
+// NewUnstamped is New without the time= field — deterministic output
+// for golden tests.
+func NewUnstamped(w io.Writer, lv Level) *Logger {
+	l := New(w, lv)
+	l.stamp = false
+	return l
+}
+
+// SetLevel changes the minimum emitted level at runtime.
+func (l *Logger) SetLevel(lv Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(lv))
+}
+
+// Enabled reports whether lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.level.Load()
+}
+
+// Debug logs at debug level. kv alternates key, value, key, value —
+// the slog calling convention, so call sites migrate unchanged.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	if l.stamp {
+		b.WriteString("time=")
+		b.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+		b.WriteByte(' ')
+	}
+	b.WriteString("level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quote(fmt.Sprint(kv[i+1])))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" !BADKEY=")
+		b.WriteString(quote(fmt.Sprint(kv[len(kv)-1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String()) //nolint:errcheck // best-effort log line
+}
+
+// quote wraps values containing spaces, quotes or '=' in double
+// quotes; plain tokens pass through bare for grep-ability.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+package olog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var l *Logger
+	// Must not panic, must not emit — libraries log unconditionally
+	// through a possibly-nil handle.
+	l.Debug("a")
+	l.Info("b", "k", 1)
+	l.Warn("c")
+	l.Error("d")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+}
+
+func TestFormatAndLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewUnstamped(&b, LevelInfo)
+	l.Debug("hidden", "k", "v")
+	l.Info("plain")
+	l.Warn("transport: lane full", "peer", "edge-1", "dropped", 3)
+	l.Error("failover", "chain", "edge 1") // value with a space quotes
+	got := b.String()
+	want := `level=info msg=plain
+level=warn msg="transport: lane full" peer=edge-1 dropped=3
+level=error msg=failover chain="edge 1"
+`
+	if got != want {
+		t.Fatalf("log output:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSetLevel(t *testing.T) {
+	var b strings.Builder
+	l := NewUnstamped(&b, LevelError)
+	l.Warn("quiet")
+	l.SetLevel(LevelDebug)
+	l.Debug("loud")
+	if got := b.String(); got != "level=debug msg=loud\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOddKeyValues(t *testing.T) {
+	var b strings.Builder
+	l := NewUnstamped(&b, LevelInfo)
+	l.Info("m", "k1", 1, "dangling")
+	if got := b.String(); got != "level=info msg=m k1=1 !BADKEY=dangling\n" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// kind distinguishes the three family types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with a fixed label schema and one child
+// per distinct label-value tuple.
+type family struct {
+	name       string
+	help       string
+	kind       kind
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]*child // key: label values joined with \xff
+}
+
+// child is one (family, label values) series.
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metric families. A process normally uses Default();
+// sim worlds and benches create private registries so concurrent
+// experiments don't pollute each other. All methods are safe for
+// concurrent use and nil-safe: every getter on a nil *Registry returns
+// a nil handle, whose methods no-op — a nil registry is a fully
+// disabled metrics pipeline costing one branch per observation.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry used by the binaries.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the (unlabeled) counter name, creating it on first
+// use. Panics if name violates the wedge_* convention or was already
+// registered with a different kind or label schema.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.family(kindCounter, name, help, nil, nil).get().c
+}
+
+// Gauge returns the (unlabeled) gauge name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.family(kindGauge, name, help, nil, nil).get().g
+}
+
+// Histogram returns the (unlabeled) histogram name, creating it on
+// first use. Buckets are upper bounds, strictly increasing; they are
+// fixed on first registration and must match on later calls.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.family(kindHistogram, name, help, nil, buckets).get().h
+}
+
+// CounterVec returns the labeled counter family name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.family(kindCounter, name, help, labels, nil)}
+}
+
+// GaugeVec returns the labeled gauge family name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.family(kindGauge, name, help, labels, nil)}
+}
+
+// HistogramVec returns the labeled histogram family name.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r.family(kindHistogram, name, help, labels, buckets)}
+}
+
+// CounterVec hands out per-label-tuple counter children. With caches
+// children, so layers resolve their handles once at init and the hot
+// path touches only the returned *Counter.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values (one per label
+// name, in registration order).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).c
+}
+
+// GaugeVec hands out per-label-tuple gauge children.
+type GaugeVec struct{ f *family }
+
+// With returns the child for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).g
+}
+
+// HistogramVec hands out per-label-tuple histogram children.
+type HistogramVec struct{ f *family }
+
+// With returns the child for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).h
+}
+
+// family returns the named family, creating it on first registration
+// and validating name, kind, label schema and buckets against any
+// existing registration.
+func (r *Registry) family(k kind, name, help string, labels []string, buckets []float64) *family {
+	validateName(k, name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, k, f.kind))
+		}
+		if strings.Join(f.labelNames, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: %s re-registered with labels %v (was %v)", name, labels, f.labelNames))
+		}
+		if k == kindHistogram && !equalBounds(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: %s re-registered with different buckets", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labelNames: append([]string(nil), labels...),
+		children:   make(map[string]*child),
+	}
+	if k == kindHistogram {
+		if len(buckets) == 0 {
+			buckets = LatencyBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(b) == 0 {
+		return true // later call defers to the registered buckets
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the single unlabeled child.
+func (f *family) get() *child { return f.child(nil) }
+
+// child returns (creating if needed) the series for the label values.
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	ch, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok = f.children[key]; ok {
+		return ch
+	}
+	ch = &child{values: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		ch.c = &Counter{}
+	case kindGauge:
+		ch.g = &Gauge{}
+	case kindHistogram:
+		ch.h = newHistogram(f.buckets)
+	}
+	f.children[key] = ch
+	return ch
+}
+
+// sortedFamilies returns families in name order (deterministic
+// encoding and snapshots).
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fs := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fs = append(fs, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
+	return fs
+}
+
+// sortedChildren returns a family's children in label-value order.
+func (f *family) sortedChildren() []*child {
+	f.mu.RLock()
+	cs := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		cs = append(cs, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(cs, func(i, j int) bool {
+		return strings.Join(cs[i].values, "\xff") < strings.Join(cs[j].values, "\xff")
+	})
+	return cs
+}
+
+// validateName enforces the documented wedge_* convention (see
+// ARCHITECTURE.md "Observability"): names are lowercase
+// [a-z0-9_], prefixed wedge_; counters end in _total; histograms end
+// in a base unit (_seconds, _bytes, _entries). Violations are
+// programming errors and panic at registration.
+func validateName(k kind, name string) {
+	if !strings.HasPrefix(name, "wedge_") {
+		panic(fmt.Sprintf("obs: metric %q must be prefixed wedge_", name))
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		panic(fmt.Sprintf("obs: metric %q has invalid character %q (want [a-z0-9_])", name, c))
+	}
+	switch k {
+	case kindCounter:
+		if !strings.HasSuffix(name, "_total") {
+			panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+		}
+	case kindHistogram:
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") &&
+			!strings.HasSuffix(name, "_entries") {
+			panic(fmt.Sprintf("obs: histogram %q must end in a unit (_seconds, _bytes or _entries)", name))
+		}
+	}
+}

@@ -6,14 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"wedgechain/internal/core"
 	"wedgechain/internal/faultnet"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/obs/olog"
 	"wedgechain/internal/wcrypto"
 	"wedgechain/internal/wire"
 )
@@ -59,6 +59,14 @@ type TCPConfig struct {
 	// partition) on this endpoint's outbound frames; nil disables.
 	// Fault time is wall-clock nanoseconds.
 	Fault *faultnet.Net
+	// Obs, when set, is the metrics registry the endpoint's frame
+	// counters (wedge_transport_*) register into, labeled with the
+	// primary handler's identity. Stats() is backed by the same counters
+	// either way; nil only keeps them off the shared registry.
+	Obs *obs.Registry
+	// Log receives the endpoint's structured warnings (lane-full drops).
+	// nil is silent — the default, keeping tests quiet.
+	Log *olog.Logger
 }
 
 // Stats counts an endpoint's frame-level events. All counters are
@@ -103,10 +111,12 @@ type TCP struct {
 	lanes    []*writeLane
 	laneOnce sync.Once // lanes start on first outbound frame
 
-	stFramesSent atomic.Uint64
-	stLaneDrops  atomic.Uint64
-	stNoAddr     atomic.Uint64
-	stRedials    atomic.Uint64
+	// Frame counters: registry-backed so /metrics and Stats() read the
+	// same atomics (see TCPConfig.Obs).
+	stFramesSent *obs.Counter
+	stLaneDrops  *obs.Counter
+	stNoAddr     *obs.Counter
+	stRedials    *obs.Counter
 
 	lisMu sync.Mutex
 	lis   net.Listener
@@ -216,6 +226,19 @@ func NewTCP(h core.Handler, cfg TCPConfig) *TCP {
 	for i := range t.lanes {
 		t.lanes[i] = &writeLane{ch: make(chan laneItem, cfg.LaneDepth)}
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	node := string(h.ID())
+	t.stFramesSent = reg.CounterVec("wedge_transport_frames_sent_total",
+		"frames successfully written to a peer socket", "node").With(node)
+	t.stLaneDrops = reg.CounterVec("wedge_transport_lane_drops_total",
+		"frames dropped because their writer lane's queue was full", "node").With(node)
+	t.stNoAddr = reg.CounterVec("wedge_transport_no_addr_drops_total",
+		"frames dropped for lack of a peer address", "node").With(node)
+	t.stRedials = reg.CounterVec("wedge_transport_redials_total",
+		"outbound connection (re)establishments", "node").With(node)
 	if cfg.Registry != nil && cfg.VerifyWorkers != 0 {
 		t.verify = wcrypto.NewVerifyPool(cfg.Registry, cfg.VerifyWorkers, 0, t.deliverVerified)
 	}
@@ -244,10 +267,10 @@ func (t *TCP) session(id wire.NodeID) *tcpSession {
 // Stats returns a snapshot of the endpoint's frame counters.
 func (t *TCP) Stats() Stats {
 	return Stats{
-		FramesSent:  t.stFramesSent.Load(),
-		LaneDrops:   t.stLaneDrops.Load(),
-		NoAddrDrops: t.stNoAddr.Load(),
-		Redials:     t.stRedials.Load(),
+		FramesSent:  t.stFramesSent.Value(),
+		LaneDrops:   t.stLaneDrops.Value(),
+		NoAddrDrops: t.stNoAddr.Value(),
+		Redials:     t.stRedials.Value(),
 	}
 }
 
@@ -471,7 +494,9 @@ func (t *TCP) enqueue(env wire.Envelope) {
 		t.connMu.Lock()
 		if _, logged := t.dropLogged[env.To]; !logged {
 			t.dropLogged[env.To] = struct{}{}
-			log.Printf("transport: writer lane full; dropping frame(s) to %s (further drops to this peer counted in Stats.LaneDrops, not logged)", env.To)
+			t.cfg.Log.Warn("writer lane full; dropping frames",
+				"peer", string(env.To),
+				"note", "further drops to this peer counted, not logged")
 		}
 		t.connMu.Unlock()
 	}

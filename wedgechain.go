@@ -40,6 +40,7 @@ import (
 	"wedgechain/internal/core"
 	"wedgechain/internal/edge"
 	"wedgechain/internal/faultnet"
+	"wedgechain/internal/obs"
 	"wedgechain/internal/wire"
 )
 
@@ -191,6 +192,12 @@ type Config struct {
 	// EdgeFaults makes selected edges byzantine (for demonstrations and
 	// tests of the detect-and-punish machinery).
 	EdgeFaults map[NodeID]*Fault
+	// Metrics is the observability registry every node in the cluster
+	// registers its wedge_* series into — scrape it with obs.StartServer
+	// or embed its snapshot via Cluster.Metrics(). Nil gets a private
+	// per-cluster registry, so instrumentation (including the trust-lag
+	// histograms) is always on and Cluster.Metrics() always works.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -235,6 +242,9 @@ func (c *Config) fill() {
 	}
 	if c.LightVerify && c.VerifySample <= 0 {
 		c.VerifySample = 16
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 }
 
