@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 metrics-smoke chaos fmt fmt-check vet doc-check ci
+.PHONY: build test race bench bench-micro bench-pipeline bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 metrics-smoke chaos fmt fmt-check vet doc-check ci
 
 build:
 	$(GO) build ./...
@@ -87,8 +87,19 @@ bench-pr8:
 # (OB1: instrumentation overhead on the put hot path with the registry
 # on vs off, and end-to-end trust-lag p50/p99 on a live cluster, clean
 # vs seeded chaos — the headline wedge_trust_lag_seconds series).
+# Not part of `ci`: bench-pr10 runs the same P1 binary, so chaining both
+# would measure P1 twice; BENCH_pr9.json stays the committed PR-9 record.
 bench-pr9:
 	$(GO) run ./cmd/wedge-bench -run P1,OB1 -json BENCH_pr9.json
+
+# PR-10 artifact: put hot path (P1, regression guard) + certification at
+# scale (CL1: batched-certificate throughput per-block vs batched across
+# 1/4 chains, dispute-flood cost with the verdict cache on vs off, and
+# full-stack trust lag with batching + precheck workers + the
+# anti-entropy auditor, asserting zero honest convictions and zero audit
+# mismatches).
+bench-pr10:
+	$(GO) run ./cmd/wedge-bench -run P1,CL1 -json BENCH_pr10.json
 
 # Live-deployment telemetry check: boot a TCP cloud + edge pair with
 # -metrics-addr, push a certified write, scrape both /metrics endpoints
@@ -131,4 +142,4 @@ doc-check:
 	fi; \
 	echo "doc-check: all packages documented"
 
-ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr9 metrics-smoke
+ci: fmt-check vet doc-check build test race bench bench-micro bench-json bench-pr10 metrics-smoke

@@ -138,6 +138,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		GossipEvery:  cfg.GossipEvery.Nanoseconds(),
 		LeaseTimeout: cfg.LeaseTimeout.Nanoseconds(),
 		CertTimeout:  cfg.CertTimeout.Nanoseconds(),
+		CertWorkers:  cfg.CertWorkers,
+		CertBatch:    cfg.CertBatch,
+		AuditEvery:   cfg.AuditEvery.Nanoseconds(),
 		Metrics:      cfg.Metrics,
 		// Gossip recipients are added as clients join; the cloud config
 		// is static, so gossip goes to edges and clients pull via their
@@ -176,6 +179,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Followers:       followers[id],
 			HeartbeatEvery:  heartbeatEvery,
 			MaxUncertified:  cfg.MaxUncertified,
+			CertBatch:       cfg.CertBatch,
 			Metrics:         cfg.Metrics,
 		}
 		if err := ecfg.Validate(); err != nil {
@@ -220,6 +224,10 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.net.Close()
+	// The cloud may own goroutines (certification precheck workers, the
+	// anti-entropy auditor); stop them after the transport so no Receive
+	// or Tick races the shutdown.
+	c.cloud.Close()
 }
 
 // Punished reports whether the cloud has convicted and banned edgeID,

@@ -43,6 +43,11 @@ func main() {
 		lease  = flag.Duration("lease", time.Second, "leader lease: heartbeat silence beyond this transfers leadership")
 		certTO = flag.Duration("cert-timeout", 3*time.Second, "certification-stall bound before leadership transfer")
 
+		// Certification at scale (see docs/RUNBOOK.md).
+		certWorkers = flag.Int("cert-workers", 0, "certification precheck workers (0 = inline prechecks)")
+		certBatch   = flag.Int("cert-batch", 1, "blocks covered per batched certificate signature (<=1 = per-block proofs)")
+		auditEvery  = flag.Duration("audit-every", 0, "anti-entropy audit sweep period (0 disables)")
+
 		schedLanes  = flag.Int("sched-lanes", 0, "writer lanes in the shared frame scheduler (0 = default 4)")
 		maxInflight = flag.Int("max-inflight", 0, "max frames queued per writer lane before shedding (0 = default 4096)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
@@ -72,6 +77,9 @@ func main() {
 		GossipTo:     gossipTo,
 		LeaseTimeout: lease.Nanoseconds(),
 		CertTimeout:  certTO.Nanoseconds(),
+		CertWorkers:  *certWorkers,
+		CertBatch:    *certBatch,
+		AuditEvery:   auditEvery.Nanoseconds(),
 		Logger:       logger,
 		Metrics:      metrics,
 	}
@@ -79,6 +87,7 @@ func main() {
 		log.Fatal(err)
 	}
 	node := cloud.New(ccfg, key, reg)
+	defer node.Close()
 	if err := registerGroups(node, *groups); err != nil {
 		log.Fatal(err)
 	}

@@ -532,6 +532,7 @@ var Experiments = []struct {
 	{"CH1", ChaosSoak, "Chaos soak: seeded drop/dup/delay + leader partition, healing cost and invariants"},
 	{"C1", FrontDoor, "Front door: session multiplexing, admission control, light-client sampling"},
 	{"OB1", Observability, "Observability: instrumentation overhead on the put hot path, trust-lag p50/p99 clean vs chaos"},
+	{"CL1", CertScale, "Certification at scale: batched certificates, verdict cache under dispute flood, auditor-on trust lag"},
 	{"A1", AblationDataFree, "Ablation: data-free certification"},
 	{"A2", AblationGossip, "Ablation: gossip period vs omission detection"},
 	{"A3", AblationBaselineIndex, "Ablation: Edge-baseline index policy"},

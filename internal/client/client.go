@@ -521,6 +521,8 @@ func (c *Core) Receive(now int64, env wire.Envelope) []wire.Envelope {
 		return c.handlePutResponse(now, env.From, m, env.Verified)
 	case *wire.BlockProof:
 		return c.handleProof(now, env.From, m, env.Verified)
+	case *wire.BlockCertBatch:
+		return c.handleCertBatch(now, env.From, m, env.Verified)
 	case *wire.ReadResponse:
 		return c.handleReadResponse(now, env.From, m, env.Verified)
 	case *wire.GetResponse:
@@ -723,27 +725,58 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 			return nil
 		}
 	}
+	return c.applyCertified(now, p.BID, p.Digest)
+}
+
+// handleCertBatch applies a batched cloud certificate: one cloud
+// signature covering a contiguous run of (bid, digest) pairs, each of
+// which upgrades (or contradicts) pending operations exactly as an
+// individual proof would. Like proofs, batches may arrive straight from
+// the cloud or forwarded by the edge; the forwarded copy is verified
+// inline.
+func (c *Core) handleCertBatch(now int64, from wire.NodeID, b *wire.BlockCertBatch, verified bool) []wire.Envelope {
+	if b.Edge != c.cfg.Chain || len(b.Digests) == 0 {
+		return nil
+	}
+	if !verified || from != c.cfg.Cloud {
+		if err := wcrypto.VerifyMsg(c.reg, c.cfg.Cloud, b, b.CloudSig); err != nil {
+			c.m.verifyFailures.Inc()
+			return nil
+		}
+	}
 	var out []wire.Envelope
-	ops, _ := c.byBID.get(p.BID)
+	for i, d := range b.Digests {
+		out = append(out, c.applyCertified(now, b.Start+uint64(i), d)...)
+	}
+	return out
+}
+
+// applyCertified settles every pending operation on one certified
+// (bid, digest) pair — the shared core of handleProof and
+// handleCertBatch, running after the caller has verified the cloud's
+// signature over the pair.
+func (c *Core) applyCertified(now int64, bid uint64, digest []byte) []wire.Envelope {
+	var out []wire.Envelope
+	ops, _ := c.byBID.get(bid)
 	remaining := ops[:0]
 	for _, op := range ops {
 		if op.Done {
 			continue
 		}
 		if op.Kind == KindGet || op.Kind == KindScan {
-			if more := c.resolveProofDep(now, op, p); more != nil {
+			if more := c.resolveProofDep(now, op, bid, digest); more != nil {
 				out = append(out, more...)
 			}
 			// Re-register only while the op still pends on THIS bid (a
 			// contradiction dispute keeps the pin for re-delivery); a
 			// resolved dependency must release the slot, or a Done op
 			// would pin the ring's base forever.
-			if _, still := op.pendingBIDs[p.BID]; still && !op.Done && op.Phase != core.PhaseII {
+			if _, still := op.pendingBIDs[bid]; still && !op.Done && op.Phase != core.PhaseII {
 				remaining = append(remaining, op)
 			}
 			continue
 		}
-		if bytes.Equal(op.digest, p.Digest) {
+		if bytes.Equal(op.digest, digest) {
 			c.phaseII(now, op)
 			continue
 		}
@@ -753,9 +786,9 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 		remaining = append(remaining, op)
 	}
 	if len(remaining) == 0 {
-		c.byBID.delete(p.BID)
+		c.byBID.delete(bid)
 	} else {
-		c.byBID.set(p.BID, remaining)
+		c.byBID.set(bid, remaining)
 	}
 	return out
 }
@@ -763,19 +796,19 @@ func (c *Core) handleProof(now int64, from wire.NodeID, p *wire.BlockProof, veri
 // resolveProofDep settles one uncertified L0 dependency of a Phase I get
 // or scan. A certified digest contradicting the pinned one is the lazy
 // catch for content the edge promised before certification.
-func (c *Core) resolveProofDep(now int64, op *Op, p *wire.BlockProof) []wire.Envelope {
-	want, ok := op.pendingBIDs[p.BID]
+func (c *Core) resolveProofDep(now int64, op *Op, bid uint64, digest []byte) []wire.Envelope {
+	want, ok := op.pendingBIDs[bid]
 	if !ok {
 		return nil
 	}
-	if !bytes.Equal(want, p.Digest) {
+	if !bytes.Equal(want, digest) {
 		c.m.liesDetected.Inc()
 		if op.Kind == KindScan {
-			return c.fileScanDispute(op, p.BID)
+			return c.fileScanDispute(op, bid)
 		}
-		return c.fileGetDispute(op, p.BID)
+		return c.fileGetDispute(op, bid)
 	}
-	delete(op.pendingBIDs, p.BID)
+	delete(op.pendingBIDs, bid)
 	if len(op.pendingBIDs) == 0 {
 		c.phaseII(now, op)
 	}

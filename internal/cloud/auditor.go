@@ -1,0 +1,131 @@
+package cloud
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"wedgechain/internal/merkle"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/wire"
+)
+
+// The anti-entropy auditor re-derives what the cloud has already signed:
+// after each merge the node snapshots the leaf tables and the global
+// root it signed, and a paced background goroutine rebuilds the Merkle
+// trees from the leaves and compares. A mismatch means the cloud signed
+// a root its own recorded state cannot reproduce — bit rot, a torn
+// in-memory update, or a merge bug — and is surfaced on
+// wedge_audit_mismatches_total and the log, never by blocking
+// certification: the auditor shares no locks with the node goroutine
+// and works exclusively on snapshot copies.
+//
+// Limitations (by design): the auditor audits the cloud's own
+// bookkeeping, not the edges' — a lying edge is caught by certification
+// conflict or dispute, not here. It samples merge checkpoints (bounded
+// queue, oldest dropped), so it detects corruption, it does not
+// enumerate every historical epoch.
+
+// auditCheckpoint snapshots one signed merge result: the per-level leaf
+// tables (outer slices copied; leaf hashes are immutable by
+// convention) and the global root the cloud signed for that epoch.
+type auditCheckpoint struct {
+	edge   wire.NodeID
+	epoch  uint64
+	leaves [][][]byte
+	root   []byte
+}
+
+// auditQueueCap bounds retained checkpoints; when full the oldest is
+// dropped (auditing the newest state first is the point).
+const auditQueueCap = 64
+
+// auditor recomputes Merkle roots over certified state on its own
+// goroutine, paced by AuditEvery.
+type auditor struct {
+	mu    sync.Mutex
+	queue []auditCheckpoint
+
+	rounds     *obs.Counter
+	mismatches *obs.Counter
+	logf       func(msg string, args ...any)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newAuditor(rounds, mismatches *obs.Counter, logf func(string, ...any)) *auditor {
+	return &auditor{rounds: rounds, mismatches: mismatches, logf: logf}
+}
+
+// offer enqueues a checkpoint for the next sweep. Called on the node
+// goroutine; the caller must pass snapshot copies.
+func (a *auditor) offer(cp auditCheckpoint) {
+	a.mu.Lock()
+	if len(a.queue) >= auditQueueCap {
+		a.queue = a.queue[1:]
+	}
+	a.queue = append(a.queue, cp)
+	a.mu.Unlock()
+}
+
+// sweep audits every queued checkpoint and reports mismatches.
+func (a *auditor) sweep() (mismatches int) {
+	a.mu.Lock()
+	batch := a.queue
+	a.queue = nil
+	a.mu.Unlock()
+	for _, cp := range batch {
+		roots := make([][]byte, len(cp.leaves))
+		for i, leaves := range cp.leaves {
+			roots[i] = merkle.New(leaves).Root()
+		}
+		if !bytes.Equal(mlsm.GlobalRoot(roots), cp.root) {
+			mismatches++
+			a.mismatches.Inc()
+			a.logf("audit mismatch: recomputed global root contradicts signed checkpoint",
+				"edge", cp.edge, "epoch", cp.epoch)
+		}
+	}
+	a.rounds.Inc()
+	return mismatches
+}
+
+// start runs the paced sweep loop until stopAuditor.
+func (a *auditor) start(every time.Duration) {
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				a.sweep()
+			case <-a.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (a *auditor) stopAuditor() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	<-a.done
+	a.stop = nil
+}
+
+// AuditNow runs one synchronous audit sweep over the queued checkpoints
+// and returns the number of mismatches found (tests, operators). Safe
+// from any goroutine.
+func (n *Node) AuditNow() int {
+	if n.aud == nil {
+		return 0
+	}
+	return n.aud.sweep()
+}

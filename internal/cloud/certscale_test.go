@@ -1,0 +1,313 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wedgechain/internal/core"
+	"wedgechain/internal/merkle"
+	"wedgechain/internal/mlsm"
+	"wedgechain/internal/obs"
+	"wedgechain/internal/wcrypto"
+	"wedgechain/internal/wire"
+)
+
+// Certification-at-scale tests: batched certificates, the precheck
+// pipeline, the verdict cache, and the anti-entropy auditor.
+
+// TestCertifyHistogramObservesBothPaths pins the satellite fix: the
+// certify-latency histogram must record a sample whether or not the
+// envelope arrived pre-verified (the old fast path returned before
+// Observe).
+func TestCertifyHistogramObservesBothPaths(t *testing.T) {
+	f := newFixture(t, Config{}) // Metrics nil: private-registry fallback
+	m := &wire.BlockCertify{Edge: "edge-1", BID: 0, Digest: wcrypto.Digest([]byte("b0"))}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m)
+	f.node.Receive(1, wire.Envelope{From: "edge-1", To: "cloud", Msg: m, Verified: true})
+	if got := f.node.m.certify.Count(); got != 1 {
+		t.Fatalf("certify histogram count after pre-verified path = %d, want 1", got)
+	}
+	m2 := &wire.BlockCertify{Edge: "edge-1", BID: 1, Digest: wcrypto.Digest([]byte("b1"))}
+	m2.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m2)
+	f.node.Receive(2, wire.Envelope{From: "edge-1", To: "cloud", Msg: m2})
+	if got := f.node.m.certify.Count(); got != 2 {
+		t.Fatalf("certify histogram count after inline-verify path = %d, want 2", got)
+	}
+}
+
+func (f *fixture) dispute(t *testing.T, d *wire.Dispute) []wire.Envelope {
+	t.Helper()
+	return f.node.Receive(9, wire.Envelope{From: "c1", To: "cloud", Msg: d})
+}
+
+// lyingDispute builds a well-formed accusation whose evidence contradicts
+// the certified digest for bid 0 — a distinct lie per tamper value.
+func (f *fixture) lyingDispute(honest wire.Block, tamper string) *wire.Dispute {
+	lied := honest
+	lied.Entries = append([]wire.Entry(nil), honest.Entries...)
+	lied.Entries[0].Value = []byte(tamper)
+	ev := &wire.AddResponse{BID: honest.ID, Block: lied}
+	ev.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], ev)
+	return core.BuildAddLieDispute(f.keys["c1"], "edge-1", ev)
+}
+
+// TestDisputeFloodHitsVerdictCache: N re-filings of the same lie cost one
+// Judge decode and replay a byte-identical signed verdict; M distinct
+// lies cost exactly M decodes. Conviction semantics are unchanged — the
+// edge is banned once, by the first guilty adjudication.
+func TestDisputeFloodHitsVerdictCache(t *testing.T) {
+	f := newFixture(t, Config{})
+	honest := f.buildCertifiedBlock(t, 0, "a")
+
+	const dups, distinct = 7, 3
+	var first []byte
+	for i := 0; i < dups+1; i++ {
+		out := f.dispute(t, f.lyingDispute(honest, "same-lie"))
+		v, ok := out[0].Msg.(*wire.Verdict)
+		if !ok || !v.Guilty {
+			t.Fatalf("flood round %d: verdict = %+v", i, out[0].Msg)
+		}
+		if first == nil {
+			first = v.CloudSig
+		} else if !bytes.Equal(first, v.CloudSig) {
+			t.Fatalf("flood round %d: replayed verdict re-signed", i)
+		}
+	}
+	for i := 1; i < distinct; i++ {
+		f.dispute(t, f.lyingDispute(honest, "lie-"+string(rune('a'+i))))
+	}
+	s := f.node.Stats()
+	if s.JudgeDecodes != distinct {
+		t.Fatalf("JudgeDecodes = %d, want %d (one per distinct lie)", s.JudgeDecodes, distinct)
+	}
+	if s.VerdictCacheHits != dups {
+		t.Fatalf("VerdictCacheHits = %d, want %d", s.VerdictCacheHits, dups)
+	}
+	if s.GuiltyEdges != 1 {
+		t.Fatalf("GuiltyEdges = %d, want 1", s.GuiltyEdges)
+	}
+	if _, banned := f.node.Flagged("edge-1"); !banned {
+		t.Fatal("lying edge not banned")
+	}
+}
+
+// TestVerdictCacheDisabled: VerdictCache < 0 restores the decode-per-
+// dispute behavior.
+func TestVerdictCacheDisabled(t *testing.T) {
+	f := newFixture(t, Config{VerdictCache: -1})
+	honest := f.buildCertifiedBlock(t, 0, "a")
+	for i := 0; i < 3; i++ {
+		f.dispute(t, f.lyingDispute(honest, "same-lie"))
+	}
+	s := f.node.Stats()
+	if s.JudgeDecodes != 3 || s.VerdictCacheHits != 0 {
+		t.Fatalf("JudgeDecodes = %d, VerdictCacheHits = %d; want 3, 0", s.JudgeDecodes, s.VerdictCacheHits)
+	}
+}
+
+// TestForgedDisputeCannotTouchCache: a bad claimant signature is rejected
+// before any cache access and never seeds a verdict.
+func TestForgedDisputeCannotTouchCache(t *testing.T) {
+	f := newFixture(t, Config{})
+	honest := f.buildCertifiedBlock(t, 0, "a")
+	d := f.lyingDispute(honest, "lie")
+	d.ClientSig = wcrypto.SignMsg(f.keys["edge-1"], d) // wrong signer
+	out := f.dispute(t, d)
+	if v := out[0].Msg.(*wire.Verdict); v.Guilty {
+		t.Fatalf("forged dispute convicted: %+v", v)
+	}
+	s := f.node.Stats()
+	if s.JudgeDecodes != 0 || s.VerdictCacheHits != 0 {
+		t.Fatalf("forged dispute reached judge/cache: decodes=%d hits=%d", s.JudgeDecodes, s.VerdictCacheHits)
+	}
+}
+
+func batchOf(out []wire.Envelope) *wire.BlockCertBatch {
+	for _, env := range out {
+		if b, ok := env.Msg.(*wire.BlockCertBatch); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// TestBatchedCertifyFlushesAtCertBatch: CertBatch accepted certifications
+// are covered by one signed BlockCertBatch, and no per-block proofs are
+// signed along the way.
+func TestBatchedCertifyFlushesAtCertBatch(t *testing.T) {
+	f := newFixture(t, Config{CertBatch: 4})
+	digests := make([][]byte, 4)
+	var out []wire.Envelope
+	for i := range digests {
+		digests[i] = wcrypto.Digest([]byte{byte(i)})
+		out = f.certify(t, uint64(i), digests[i])
+	}
+	b := batchOf(out)
+	if b == nil {
+		t.Fatalf("no batch after %d certifies: %v", len(digests), out)
+	}
+	if b.Edge != "edge-1" || b.Start != 0 || len(b.Digests) != 4 {
+		t.Fatalf("batch = %+v", b)
+	}
+	for i, d := range b.Digests {
+		if !bytes.Equal(d, digests[i]) {
+			t.Fatalf("batch digest %d mismatch", i)
+		}
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "cloud", b, b.CloudSig); err != nil {
+		t.Fatalf("batch signature: %v", err)
+	}
+	s := f.node.Stats()
+	if s.Certifies != 4 || s.ProofSigns != 0 {
+		t.Fatalf("Certifies = %d, ProofSigns = %d; want 4, 0", s.Certifies, s.ProofSigns)
+	}
+}
+
+// TestBatchedCertifyTickFlushesPartial: a partial run rides the next Tick
+// instead of waiting for the batch to fill.
+func TestBatchedCertifyTickFlushesPartial(t *testing.T) {
+	f := newFixture(t, Config{CertBatch: 8})
+	f.certify(t, 0, wcrypto.Digest([]byte("b0")))
+	out := f.certify(t, 1, wcrypto.Digest([]byte("b1")))
+	if batchOf(out) != nil {
+		t.Fatal("partial run flushed early")
+	}
+	b := batchOf(f.node.Tick(2))
+	if b == nil || b.Start != 0 || len(b.Digests) != 2 {
+		t.Fatalf("tick flush batch = %+v", b)
+	}
+}
+
+// TestBatchedCertifyDuplicateFallsBackToProof: a duplicate certify in
+// batched mode is answered with an individually signed proof — the
+// single-cert shape every verifier still accepts.
+func TestBatchedCertifyDuplicateFallsBackToProof(t *testing.T) {
+	f := newFixture(t, Config{CertBatch: 2})
+	d := wcrypto.Digest([]byte("b0"))
+	f.certify(t, 0, d)
+	out := f.certify(t, 0, d)
+	if len(out) != 1 {
+		t.Fatalf("duplicate outputs = %d", len(out))
+	}
+	p, ok := out[0].Msg.(*wire.BlockProof)
+	if !ok {
+		t.Fatalf("duplicate answered with %T", out[0].Msg)
+	}
+	if err := wcrypto.VerifyMsg(f.reg, "cloud", p, p.CloudSig); err != nil {
+		t.Fatalf("lazily signed proof: %v", err)
+	}
+	if s := f.node.Stats(); s.ProofSigns != 1 {
+		t.Fatalf("ProofSigns = %d, want 1 (lazy sign on duplicate)", s.ProofSigns)
+	}
+}
+
+// TestCertifyBatchIngress: an inbound BlockCertifyBatch certifies every
+// covered block under one edge signature, and equivocation inside a
+// batch still convicts.
+func TestCertifyBatchIngress(t *testing.T) {
+	f := newFixture(t, Config{CertBatch: 4})
+	m := &wire.BlockCertifyBatch{Edge: "edge-1", Start: 0}
+	for i := 0; i < 4; i++ {
+		m.Digests = append(m.Digests, wcrypto.Digest([]byte{byte(i)}))
+	}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["edge-1"], m)
+	out := f.node.Receive(1, wire.Envelope{From: "edge-1", To: "cloud", Msg: m})
+	b := batchOf(out)
+	if b == nil || len(b.Digests) != 4 {
+		t.Fatalf("ingress batch output = %v", out)
+	}
+	if s := f.node.Stats(); s.Certifies != 4 {
+		t.Fatalf("Certifies = %d, want 4", s.Certifies)
+	}
+
+	// A conflicting digest for a covered bid is equivocation, same as
+	// with single certifies.
+	out = f.certify(t, 2, wcrypto.Digest([]byte("other")))
+	v, ok := out[0].Msg.(*wire.Verdict)
+	if !ok || !v.Guilty {
+		t.Fatalf("conflict inside batched run: %+v", out[0].Msg)
+	}
+}
+
+// TestCertifyBatchBadSignatureRejected: a forged batch certifies nothing.
+func TestCertifyBatchBadSignatureRejected(t *testing.T) {
+	f := newFixture(t, Config{CertBatch: 4})
+	m := &wire.BlockCertifyBatch{Edge: "edge-1", Start: 0, Digests: [][]byte{wcrypto.Digest([]byte("x"))}}
+	m.EdgeSig = wcrypto.SignMsg(f.keys["c1"], m) // wrong signer
+	if out := f.node.Receive(1, wire.Envelope{From: "edge-1", To: "cloud", Msg: m}); out != nil {
+		t.Fatalf("forged batch produced output: %v", out)
+	}
+	if s := f.node.Stats(); s.Certifies != 0 {
+		t.Fatalf("forged batch certified %d blocks", s.Certifies)
+	}
+}
+
+// TestCertWorkersPipelineDrains: with a worker pool the prechecks run off
+// the node goroutine; Receive+Tick eventually apply every certification
+// in bid order, and defaults stay byte-compatible (per-block proofs).
+func TestCertWorkersPipelineDrains(t *testing.T) {
+	f := newFixture(t, Config{CertWorkers: 2})
+	defer f.node.Close()
+	const blocks = 16
+	for i := 0; i < blocks; i++ {
+		f.certify(t, uint64(i), wcrypto.Digest([]byte{byte(i)}))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.node.Stats().Certifies < blocks {
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline drained %d/%d certifies", f.node.Stats().Certifies, blocks)
+		}
+		f.node.Tick(2)
+		time.Sleep(time.Millisecond)
+	}
+	if s := f.node.Stats(); s.ProofSigns != blocks {
+		t.Fatalf("ProofSigns = %d, want %d (CertBatch default keeps per-block proofs)", s.ProofSigns, blocks)
+	}
+}
+
+// TestAuditorDetectsMismatch unit-tests the sweep: a checkpoint whose
+// signed root matches its leaves passes; a corrupted one is flagged.
+func TestAuditorDetectsMismatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	rounds := reg.CounterVec("wedge_audit_rounds_total", "t", "node").With("cloud")
+	mismatches := reg.CounterVec("wedge_audit_mismatches_total", "t", "node").With("cloud")
+	a := newAuditor(rounds, mismatches, func(string, ...any) {})
+
+	leaves := [][][]byte{{wcrypto.Digest([]byte("l0"))}, {wcrypto.Digest([]byte("l1"))}}
+	roots := make([][]byte, len(leaves))
+	for i, lv := range leaves {
+		roots[i] = merkle.New(lv).Root()
+	}
+	good := auditCheckpoint{edge: "edge-1", epoch: 1, leaves: leaves, root: mlsm.GlobalRoot(roots)}
+	a.offer(good)
+	if got := a.sweep(); got != 0 {
+		t.Fatalf("clean checkpoint flagged: %d mismatches", got)
+	}
+	bad := good
+	bad.root = wcrypto.Digest([]byte("corrupted"))
+	a.offer(bad)
+	if got := a.sweep(); got != 1 {
+		t.Fatalf("corrupt checkpoint mismatches = %d, want 1", got)
+	}
+	if rounds.Value() != 2 || mismatches.Value() != 1 {
+		t.Fatalf("rounds = %d, mismatches = %d", rounds.Value(), mismatches.Value())
+	}
+}
+
+// TestAuditNowAfterMerge drives the real checkpoint path: a merge offers
+// a snapshot, AuditNow recomputes it, and the signed root reproduces.
+func TestAuditNowAfterMerge(t *testing.T) {
+	f := newFixture(t, Config{Levels: 2, PageCap: 2, AuditEvery: int64(time.Hour)})
+	defer f.node.Close()
+	b0 := f.buildCertifiedBlock(t, 0, "a", "b")
+	b1 := f.buildCertifiedBlock(t, 1, "c", "d")
+	f.merge(t, &wire.MergeRequest{ReqID: 1, FromLevel: 0, L0Blocks: []wire.Block{b0, b1}})
+	if got := f.node.AuditNow(); got != 0 {
+		t.Fatalf("merge checkpoint failed audit: %d mismatches", got)
+	}
+	s := f.node.Stats()
+	if s.AuditRounds != 1 || s.AuditMismatches != 0 {
+		t.Fatalf("AuditRounds = %d, AuditMismatches = %d", s.AuditRounds, s.AuditMismatches)
+	}
+}

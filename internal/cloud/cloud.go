@@ -44,11 +44,32 @@ type Config struct {
 	// (crashed after replication, or deliberately starving Phase II) and
 	// fails over.
 	CertTimeout int64
+	// CertWorkers sizes the certification precheck pipeline: signature
+	// checks and full-data decodes run on this many worker goroutines,
+	// per-chain FIFO, while certs.Certify stays on the node goroutine.
+	// 0 (the default) keeps the fully inline, deterministic path; a
+	// node with workers must be Close()d.
+	CertWorkers int
+	// CertBatch caps the contiguous run of accepted certifications one
+	// cloud signature covers (wire.BlockCertBatch). <= 1 (the default)
+	// signs every proof individually — the pre-batching behaviour,
+	// byte for byte.
+	CertBatch int
+	// AuditEvery paces the background anti-entropy auditor (ns): each
+	// period it recomputes Merkle roots over the latest merge
+	// checkpoints and compares them with the roots the cloud signed.
+	// 0 disables the auditor (the default).
+	AuditEvery int64
+	// VerdictCache caps the adjudication cache (entries): disputes with
+	// byte-identical evidence replay the cached signed verdict instead
+	// of re-decoding and re-judging. 0 selects the default (1024);
+	// negative disables the cache.
+	VerdictCache int
 	// Logger receives operational events; nil disables logging.
 	Logger *olog.Logger
 	// Metrics, when non-nil, is the registry this node's series live in.
-	// Setting it also enables the certification-latency histogram;
-	// counters back Stats() either way.
+	// Counters and histograms back Stats() and observe either way; a
+	// nil registry just keeps them private.
 	Metrics *obs.Registry
 }
 
@@ -65,6 +86,15 @@ func (c *Config) fill() {
 	if c.CertTimeout <= 0 {
 		c.CertTimeout = int64(3e9)
 	}
+	if c.CertWorkers < 0 {
+		c.CertWorkers = 0
+	}
+	if c.CertBatch < 1 {
+		c.CertBatch = 1
+	}
+	if c.VerdictCache == 0 {
+		c.VerdictCache = 1024
+	}
 }
 
 // Validate rejects configurations that would silently misbehave at
@@ -78,6 +108,9 @@ func (c *Config) Validate() error {
 	if c.GossipEvery < 0 || c.LeaseTimeout < 0 || c.CertTimeout < 0 {
 		return fmt.Errorf("cloud: negative interval (GossipEvery %d, LeaseTimeout %d, CertTimeout %d)",
 			c.GossipEvery, c.LeaseTimeout, c.CertTimeout)
+	}
+	if c.AuditEvery < 0 {
+		return fmt.Errorf("cloud: negative AuditEvery %d", c.AuditEvery)
 	}
 	return nil
 }
@@ -116,6 +149,15 @@ type Node struct {
 
 	lastGossip int64
 	m          *metrics
+
+	// Certification scale-out (pipeline.go, auditor.go). pipe is nil
+	// with CertWorkers 0; pendingRuns holds each chain's outbound
+	// certificate batch under construction; vcache is nil when the
+	// verdict cache is disabled; aud is nil unless AuditEvery > 0.
+	pipe        *certPipeline
+	pendingRuns map[wire.NodeID]*certRun
+	vcache      *verdictCache
+	aud         *auditor
 }
 
 // Stats is a point-in-time snapshot of the node's operational
@@ -140,21 +182,58 @@ type Stats struct {
 	// Rejoins counts ex-members re-admitted to their replica group after
 	// a restart or demotion (certified catch-up brings them current).
 	Rejoins uint64
+	// VerdictCacheHits counts disputes answered from the adjudication
+	// cache; JudgeDecodes counts full Judge runs (one evidence decode
+	// each) — under a dispute flood hits grow with the flood while
+	// decodes grow with the number of distinct lies.
+	VerdictCacheHits uint64
+	JudgeDecodes     uint64
+	// AuditRounds and AuditMismatches mirror the anti-entropy auditor:
+	// sweeps completed, and checkpoints whose recomputed Merkle root
+	// contradicted the root the cloud signed (always 0 in a healthy
+	// deployment).
+	AuditRounds     uint64
+	AuditMismatches uint64
 }
 
-// New constructs a cloud node.
+// New constructs a cloud node. Nodes with CertWorkers > 0 or
+// AuditEvery > 0 own goroutines and must be Close()d.
 func New(cfg Config, key wcrypto.KeyPair, reg *wcrypto.Registry) *Node {
 	cfg.fill()
-	return &Node{
-		cfg:       cfg,
-		key:       key,
-		reg:       reg,
-		certs:     core.NewCertTable(),
-		punish:    core.NewPunishments(),
-		edges:     make(map[wire.NodeID]*edgeState),
-		chains:    make(map[wire.NodeID]*chainState),
-		nodeChain: make(map[wire.NodeID]wire.NodeID),
-		m:         newMetrics(cfg.Metrics, string(cfg.ID)),
+	n := &Node{
+		cfg:         cfg,
+		key:         key,
+		reg:         reg,
+		certs:       core.NewCertTable(),
+		punish:      core.NewPunishments(),
+		edges:       make(map[wire.NodeID]*edgeState),
+		chains:      make(map[wire.NodeID]*chainState),
+		nodeChain:   make(map[wire.NodeID]wire.NodeID),
+		pendingRuns: make(map[wire.NodeID]*certRun),
+		m:           newMetrics(cfg.Metrics, string(cfg.ID)),
+	}
+	if cfg.VerdictCache > 0 {
+		n.vcache = newVerdictCache(cfg.VerdictCache)
+	}
+	if cfg.CertWorkers > 0 {
+		n.pipe = newCertPipeline(reg, cfg.CertWorkers)
+	}
+	if cfg.AuditEvery > 0 {
+		n.aud = newAuditor(n.m.auditRounds, n.m.auditMismatches, n.logf)
+		n.aud.start(time.Duration(cfg.AuditEvery))
+	}
+	return n
+}
+
+// Close stops the certification pipeline workers and the anti-entropy
+// auditor. Idempotent; a node built without either is a no-op.
+func (n *Node) Close() {
+	if n.pipe != nil {
+		n.pipe.close()
+		n.pipe = nil
+	}
+	if n.aud != nil {
+		n.aud.stopAuditor()
 	}
 }
 
@@ -183,6 +262,11 @@ func (n *Node) Stats() Stats {
 		Heartbeats:    n.m.heartbeats.Value(),
 		Transfers:     n.m.transfers.Value(),
 		Rejoins:       n.m.rejoins.Value(),
+
+		VerdictCacheHits: n.m.verdictCacheHits.Value(),
+		JudgeDecodes:     n.m.judgeDecodes.Value(),
+		AuditRounds:      n.m.auditRounds.Value(),
+		AuditMismatches:  n.m.auditMismatches.Value(),
 	}
 }
 
@@ -230,11 +314,16 @@ func (n *Node) edge(id wire.NodeID) *edgeState {
 func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 	switch m := env.Msg.(type) {
 	case *wire.BlockCertify:
-		if !n.m.enabled {
-			return n.handleCertify(now, env.From, m, env.Verified)
-		}
+		// Both branches of the old enabled-gate observed here skipped
+		// the histogram on the fast path; the histogram is now always
+		// allocated, so every certify observes.
 		t0 := time.Now()
-		out := n.handleCertify(now, env.From, m, env.Verified)
+		out := n.certifyIngress(now, env.From, &certJob{from: env.From, single: m, verified: env.Verified})
+		n.m.certify.Observe(time.Since(t0).Seconds())
+		return out
+	case *wire.BlockCertifyBatch:
+		t0 := time.Now()
+		out := n.certifyIngress(now, env.From, &certJob{from: env.From, batch: m, verified: env.Verified})
 		n.m.certify.Observe(time.Since(t0).Seconds())
 		return out
 	case *wire.MergeRequest:
@@ -259,6 +348,14 @@ func (n *Node) Receive(now int64, env wire.Envelope) []wire.Envelope {
 // banned shard — while sibling shards' gossip continues undisturbed.
 func (n *Node) Tick(now int64) []wire.Envelope {
 	out := n.tickFailover(now)
+	if n.pipe != nil {
+		// Drain prechecked certifications: a lull in traffic must not
+		// strand completed jobs in the pipeline.
+		out = append(out, n.drainPipe(now)...)
+	}
+	// Flush partial certificate batches: a pending run waits at most
+	// one tick for more accepts before its signature is spent.
+	out = append(out, n.flushRuns()...)
 	if n.cfg.GossipEvery <= 0 || now-n.lastGossip < n.cfg.GossipEvery {
 		return out
 	}
@@ -286,10 +383,43 @@ func (n *Node) Tick(now int64) []wire.Envelope {
 	return out
 }
 
-// handleCertify implements the cloud algorithm of Section IV-D: sign the
+// certifyIngress is the certification front door. With CertWorkers 0
+// the precheck (signature, full-data decode) runs inline and the job
+// applies immediately — the legacy serial path. With workers the job
+// enters the pipeline and whatever prechecked jobs are ready apply now;
+// the rest surface on later Receives or the next Tick.
+func (n *Node) certifyIngress(now int64, from wire.NodeID, j *certJob) []wire.Envelope {
+	if n.pipe == nil {
+		j.precheck(n.reg)
+		return n.applyCert(now, j)
+	}
+	n.pipe.enqueue(j)
+	return n.drainPipe(now)
+}
+
+// drainPipe applies every prechecked job whose chain lane has it at the
+// head. Node goroutine only.
+func (n *Node) drainPipe(now int64) []wire.Envelope {
+	var out []wire.Envelope
+	for _, j := range n.pipe.ready() {
+		out = append(out, n.applyCert(now, j)...)
+	}
+	return out
+}
+
+func (n *Node) applyCert(now int64, j *certJob) []wire.Envelope {
+	if j.single != nil {
+		return n.applyCertify(now, j.from, j.single, j.sigOK, j.bodyOK)
+	}
+	return n.applyCertifyBatch(now, j.from, j.batch, j.sigOK)
+}
+
+// applyCertify implements the cloud algorithm of Section IV-D: sign the
 // first digest reported for (edge, bid); flag the edge on any conflicting
 // report. Certification is data-free — this handler never sees the block.
-func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, verified bool) []wire.Envelope {
+// sigOK and bodyOK carry the precheck results (inline or pipelined); all
+// state-dependent checks happen here, on the node goroutine.
+func (n *Node) applyCertify(now int64, from wire.NodeID, m *wire.BlockCertify, sigOK, bodyOK bool) []wire.Envelope {
 	// m.Edge names the chain; only the chain's current leader may certify
 	// under it. For ungrouped chains leaderOf is the identity map, so the
 	// legacy from == m.Edge check is preserved exactly.
@@ -299,13 +429,11 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 	if _, banned := n.punish.Banned(from); banned {
 		return nil
 	}
-	if !verified {
-		if err := wcrypto.VerifyMsg(n.reg, from, m, m.EdgeSig); err != nil {
-			n.logf("dropping certify with bad signature", "edge", from, "err", err)
-			return nil
-		}
+	if !sigOK {
+		n.logf("dropping certify with bad signature", "edge", from)
+		return nil
 	}
-	if len(m.Body) > 0 && !fullDataBodyMatches(m) {
+	if !bodyOK {
 		// Full-data mode: the shipped body must decode to a block whose
 		// recomputed digest (which commits the derived key summary and
 		// entries hash) is the claimed one; a mismatch is an immediately
@@ -318,31 +446,67 @@ func (n *Node) handleCertify(now int64, from wire.NodeID, m *wire.BlockCertify, 
 		n.convict(v)
 		return n.broadcastVerdict(v)
 	}
-	st := n.edge(m.Edge)
+	return n.certifyOne(now, m.Edge, from, m.BID, m.Digest)
+}
+
+// applyCertifyBatch certifies each triple of an amortized request in
+// bid order. One edge signature covered the whole run; each triple then
+// passes through exactly the per-block certification logic, so a
+// conflicting digest inside a batch convicts just as a single certify
+// would — and freezes the rest of the run, since the edge is banned the
+// moment the verdict lands.
+func (n *Node) applyCertifyBatch(now int64, from wire.NodeID, m *wire.BlockCertifyBatch, sigOK bool) []wire.Envelope {
+	if from != n.leaderOf(m.Edge) {
+		return nil
+	}
+	if !sigOK {
+		n.logf("dropping certify batch with bad signature", "edge", from)
+		return nil
+	}
+	var out []wire.Envelope
+	for i, d := range m.Digests {
+		if _, banned := n.punish.Banned(from); banned {
+			break
+		}
+		out = append(out, n.certifyOne(now, m.Edge, from, m.Start+uint64(i), d)...)
+	}
+	return out
+}
+
+// certifyOne records one (chain, bid, digest) certification and routes
+// its proof: individually signed (CertBatch <= 1, duplicates) or
+// accumulated into the chain's pending batch run.
+func (n *Node) certifyOne(now int64, chain, from wire.NodeID, bid uint64, digest []byte) []wire.Envelope {
+	st := n.edge(chain)
 	// Data-free certification cannot know the entry count; edges report
 	// batch-sized blocks, so gossip uses block counts plus the certify
 	// message's implicit batch. We conservatively count entries at merge
 	// time; gossip LogSize uses certified entries recorded there. For
 	// block-level omission detection the Blocks counter suffices.
-	switch n.certs.Certify(m.Edge, m.BID, m.Digest, 0) {
+	switch n.certs.Certify(chain, bid, digest, 0) {
 	case core.CertAccepted:
 		n.m.certifies.Inc()
-		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
-		return n.proofFanout(m.Edge, from, proof)
+		if n.cfg.CertBatch > 1 {
+			return n.appendCert(chain, from, bid, digest)
+		}
+		proof := n.signedProof(st, chain, bid, digest)
+		return n.proofFanout(chain, from, proof)
 	case core.CertDuplicate:
 		// Re-delivery: the digest matched the certified one, so the
-		// cached proof is returned without spending another signature.
+		// cached proof is returned — lazily signed on first re-request
+		// when the original certificate went out in a batch — without
+		// spending a signature per re-delivery.
 		n.m.proofCacheHits.Inc()
-		proof := n.signedProof(st, m.Edge, m.BID, m.Digest)
-		return n.proofFanout(m.Edge, from, proof)
+		proof := n.signedProof(st, chain, bid, digest)
+		return n.proofFanout(chain, from, proof)
 	default: // CertConflict: equivocation caught red-handed.
 		n.m.conflicts.Inc()
 		v := wire.Verdict{
 			Edge:   from,
-			BID:    m.BID,
+			BID:    bid,
 			Kind:   wire.DisputeAddLie,
 			Guilty: true,
-			Reason: fmt.Sprintf("conflicting digest certify for block %d", m.BID),
+			Reason: fmt.Sprintf("conflicting digest certify for block %d", bid),
 		}
 		v.CloudSig = wcrypto.SignMsg(n.key, &v)
 		n.convict(v)
@@ -439,28 +603,77 @@ func (n *Node) VerdictsFor(edge wire.NodeID) []wire.Verdict {
 // The verdict is returned to the client; when a certificate exists for the
 // disputed block it is attached, so an honest edge's slow certification
 // still lets the client finish Phase II.
+//
+// With the verdict cache on, adjudications are memoized by evidence
+// digest: a flood of byte-identical accusations costs one Judge decode
+// for the first and a cache hit for every replay, from any claimant
+// whose signature verifies. Conviction side effects (punishment,
+// broadcast) ran when the verdict was first issued; a replay only
+// re-delivers the same signed ruling.
 func (n *Node) handleDispute(now int64, from wire.NodeID, d *wire.Dispute) []wire.Envelope {
 	// The accused is a node; certificates, scan artifacts and gossip are
 	// keyed by its chain. For ungrouped edges the two coincide and
 	// JudgeForChain degenerates to the legacy Judge.
-	v := core.JudgeForChain(n.reg, n.certs, n.cfg.ID, from, d, n.chainOf(d.Edge))
+	chain := n.chainOf(d.Edge)
+	var key string
+	if n.vcache != nil {
+		// Claimant gate before any cache access: only well-signed
+		// disputes may read or seed memoized verdicts, so a forged
+		// accusation can neither poison the cache nor probe it.
+		if err := wcrypto.VerifyMsg(n.reg, from, d, d.ClientSig); err != nil {
+			v := wire.Verdict{Edge: d.Edge, BID: d.BID, Kind: d.Kind,
+				Reason: "dispute rejected: bad client signature"}
+			n.m.disputesNotGuilty.Inc()
+			v.CloudSig = wcrypto.SignMsg(n.key, &v)
+			out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
+			return append(out, n.attachProof(chain, d.BID, from)...)
+		}
+		key = verdictKey(d)
+		if cv, ok := n.vcache.get(key); ok {
+			n.m.verdictCacheHits.Inc()
+			if cv.verdict.Guilty {
+				n.m.disputesGuilty.Inc()
+			} else {
+				n.m.disputesNotGuilty.Inc()
+			}
+			v := cv.verdict
+			out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
+			return append(out, n.attachProof(chain, d.BID, from)...)
+		}
+	}
+	n.m.judgeDecodes.Inc()
+	v := core.JudgeForChain(n.reg, n.certs, n.cfg.ID, from, d, chain)
 	if v.Guilty {
 		n.m.disputesGuilty.Inc()
 	} else {
 		n.m.disputesNotGuilty.Inc()
 	}
 	v.CloudSig = wcrypto.SignMsg(n.key, &v)
+	if n.vcache != nil {
+		n.vcache.put(key, &cachedVerdict{verdict: v})
+	}
 	out := []wire.Envelope{{From: n.cfg.ID, To: from, Msg: &v}}
 	if v.Guilty {
 		n.convict(v)
 		out = append(out, n.broadcastVerdict(v, from)...)
 	}
-	if st, ok := n.edges[n.chainOf(d.Edge)]; ok {
-		if proof, ok := st.proofs[d.BID]; ok {
-			out = append(out, wire.Envelope{From: n.cfg.ID, To: from, Msg: proof})
-		}
+	return append(out, n.attachProof(chain, d.BID, from)...)
+}
+
+// attachProof re-delivers the certificate for a disputed block when one
+// exists. In batched mode the individual proof may never have been
+// signed — the certificate went out inside a BlockCertBatch — so it is
+// lazily signed here from the certified digest: dispute re-delivery
+// always yields the single-cert shape, whatever shape certification
+// used. In unbatched mode every certified bid already carries a cached
+// signed proof, so this spends no extra signatures.
+func (n *Node) attachProof(chain wire.NodeID, bid uint64, to wire.NodeID) []wire.Envelope {
+	digest, ok := n.certs.Lookup(chain, bid)
+	if !ok {
+		return nil
 	}
-	return out
+	proof := n.signedProof(n.edge(chain), chain, bid, digest)
+	return []wire.Envelope{{From: n.cfg.ID, To: to, Msg: proof}}
 }
 
 // handleMerge implements the merge protocol of Section V-B: verify the
@@ -571,6 +784,17 @@ func (n *Node) handleMerge(now int64, from wire.NodeID, m *wire.MergeRequest, ve
 		L0From: st.l0Consumed, // signed compaction frontier: pins where served L0 windows must start
 	}
 	global.CloudSig = wcrypto.SignMsg(n.key, &global)
+
+	if n.aud != nil {
+		// Snapshot the leaf tables for the background auditor. Outer
+		// slices are copied; the leaf hashes themselves are immutable
+		// (every merge replaces a level's slice wholesale).
+		snap := make([][][]byte, len(st.leaves))
+		for i, lv := range st.leaves {
+			snap[i] = append([][]byte(nil), lv...)
+		}
+		n.aud.offer(auditCheckpoint{edge: m.Edge, epoch: st.epoch, leaves: snap, root: global.Root})
+	}
 
 	n.m.merges.Inc()
 	resp := &wire.MergeResponse{

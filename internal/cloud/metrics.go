@@ -5,13 +5,12 @@ import (
 )
 
 // metrics is the cloud node's registry-backed instrumentation. As on
-// the edge, counters are always live (they are the atomic storage
-// behind Stats(), making mid-run polling race-free) and fall back to a
-// private registry when Config.Metrics is nil; the certification
-// latency histogram only exists when a real registry was configured.
+// the edge, counters and histograms are always live (counters are the
+// atomic storage behind Stats(), making mid-run polling race-free) and
+// fall back to a private registry when Config.Metrics is nil — the
+// certification-latency histogram included, so both the pre-verified
+// fast path and the inline-verify path observe unconditionally.
 type metrics struct {
-	enabled bool
-
 	certifies         *obs.Counter
 	proofSigns        *obs.Counter
 	proofCacheHits    *obs.Counter
@@ -26,12 +25,21 @@ type metrics struct {
 	heartbeats        *obs.Counter
 	transfers         *obs.Counter
 	rejoins           *obs.Counter
+	verdictCacheHits  *obs.Counter
+	judgeDecodes      *obs.Counter
+	auditRounds       *obs.Counter
+	auditMismatches   *obs.Counter
 
-	certify *obs.Histogram // wall-clock handleCertify latency
+	certify      *obs.Histogram // wall-clock handleCertify latency
+	batchEntries *obs.Histogram // triples per signed certificate batch
 }
 
+// batchBuckets bounds the wedge_cert_batch_entries histogram: batch
+// sizes are small powers of two (CertBatch caps the run).
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 func newMetrics(reg *obs.Registry, node string) *metrics {
-	m := &metrics{enabled: reg != nil}
+	m := &metrics{}
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -39,7 +47,7 @@ func newMetrics(reg *obs.Registry, node string) *metrics {
 		return reg.CounterVec(name, help, "node").With(node)
 	}
 	m.certifies = c("wedge_certifies_total", "block digests certified (first accept)")
-	m.proofSigns = c("wedge_cloud_proof_signs_total", "signatures spent on block proofs (== certifies)")
+	m.proofSigns = c("wedge_cloud_proof_signs_total", "signatures spent on block proofs (== certifies when batching is off)")
 	m.proofCacheHits = c("wedge_cloud_proof_cache_hits_total", "duplicate certifies answered from the signed-proof cache")
 	m.conflicts = c("wedge_cloud_conflicts_total", "conflicting digest certifies (equivocation convictions)")
 	m.merges = c("wedge_cloud_merges_total", "LSMerkle merges performed")
@@ -55,10 +63,13 @@ func newMetrics(reg *obs.Registry, node string) *metrics {
 	m.heartbeats = c("wedge_cloud_heartbeats_total", "replica heartbeats processed")
 	m.transfers = c("wedge_cloud_transfers_total", "signed leadership transfers issued")
 	m.rejoins = c("wedge_cloud_rejoins_total", "ex-members re-admitted to their replica group")
-	if !m.enabled {
-		return m
-	}
+	m.verdictCacheHits = c("wedge_verdict_cache_hits_total", "disputes answered from the verdict cache (no Judge decode)")
+	m.judgeDecodes = c("wedge_cloud_judge_decodes_total", "full Judge adjudications (evidence decoded and re-verified)")
+	m.auditRounds = c("wedge_audit_rounds_total", "anti-entropy audit sweeps completed")
+	m.auditMismatches = c("wedge_audit_mismatches_total", "audited checkpoints whose recomputed root mismatched")
 	m.certify = reg.HistogramVec("wedge_certify_seconds",
 		"wall-clock certification latency at the cloud", obs.LatencyBuckets, "node").With(node)
+	m.batchEntries = reg.HistogramVec("wedge_cert_batch_entries",
+		"certified triples covered per signed certificate batch", batchBuckets, "node").With(node)
 	return m
 }

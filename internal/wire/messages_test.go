@@ -177,6 +177,16 @@ func sampleMessages() []Message {
 		&GroupJoin{Chain: "edge-1", Node: "edge-1.r2", Leader: "edge-1.r1", Epoch: 3, Ts: 17, CloudSig: randBytes(64)},
 		&FrontierRequest{Chain: "edge-1"},
 		&Overloaded{Seq: 42, ReqID: 7, RetryAfter: 1e8, Backlog: 9, EdgeSig: randBytes(64)},
+		&BlockCertifyBatch{
+			Edge: "edge-1", Start: 12,
+			Digests: [][]byte{randBytes(32), randBytes(32), randBytes(32)},
+			EdgeSig: randBytes(64),
+		},
+		&BlockCertBatch{
+			Edge: "edge-1", Start: 12,
+			Digests:  [][]byte{randBytes(32), randBytes(32), randBytes(32)},
+			CloudSig: randBytes(64),
+		},
 	}
 }
 

@@ -78,6 +78,11 @@ const (
 	// Front-door admission control (appended).
 	KindOverloaded
 
+	// Batched certification (appended): one signature covers a
+	// contiguous run of block digests, in each direction.
+	KindBlockCertifyBatch
+	KindBlockCertBatch
+
 	kindEnd // sentinel; keep last
 )
 
@@ -126,6 +131,9 @@ var kindNames = map[Kind]string{
 	KindFrontierRequest: "FrontierRequest",
 
 	KindOverloaded: "Overloaded",
+
+	KindBlockCertifyBatch: "BlockCertifyBatch",
+	KindBlockCertBatch:    "BlockCertBatch",
 }
 
 // String returns the human-readable name of the kind.
@@ -239,6 +247,10 @@ func newMessage(k Kind) (Message, error) {
 		return &FrontierRequest{}, nil
 	case KindOverloaded:
 		return &Overloaded{}, nil
+	case KindBlockCertifyBatch:
+		return &BlockCertifyBatch{}, nil
+	case KindBlockCertBatch:
+		return &BlockCertBatch{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", uint16(k))
 	}

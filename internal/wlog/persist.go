@@ -191,7 +191,10 @@ func (s *Store) ResetTo(l *Log) error {
 		if err := s.append(recBlock, blk.Canonical(), false); err != nil {
 			return err
 		}
-		if p, ok := l.Cert(bid); ok {
+		// Only individually signed certificates are durable — recovery
+		// verifies each record's CloudSig, and a batch-derived certificate
+		// (empty sig) is re-obtainable from the cloud after restart.
+		if p, ok := l.Cert(bid); ok && len(p.CloudSig) > 0 {
 			if err := s.AppendCertBuffered(&p); err != nil {
 				return err
 			}

@@ -168,6 +168,20 @@ type Config struct {
 	// hint; clients pace their re-sends by it and surface ErrOverloaded
 	// if the edge never reopens. 0 disables.
 	MaxUncertified int
+	// CertWorkers sizes the cloud's certification precheck pool: edge
+	// signature checks and full-data digest recomputes fan out to workers
+	// (per-chain FIFO) while the serial apply stage stays on the cloud's
+	// node goroutine. 0 keeps prechecks inline.
+	CertWorkers int
+	// CertBatch, when > 1, amortizes certification in both directions:
+	// edges ship up to CertBatch contiguous cut blocks per signed certify
+	// request, and the cloud covers contiguous certified runs with one
+	// batched certificate signature. 0 or 1 keeps per-block certification.
+	CertBatch int
+	// AuditEvery paces the cloud's background anti-entropy auditor, which
+	// recomputes Merkle roots over signed merge checkpoints and flags any
+	// mismatch on wedge_audit_mismatches_total. 0 disables.
+	AuditEvery time.Duration
 	// LightVerify switches client sessions into light mode by default:
 	// a get response is accepted on the edge's signature plus the
 	// cloud-signed gossiped frontier, and only a seeded random sample of
@@ -270,6 +284,7 @@ func (c *Config) Validate() error {
 		{"ProofTimeout", c.ProofTimeout},
 		{"FreshnessWindow", c.FreshnessWindow},
 		{"RetryEvery", c.RetryEvery},
+		{"AuditEvery", c.AuditEvery},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("wedgechain: %s must not be negative, got %v", d.name, d.v)
@@ -283,6 +298,12 @@ func (c *Config) Validate() error {
 	}
 	if c.VerifySample < 0 {
 		return fmt.Errorf("wedgechain: VerifySample must be >= 0, got %d", c.VerifySample)
+	}
+	if c.CertWorkers < 0 {
+		return fmt.Errorf("wedgechain: CertWorkers must be >= 0, got %d", c.CertWorkers)
+	}
+	if c.CertBatch < 0 {
+		return fmt.Errorf("wedgechain: CertBatch must be >= 0, got %d", c.CertBatch)
 	}
 	lease := c.LeaseTimeout
 	if lease <= 0 {
